@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's evaluation figures (or an
+ablation) and prints the paper-style series to the real stdout, so that
+
+    pytest benchmarks/ --benchmark-only
+
+produces both timing and the reproduced numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a figure report to the real terminal despite capture."""
+    def _print(text: str) -> None:
+        with capsys.disabled():
+            print("\n" + text, flush=True)
+    return _print

@@ -1,0 +1,50 @@
+"""Ablation: the growth patience p (paper SIII-B, p = 20).
+
+Growing only after p consecutive under-slack observations slows ramp-up
+but protects against growing on transient calm. The sweep shows the
+cost/accuracy trade: small p saves more but risks more misses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.adaptation import AdaptationConfig
+from repro.core.task import TaskSpec
+from repro.experiments.figures import _domain_streams
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import run_adaptive
+from repro.workloads import threshold_for_selectivity
+
+PATIENCES = (2, 5, 10, 20, 40)
+
+
+def run():
+    traces = _domain_streams("network", 4, 8000, seed=0)
+    rows = []
+    for patience in PATIENCES:
+        config = AdaptationConfig(patience=patience)
+        ratios, misses = [], []
+        for trace in traces:
+            threshold = threshold_for_selectivity(trace, 0.4)
+            task = TaskSpec(threshold=threshold, error_allowance=0.01,
+                            max_interval=10)
+            result = run_adaptive(trace, task, config)
+            ratios.append(result.sampling_ratio)
+            misses.append(result.misdetection_rate)
+        rows.append([patience, float(np.mean(ratios)),
+                     float(np.mean(misses))])
+    return rows
+
+
+def test_ablation_patience(benchmark, report):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(format_table(["p", "cost-ratio", "mis-detection"], rows,
+                        title="Ablation: growth patience (k=0.4%, "
+                              "err=0.01)"))
+
+    by_p = {row[0]: row for row in rows}
+    # Lower patience grows faster, so it costs (weakly) less.
+    assert by_p[2][1] <= by_p[40][1] + 0.02
+    # The paper's default remains accurate.
+    assert by_p[20][2] <= 0.05

@@ -1,0 +1,34 @@
+"""Fig. 5(c): application-level monitoring overhead saving.
+
+Paper: per-object access-rate tasks save heavily because web access is
+bursty with long off-peak periods (diurnal effects), letting adaptation
+use large intervals most of the time.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig5
+
+
+def run():
+    return fig5("application", num_streams=4, horizon=8000, seed=0)
+
+
+def test_fig5c_application_overhead(benchmark, report):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(result.report())
+
+    errs = result.error_allowances
+
+    for k in result.selectivities:
+        first = result.cell(k, errs[0]).sampling_ratio
+        last = result.cell(k, errs[-1]).sampling_ratio
+        assert last <= first + 0.02
+
+    # Deep savings at the rare-alert/large-allowance corner.
+    best = min(c.sampling_ratio for c in result.cells)
+    assert best < 0.4
+
+    # Mis-detection stays bounded across the whole sweep.
+    worst_miss = max(c.misdetection_rate for c in result.cells)
+    assert worst_miss <= 0.15

@@ -1,0 +1,46 @@
+"""Fig. 7: actual mis-detection rate of system-level tasks.
+
+Paper: the realised mis-detection rate stays below the specified error
+allowance in most cells; tasks with high alert selectivity (small k) show
+relatively larger rates because they have few alerts (small denominator)
+and long intervals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figures import fig7, fig7_report
+
+
+def run():
+    return fig7(num_streams=6, horizon=8000, seed=0)
+
+
+def test_fig7_misdetection(benchmark, report):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(fig7_report(result))
+
+    matrix = result.misdetection_matrix()
+
+    # "Lower than the specified error allowance in most cases."
+    cells = [(k, err) for k in result.selectivities
+             for err in result.error_allowances]
+    within = sum(1 for k, err in cells if matrix[(k, err)] <= err)
+    assert within / len(cells) >= 0.6, (
+        f"only {within}/{len(cells)} cells within the allowance")
+
+    # No cell explodes: everything stays the same order of magnitude as
+    # the allowance band.
+    assert max(matrix.values()) <= 0.2
+
+    # Small-k tasks carry the larger rates (the paper's second
+    # observation). On quiet system streams both groups sit near zero, so
+    # the comparison carries a small tolerance: the claim to protect is
+    # that small-k does not get *meaningfully better* accuracy.
+    ks = sorted(result.selectivities)
+    small_k = np.mean([matrix[(k, e)] for k in ks[:2]
+                       for e in result.error_allowances])
+    large_k = np.mean([matrix[(k, e)] for k in ks[-2:]
+                       for e in result.error_allowances])
+    assert small_k >= large_k - 0.005

@@ -1,0 +1,30 @@
+"""Monetary cost bench (paper SI: monitoring up to 18% of operation cost).
+
+Prices a fleet of CloudWatch-style pay-per-sample monitoring tasks and
+shows the monthly bill under periodic vs. violation-likelihood sampling.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.monetary import monetary_analysis
+
+
+def run():
+    return monetary_analysis(num_tasks=8, horizon=8000,
+                             error_allowance=0.01)
+
+
+def test_monetary_saving(benchmark, report):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(result.report())
+
+    # Periodic monitoring of this fleet sits in the "substantial share of
+    # the operation bill" regime the paper cites (up to 18%).
+    periodic_share = result.monitoring_fraction(result.periodic_cost)
+    assert periodic_share > 0.1
+
+    # Volley cuts the monitoring bill proportionally to its sampling
+    # ratio and pushes the share down accordingly.
+    adaptive_share = result.monitoring_fraction(result.adaptive_cost)
+    assert adaptive_share < 0.6 * periodic_share
+    assert result.saving > 0.0

@@ -1,0 +1,54 @@
+"""Reference bench: Volley's distance to the clairvoyant oracle.
+
+Not a paper figure — a sanity yardstick. The oracle samples exactly the
+violating points (plus a heartbeat), the absolute cost floor for perfect
+detection. Volley should land between periodic and oracle, much closer to
+periodic in accuracy and much closer to oracle in cost at rare-alert
+selectivities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.oracle import OracleSampler
+from repro.core.task import TaskSpec
+from repro.experiments.figures import _domain_streams
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import (run_adaptive, run_periodic,
+                                      run_sampler_on_trace)
+from repro.workloads import threshold_for_selectivity
+
+
+def run():
+    traces = _domain_streams("network", 4, 8000, seed=0)
+    rows = []
+    ratios = {"periodic": [], "volley": [], "oracle": []}
+    misses = {"periodic": [], "volley": [], "oracle": []}
+    for trace in traces:
+        threshold = threshold_for_selectivity(trace, 0.4)
+        task = TaskSpec(threshold=threshold, error_allowance=0.01,
+                        max_interval=10)
+        for name, result in (
+                ("periodic", run_periodic(trace, threshold)),
+                ("volley", run_adaptive(trace, task)),
+                ("oracle", run_sampler_on_trace(
+                    trace, OracleSampler(trace, threshold, heartbeat=100),
+                    threshold))):
+            ratios[name].append(result.sampling_ratio)
+            misses[name].append(result.misdetection_rate)
+    for name in ("periodic", "volley", "oracle"):
+        rows.append([name, float(np.mean(ratios[name])),
+                     float(np.mean(misses[name]))])
+    return rows
+
+
+def test_oracle_gap(benchmark, report):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(format_table(["scheme", "cost-ratio", "mis-detection"], rows,
+                        title="Volley between periodic and the oracle "
+                              "(network, k=0.4%, err=0.01)"))
+    by_name = {row[0]: row for row in rows}
+    assert by_name["oracle"][1] <= by_name["volley"][1] \
+        <= by_name["periodic"][1]
+    assert by_name["volley"][2] <= 0.05

@@ -1,0 +1,28 @@
+"""Robustness bench: coordination under message loss.
+
+The paper assumes reliable coordinator<->monitor messaging; its companion
+work exists because that assumption fails in practice. This bench
+measures the failure mode on our testbed: a single-victim flood whose
+global alerts hinge on one monitor's violation reports, swept over
+message-loss rates. Recall degrades roughly like the report delivery
+probability — the quantitative case for reliability-aware coordination.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.reliability import reliability_experiment
+
+
+def run():
+    return reliability_experiment()
+
+
+def test_reliability_under_message_loss(benchmark, report):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(result.report())
+
+    assert result.recalls[0] == 1.0
+    # Monotone-ish degradation, substantial at heavy loss.
+    assert result.recalls[-1] <= result.recalls[0] - 0.2
+    assert all(b <= a + 0.1 for a, b
+               in zip(result.recalls, result.recalls[1:]))

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""DDoS detection on the virtualized datacenter testbed (paper SII-A).
+
+Builds the flow-level network substrate (Internet2-style synthetic
+netflows mapped onto VMs), injects a SYN flood against one VM, and runs
+per-VM traffic-difference monitoring with violation-likelihood sampling.
+Shows that the flood is caught within a couple of default intervals while
+sampling cost stays far below periodic monitoring, and what the monitoring
+costs in Dom0 CPU terms.
+
+Run: python examples/ddos_detection.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import TaskSpec, run_adaptive, run_periodic
+from repro.datacenter import NetworkSamplingCostModel
+from repro.workloads import (NetflowConfig, NetflowGenerator, SynFloodAttack,
+                             inject_attacks, map_addresses_to_vms,
+                             syn_ack_difference_from_flows,
+                             threshold_for_selectivity, window_packet_counts)
+
+NUM_VMS = 8
+WINDOW = 15.0           # network default interval, seconds
+HORIZON_WINDOWS = 2000  # ~8.3 hours of monitoring
+VICTIM = 3
+
+
+def build_rho_traces(rng: np.random.Generator) -> np.ndarray:
+    """Per-VM traffic-difference traces from the flow-level substrate."""
+    config = NetflowConfig(num_addresses=256, flows_per_second=60.0,
+                           diurnal_period=HORIZON_WINDOWS * WINDOW / 2)
+    flows = NetflowGenerator(config).generate(
+        HORIZON_WINDOWS * WINDOW, rng)
+    mapping = map_addresses_to_vms(config.num_addresses, NUM_VMS)
+    incoming, outgoing = window_packet_counts(
+        flows, mapping, NUM_VMS, WINDOW, HORIZON_WINDOWS)
+    print(f"generated {len(flows)} flows, "
+          f"{incoming.sum()} packets across {NUM_VMS} VMs")
+    return np.stack([
+        syn_ack_difference_from_flows(incoming[vm], outgoing[vm], rng)
+        for vm in range(NUM_VMS)
+    ])
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    rho = build_rho_traces(rng)
+
+    # SYN flood against the victim VM: ramps over 2 minutes, holds for
+    # 10 minutes at 4000 excess SYNs per window.
+    attack = SynFloodAttack(start=1500, peak_syn_rate=4000.0,
+                            ramp_steps=8, hold_steps=40, decay_steps=8)
+    rho[VICTIM] = inject_attacks(rho[VICTIM], [attack])
+
+    # DDoS detection thresholds are attack-scale, not noise-percentile:
+    # an excess of 1000 unanswered SYNs per window means trouble on any
+    # of these VMs. (Percentile thresholds are used by the Fig. 5 sweeps,
+    # where tasks deliberately sit at varying selectivities.)
+    ddos_threshold = 1000.0
+    cost_model = NetworkSamplingCostModel()
+    print(f"\n{'vm':>3} {'threshold':>10} {'cost ratio':>11} "
+          f"{'mis-detect':>11} {'alerts':>7}")
+    total_ratio = 0.0
+    detection_step = None
+    for vm in range(NUM_VMS):
+        threshold = max(ddos_threshold,
+                        threshold_for_selectivity(rho[vm], 0.4))
+        task = TaskSpec(threshold=threshold, error_allowance=0.01,
+                        default_interval=WINDOW, max_interval=10,
+                        name=f"ddos/vm-{vm}")
+        result = run_adaptive(rho[vm], task)
+        total_ratio += result.sampling_ratio
+        print(f"{vm:>3} {threshold:>10.1f} {result.sampling_ratio:>11.3f} "
+              f"{result.misdetection_rate:>11.4f} "
+              f"{result.accuracy.detected_alerts:>7d}")
+        if vm == VICTIM:
+            start, end = attack.alert_window()
+            hits = [int(t) for t in result.sampled_indices
+                    if start <= t < end and rho[vm][t] > threshold]
+            detection_step = min(hits) if hits else None
+
+    print(f"\nmean cost ratio: {total_ratio / NUM_VMS:.3f} "
+          f"(periodic = 1.0)")
+    start, _ = attack.alert_window()
+    if detection_step is None:
+        print("ATTACK MISSED — should not happen at this intensity")
+    else:
+        delay = (detection_step - start) * WINDOW
+        print(f"SYN flood on vm-{VICTIM} detected {delay:.0f}s after "
+              f"onset (ramp itself lasts "
+              f"{attack.ramp_steps * WINDOW:.0f}s)")
+
+    # What the saving means for Dom0: CPU% for periodic vs adaptive,
+    # extrapolated to the paper's 40 VMs per server.
+    packets_per_window = 20_000
+    per_vm_cpu = cost_model.cpu_seconds(packets_per_window) / WINDOW
+    periodic_cpu = 100.0 * 40 * per_vm_cpu
+    adaptive_cpu = periodic_cpu * total_ratio / NUM_VMS
+    print(f"Dom0 CPU at the paper's 40 VMs/server: {periodic_cpu:.1f}% "
+          f"periodic -> {adaptive_cpu:.1f}% with Volley")
+
+
+if __name__ == "__main__":
+    main()

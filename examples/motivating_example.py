@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Regenerate the data behind the paper's Figure 1 (motivating example).
+
+Scheme A: high-frequency periodic sampling — catches the violation,
+costs the most. Scheme B: low-frequency periodic sampling — cheap but
+misses the violation entirely. Scheme C: Volley's dynamic sampling —
+sparse while the state is safe, dense as the violation approaches.
+
+Prints the three schedules as sparklines plus their cost/accuracy so the
+figure's story is visible in a terminal.
+
+Run: python examples/motivating_example.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import TaskSpec, run_adaptive, run_periodic
+from repro.workloads import SynFloodAttack, inject_attacks
+
+THRESHOLD = 800.0
+N = 240  # grid points of 5 seconds each, as in the paper's figure
+
+
+def traffic_difference_trace(rng: np.random.Generator) -> np.ndarray:
+    """A calm stream whose tail ramps into a threshold violation."""
+    base = 120.0 + rng.normal(0.0, 25.0, N)
+    attack = SynFloodAttack(start=185, peak_syn_rate=850.0,
+                            ramp_steps=25, hold_steps=25, decay_steps=5)
+    return inject_attacks(base, [attack])
+
+
+def sparkline(values: np.ndarray, sampled: set[int]) -> str:
+    """One character per grid point: sampled points get glyphs by level."""
+    glyphs = " .:-=+*#%@"
+    lo, hi = values.min(), values.max()
+    chars = []
+    for i, v in enumerate(values):
+        if i not in sampled:
+            chars.append(" ")
+            continue
+        level = int((v - lo) / (hi - lo + 1e-12) * (len(glyphs) - 1))
+        chars.append(glyphs[level])
+    return "".join(chars)
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    rho = traffic_difference_trace(rng)
+
+    scheme_a = run_periodic(rho, THRESHOLD, interval=1)
+    scheme_b = run_periodic(rho, THRESHOLD, interval=20)
+    task = TaskSpec(threshold=THRESHOLD, error_allowance=0.05,
+                    max_interval=20, name="motivating")
+    scheme_c = run_adaptive(rho, task)
+
+    print(f"trace: {N} points of 5s; threshold {THRESHOLD:.0f}; "
+          f"violating points: {scheme_a.accuracy.truth_alerts}\n")
+    for name, result in (("A (dense periodic)", scheme_a),
+                         ("B (sparse periodic)", scheme_b),
+                         ("C (Volley dynamic)", scheme_c)):
+        detected = result.accuracy.detected_alerts
+        print(f"scheme {name:<20} samples={result.accuracy.samples_taken:>4}"
+              f"  detected={detected}/{result.accuracy.truth_alerts}")
+        print("  |" + sparkline(rho, set(int(i)
+                                         for i in result.sampled_indices))
+              + "|")
+    print("\nScheme B's gap swallows the violation; scheme C samples "
+          "densely only once the violation likelihood rises.")
+
+
+if __name__ == "__main__":
+    main()

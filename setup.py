@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed in environments whose setuptools/pip lack PEP 660
+editable-install support (e.g. offline boxes without the ``wheel``
+package): ``python setup.py develop`` keeps working there.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,9 @@
+"""Result-analysis helpers: bootstrap CIs, box statistics, allocation
+convergence (DESIGN.md S16)."""
+
+from repro.analysis.stats import (ConvergenceReport, allocation_convergence,
+                                  bootstrap_ci, box_stats,
+                                  paired_bootstrap_diff)
+
+__all__ = ["ConvergenceReport", "allocation_convergence", "bootstrap_ci",
+           "box_stats", "paired_bootstrap_diff"]

@@ -1,0 +1,153 @@
+"""Statistical helpers for experiment results.
+
+Bootstrap confidence intervals for sweep aggregates, box-plot statistics
+(the Fig. 6 rendering), and convergence analysis for the coordination
+scheme's allocation trajectories (the paper claims the iterative
+assignment "eventually converges to a stable assignment when the
+monitored data distribution across nodes does not significantly change" —
+:func:`allocation_convergence` measures that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["bootstrap_ci", "box_stats", "paired_bootstrap_diff",
+           "allocation_convergence", "ConvergenceReport"]
+
+
+def bootstrap_ci(values: np.ndarray, rng: np.random.Generator,
+                 confidence: float = 0.95, n_boot: int = 2000,
+                 statistic=np.mean) -> tuple[float, float, float]:
+    """Percentile-bootstrap confidence interval for a statistic.
+
+    Args:
+        values: sample of observations (e.g. per-stream sampling ratios).
+        rng: randomness source for the resampling.
+        confidence: interval mass (default 95%).
+        n_boot: bootstrap resamples.
+        statistic: function of a 1-d array (default: mean).
+
+    Returns:
+        ``(point_estimate, lower, upper)``.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ConfigurationError(
+            f"need a non-empty 1-d sample, got shape {arr.shape}")
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError(
+            f"confidence must be in (0, 1), got {confidence}")
+    if n_boot < 10:
+        raise ConfigurationError(f"n_boot must be >= 10, got {n_boot}")
+    point = float(statistic(arr))
+    if arr.size == 1:
+        return point, point, point
+    indices = rng.integers(0, arr.size, size=(n_boot, arr.size))
+    stats = np.apply_along_axis(statistic, 1, arr[indices])
+    alpha = (1.0 - confidence) / 2.0
+    lower = float(np.quantile(stats, alpha))
+    upper = float(np.quantile(stats, 1.0 - alpha))
+    return point, lower, upper
+
+
+def paired_bootstrap_diff(a: np.ndarray, b: np.ndarray,
+                          rng: np.random.Generator,
+                          confidence: float = 0.95,
+                          n_boot: int = 2000,
+                          ) -> tuple[float, float, float]:
+    """Bootstrap CI of the mean paired difference ``a - b``.
+
+    Use for scheme comparisons where both schemes ran on the *same*
+    inputs (same traces, same seeds): pairing removes the between-input
+    variance, so e.g. "adaptive minus even allocation cost per seed" gets
+    a far tighter interval than two independent CIs would.
+
+    Returns:
+        ``(mean difference, lower, upper)``; the comparison is
+        significant at the chosen level when the interval excludes 0.
+    """
+    arr_a = np.asarray(a, dtype=float)
+    arr_b = np.asarray(b, dtype=float)
+    if arr_a.shape != arr_b.shape or arr_a.ndim != 1 or arr_a.size == 0:
+        raise ConfigurationError(
+            f"need equal-length 1-d samples, got {arr_a.shape} vs "
+            f"{arr_b.shape}")
+    return bootstrap_ci(arr_a - arr_b, rng, confidence=confidence,
+                        n_boot=n_boot)
+
+
+def box_stats(values: np.ndarray) -> dict[str, float]:
+    """Box-plot statistics (min/q25/median/q75/max/mean) of a sample."""
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ConfigurationError(
+            f"need a non-empty 1-d sample, got shape {arr.shape}")
+    return {
+        "min": float(arr.min()),
+        "q25": float(np.percentile(arr, 25)),
+        "median": float(np.percentile(arr, 50)),
+        "q75": float(np.percentile(arr, 75)),
+        "max": float(arr.max()),
+        "mean": float(arr.mean()),
+    }
+
+
+@dataclass(frozen=True, slots=True)
+class ConvergenceReport:
+    """How an allocation trajectory settled.
+
+    Attributes:
+        converged: whether the trajectory's movement dropped below the
+            tolerance and stayed there.
+        rounds_to_converge: first round after which every subsequent
+            movement is below tolerance (-1 when never).
+        final_movement: L1 movement of the last round.
+        max_movement: largest single-round L1 movement observed.
+    """
+
+    converged: bool
+    rounds_to_converge: int
+    final_movement: float
+    max_movement: float
+
+
+def allocation_convergence(history: list[tuple[float, ...]],
+                           tolerance: float = 0.05,
+                           ) -> ConvergenceReport:
+    """Analyse an allocation trajectory for convergence.
+
+    Movement of round ``r`` is the L1 distance between consecutive
+    allocations, normalised by the total allowance; the trajectory counts
+    as converged once movement stays below ``tolerance`` for all
+    remaining rounds.
+
+    Args:
+        history: allocation vectors, one per updating period (including
+            the initial allocation).
+        tolerance: normalised movement below which a round is "settled".
+    """
+    if len(history) < 2:
+        return ConvergenceReport(converged=True, rounds_to_converge=0,
+                                 final_movement=0.0, max_movement=0.0)
+    total = sum(history[0])
+    scale = total if total > 0 else 1.0
+    movements = []
+    for prev, cur in zip(history, history[1:]):
+        movements.append(sum(abs(a - b) for a, b in zip(prev, cur)) / scale)
+    settled_from = len(movements)
+    for i in range(len(movements) - 1, -1, -1):
+        if movements[i] >= tolerance:
+            break
+        settled_from = i
+    converged = settled_from < len(movements)
+    return ConvergenceReport(
+        converged=converged,
+        rounds_to_converge=settled_from if converged else -1,
+        final_movement=movements[-1],
+        max_movement=max(movements),
+    )

@@ -1,0 +1,17 @@
+"""Baseline sampling schemes the paper compares against (DESIGN.md S14).
+
+* :class:`PeriodicSampler` — fixed-interval sampling; with interval 1 this
+  is the paper's ground-truth scheme and the cost denominator everywhere.
+* :class:`OracleSampler` — an offline lower bound that knows the trace in
+  advance and samples only violating points (plus a sparse heartbeat); no
+  online scheme can detect the same alerts with fewer samples.
+
+Even error-allowance allocation — the coordination baseline of Fig. 8 — is
+:class:`repro.core.coordination.EvenAllocation`.
+"""
+
+from repro.baselines.oracle import OracleSampler
+from repro.baselines.periodic import PeriodicSampler
+from repro.baselines.random_interval import RandomIntervalSampler
+
+__all__ = ["OracleSampler", "PeriodicSampler", "RandomIntervalSampler"]

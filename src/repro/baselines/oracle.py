@@ -1,0 +1,71 @@
+"""Offline oracle sampler — a lower bound on achievable sampling cost.
+
+The oracle is told the whole trace and the threshold in advance. It samples
+exactly the violating grid points (detecting 100% of alerts) plus an
+optional sparse heartbeat so the schedule never goes fully silent. No
+online scheme can detect every alert with fewer samples, so the oracle's
+sampling ratio bounds from below what adaptation could ever achieve; the
+ablation benches report Volley's distance to it.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+import numpy as np
+
+from repro.core.accuracy import truth_alert_indices
+from repro.core.adaptation import SamplingDecision
+from repro.exceptions import ConfigurationError
+from repro.types import ThresholdDirection
+
+__all__ = ["OracleSampler"]
+
+
+class OracleSampler:
+    """Clairvoyant sampler over a known trace.
+
+    Args:
+        values: the full trace the oracle is allowed to inspect.
+        threshold: the task threshold.
+        direction: violation side.
+        heartbeat: sample at least every ``heartbeat`` grid points even in
+            violation-free stretches (``None`` disables the heartbeat and
+            the oracle may idle arbitrarily long).
+    """
+
+    def __init__(self, values: np.ndarray, threshold: float,
+                 direction: ThresholdDirection = ThresholdDirection.UPPER,
+                 heartbeat: int | None = None):
+        if heartbeat is not None and heartbeat < 1:
+            raise ConfigurationError(
+                f"heartbeat must be >= 1 or None, got {heartbeat}")
+        arr = np.asarray(values, dtype=float)
+        self._n = int(arr.size)
+        self._threshold = threshold
+        self._direction = direction
+        self._heartbeat = heartbeat
+        alerts = truth_alert_indices(arr, threshold, direction)
+        self._alerts = [int(i) for i in alerts]
+        self._interval = 1
+
+    @property
+    def interval(self) -> int:
+        """Interval chosen by the most recent :meth:`observe` call."""
+        return self._interval
+
+    def observe(self, value: float, time_index: int) -> SamplingDecision:
+        """Jump directly to the next violating point (or heartbeat)."""
+        violation = self._direction.violated(value, self._threshold)
+        pos = bisect.bisect_right(self._alerts, time_index)
+        if pos >= len(self._alerts):
+            gap = self._n - time_index  # beyond the trace: run ends
+        else:
+            gap = self._alerts[pos] - time_index
+        if self._heartbeat is not None:
+            gap = min(gap, self._heartbeat)
+        self._interval = max(1, gap)
+        # Oracle decisions are exact, not bounds.
+        return SamplingDecision(next_interval=self._interval,
+                                misdetection_bound=0.0,
+                                violation=violation)

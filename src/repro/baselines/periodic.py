@@ -1,0 +1,50 @@
+"""Fixed-interval (periodic) sampling — the paper's status quo baseline.
+
+Periodic sampling with the default interval ``Id`` defines both the ground
+truth for accuracy and the cost denominator for every figure; periodic
+sampling with larger intervals is "scheme B" of the motivating example
+(cheap but blind between samples).
+"""
+
+from __future__ import annotations
+
+from repro.core.adaptation import SamplingDecision
+from repro.exceptions import ConfigurationError
+
+__all__ = ["PeriodicSampler"]
+
+
+class PeriodicSampler:
+    """Sample every ``interval`` default intervals, forever.
+
+    Args:
+        interval: fixed interval in default-interval units (>= 1).
+        threshold: optional threshold so decisions can flag violations;
+            when omitted every decision reports ``violation=False``.
+    """
+
+    def __init__(self, interval: int = 1, threshold: float | None = None):
+        if interval < 1:
+            raise ConfigurationError(f"interval must be >= 1, got {interval}")
+        self._interval = interval
+        self._threshold = threshold
+        self._observations = 0
+
+    @property
+    def interval(self) -> int:
+        """The fixed sampling interval."""
+        return self._interval
+
+    @property
+    def observations(self) -> int:
+        """Total samples observed."""
+        return self._observations
+
+    def observe(self, value: float, time_index: int) -> SamplingDecision:
+        """Record a sample; the next interval is always the fixed one."""
+        self._observations += 1
+        violation = (self._threshold is not None
+                     and value > self._threshold)
+        return SamplingDecision(next_interval=self._interval,
+                                misdetection_bound=0.0,
+                                violation=violation)

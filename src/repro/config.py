@@ -1,0 +1,145 @@
+"""Declarative task configuration for the monitoring service.
+
+Deployments describe their monitoring tasks in config files, not code.
+:func:`service_from_config` builds a fully wired
+:class:`~repro.service.MonitoringService` from a plain dict (load it from
+JSON/YAML/TOML with whatever the deployment uses)::
+
+    {
+      "defaults": {"error_allowance": 0.01, "max_interval": 10},
+      "tasks": [
+        {"name": "ddos", "threshold": 1000.0},
+        {"name": "response", "threshold": 120.0},
+        {"name": "cpu-1min", "threshold": 85.0,
+         "window": 12, "aggregate": "mean"},
+        {"name": "free-mem", "threshold": 512.0, "direction": "lower"}
+      ],
+      "triggers": [
+        {"target": "ddos", "trigger": "response",
+         "elevation_level": 60.0, "suspend_interval": 10}
+      ]
+    }
+
+Unknown keys are rejected loudly — a typo in a monitoring config should
+fail deployment, not silently monitor the wrong thing.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.adaptation import AdaptationConfig
+from repro.core.task import TaskSpec
+from repro.core.windowed import AggregateKind
+from repro.exceptions import ConfigurationError
+from repro.service import MonitoringService
+from repro.types import ThresholdDirection
+
+__all__ = ["service_from_config", "task_from_config"]
+
+_TASK_KEYS = {"name", "threshold", "error_allowance", "default_interval",
+              "max_interval", "direction", "window", "aggregate"}
+_TRIGGER_KEYS = {"target", "trigger", "elevation_level",
+                 "suspend_interval"}
+_TOP_KEYS = {"defaults", "tasks", "triggers"}
+_DEFAULT_KEYS = {"error_allowance", "default_interval", "max_interval",
+                 "direction"}
+
+
+def _reject_unknown(entry: dict[str, Any], allowed: set[str],
+                    where: str) -> None:
+    unknown = set(entry) - allowed
+    if unknown:
+        raise ConfigurationError(
+            f"unknown key(s) {sorted(unknown)} in {where}; "
+            f"allowed: {sorted(allowed)}")
+
+
+def _direction(raw: str) -> ThresholdDirection:
+    try:
+        return ThresholdDirection(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"direction must be 'upper' or 'lower', got {raw!r}") from None
+
+
+def _aggregate(raw: str) -> AggregateKind:
+    try:
+        return AggregateKind(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"aggregate must be one of "
+            f"{[k.value for k in AggregateKind]}, got {raw!r}") from None
+
+
+def task_from_config(entry: dict[str, Any],
+                     defaults: dict[str, Any] | None = None) -> TaskSpec:
+    """Build one :class:`TaskSpec` from a config entry.
+
+    Args:
+        entry: task dict; requires ``name`` and ``threshold``; other keys
+            fall back to ``defaults`` then the TaskSpec defaults.
+        defaults: the config's ``defaults`` section.
+    """
+    if not isinstance(entry, dict):
+        raise ConfigurationError(f"task entry must be a dict, got {entry!r}")
+    _reject_unknown(entry, _TASK_KEYS, f"task {entry.get('name', '?')!r}")
+    defaults = defaults or {}
+    for key in ("name", "threshold"):
+        if key not in entry:
+            raise ConfigurationError(f"task entry missing {key!r}: {entry}")
+
+    def pick(key: str, fallback: Any) -> Any:
+        return entry.get(key, defaults.get(key, fallback))
+
+    return TaskSpec(
+        threshold=float(entry["threshold"]),
+        error_allowance=float(pick("error_allowance", 0.01)),
+        default_interval=float(pick("default_interval", 1.0)),
+        max_interval=int(pick("max_interval", 10)),
+        direction=_direction(str(pick("direction", "upper"))),
+        name=str(entry["name"]),
+    )
+
+
+def service_from_config(config: dict[str, Any],
+                        adaptation: AdaptationConfig | None = None,
+                        ) -> MonitoringService:
+    """Build a wired :class:`MonitoringService` from a config dict.
+
+    Raises :class:`~repro.exceptions.ConfigurationError` on any unknown
+    key, missing field, duplicate task name, or dangling trigger
+    reference — configs fail closed.
+    """
+    if not isinstance(config, dict):
+        raise ConfigurationError(f"config must be a dict, got {config!r}")
+    _reject_unknown(config, _TOP_KEYS, "config root")
+    defaults = config.get("defaults", {})
+    if not isinstance(defaults, dict):
+        raise ConfigurationError("'defaults' must be a dict")
+    _reject_unknown(defaults, _DEFAULT_KEYS, "defaults")
+    tasks = config.get("tasks", [])
+    if not tasks:
+        raise ConfigurationError("config defines no tasks")
+
+    service = MonitoringService(adaptation)
+    for entry in tasks:
+        spec = task_from_config(entry, defaults)
+        window = int(entry.get("window", 1))
+        kind = _aggregate(str(entry.get("aggregate", "mean")))
+        service.add_task(spec.name, spec, window=window, window_kind=kind)
+
+    for trigger in config.get("triggers", []):
+        if not isinstance(trigger, dict):
+            raise ConfigurationError(
+                f"trigger entry must be a dict, got {trigger!r}")
+        _reject_unknown(trigger, _TRIGGER_KEYS, "trigger entry")
+        for key in ("target", "trigger", "elevation_level"):
+            if key not in trigger:
+                raise ConfigurationError(
+                    f"trigger entry missing {key!r}: {trigger}")
+        service.add_trigger(
+            str(trigger["target"]), str(trigger["trigger"]),
+            float(trigger["elevation_level"]),
+            suspend_interval=int(trigger.get("suspend_interval", 10)))
+    return service

@@ -1,0 +1,164 @@
+"""Accuracy accounting for sampling schemes (paper SIII-A, SV-B "Monitoring
+Accuracy").
+
+The paper evaluates a dynamic scheme against the ground truth defined by
+periodic sampling at the default interval ``Id``: every grid point where the
+monitored value violates the threshold is a *state alert* that periodic
+sampling would raise. A dynamic scheme detects an alert only if it sampled
+that grid point; the *mis-detection rate* is the fraction of alerts missed.
+
+Besides the paper's point-level rate this module reports episode-level
+statistics (consecutive violating points grouped into episodes) and
+detection delay, which downstream users typically also care about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import TraceError
+from repro.types import ThresholdDirection
+
+__all__ = [
+    "RunAccuracy",
+    "truth_alert_indices",
+    "alert_episodes",
+    "evaluate_sampling",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class RunAccuracy:
+    """Accuracy and cost summary of one sampling run over one trace.
+
+    Attributes:
+        total_steps: trace length in default-interval grid points.
+        samples_taken: number of sampling operations performed.
+        sampling_ratio: ``samples_taken / total_steps`` — the paper's cost
+            metric (1.0 for periodic default sampling).
+        truth_alerts: number of violating grid points (ground truth).
+        detected_alerts: violating grid points that were sampled.
+        misdetection_rate: ``1 - detected/truth`` (0.0 when there are no
+            truth alerts).
+        truth_episodes: number of maximal runs of consecutive violating
+            points.
+        detected_episodes: episodes with at least one sampled point.
+        mean_detection_delay: mean grid distance from an episode's start to
+            its first sampled violating point, over detected episodes (0.0
+            when none).
+    """
+
+    total_steps: int
+    samples_taken: int
+    sampling_ratio: float
+    truth_alerts: int
+    detected_alerts: int
+    misdetection_rate: float
+    truth_episodes: int
+    detected_episodes: int
+    mean_detection_delay: float
+
+    @property
+    def cost_saving(self) -> float:
+        """Fraction of sampling operations saved vs. periodic sampling."""
+        return 1.0 - self.sampling_ratio
+
+
+def truth_alert_indices(values: np.ndarray, threshold: float,
+                        direction: ThresholdDirection = ThresholdDirection.UPPER,
+                        ) -> np.ndarray:
+    """Grid indices where the trace violates the threshold.
+
+    Args:
+        values: one value per default-interval grid point.
+        threshold: the task threshold ``T``.
+        direction: which side of ``T`` is a violation.
+
+    Returns:
+        Sorted array of violating indices.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1:
+        raise TraceError(f"expected a 1-d trace, got shape {arr.shape}")
+    if arr.size == 0:
+        raise TraceError("empty trace")
+    if not np.isfinite(arr).all():
+        raise TraceError("trace contains non-finite values")
+    if direction is ThresholdDirection.UPPER:
+        mask = arr > threshold
+    else:
+        mask = arr < threshold
+    return np.flatnonzero(mask)
+
+
+def alert_episodes(alert_indices: np.ndarray) -> list[tuple[int, int]]:
+    """Group sorted alert indices into maximal consecutive episodes.
+
+    Returns a list of ``(start, end)`` inclusive index pairs.
+    """
+    if len(alert_indices) == 0:
+        return []
+    episodes: list[tuple[int, int]] = []
+    start = prev = int(alert_indices[0])
+    for idx in alert_indices[1:]:
+        idx = int(idx)
+        if idx == prev + 1:
+            prev = idx
+            continue
+        episodes.append((start, prev))
+        start = prev = idx
+    episodes.append((start, prev))
+    return episodes
+
+
+def evaluate_sampling(values: np.ndarray, threshold: float,
+                      sampled_indices: np.ndarray | list[int],
+                      direction: ThresholdDirection = ThresholdDirection.UPPER,
+                      ) -> RunAccuracy:
+    """Score a sampling schedule against the periodic-``Id`` ground truth.
+
+    Args:
+        values: the full-resolution trace (one value per grid point).
+        threshold: the task threshold.
+        sampled_indices: grid points at which the scheme sampled.
+        direction: violation side.
+
+    Returns:
+        A :class:`RunAccuracy` summary.
+    """
+    arr = np.asarray(values, dtype=float)
+    truth = truth_alert_indices(arr, threshold, direction)
+    sampled = np.unique(np.asarray(sampled_indices, dtype=int))
+    if sampled.size and (sampled[0] < 0 or sampled[-1] >= arr.size):
+        raise TraceError("sampled index out of trace bounds")
+
+    sampled_set = set(int(i) for i in sampled)
+    detected = np.array([i for i in truth if int(i) in sampled_set],
+                        dtype=int)
+
+    episodes = alert_episodes(truth)
+    detected_eps = 0
+    delays: list[int] = []
+    for start, end in episodes:
+        hit = next((i for i in range(start, end + 1) if i in sampled_set),
+                   None)
+        if hit is not None:
+            detected_eps += 1
+            delays.append(hit - start)
+
+    n_truth = int(truth.size)
+    n_detected = int(detected.size)
+    misdetection = 0.0 if n_truth == 0 else 1.0 - n_detected / n_truth
+    return RunAccuracy(
+        total_steps=int(arr.size),
+        samples_taken=int(sampled.size),
+        sampling_ratio=float(sampled.size) / float(arr.size),
+        truth_alerts=n_truth,
+        detected_alerts=n_detected,
+        misdetection_rate=misdetection,
+        truth_episodes=len(episodes),
+        detected_episodes=detected_eps,
+        mean_detection_delay=float(np.mean(delays)) if delays else 0.0,
+    )

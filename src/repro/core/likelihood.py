@@ -1,0 +1,168 @@
+"""Violation-likelihood estimation (paper SIII-A, Definitions 1-2, Ineq. 1-3).
+
+A monitoring task raises a state alert when the monitored value exceeds a
+threshold ``T``. After observing ``v(t1)``, the value ``i`` default intervals
+later is modelled as ``v(t1) + i * delta`` where ``delta`` is the (time
+independent) per-default-interval change, with online-estimated mean ``mu``
+and standard deviation ``sigma``.
+
+The one-sided Chebyshev (Cantelli) inequality bounds the violation
+likelihood at step ``i`` without any distributional assumption::
+
+    P[v(t1) + i*delta > T] = P[delta > (T - v(t1)) / i]
+                          <= 1 / (1 + k^2),   k = (T - v(t1) - i*mu) / (i*sigma)
+
+valid for ``k > 0``; when ``k <= 0`` the bound is vacuous and we use 1.
+
+The *mis-detection rate* of a sampling interval ``I`` (in units of the
+default interval) is the probability that at least one of the ``I`` skipped
+grid points violates::
+
+    beta(I) <= 1 - prod_{i=1..I} (1 - bound_i)          (Inequality 3)
+
+All functions here are pure and operate in the canonical upper-threshold
+frame (see :meth:`repro.types.ThresholdDirection.orient` for lower
+thresholds).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "cantelli_upper_bound",
+    "step_violation_bound",
+    "misdetection_bound",
+    "misdetection_bound_profile",
+    "gaussian_step_violation_estimate",
+    "gaussian_misdetection_estimate",
+]
+
+
+def cantelli_upper_bound(k: float) -> float:
+    """Upper bound of ``P(X - mu >= k * sigma)`` for any distribution.
+
+    Returns ``1 / (1 + k^2)`` for ``k > 0`` and the trivial bound 1.0 for
+    ``k <= 0`` (Cantelli's inequality is one-sided and uninformative there).
+    """
+    if k <= 0.0:
+        return 1.0
+    return 1.0 / (1.0 + k * k)
+
+
+def step_violation_bound(value: float, threshold: float, mean: float,
+                         std: float, steps: int) -> float:
+    """Bound ``P[v + steps*delta > threshold]`` via Cantelli's inequality.
+
+    Args:
+        value: current sampled value ``v(t1)``.
+        threshold: violation threshold ``T``.
+        mean: estimated mean of ``delta``.
+        std: estimated standard deviation of ``delta`` (>= 0).
+        steps: how many default intervals ahead (``i >= 1``).
+
+    Returns:
+        An upper bound in [0, 1]. Degenerate cases: with ``std == 0`` the
+        change is deterministic, so the bound is 0 when the extrapolated
+        value stays at or below the threshold and 1 otherwise.
+    """
+    if steps < 1:
+        raise ValueError(f"steps must be >= 1, got {steps}")
+    if std < 0.0:
+        raise ValueError(f"std must be >= 0, got {std}")
+    gap = threshold - value - steps * mean
+    if std == 0.0:
+        return 0.0 if gap > 0.0 else 1.0
+    return cantelli_upper_bound(gap / (steps * std))
+
+
+def misdetection_bound(value: float, threshold: float, mean: float,
+                       std: float, interval: int) -> float:
+    """Upper bound of the mis-detection rate ``beta(I)`` (Inequality 3).
+
+    The probability that a violation occurs at any of the ``interval`` grid
+    points skipped before the next sample, assuming per-step changes are
+    independent draws of ``delta``.
+
+    Args:
+        value: current sampled value.
+        threshold: violation threshold ``T``.
+        mean: estimated mean of ``delta``.
+        std: estimated standard deviation of ``delta``.
+        interval: candidate sampling interval ``I`` in default-interval
+            units (>= 1).
+
+    Returns:
+        An upper bound on the mis-detection rate, in [0, 1].
+    """
+    if interval < 1:
+        raise ValueError(f"interval must be >= 1, got {interval}")
+    survive = 1.0
+    for i in range(1, interval + 1):
+        bound = step_violation_bound(value, threshold, mean, std, i)
+        if bound >= 1.0:
+            return 1.0
+        survive *= 1.0 - bound
+    return 1.0 - survive
+
+
+def gaussian_step_violation_estimate(value: float, threshold: float,
+                                     mean: float, std: float,
+                                     steps: int) -> float:
+    """Estimate ``P[v + steps*delta > threshold]`` assuming Gaussian delta.
+
+    The distribution-*dependent* counterpart of
+    :func:`step_violation_bound`: exact if ``delta ~ N(mean, std^2)``,
+    unsafe otherwise. Provided for the estimator ablation — it shows how
+    much of the paper's conservatism comes from Chebyshev's looseness and
+    what accuracy is risked by assuming normality (the paper deliberately
+    "makes no such assumptions", SVI).
+    """
+    if steps < 1:
+        raise ValueError(f"steps must be >= 1, got {steps}")
+    if std < 0.0:
+        raise ValueError(f"std must be >= 0, got {std}")
+    gap = threshold - value - steps * mean
+    if std == 0.0:
+        return 0.0 if gap > 0.0 else 1.0
+    z = gap / (steps * std)
+    return 0.5 * math.erfc(z / math.sqrt(2.0))
+
+
+def gaussian_misdetection_estimate(value: float, threshold: float,
+                                   mean: float, std: float,
+                                   interval: int) -> float:
+    """Gaussian counterpart of :func:`misdetection_bound`.
+
+    Same independence structure as Inequality 3, with the Cantelli bound
+    replaced by the exact normal tail.
+    """
+    if interval < 1:
+        raise ValueError(f"interval must be >= 1, got {interval}")
+    survive = 1.0
+    for i in range(1, interval + 1):
+        p = gaussian_step_violation_estimate(value, threshold, mean, std, i)
+        if p >= 1.0:
+            return 1.0
+        survive *= 1.0 - p
+    return 1.0 - survive
+
+
+def misdetection_bound_profile(value: float, threshold: float, mean: float,
+                               std: float, max_interval: int) -> list[float]:
+    """Return ``[beta(1), beta(2), ..., beta(max_interval)]`` in one pass.
+
+    Useful for analysis and for choosing the largest admissible interval
+    directly; shares the survival product across successive intervals so the
+    whole profile costs the same as one ``misdetection_bound`` call at
+    ``max_interval``.
+    """
+    if max_interval < 1:
+        raise ValueError(f"max_interval must be >= 1, got {max_interval}")
+    profile: list[float] = []
+    survive = 1.0
+    for i in range(1, max_interval + 1):
+        bound = step_violation_bound(value, threshold, mean, std, i)
+        survive *= 1.0 - bound
+        profile.append(1.0 - survive)
+    return profile

@@ -1,0 +1,148 @@
+"""Coordinator nodes (paper SII, SIV; testbed: one per 5 servers).
+
+A coordinator owns one distributed task: it receives local-violation
+reports from the task's monitors, performs global polls (collecting the
+instantaneous value from every monitor, forcing samples on idle ones),
+raises global alerts, and periodically reallocates the task's error
+allowance across monitors according to its allocation policy.
+"""
+
+from __future__ import annotations
+
+from repro.core.coordination import AllocationPolicy, EvenAllocation
+from repro.core.task import DistributedTaskSpec
+from repro.datacenter.monitor import MonitorDaemon
+from repro.datacenter.network import VirtualNetwork
+from repro.exceptions import CoordinationError
+from repro.simulation.engine import SimulationEngine
+from repro.types import Alert, GlobalPoll
+
+__all__ = ["CoordinatorNode"]
+
+
+class CoordinatorNode:
+    """Coordinator of one distributed state monitoring task.
+
+    Args:
+        spec: the distributed task (global threshold, allowance, ...).
+        engine: the simulation engine.
+        network: message accounting.
+        policy: error-allowance allocation policy (default: even).
+        update_period_steps: allocation updating period in default
+            intervals (paper: 1000).
+    """
+
+    def __init__(self, spec: DistributedTaskSpec, engine: SimulationEngine,
+                 network: VirtualNetwork,
+                 policy: AllocationPolicy | None = None,
+                 update_period_steps: int = 1000):
+        if update_period_steps < 1:
+            raise CoordinationError(
+                f"update_period_steps must be >= 1, got "
+                f"{update_period_steps}")
+        self._spec = spec
+        self._engine = engine
+        self._network = network
+        self._policy = policy if policy is not None else EvenAllocation()
+        self._update_period = update_period_steps
+        self._monitors: list[MonitorDaemon] = []
+        self._allocations = self._policy.initial(spec.num_monitors,
+                                                 spec.error_allowance)
+        self._last_poll_step = -1
+        self._polls: list[GlobalPoll] = []
+        self._alerts: list[Alert] = []
+        self._reallocations = 0
+        self._started = False
+
+    @property
+    def spec(self) -> DistributedTaskSpec:
+        """The coordinated task."""
+        return self._spec
+
+    @property
+    def monitors(self) -> tuple[MonitorDaemon, ...]:
+        """Monitors registered to the task."""
+        return tuple(self._monitors)
+
+    @property
+    def polls(self) -> tuple[GlobalPoll, ...]:
+        """Global polls performed, chronological."""
+        return tuple(self._polls)
+
+    @property
+    def alerts(self) -> tuple[Alert, ...]:
+        """Global alerts raised, chronological."""
+        return tuple(self._alerts)
+
+    @property
+    def allocations(self) -> tuple[float, ...]:
+        """Current per-monitor error allowances."""
+        return self._allocations
+
+    @property
+    def reallocations(self) -> int:
+        """Allocation rounds that moved allowance."""
+        return self._reallocations
+
+    def register(self, monitor: MonitorDaemon) -> None:
+        """Attach a monitor; ordering must follow the spec's thresholds."""
+        if self._started:
+            raise CoordinationError("cannot register after start")
+        if len(self._monitors) >= self._spec.num_monitors:
+            raise CoordinationError(
+                f"task has only {self._spec.num_monitors} monitor slots")
+        self._monitors.append(monitor)
+
+    def start(self) -> None:
+        """Push initial allowances and begin periodic allocation updates."""
+        if len(self._monitors) != self._spec.num_monitors:
+            raise CoordinationError(
+                f"registered {len(self._monitors)} monitors for a task "
+                f"with {self._spec.num_monitors}")
+        self._started = True
+        for monitor, err in zip(self._monitors, self._allocations):
+            monitor.sampler.error_allowance = err
+        period_seconds = self._update_period * self._spec.default_interval
+        self._engine.schedule_every(period_seconds, self._update_allocation)
+
+    def on_local_violation(self, monitor: MonitorDaemon, step: int) -> None:
+        """Handle a local-violation report: run one global poll per step.
+
+        Re-entrant calls for the same step (forced samples during the poll
+        can themselves cross local thresholds) are absorbed by the
+        per-step dedupe. The report itself travels over the virtual
+        network — on a lossy network a dropped report means no poll (and
+        possibly a missed global alert), which is exactly the failure
+        mode the reliability experiments measure.
+        """
+        if not self._network.deliver("violation-report"):
+            return
+        if step == self._last_poll_step:
+            return
+        self._last_poll_step = step
+
+        values = []
+        for peer in self._monitors:
+            self._network.send("poll-request")
+            values.append(peer.poll(step))
+            self._network.send("poll-response")
+        total = float(sum(values))
+        violated = total > self._spec.global_threshold
+        self._polls.append(GlobalPoll(time_index=step, values=tuple(values),
+                                      total=total, violated=violated))
+        if violated:
+            self._alerts.append(Alert(time_index=step, value=total,
+                                      threshold=self._spec.global_threshold))
+
+    def _update_allocation(self) -> None:
+        reports = [m.sampler.drain_coordination_stats()
+                   for m in self._monitors]
+        update = self._policy.reallocate(self._allocations, reports,
+                                         self._spec.error_allowance)
+        if update.reallocated:
+            self._reallocations += 1
+            self._network.send("allowance-update",
+                               count=len(self._monitors))
+        self._allocations = update.allocations
+        for monitor, err in zip(self._monitors, self._allocations):
+            monitor.sampler.error_allowance = err

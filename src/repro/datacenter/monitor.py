@@ -1,0 +1,158 @@
+"""Per-VM monitor daemons (paper SV-A).
+
+A monitor lives in Dom0, one per VM (per task): it performs the sampling
+operations, runs the violation-likelihood adaptation locally, charges the
+sampling cost to its server's Dom0 account, and reports local violations
+to its coordinator. Sampling is self-scheduling on the simulation engine:
+each operation schedules the next one according to the adapted interval.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.core.adaptation import (AdaptationConfig,
+                                   ViolationLikelihoodSampler)
+from repro.core.task import TaskSpec
+from repro.datacenter.server import Dom0CpuAccount
+from repro.datacenter.vm import VirtualMachine
+from repro.exceptions import SimulationError
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.events import Event
+
+__all__ = ["MonitorDaemon", "CostModel"]
+
+
+class CostModel(Protocol):
+    """Anything that prices one sampling operation in CPU seconds."""
+
+    def cpu_seconds(self, packets: int) -> float:
+        """CPU time of a sampling operation inspecting ``packets``."""
+        ...
+
+
+class MonitorDaemon:
+    """Self-scheduling sampling process for one VM's monitoring task.
+
+    Args:
+        monitor_id: index of this monitor within its task.
+        vm: the monitored VM (provides the agent and server placement).
+        task: the local task spec (threshold, allowance, intervals).
+        engine: the simulation engine driving the testbed.
+        cost_model: prices each sampling operation.
+        dom0: CPU account of the hosting server's Dom0.
+        horizon_steps: number of default-interval steps to monitor.
+        config: adaptation tunables.
+        coordinator: optional sink for local-violation reports (an object
+            with ``on_local_violation(monitor, step)``).
+    """
+
+    def __init__(self, monitor_id: int, vm: VirtualMachine, task: TaskSpec,
+                 engine: SimulationEngine, cost_model: CostModel,
+                 dom0: Dom0CpuAccount, horizon_steps: int,
+                 config: AdaptationConfig | None = None,
+                 coordinator: object | None = None):
+        if horizon_steps < 1:
+            raise SimulationError(
+                f"horizon_steps must be >= 1, got {horizon_steps}")
+        if horizon_steps > vm.agent.horizon:
+            raise SimulationError(
+                f"horizon {horizon_steps} exceeds agent data "
+                f"({vm.agent.horizon})")
+        self._monitor_id = monitor_id
+        self._vm = vm
+        self._task = task
+        self._engine = engine
+        self._cost_model = cost_model
+        self._dom0 = dom0
+        self._horizon = horizon_steps
+        self._coordinator = coordinator
+        self.sampler = ViolationLikelihoodSampler(task, config)
+        self._interval_seconds = task.default_interval
+        self._sampled_steps: list[int] = []
+        self._last_step = -1
+        self._pending: Event | None = None
+        self._started = False
+
+    @property
+    def monitor_id(self) -> int:
+        """Index of this monitor within its task."""
+        return self._monitor_id
+
+    @property
+    def vm(self) -> VirtualMachine:
+        """The monitored VM."""
+        return self._vm
+
+    @property
+    def task(self) -> TaskSpec:
+        """The local task spec."""
+        return self._task
+
+    @property
+    def sampled_steps(self) -> list[int]:
+        """Grid steps at which this monitor sampled (chronological)."""
+        return self._sampled_steps
+
+    @property
+    def samples_taken(self) -> int:
+        """Number of sampling operations performed."""
+        return len(self._sampled_steps)
+
+    def start(self) -> None:
+        """Schedule the first sampling operation at t=0."""
+        if self._started:
+            raise SimulationError("monitor already started")
+        self._started = True
+        self._pending = self._engine.schedule_at(0.0, self._fire)
+
+    def _fire(self) -> None:
+        self._pending = None
+        step = int(round(self._engine.now / self._interval_seconds))
+        self._sample_at(step)
+
+    def _sample_at(self, step: int) -> None:
+        """Perform one sampling operation at ``step`` and self-reschedule."""
+        if step >= self._horizon:
+            return
+        agent = self._vm.agent
+        value = agent.value_at(step)
+        self._dom0.charge(step, self._cost_model.cpu_seconds(
+            agent.packets_at(step)))
+        decision = self.sampler.observe(value, step)
+        self._sampled_steps.append(step)
+        self._last_step = step
+
+        if decision.violation and self._coordinator is not None:
+            # Report to the coordinator; it may force polls on peers
+            # (including this monitor — guarded by _last_step).
+            self._coordinator.on_local_violation(self, step)
+
+        self._schedule_next(step + max(1, decision.next_interval))
+
+    def _schedule_next(self, next_step: int) -> None:
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+        if next_step >= self._horizon:
+            return
+        self._pending = self._engine.schedule_at(
+            next_step * self._interval_seconds, self._fire)
+
+    def poll(self, step: int) -> float:
+        """Coordinator-forced sample: return the value at ``step``.
+
+        If the monitor already sampled this step the cached stream value
+        is returned at no extra cost; otherwise a full sampling operation
+        runs (cost charged, statistics updated, schedule rebuilt).
+        """
+        if step >= self._horizon:
+            raise SimulationError(
+                f"poll at step {step} beyond horizon {self._horizon}")
+        if step == self._last_step:
+            return self._vm.agent.value_at(step)
+        if step < self._last_step:
+            raise SimulationError(
+                f"poll at past step {step} (< {self._last_step})")
+        self._sample_at(step)
+        return self._vm.agent.value_at(step)

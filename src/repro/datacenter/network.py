@@ -1,0 +1,112 @@
+"""Virtual network between monitors and coordinators.
+
+The testbed's coordination traffic (local-violation reports, global-poll
+requests/responses, allowance updates) flows through a
+:class:`VirtualNetwork` that counts messages and bytes. The paper's
+coordination messages are tiny compared to sampling cost, but the counters
+let experiments verify that claim rather than assume it.
+
+The network can also *drop* messages: the paper assumes reliable
+messaging (its companion work, "Reliable state monitoring in cloud
+datacenters", studies the unreliable case), and the ``loss_rate`` knob
+plus :meth:`deliver` let experiments measure how much accuracy Volley's
+coordination loses when violation reports go missing.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["VirtualNetwork"]
+
+
+class VirtualNetwork:
+    """Message accounting (and optional loss) for coordination traffic.
+
+    Args:
+        bytes_per_message: modelled payload of one control message
+            (value reports are a handful of numbers).
+        loss_rate: probability that a message is dropped in transit
+            (0 = the paper's reliable-messaging assumption).
+        rng: randomness source for loss draws (required when
+            ``loss_rate > 0``).
+    """
+
+    def __init__(self, bytes_per_message: int = 64,
+                 loss_rate: float = 0.0,
+                 rng: np.random.Generator | None = None):
+        if bytes_per_message < 1:
+            raise ConfigurationError(
+                f"bytes_per_message must be >= 1, got {bytes_per_message}")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ConfigurationError(
+                f"loss_rate must be in [0, 1), got {loss_rate}")
+        if loss_rate > 0.0 and rng is None:
+            raise ConfigurationError(
+                "a rng is required when loss_rate > 0")
+        self._bytes_per_message = bytes_per_message
+        self._loss_rate = loss_rate
+        self._rng = rng
+        self._messages_by_kind: Counter[str] = Counter()
+        self._dropped_by_kind: Counter[str] = Counter()
+
+    @property
+    def loss_rate(self) -> float:
+        """Configured message-loss probability."""
+        return self._loss_rate
+
+    def send(self, kind: str, count: int = 1) -> None:
+        """Record ``count`` messages of a given kind.
+
+        Kinds used by the testbed: ``"violation-report"``,
+        ``"poll-request"``, ``"poll-response"``, ``"allowance-update"``.
+        """
+        if count < 0:
+            raise ConfigurationError(f"count must be >= 0, got {count}")
+        self._messages_by_kind[kind] += count
+
+    def deliver(self, kind: str) -> bool:
+        """Send one message and report whether it survived transit.
+
+        Senders that care about loss use this instead of :meth:`send`;
+        the message is counted either way, and drops are tallied
+        separately.
+        """
+        self.send(kind)
+        if self._loss_rate > 0.0:
+            assert self._rng is not None
+            if self._rng.random() < self._loss_rate:
+                self._dropped_by_kind[kind] += 1
+                return False
+        return True
+
+    @property
+    def total_dropped(self) -> int:
+        """Messages lost in transit, all kinds."""
+        return sum(self._dropped_by_kind.values())
+
+    def dropped_of(self, kind: str) -> int:
+        """Messages of one kind lost in transit."""
+        return self._dropped_by_kind.get(kind, 0)
+
+    @property
+    def total_messages(self) -> int:
+        """Messages sent so far, all kinds."""
+        return sum(self._messages_by_kind.values())
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes sent so far, all kinds."""
+        return self.total_messages * self._bytes_per_message
+
+    def messages_of(self, kind: str) -> int:
+        """Messages of one kind."""
+        return self._messages_by_kind.get(kind, 0)
+
+    def breakdown(self) -> dict[str, int]:
+        """Message counts by kind."""
+        return dict(self._messages_by_kind)

@@ -1,0 +1,108 @@
+"""Physical servers and the Dom0 CPU account (paper SV-A, Fig. 6).
+
+Each physical server runs a privileged Domain-0 that performs all
+monitoring work for the VMs it hosts (only Dom0 sees inter-VM traffic).
+:class:`Dom0CpuAccount` accumulates the CPU seconds every sampling
+operation costs and reports per-window utilisation — the quantity Fig. 6's
+box plots are drawn from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, SimulationError
+
+__all__ = ["Dom0CpuAccount", "PhysicalServer"]
+
+
+class Dom0CpuAccount:
+    """Per-window CPU accounting for one server's Domain-0.
+
+    Args:
+        window_seconds: accounting window length (the network tasks'
+            default interval, 15 s, in the paper's setup).
+        num_windows: horizon of the accounting array.
+    """
+
+    def __init__(self, window_seconds: float, num_windows: int):
+        if window_seconds <= 0:
+            raise ConfigurationError(
+                f"window_seconds must be > 0, got {window_seconds}")
+        if num_windows < 1:
+            raise ConfigurationError(
+                f"num_windows must be >= 1, got {num_windows}")
+        self._window_seconds = window_seconds
+        self._busy = np.zeros(num_windows)
+
+    @property
+    def num_windows(self) -> int:
+        """Accounting horizon in windows."""
+        return int(self._busy.size)
+
+    def charge(self, window: int, cpu_seconds: float) -> None:
+        """Add CPU time spent in a window.
+
+        Raises:
+            SimulationError: if the window index is out of the horizon —
+                a monitor sampling outside the simulated period indicates
+                a scheduling bug.
+        """
+        if not 0 <= window < self._busy.size:
+            raise SimulationError(
+                f"window {window} outside horizon [0, {self._busy.size})")
+        if cpu_seconds < 0:
+            raise SimulationError(
+                f"cpu_seconds must be >= 0, got {cpu_seconds}")
+        self._busy[window] += cpu_seconds
+
+    def utilization(self) -> np.ndarray:
+        """Per-window CPU utilisation in percent (may exceed 100 when
+        oversubscribed — Fig. 6's err=0 case saturates Dom0)."""
+        return 100.0 * self._busy / self._window_seconds
+
+    def utilization_stats(self) -> dict[str, float]:
+        """Box-plot statistics of the utilisation distribution.
+
+        Returns the quantities Fig. 6 draws: quartiles, median, and
+        whisker extents (min/max of the data, as the paper describes).
+        """
+        util = self.utilization()
+        return {
+            "min": float(util.min()),
+            "q25": float(np.percentile(util, 25)),
+            "median": float(np.percentile(util, 50)),
+            "q75": float(np.percentile(util, 75)),
+            "max": float(util.max()),
+            "mean": float(util.mean()),
+        }
+
+
+class PhysicalServer:
+    """One physical host: an id, a set of VM ids, and a Dom0 account."""
+
+    def __init__(self, server_id: int, window_seconds: float,
+                 num_windows: int):
+        if server_id < 0:
+            raise ConfigurationError(
+                f"server_id must be >= 0, got {server_id}")
+        self._server_id = server_id
+        self._vm_ids: list[int] = []
+        self.dom0 = Dom0CpuAccount(window_seconds, num_windows)
+
+    @property
+    def server_id(self) -> int:
+        """The server's index in the testbed."""
+        return self._server_id
+
+    @property
+    def vm_ids(self) -> tuple[int, ...]:
+        """VMs hosted by this server."""
+        return tuple(self._vm_ids)
+
+    def attach_vm(self, vm_id: int) -> None:
+        """Place a VM on this server."""
+        if vm_id in self._vm_ids:
+            raise ConfigurationError(
+                f"vm {vm_id} already on server {self._server_id}")
+        self._vm_ids.append(vm_id)

@@ -1,0 +1,99 @@
+"""Virtual machines and their monitoring agents (paper SV-A).
+
+In the paper an *agent* runs inside every VM and produces the monitoring
+data — replaying network traces, performance datasets, or web access logs.
+Here :class:`TraceAgent` serves precomputed full-resolution streams: the
+monitored metric value and, for network tasks, the raw packet volume the
+sampling operation must inspect (which drives the Dom0 CPU cost).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, SimulationError
+
+__all__ = ["TraceAgent", "VirtualMachine"]
+
+
+class TraceAgent:
+    """Agent serving a precomputed metric stream for one VM.
+
+    Args:
+        values: metric value per default-interval grid step.
+        packets: packets to inspect per grid step (``None`` for metrics
+            whose sampling cost does not scale with data volume).
+    """
+
+    def __init__(self, values: np.ndarray, packets: np.ndarray | None = None):
+        arr = np.asarray(values, dtype=float)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ConfigurationError(
+                f"agent values must be non-empty 1-d, got {arr.shape}")
+        self._values = arr
+        if packets is None:
+            self._packets = None
+        else:
+            pk = np.asarray(packets, dtype=np.int64)
+            if pk.shape != arr.shape:
+                raise ConfigurationError(
+                    f"packets misaligned: {pk.shape} vs {arr.shape}")
+            if (pk < 0).any():
+                raise ConfigurationError("packet counts must be >= 0")
+            self._packets = pk
+
+    @property
+    def horizon(self) -> int:
+        """Number of grid steps the agent can serve."""
+        return int(self._values.size)
+
+    def value_at(self, step: int) -> float:
+        """The monitored value at a grid step."""
+        if not 0 <= step < self._values.size:
+            raise SimulationError(
+                f"step {step} outside agent horizon [0, {self._values.size})")
+        return float(self._values[step])
+
+    def packets_at(self, step: int) -> int:
+        """Packets a sampling operation at ``step`` must inspect (0 when
+        the stream carries no volume information)."""
+        if self._packets is None:
+            return 0
+        if not 0 <= step < self._packets.size:
+            raise SimulationError(
+                f"step {step} outside agent horizon "
+                f"[0, {self._packets.size})")
+        return int(self._packets[step])
+
+    @property
+    def values(self) -> np.ndarray:
+        """The full underlying stream (read-only use intended); ground
+        truth for accuracy scoring."""
+        return self._values
+
+
+class VirtualMachine:
+    """One VM: identity, placement, and its agent."""
+
+    def __init__(self, vm_id: int, server_id: int, agent: TraceAgent):
+        if vm_id < 0 or server_id < 0:
+            raise ConfigurationError(
+                f"ids must be >= 0, got vm={vm_id}, server={server_id}")
+        self._vm_id = vm_id
+        self._server_id = server_id
+        self._agent = agent
+
+    @property
+    def vm_id(self) -> int:
+        """The VM's index in the testbed."""
+        return self._vm_id
+
+    @property
+    def server_id(self) -> int:
+        """Index of the hosting physical server."""
+        return self._server_id
+
+    @property
+    def agent(self) -> TraceAgent:
+        """The monitoring agent running inside the VM."""
+        return self._agent

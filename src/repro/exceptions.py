@@ -1,0 +1,35 @@
+"""Exception hierarchy for the Volley reproduction.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A task, adaptation, or testbed configuration is invalid.
+
+    Raised eagerly at construction time so that misconfiguration is caught
+    before a long simulation starts.
+    """
+
+
+class TraceError(ReproError):
+    """A metric trace is malformed (empty, NaN, wrong shape, ...)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class CoordinationError(ReproError):
+    """Distributed coordination received inconsistent monitor reports."""
+
+
+class CorrelationError(ReproError):
+    """State-correlation detection/planning failed (e.g. no overlap)."""

@@ -1,0 +1,116 @@
+"""Command-line driver: ``python -m repro.experiments <figure> [...]``.
+
+Regenerates the paper's evaluation figures as text tables::
+
+    python -m repro.experiments fig5a
+    python -m repro.experiments fig6
+    python -m repro.experiments all
+    python -m repro.experiments all --csv results/   # also dump CSVs
+
+Extension experiments (not paper figures) are available by name::
+
+    python -m repro.experiments monetary
+    python -m repro.experiments delay
+    python -m repro.experiments multitask
+    python -m repro.experiments reliability
+
+Scale with ``REPRO_SCALE=4 python -m repro.experiments fig5a`` to approach
+the paper's testbed size.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.experiments.delay import detection_delay_experiment
+from repro.experiments.figures import (fig5, fig6, fig7, fig7_report, fig8,
+                                       scale_factor)
+from repro.experiments.monetary import monetary_analysis
+from repro.experiments.multitask import multitask_experiment
+from repro.experiments.reliability import reliability_experiment
+from repro.experiments.reporting import to_csv
+
+FIGURES = ("fig5a", "fig5b", "fig5c", "fig6", "fig7", "fig8")
+EXTENSIONS = ("monetary", "delay", "multitask", "reliability")
+
+
+def run_figure(name: str, seed: int) -> tuple[str, object]:
+    """Run one driver; returns ``(text report, result object)``."""
+    if name == "fig5a":
+        result = fig5("network", seed=seed)
+        return result.report(), result
+    if name == "fig5b":
+        result = fig5("system", seed=seed)
+        return result.report(), result
+    if name == "fig5c":
+        result = fig5("application", seed=seed)
+        return result.report(), result
+    if name == "fig6":
+        result = fig6(seed=seed)
+        return result.report(), result
+    if name == "fig7":
+        result = fig7(seed=seed)
+        return fig7_report(result), result
+    if name == "fig8":
+        result = fig8(seed=seed)
+        return result.report(), result
+    if name == "monetary":
+        result = monetary_analysis(seed=seed)
+        return result.report(), result
+    if name == "delay":
+        result = detection_delay_experiment(seed=seed)
+        return result.report(), result
+    if name == "multitask":
+        result = multitask_experiment(seed=seed)
+        return result.report(), result
+    if name == "reliability":
+        result = reliability_experiment(seed=seed)
+        return result.report(), result
+    raise ValueError(f"unknown figure {name!r}")
+
+
+def write_csv(directory: pathlib.Path, name: str, result: object) -> None:
+    """Dump a figure result's rows as ``<name>.csv`` under ``directory``."""
+    to_rows = getattr(result, "to_rows", None)
+    if to_rows is None:
+        return
+    headers, rows = to_rows()
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / f"{name}.csv").write_text(to_csv(headers, rows))
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the Volley paper's evaluation figures "
+                    "and the extension experiments.")
+    parser.add_argument("figure", choices=FIGURES + EXTENSIONS + ("all",),
+                        help="which figure/experiment to regenerate "
+                             "('all' = the paper's six figures)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="master random seed (default 0)")
+    parser.add_argument("--csv", type=pathlib.Path, default=None,
+                        metavar="DIR",
+                        help="also write each figure's data as CSV into "
+                             "this directory (figures only)")
+    args = parser.parse_args(argv)
+
+    names = FIGURES if args.figure == "all" else (args.figure,)
+    print(f"[repro] scale factor: {scale_factor():g} "
+          f"(set REPRO_SCALE to change)")
+    for name in names:
+        text, result = run_figure(name, args.seed)
+        print()
+        print(text)
+        if args.csv is not None:
+            write_csv(args.csv, name, result)
+            if (args.csv / f"{name}.csv").exists():
+                print(f"[repro] wrote {args.csv / (name + '.csv')}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

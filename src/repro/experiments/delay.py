@@ -1,0 +1,167 @@
+"""Detection-delay and event-coverage analysis for episodic anomalies.
+
+The paper motivates fine-grained sampling through event handling twice
+(SI): a violation may slip between sparse periodic samples entirely, and
+"coarse sampling intervals reduce the amount of data available for
+offline event analysis". For episodic anomalies (SYN floods, flash
+crowds) that translates into two operational quantities this experiment
+measures against periodic sampling at *matched cost*:
+
+* **detection delay** — grid steps from episode onset to the first
+  sampled violating point (Volley's is bounded by its max interval: the
+  ramp re-arms it to the default rate);
+* **event coverage** — the fraction of violating points actually
+  captured. Here adaptation wins structurally: Volley samples at the
+  default rate *throughout* every episode (the bound keeps it reset), so
+  the analyst gets near-complete event data, while cost-matched periodic
+  sampling captures only ``1/I`` of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.stats import box_stats
+from repro.core.accuracy import alert_episodes, truth_alert_indices
+from repro.core.adaptation import AdaptationConfig
+from repro.core.task import TaskSpec
+from repro.exceptions import ConfigurationError
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import run_adaptive, run_periodic
+from repro.simulation.randomness import RandomStreams
+from repro.workloads.ddos import SynFloodAttack, inject_attacks
+from repro.workloads.traffic import TrafficDifferenceGenerator
+
+__all__ = ["DelayResult", "detection_delay_experiment"]
+
+
+@dataclass(frozen=True, slots=True)
+class DelayResult:
+    """Detection-delay comparison at matched sampling cost.
+
+    Delays are measured in default intervals from episode onset to the
+    first sampled violating point; missed episodes are excluded from the
+    delay statistics but reported separately.
+
+    Attributes:
+        episodes: injected anomaly episodes.
+        volley_ratio: Volley's measured sampling ratio.
+        volley_delays / periodic_delays: per-episode detection delays.
+        volley_missed / periodic_missed: episodes never detected.
+        volley_coverage / periodic_coverage: fraction of violating points
+            captured (the data available for offline event analysis).
+        periodic_interval: fixed interval chosen to match Volley's cost.
+    """
+
+    episodes: int
+    volley_ratio: float
+    volley_delays: tuple[float, ...]
+    periodic_delays: tuple[float, ...]
+    volley_missed: int
+    periodic_missed: int
+    volley_coverage: float
+    periodic_coverage: float
+    periodic_interval: int
+
+    def report(self) -> str:
+        """Text rendering of the delay/coverage comparison."""
+        rows = []
+        for name, delays, missed, coverage in (
+                ("volley", self.volley_delays, self.volley_missed,
+                 self.volley_coverage),
+                (f"periodic(I={self.periodic_interval})",
+                 self.periodic_delays, self.periodic_missed,
+                 self.periodic_coverage)):
+            if delays:
+                st = box_stats(np.asarray(delays))
+                rows.append([name, len(delays), missed, st["median"],
+                             st["max"], coverage])
+            else:
+                rows.append([name, 0, missed, "-", "-", coverage])
+        return format_table(
+            ["scheme", "detected", "missed", "median-delay", "max-delay",
+             "event-coverage"],
+            rows,
+            title=(f"Detection delay & event coverage over "
+                   f"{self.episodes} injected episodes (cost-matched; "
+                   f"Volley ratio {self.volley_ratio:.3f})"))
+
+
+def _episode_delays(values: np.ndarray, threshold: float,
+                    sampled: np.ndarray) -> tuple[list[float], int]:
+    """Per-episode delay from onset to first sampled violating point."""
+    truth = truth_alert_indices(values, threshold)
+    sampled_set = set(int(i) for i in sampled)
+    delays: list[float] = []
+    missed = 0
+    for start, end in alert_episodes(truth):
+        hit = next((i for i in range(start, end + 1)
+                    if i in sampled_set), None)
+        if hit is None:
+            missed += 1
+        else:
+            delays.append(float(hit - start))
+    return delays, missed
+
+
+def detection_delay_experiment(num_episodes: int = 12,
+                               horizon: int = 30_000,
+                               error_allowance: float = 0.01,
+                               peak_syn_rate: float = 4000.0,
+                               threshold: float = 1000.0,
+                               seed: int = 0,
+                               config: AdaptationConfig | None = None,
+                               ) -> DelayResult:
+    """Measure detection delays for injected SYN-flood episodes.
+
+    A quiet traffic-difference stream carries ``num_episodes`` floods at
+    regular offsets; Volley runs at the given allowance, and periodic
+    sampling runs at the fixed interval closest to Volley's measured
+    budget, so the comparison isolates *placement* of samples from their
+    *number*.
+    """
+    if num_episodes < 1:
+        raise ConfigurationError(
+            f"num_episodes must be >= 1, got {num_episodes}")
+    if horizon < 100 * num_episodes:
+        raise ConfigurationError(
+            "horizon too short for the requested episode count")
+    rng = RandomStreams(seed).stream("delay-experiment")
+    base = TrafficDifferenceGenerator(burst_prob=0.0).generate(horizon, rng)
+    spacing = horizon // (num_episodes + 1)
+    attacks = [SynFloodAttack(start=(i + 1) * spacing,
+                              peak_syn_rate=peak_syn_rate,
+                              ramp_steps=10, hold_steps=40, decay_steps=10)
+               for i in range(num_episodes)]
+    values = inject_attacks(base, attacks)
+
+    task = TaskSpec(threshold=threshold, error_allowance=error_allowance,
+                    max_interval=10)
+    volley = run_adaptive(values, task, config)
+    volley_delays, volley_missed = _episode_delays(
+        values, threshold, volley.sampled_indices)
+
+    matched = max(1, int(round(1.0 / volley.sampling_ratio)))
+    periodic = run_periodic(values, threshold, interval=matched)
+    periodic_delays, periodic_missed = _episode_delays(
+        values, threshold, periodic.sampled_indices)
+
+    def coverage(result):
+        if result.accuracy.truth_alerts == 0:
+            return 1.0
+        return result.accuracy.detected_alerts / \
+            result.accuracy.truth_alerts
+
+    return DelayResult(
+        episodes=num_episodes,
+        volley_ratio=volley.sampling_ratio,
+        volley_delays=tuple(volley_delays),
+        periodic_delays=tuple(periodic_delays),
+        volley_missed=volley_missed,
+        periodic_missed=periodic_missed,
+        volley_coverage=coverage(volley),
+        periodic_coverage=coverage(periodic),
+        periodic_interval=matched,
+    )

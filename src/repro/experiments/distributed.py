@@ -1,0 +1,209 @@
+"""Distributed-task experiment runner (paper SIV, Fig. 8).
+
+Simulates one distributed state monitoring task on the default-interval
+grid: ``m`` monitors each run a violation-likelihood sampler over their
+local stream; a local threshold crossing triggers a coordinator *global
+poll* that collects the instantaneous value from every monitor (forcing a
+sample on monitors that were idle at that instant) and checks the global
+condition ``sum_i v_i > T``. Every updating period the coordinator drains
+the monitors' yield statistics and reallocates the global error allowance
+according to the configured policy.
+
+Ground truth is the periodic-``Id`` schedule: every grid point whose sum
+crosses ``T`` is a global alert; Volley detects it only if a poll happened
+there and confirmed the crossing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.adaptation import (AdaptationConfig,
+                                   ViolationLikelihoodSampler)
+from repro.core.coordination import AllocationPolicy, EvenAllocation
+from repro.core.task import DistributedTaskSpec
+from repro.exceptions import TraceError
+from repro.types import GlobalPoll
+
+__all__ = ["DistributedRunResult", "run_distributed_task"]
+
+DEFAULT_UPDATE_PERIOD = 1000
+"""Coordinator updating period in default intervals (paper SIV-B)."""
+
+
+@dataclass(frozen=True, slots=True)
+class DistributedRunResult:
+    """Outcome of one distributed-task run.
+
+    Attributes:
+        total_samples: sampling operations across all monitors, including
+            the forced samples taken during global polls.
+        sampling_ratio: ``total_samples / (m * n)`` — cost relative to
+            periodic default sampling on every monitor.
+        truth_alerts: grid points where the true aggregate crossed ``T``.
+        detected_alerts: truth alerts confirmed by a global poll.
+        misdetection_rate: fraction of truth alerts missed.
+        global_polls: number of polls performed.
+        local_violations: local threshold crossings observed at sample
+            points.
+        messages: coordinator<->monitor messages exchanged (one report per
+            local violation, plus one request and one response per monitor
+            per poll).
+        reallocations: allocation rounds that actually moved allowance.
+        final_allocations: per-monitor error allowance at the end.
+        per_monitor_samples: sampling operations per monitor.
+        polls: chronological record of the global polls.
+        allocation_history: allocation vector after every updating period
+            (only recorded when requested; starts with the initial even
+            split) — feed to
+            :func:`repro.analysis.allocation_convergence`.
+    """
+
+    total_samples: int
+    sampling_ratio: float
+    truth_alerts: int
+    detected_alerts: int
+    misdetection_rate: float
+    global_polls: int
+    local_violations: int
+    messages: int
+    reallocations: int
+    final_allocations: tuple[float, ...]
+    per_monitor_samples: tuple[int, ...]
+    polls: tuple[GlobalPoll, ...] = field(repr=False, default=())
+    allocation_history: tuple[tuple[float, ...], ...] = field(
+        repr=False, default=())
+
+
+def run_distributed_task(traces: list[np.ndarray] | np.ndarray,
+                         spec: DistributedTaskSpec,
+                         config: AdaptationConfig | None = None,
+                         policy: AllocationPolicy | None = None,
+                         update_period: int = DEFAULT_UPDATE_PERIOD,
+                         keep_polls: bool = False,
+                         keep_allocations: bool = False,
+                         ) -> DistributedRunResult:
+    """Run one distributed task over per-monitor traces.
+
+    Args:
+        traces: ``m`` aligned traces (list of 1-d arrays or an ``m x n``
+            matrix), one per monitor.
+        spec: the distributed task (global/local thresholds, allowance).
+        config: adaptation tunables shared by all monitors.
+        policy: error-allowance allocation policy (default: even split).
+        update_period: coordinator updating period in default intervals.
+        keep_polls: record every global poll in the result (memory-heavy
+            for long runs; off by default).
+        keep_allocations: record the allocation vector after every
+            updating period for convergence analysis.
+
+    Returns:
+        A :class:`DistributedRunResult`.
+    """
+    matrix = np.asarray(traces, dtype=float)
+    if matrix.ndim != 2 or matrix.size == 0:
+        raise TraceError(
+            f"expected an m x n trace matrix, got shape {matrix.shape}")
+    m, n = matrix.shape
+    if m != spec.num_monitors:
+        raise TraceError(
+            f"{m} traces for a task with {spec.num_monitors} monitors")
+    if update_period < 1:
+        raise TraceError(f"update_period must be >= 1, got {update_period}")
+
+    policy = policy if policy is not None else EvenAllocation()
+    allocations = policy.initial(m, spec.error_allowance)
+    samplers = [
+        ViolationLikelihoodSampler(spec.local_spec(i, allocations[i]), config)
+        for i in range(m)
+    ]
+
+    totals = matrix.sum(axis=0)
+    truth_mask = totals > spec.global_threshold
+    truth_alerts = int(np.count_nonzero(truth_mask))
+
+    allocation_log: list[tuple[float, ...]] = []
+    if keep_allocations:
+        allocation_log.append(tuple(allocations))
+
+    next_due = [0] * m
+    per_monitor_samples = [0] * m
+    local_violations = 0
+    polls = 0
+    messages = 0
+    reallocations = 0
+    detected = 0
+    poll_log: list[GlobalPoll] = []
+    thresholds = spec.local_thresholds
+
+    for t in range(n):
+        violated_here = False
+        sampled_here = [False] * m
+        for i in range(m):
+            if next_due[i] != t:
+                continue
+            value = float(matrix[i, t])
+            decision = samplers[i].observe(value, t)
+            per_monitor_samples[i] += 1
+            sampled_here[i] = True
+            next_due[i] = t + max(1, decision.next_interval)
+            if value > thresholds[i]:
+                violated_here = True
+                local_violations += 1
+                messages += 1  # local-violation report to the coordinator
+
+        if violated_here:
+            # Global poll: every monitor reports its instantaneous value;
+            # idle monitors are forced to sample (cost + fresh statistics).
+            polls += 1
+            messages += 2 * m  # poll request + response per monitor
+            for i in range(m):
+                if sampled_here[i]:
+                    continue
+                decision = samplers[i].observe(float(matrix[i, t]), t)
+                per_monitor_samples[i] += 1
+                next_due[i] = t + max(1, decision.next_interval)
+            total_value = float(totals[t])
+            is_global = bool(truth_mask[t])
+            if is_global:
+                detected += 1
+            if keep_polls:
+                poll_log.append(GlobalPoll(
+                    time_index=t,
+                    values=tuple(float(matrix[i, t]) for i in range(m)),
+                    total=total_value,
+                    violated=is_global,
+                ))
+
+        if (t + 1) % update_period == 0:
+            reports = [s.drain_coordination_stats() for s in samplers]
+            update = policy.reallocate(allocations, reports,
+                                       spec.error_allowance)
+            if update.reallocated:
+                reallocations += 1
+            allocations = update.allocations
+            for sampler, err in zip(samplers, allocations):
+                sampler.error_allowance = err
+            if keep_allocations:
+                allocation_log.append(tuple(allocations))
+
+    total_samples = sum(per_monitor_samples)
+    misdetection = (0.0 if truth_alerts == 0
+                    else 1.0 - detected / truth_alerts)
+    return DistributedRunResult(
+        total_samples=total_samples,
+        sampling_ratio=total_samples / float(m * n),
+        truth_alerts=truth_alerts,
+        detected_alerts=detected,
+        misdetection_rate=misdetection,
+        global_polls=polls,
+        local_violations=local_violations,
+        messages=messages,
+        reallocations=reallocations,
+        final_allocations=tuple(allocations),
+        per_monitor_samples=tuple(per_monitor_samples),
+        polls=tuple(poll_log),
+        allocation_history=tuple(allocation_log),
+    )

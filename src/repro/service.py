@@ -1,0 +1,218 @@
+"""Streaming monitoring service facade.
+
+The experiment runners consume precomputed traces; a deployment consumes
+*live* values. :class:`MonitoringService` is the push-based entry point a
+downstream user wires into their collection pipeline:
+
+* register tasks (instantaneous or windowed-aggregate, upper or lower
+  thresholds, optionally guarded by a correlation trigger);
+* push every collected value with :meth:`offer` — the service tells the
+  caller whether the value was *consumed* as a scheduled sample and when
+  the task wants its next sample, so callers can skip collection work for
+  values the schedule does not need;
+* receive alert callbacks the moment a sampled value violates.
+
+The service is the integration surface: everything underneath is the same
+violation-likelihood machinery the experiments use.
+
+Example::
+
+    service = MonitoringService()
+    service.add_task("ddos", TaskSpec(threshold=1000.0,
+                                      error_allowance=0.01,
+                                      max_interval=10),
+                     on_alert=lambda a: print("ALERT", a))
+    for step, rho in enumerate(stream):
+        if service.due("ddos", step):
+            service.offer("ddos", rho, step)   # costed sampling op
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.adaptation import (AdaptationConfig, SamplingDecision,
+                                   ViolationLikelihoodSampler)
+from repro.core.task import TaskSpec
+from repro.core.windowed import AggregateKind
+from repro.exceptions import ConfigurationError
+from repro.types import Alert
+
+__all__ = ["MonitoringService", "TaskState"]
+
+AlertCallback = Callable[[Alert], None]
+
+
+@dataclass
+class TaskState:
+    """Bookkeeping for one registered task.
+
+    Attributes:
+        name: task identifier.
+        task: the threshold task.
+        sampler: the adaptive sampler driving the schedule.
+        next_due: grid step of the next wanted sample.
+        samples_taken: sampling operations consumed so far.
+        alerts: alerts raised so far.
+        trigger_task: name of the task gating this one (or ``None``).
+        trigger_level: elevation level of the gating metric.
+        suspend_interval: idle interval while the trigger is cold.
+        window / window_kind: aggregation settings (window 1 = instant).
+        on_alert: callback invoked on every alert.
+    """
+
+    name: str
+    task: TaskSpec
+    sampler: ViolationLikelihoodSampler
+    next_due: int = 0
+    samples_taken: int = 0
+    alerts: list[Alert] = field(default_factory=list)
+    trigger_task: str | None = None
+    trigger_level: float = 0.0
+    suspend_interval: int = 10
+    window: int = 1
+    window_kind: AggregateKind = AggregateKind.MEAN
+    on_alert: AlertCallback | None = None
+    _window_values: list[tuple[int, float]] = field(default_factory=list)
+
+    def aggregate(self, step: int, value: float) -> float:
+        """Fold a raw observation into the task's windowed aggregate."""
+        if self.window <= 1:
+            return value
+        self._window_values.append((step, value))
+        lo = step - self.window + 1
+        self._window_values = [(s, v) for s, v in self._window_values
+                               if s >= lo]
+        values = [v for _, v in self._window_values]
+        if self.window_kind is AggregateKind.MEAN:
+            return sum(values) / len(values)
+        if self.window_kind is AggregateKind.SUM:
+            return sum(values)
+        if self.window_kind is AggregateKind.MAX:
+            return max(values)
+        return min(values)
+
+
+class MonitoringService:
+    """Push-based multi-task monitoring front end."""
+
+    def __init__(self, config: AdaptationConfig | None = None):
+        self._config = config or AdaptationConfig()
+        self._tasks: dict[str, TaskState] = {}
+        self._last_seen: dict[str, float] = {}
+
+    @property
+    def task_names(self) -> list[str]:
+        """Registered task identifiers."""
+        return list(self._tasks)
+
+    def add_task(self, name: str, task: TaskSpec,
+                 on_alert: AlertCallback | None = None,
+                 window: int = 1,
+                 window_kind: AggregateKind = AggregateKind.MEAN,
+                 config: AdaptationConfig | None = None) -> None:
+        """Register a monitoring task.
+
+        Args:
+            name: unique identifier.
+            task: threshold task (threshold, allowance, intervals).
+            on_alert: invoked synchronously for every violation observed.
+            window: aggregation window in default intervals (1 = react to
+                the instantaneous value).
+            window_kind: aggregation function for ``window > 1``.
+            config: per-task adaptation tunables (service default
+                otherwise).
+        """
+        if name in self._tasks:
+            raise ConfigurationError(f"task {name!r} already registered")
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        sampler = ViolationLikelihoodSampler(task, config or self._config)
+        self._tasks[name] = TaskState(name=name, task=task,
+                                      sampler=sampler, window=window,
+                                      window_kind=window_kind,
+                                      on_alert=on_alert)
+
+    def add_trigger(self, target: str, trigger: str, elevation_level: float,
+                    suspend_interval: int = 10) -> None:
+        """Gate ``target``'s sampling on ``trigger``'s last seen value.
+
+        While the most recent value offered for ``trigger`` sits below
+        ``elevation_level`` the target idles at ``suspend_interval``
+        (paper SII-A's state-correlation scheme; typically configured from
+        a :class:`repro.core.correlation.TriggerRule`).
+        """
+        state = self._state(target)
+        self._state(trigger)  # must exist
+        if suspend_interval < 1:
+            raise ConfigurationError(
+                f"suspend_interval must be >= 1, got {suspend_interval}")
+        state.trigger_task = trigger
+        state.trigger_level = elevation_level
+        state.suspend_interval = suspend_interval
+
+    def _state(self, name: str) -> TaskState:
+        try:
+            return self._tasks[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown task {name!r}") from None
+
+    def due(self, name: str, step: int) -> bool:
+        """Whether the task wants a sampling operation at ``step``.
+
+        Callers may skip the (expensive) collection work whenever this is
+        False — that skipping *is* the saving.
+        """
+        return step >= self._state(name).next_due
+
+    def next_due(self, name: str) -> int:
+        """Grid step of the task's next wanted sample."""
+        return self._state(name).next_due
+
+    def offer(self, name: str, value: float, step: int,
+              ) -> SamplingDecision | None:
+        """Push a collected value for a task.
+
+        Returns the sampling decision when the value was consumed as a
+        scheduled sample, or ``None`` when the task was not due (the
+        value still refreshes trigger state for tasks gated on this one).
+
+        Alerts fire synchronously through the task's callback.
+        """
+        state = self._state(name)
+        self._last_seen[name] = value
+        if step < state.next_due:
+            return None
+
+        monitored = state.aggregate(step, value)
+        decision = state.sampler.observe(monitored, step)
+        state.samples_taken += 1
+
+        interval = decision.next_interval
+        if state.trigger_task is not None:
+            trigger_value = self._last_seen.get(state.trigger_task)
+            if (trigger_value is not None
+                    and trigger_value < state.trigger_level):
+                interval = max(interval, state.suspend_interval)
+        state.next_due = step + max(1, interval)
+
+        if decision.violation:
+            alert = Alert(time_index=step, value=monitored,
+                          threshold=state.task.threshold)
+            state.alerts.append(alert)
+            if state.on_alert is not None:
+                state.on_alert(alert)
+        return decision
+
+    def alerts(self, name: str) -> list[Alert]:
+        """Alerts raised by a task so far (chronological)."""
+        return list(self._state(name).alerts)
+
+    def samples_taken(self, name: str) -> int:
+        """Sampling operations consumed by a task so far."""
+        return self._state(name).samples_taken
+
+    def interval(self, name: str) -> int:
+        """A task's current sampling interval (in default intervals)."""
+        return self._state(name).sampler.interval

@@ -1,0 +1,14 @@
+"""Discrete-event simulation substrate (DESIGN.md S8).
+
+:class:`SimulationEngine` executes callbacks in simulated time on a
+deterministic event heap; :class:`RandomStreams` hands out reproducible
+per-entity randomness. The datacenter testbed is built on these.
+"""
+
+from repro.simulation.clock import SimulationClock
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.events import Event, EventQueue
+from repro.simulation.randomness import RandomStreams
+
+__all__ = ["Event", "EventQueue", "RandomStreams", "SimulationClock",
+           "SimulationEngine"]

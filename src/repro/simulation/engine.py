@@ -1,0 +1,118 @@
+"""Discrete-event simulation engine (DESIGN.md S8).
+
+A deliberately small, deterministic engine: callbacks scheduled on an
+event heap, a forward-only clock, and helpers for periodic processes. The
+datacenter testbed (:mod:`repro.datacenter`) builds monitors, coordinators
+and cost accounting on top of it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.exceptions import SimulationError
+from repro.simulation.clock import SimulationClock
+from repro.simulation.events import Event, EventQueue
+
+__all__ = ["SimulationEngine"]
+
+
+class SimulationEngine:
+    """Run callbacks in simulated time.
+
+    Typical use::
+
+        engine = SimulationEngine()
+        engine.schedule(10.0, lambda: print("at t=10"))
+        engine.schedule_every(15.0, sample_once)   # periodic process
+        engine.run_until(3600.0)
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._clock = SimulationClock(start_time)
+        self._queue = EventQueue()
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._clock.now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of scheduled, not-yet-run, not-cancelled events."""
+        return len(self._queue)
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"delay must be >= 0, got {delay}")
+        return self._queue.push(self._clock.now + delay, action)
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` at absolute simulated time ``time``."""
+        if time < self._clock.now:
+            raise SimulationError(
+                f"cannot schedule in the past: {time} < {self._clock.now}")
+        return self._queue.push(time, action)
+
+    def schedule_every(self, period: float, action: Callable[[], None],
+                       first_delay: float | None = None) -> Event:
+        """Run ``action`` every ``period`` seconds until the run ends.
+
+        ``action`` may raise ``StopIteration`` to terminate its own
+        periodic rescheduling. Returns the handle of the *first*
+        occurrence (cancelling it before it fires stops the chain).
+        """
+        if period <= 0:
+            raise SimulationError(f"period must be > 0, got {period}")
+
+        def tick() -> None:
+            try:
+                action()
+            except StopIteration:
+                return
+            self.schedule(period, tick)
+
+        delay = period if first_delay is None else first_delay
+        return self.schedule(delay, tick)
+
+    def step(self) -> bool:
+        """Execute the next pending event; returns False when none remain."""
+        next_time = self._queue.peek_time()
+        if next_time is None:
+            return False
+        event = self._queue.pop()
+        self._clock.advance_to(event.time)
+        event.action()
+        self._events_processed += 1
+        return True
+
+    def run_until(self, end_time: float) -> None:
+        """Run all events with ``time <= end_time``; clock ends at
+        ``end_time`` even if the queue drains earlier."""
+        if end_time < self._clock.now:
+            raise SimulationError(
+                f"end_time {end_time} is in the past "
+                f"(now={self._clock.now})")
+        while True:
+            next_time = self._queue.peek_time()
+            if next_time is None or next_time > end_time:
+                break
+            self.step()
+        self._clock.advance_to(end_time)
+
+    def run(self, max_events: int | None = None) -> int:
+        """Run until the queue drains (or ``max_events``); returns the
+        number of events executed by this call."""
+        executed = 0
+        while self.step():
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                break
+        return executed

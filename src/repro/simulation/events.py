@@ -1,0 +1,76 @@
+"""Event queue for the discrete-event engine.
+
+Events are ``(time, sequence, action)`` triples kept in a binary heap; the
+sequence number makes ordering total and FIFO-stable for simultaneous
+events, so simulations are deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.exceptions import SimulationError
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True, slots=True)
+class Event:
+    """A scheduled callback.
+
+    Ordering is by ``(time, seq)``; the action itself never participates
+    in comparisons.
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` at absolute time ``time``; returns a handle
+        that supports :meth:`Event.cancel`."""
+        if time < 0:
+            raise SimulationError(f"event time must be >= 0, got {time}")
+        event = Event(time=time, seq=next(self._counter), action=action)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest pending (non-cancelled) event.
+
+        Raises:
+            SimulationError: when the queue is empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        raise SimulationError("pop from an empty event queue")
+
+    def peek_time(self) -> float | None:
+        """Time of the earliest pending event, or ``None`` if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def __bool__(self) -> bool:
+        return self.peek_time() is not None

@@ -1,0 +1,78 @@
+"""Synthetic datacenter workloads (DESIGN.md S11-S13).
+
+Three domains mirror the paper's evaluation:
+
+* network — netflow substrate + traffic-difference metric + SYN floods
+  (:mod:`netflow`, :mod:`traffic`, :mod:`ddos`), default interval 15 s;
+* system — 66-metric node performance dataset (:mod:`sysmetrics`),
+  default interval 5 s;
+* application — WorldCup-style web requests (:mod:`weblogs`), default
+  interval 1 s.
+
+:mod:`synthetic` provides the generic building blocks, :mod:`thresholds`
+the selectivity-based threshold rule, :mod:`zipf` the skew utilities.
+"""
+
+from repro.workloads.base import MetricTrace, TraceGenerator
+from repro.workloads.ddos import SynFloodAttack, inject_attacks
+from repro.workloads.io import load_traces, save_traces
+from repro.workloads.netflow import (FlowRecord, NetflowConfig,
+                                     NetflowGenerator, map_addresses_to_vms,
+                                     window_packet_counts)
+from repro.workloads.synthetic import (AR1Generator, CompositeGenerator,
+                                       DiurnalGenerator, RandomWalkGenerator,
+                                       RegimeSwitchGenerator,
+                                       SpikeTrainGenerator)
+from repro.workloads.sysmetrics import (SYSTEM_DEFAULT_INTERVAL,
+                                        SYSTEM_METRICS, MetricSpec,
+                                        SystemMetricsDataset)
+from repro.workloads.thresholds import (PAPER_ERROR_ALLOWANCES,
+                                        PAPER_SELECTIVITIES,
+                                        threshold_for_selectivity,
+                                        thresholds_for_violation_rates)
+from repro.workloads.traffic import (DEFAULT_SYN_PROBABILITY,
+                                     NETWORK_DEFAULT_INTERVAL,
+                                     TrafficDifferenceGenerator,
+                                     syn_ack_difference_from_flows)
+from repro.workloads.weblogs import (APPLICATION_DEFAULT_INTERVAL,
+                                     WebWorkloadGenerator)
+from repro.workloads.zipf import (sample_zipf_ranks, zipf_hotspot_rates,
+                                  zipf_rates, zipf_weights)
+
+__all__ = [
+    "APPLICATION_DEFAULT_INTERVAL",
+    "AR1Generator",
+    "CompositeGenerator",
+    "DEFAULT_SYN_PROBABILITY",
+    "DiurnalGenerator",
+    "FlowRecord",
+    "MetricSpec",
+    "MetricTrace",
+    "NETWORK_DEFAULT_INTERVAL",
+    "NetflowConfig",
+    "NetflowGenerator",
+    "PAPER_ERROR_ALLOWANCES",
+    "PAPER_SELECTIVITIES",
+    "RandomWalkGenerator",
+    "RegimeSwitchGenerator",
+    "SpikeTrainGenerator",
+    "SYSTEM_DEFAULT_INTERVAL",
+    "SYSTEM_METRICS",
+    "SynFloodAttack",
+    "SystemMetricsDataset",
+    "TraceGenerator",
+    "TrafficDifferenceGenerator",
+    "WebWorkloadGenerator",
+    "inject_attacks",
+    "load_traces",
+    "map_addresses_to_vms",
+    "sample_zipf_ranks",
+    "save_traces",
+    "syn_ack_difference_from_flows",
+    "threshold_for_selectivity",
+    "thresholds_for_violation_rates",
+    "window_packet_counts",
+    "zipf_hotspot_rates",
+    "zipf_rates",
+    "zipf_weights",
+]

@@ -1,0 +1,96 @@
+"""Workload substrate: metric traces and trace generators.
+
+All monitoring experiments operate on a :class:`MetricTrace` — one value per
+default-interval grid point, plus identity metadata. Generators are seeded
+explicitly so every figure is reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import TraceError
+
+__all__ = ["MetricTrace", "TraceGenerator"]
+
+
+@dataclass(frozen=True)
+class MetricTrace:
+    """A full-resolution monitored metric stream.
+
+    Attributes:
+        values: one value per default-interval grid point.
+        default_interval: ``Id`` in seconds (metadata; the grid is index
+            based).
+        name: metric identifier, e.g. ``"vm-17/traffic-diff"``.
+        unit: human-readable unit, e.g. ``"packets/15s"``.
+    """
+
+    values: np.ndarray
+    default_interval: float = 1.0
+    name: str = ""
+    unit: str = ""
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.values, dtype=float)
+        if arr.ndim != 1 or arr.size == 0:
+            raise TraceError(
+                f"trace must be non-empty and 1-d, got shape {arr.shape}")
+        if not np.isfinite(arr).all():
+            raise TraceError(f"trace {self.name!r} has non-finite values")
+        if self.default_interval <= 0:
+            raise TraceError(
+                f"default_interval must be > 0, got {self.default_interval}")
+        object.__setattr__(self, "values", arr)
+
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+    @property
+    def duration_seconds(self) -> float:
+        """Wall-clock span covered by the trace."""
+        return float(self.values.size) * self.default_interval
+
+    def percentile_threshold(self, selectivity_percent: float) -> float:
+        """Threshold that makes ``selectivity_percent`` of points violate.
+
+        The paper sets a task's threshold to the ``(100 - k)``-th percentile
+        of the metric so that a fraction ``k`` of grid points raise alerts
+        (SV-A "Thresholds").
+        """
+        if not 0.0 < selectivity_percent < 100.0:
+            raise TraceError(
+                "selectivity must be in (0, 100), got "
+                f"{selectivity_percent}")
+        return float(np.percentile(self.values,
+                                   100.0 - selectivity_percent))
+
+
+class TraceGenerator:
+    """Base class for synthetic metric-stream generators.
+
+    Subclasses implement :meth:`generate` to return raw values; the base
+    class wraps them into :class:`MetricTrace` objects via :meth:`trace`.
+    """
+
+    #: default ``Id`` metadata attached to produced traces, seconds
+    default_interval: float = 1.0
+    #: unit metadata attached to produced traces
+    unit: str = ""
+
+    def generate(self, n_steps: int, rng: np.random.Generator) -> np.ndarray:
+        """Produce ``n_steps`` metric values (subclass responsibility)."""
+        raise NotImplementedError
+
+    def trace(self, n_steps: int, rng: np.random.Generator,
+              name: str = "") -> MetricTrace:
+        """Generate and wrap values into a :class:`MetricTrace`."""
+        if n_steps < 1:
+            raise TraceError(f"n_steps must be >= 1, got {n_steps}")
+        values = self.generate(n_steps, rng)
+        return MetricTrace(values=values,
+                           default_interval=self.default_interval,
+                           name=name or type(self).__name__,
+                           unit=self.unit)

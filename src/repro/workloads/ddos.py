@@ -1,0 +1,95 @@
+"""SYN-flood attack injection (paper SII-A motivating scenario).
+
+A SYN flood sends a growing stream of SYN packets that the victim cannot
+answer, so the traffic difference ``rho = Pi - Po`` ramps up and stays high
+for the attack's duration. Attacks are injected *additively* into either a
+ready-made ``rho`` trace or the raw incoming packet counts of the netflow
+substrate, so both generation paths can carry the same ground-truth events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, TraceError
+
+__all__ = ["SynFloodAttack", "inject_attacks"]
+
+
+@dataclass(frozen=True, slots=True)
+class SynFloodAttack:
+    """One SYN-flood episode.
+
+    Attributes:
+        start: grid step at which the flood begins.
+        ramp_steps: steps over which the flood ramps linearly to its peak
+            (real floods grow as the botnet spins up).
+        hold_steps: steps the flood holds at peak intensity.
+        decay_steps: steps over which it ramps back down (mitigation /
+            attacker giving up).
+        peak_syn_rate: SYN packets per window at the peak.
+    """
+
+    start: int
+    peak_syn_rate: float
+    ramp_steps: int = 8
+    hold_steps: int = 40
+    decay_steps: int = 8
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ConfigurationError(f"start must be >= 0, got {self.start}")
+        if self.peak_syn_rate <= 0:
+            raise ConfigurationError(
+                f"peak_syn_rate must be > 0, got {self.peak_syn_rate}")
+        if self.ramp_steps < 1 or self.hold_steps < 0 or self.decay_steps < 1:
+            raise ConfigurationError(
+                "need ramp_steps >= 1, hold_steps >= 0, decay_steps >= 1; "
+                f"got {self.ramp_steps}, {self.hold_steps}, "
+                f"{self.decay_steps}")
+
+    @property
+    def duration(self) -> int:
+        """Total footprint of the episode in grid steps."""
+        return self.ramp_steps + self.hold_steps + self.decay_steps
+
+    def profile(self, n_steps: int) -> np.ndarray:
+        """The flood's additive SYN-excess profile over an n-step grid.
+
+        Zero outside the episode; linear ramp up, flat hold, linear ramp
+        down inside. Episodes extending past the grid are truncated.
+        """
+        if n_steps < 1:
+            raise TraceError(f"n_steps must be >= 1, got {n_steps}")
+        out = np.zeros(n_steps)
+        up = np.linspace(0.0, 1.0, self.ramp_steps, endpoint=False)
+        # The decay starts strictly below the peak and ends at zero.
+        down = np.linspace(1.0, 0.0, self.decay_steps + 1)[1:]
+        shape = np.concatenate([up, np.ones(self.hold_steps), down])
+        end = min(self.start + shape.size, n_steps)
+        if end > self.start:
+            out[self.start:end] = shape[:end - self.start] * self.peak_syn_rate
+        return out
+
+    def alert_window(self) -> tuple[int, int]:
+        """Grid span ``[start, start + duration)`` the attack occupies."""
+        return self.start, self.start + self.duration
+
+
+def inject_attacks(values: np.ndarray,
+                   attacks: list[SynFloodAttack]) -> np.ndarray:
+    """Return a copy of ``values`` with the attacks' SYN excess added.
+
+    Args:
+        values: a ``rho`` trace (or incoming SYN counts) on the grid.
+        attacks: episodes to add.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1:
+        raise TraceError(f"expected a 1-d trace, got shape {arr.shape}")
+    out = arr.copy()
+    for attack in attacks:
+        out += attack.profile(arr.size)
+    return out

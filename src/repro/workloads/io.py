@@ -1,0 +1,82 @@
+"""Trace persistence: save/load metric traces as ``.npz`` archives.
+
+Experiment artifacts need to outlive the process — a regenerated figure
+should be checkable against the exact streams it ran on, and expensive
+flow-level generations are worth caching. The format is a plain numpy
+archive with a small metadata header, so nothing but numpy is required to
+read it back (or to load it from another toolchain).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.exceptions import TraceError
+from repro.workloads.base import MetricTrace
+
+__all__ = ["save_traces", "load_traces", "FORMAT_VERSION"]
+
+FORMAT_VERSION = 1
+"""On-disk format version (bumped on incompatible changes)."""
+
+
+def save_traces(path: str | pathlib.Path,
+                traces: list[MetricTrace]) -> None:
+    """Write traces to an ``.npz`` archive.
+
+    Args:
+        path: target file (conventionally ``*.npz``).
+        traces: traces to store; names need not be unique (order is
+            preserved and used as the key).
+    """
+    if not traces:
+        raise TraceError("nothing to save")
+    arrays: dict[str, np.ndarray] = {}
+    meta = []
+    for i, trace in enumerate(traces):
+        arrays[f"trace_{i}"] = trace.values
+        meta.append({
+            "name": trace.name,
+            "unit": trace.unit,
+            "default_interval": trace.default_interval,
+        })
+    header = {"format_version": FORMAT_VERSION, "count": len(traces),
+              "traces": meta}
+    arrays["__meta__"] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8)
+    np.savez_compressed(path, **arrays)
+
+
+def load_traces(path: str | pathlib.Path) -> list[MetricTrace]:
+    """Read traces back from an archive written by :func:`save_traces`.
+
+    Raises:
+        TraceError: when the file is missing, malformed, or from an
+            incompatible format version.
+    """
+    target = pathlib.Path(path)
+    if not target.exists():
+        raise TraceError(f"no such trace archive: {target}")
+    try:
+        with np.load(target) as archive:
+            if "__meta__" not in archive:
+                raise TraceError(f"{target} is not a trace archive")
+            header = json.loads(bytes(archive["__meta__"]).decode("utf-8"))
+            if header.get("format_version") != FORMAT_VERSION:
+                raise TraceError(
+                    f"unsupported trace archive version "
+                    f"{header.get('format_version')!r}")
+            traces = []
+            for i, meta in enumerate(header["traces"]):
+                traces.append(MetricTrace(
+                    values=archive[f"trace_{i}"],
+                    default_interval=float(meta["default_interval"]),
+                    name=str(meta["name"]),
+                    unit=str(meta["unit"]),
+                ))
+            return traces
+    except (ValueError, KeyError, json.JSONDecodeError) as exc:
+        raise TraceError(f"corrupt trace archive {target}: {exc}") from exc

@@ -1,0 +1,210 @@
+"""General-purpose synthetic metric-stream generators.
+
+Building blocks shared by the domain workloads (network, system,
+application): autoregressive noise, diurnal modulation, random spikes, and
+composition. Each generator is a :class:`~repro.workloads.base.TraceGenerator`
+and takes its randomness from an explicit ``numpy`` generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.workloads.base import TraceGenerator
+
+__all__ = [
+    "RandomWalkGenerator",
+    "AR1Generator",
+    "DiurnalGenerator",
+    "SpikeTrainGenerator",
+    "CompositeGenerator",
+    "RegimeSwitchGenerator",
+]
+
+
+class RandomWalkGenerator(TraceGenerator):
+    """A reflected random walk: ``x_t = clip(x_{t-1} + N(drift, sigma))``.
+
+    Args:
+        sigma: per-step standard deviation.
+        drift: per-step mean change.
+        start: initial value.
+        lo / hi: reflective clamp bounds (``None`` disables a side).
+    """
+
+    def __init__(self, sigma: float = 1.0, drift: float = 0.0,
+                 start: float = 0.0, lo: float | None = None,
+                 hi: float | None = None):
+        if sigma < 0:
+            raise ConfigurationError(f"sigma must be >= 0, got {sigma}")
+        if lo is not None and hi is not None and lo >= hi:
+            raise ConfigurationError(f"lo must be < hi, got {lo} >= {hi}")
+        self._sigma = sigma
+        self._drift = drift
+        self._start = start
+        self._lo = lo
+        self._hi = hi
+
+    def generate(self, n_steps: int, rng: np.random.Generator) -> np.ndarray:
+        steps = rng.normal(self._drift, self._sigma, n_steps)
+        values = self._start + np.cumsum(steps)
+        if self._lo is not None or self._hi is not None:
+            values = np.clip(values, self._lo, self._hi)
+        return values
+
+
+class AR1Generator(TraceGenerator):
+    """Mean-reverting AR(1): ``x_t = mean + phi*(x_{t-1} - mean) + noise``.
+
+    Args:
+        mean: long-run level.
+        phi: persistence in [0, 1); higher means smoother.
+        sigma: innovation standard deviation.
+    """
+
+    def __init__(self, mean: float = 0.0, phi: float = 0.9,
+                 sigma: float = 1.0):
+        if not 0.0 <= phi < 1.0:
+            raise ConfigurationError(f"phi must be in [0, 1), got {phi}")
+        if sigma < 0:
+            raise ConfigurationError(f"sigma must be >= 0, got {sigma}")
+        self._mean = mean
+        self._phi = phi
+        self._sigma = sigma
+
+    def generate(self, n_steps: int, rng: np.random.Generator) -> np.ndarray:
+        noise = rng.normal(0.0, self._sigma, n_steps)
+        values = np.empty(n_steps)
+        x = 0.0
+        phi = self._phi
+        for i in range(n_steps):
+            x = phi * x + noise[i]
+            values[i] = x
+        return values + self._mean
+
+
+class DiurnalGenerator(TraceGenerator):
+    """A day-night sinusoid: ``amp * (1 + sin(2*pi*(t/period + phase)))/2``.
+
+    Produces values in ``[floor, floor + amp]``; ``period`` is expressed in
+    grid steps so any default interval works.
+    """
+
+    def __init__(self, period: int, amplitude: float = 1.0,
+                 floor: float = 0.0, phase: float = 0.0):
+        if period < 2:
+            raise ConfigurationError(f"period must be >= 2, got {period}")
+        if amplitude < 0:
+            raise ConfigurationError(
+                f"amplitude must be >= 0, got {amplitude}")
+        self._period = period
+        self._amplitude = amplitude
+        self._floor = floor
+        self._phase = phase
+
+    def generate(self, n_steps: int, rng: np.random.Generator) -> np.ndarray:
+        t = np.arange(n_steps, dtype=float)
+        wave = (1.0 + np.sin(2.0 * np.pi * (t / self._period + self._phase)))
+        return self._floor + 0.5 * self._amplitude * wave
+
+
+class SpikeTrainGenerator(TraceGenerator):
+    """Rare spikes with ramp-up/ramp-down shoulders on a zero baseline.
+
+    Spike starts arrive as a Bernoulli process; each spike ramps linearly to
+    a log-normal peak, holds, then decays. This is the generic "anomaly"
+    shape (DDoS ramps, flash crowds, load bursts): monitored values are
+    mostly quiet with occasional large excursions, which is exactly the
+    regime where violation-likelihood sampling saves cost.
+
+    Args:
+        spike_prob: per-step probability that a new spike starts.
+        peak_mean / peak_sigma: parameters of the log-normal peak height.
+        ramp_steps: steps to ramp from 0 to peak (and back down).
+        hold_steps: steps the spike holds at its peak.
+    """
+
+    def __init__(self, spike_prob: float = 0.001, peak_mean: float = 4.0,
+                 peak_sigma: float = 0.5, ramp_steps: int = 10,
+                 hold_steps: int = 10):
+        if not 0.0 <= spike_prob <= 1.0:
+            raise ConfigurationError(
+                f"spike_prob must be in [0, 1], got {spike_prob}")
+        if ramp_steps < 1 or hold_steps < 0:
+            raise ConfigurationError(
+                f"need ramp_steps >= 1 and hold_steps >= 0, got "
+                f"{ramp_steps}, {hold_steps}")
+        self._spike_prob = spike_prob
+        self._peak_mean = peak_mean
+        self._peak_sigma = peak_sigma
+        self._ramp = ramp_steps
+        self._hold = hold_steps
+
+    def generate(self, n_steps: int, rng: np.random.Generator) -> np.ndarray:
+        values = np.zeros(n_steps)
+        starts = np.flatnonzero(rng.random(n_steps) < self._spike_prob)
+        up = np.linspace(0.0, 1.0, self._ramp, endpoint=False)
+        shape = np.concatenate([up, np.ones(self._hold), up[::-1]])
+        for s in starts:
+            peak = rng.lognormal(self._peak_mean, self._peak_sigma)
+            end = min(int(s) + shape.size, n_steps)
+            seg = shape[:end - int(s)] * peak
+            # Jitter the plateau so spikes never produce runs of exactly
+            # equal values (strict thresholds would degenerate on ties).
+            seg *= rng.normal(1.0, 0.04, seg.size)
+            # Overlapping spikes stack via max, not sum: concurrent
+            # anomalies do not double the observed magnitude.
+            values[int(s):end] = np.maximum(values[int(s):end], seg)
+        return values
+
+
+class CompositeGenerator(TraceGenerator):
+    """Pointwise sum of component generators (each with its own RNG draw)."""
+
+    def __init__(self, components: list[TraceGenerator]):
+        if not components:
+            raise ConfigurationError("need at least one component")
+        self._components = list(components)
+
+    def generate(self, n_steps: int, rng: np.random.Generator) -> np.ndarray:
+        total = np.zeros(n_steps)
+        for component in self._components:
+            total += component.generate(n_steps, rng)
+        return total
+
+
+class RegimeSwitchGenerator(TraceGenerator):
+    """Two-state Markov switching between a quiet and a busy generator.
+
+    Args:
+        quiet / busy: generators for the two regimes.
+        p_enter_busy: per-step probability of switching quiet -> busy.
+        p_exit_busy: per-step probability of switching busy -> quiet.
+    """
+
+    def __init__(self, quiet: TraceGenerator, busy: TraceGenerator,
+                 p_enter_busy: float = 0.002, p_exit_busy: float = 0.02):
+        for name, p in (("p_enter_busy", p_enter_busy),
+                        ("p_exit_busy", p_exit_busy)):
+            if not 0.0 <= p <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {p}")
+        self._quiet = quiet
+        self._busy = busy
+        self._p_enter = p_enter_busy
+        self._p_exit = p_exit_busy
+
+    def generate(self, n_steps: int, rng: np.random.Generator) -> np.ndarray:
+        quiet_values = self._quiet.generate(n_steps, rng)
+        busy_values = self._busy.generate(n_steps, rng)
+        flips = rng.random(n_steps)
+        busy = False
+        out = np.empty(n_steps)
+        for i in range(n_steps):
+            if busy:
+                if flips[i] < self._p_exit:
+                    busy = False
+            elif flips[i] < self._p_enter:
+                busy = True
+            out[i] = busy_values[i] if busy else quiet_values[i]
+        return out

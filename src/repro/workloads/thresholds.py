@@ -1,0 +1,66 @@
+"""Selectivity-based threshold assignment (paper SV-A "Thresholds").
+
+The evaluation datasets carry no violation labels, so the paper derives
+each task's threshold from the *alert selectivity* ``k``: the threshold is
+the ``(100 - k)``-th percentile of the metric's values, making a fraction
+``k`` of grid points violate. Small ``k`` models rare-alert tasks (the
+common case: one alert per hour at a 15-second interval is k ~ 0.42%).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, TraceError
+from repro.types import ThresholdDirection
+
+__all__ = ["threshold_for_selectivity", "thresholds_for_violation_rates",
+           "PAPER_SELECTIVITIES", "PAPER_ERROR_ALLOWANCES"]
+
+PAPER_SELECTIVITIES = (6.4, 3.2, 1.6, 0.8, 0.4, 0.2, 0.1)
+"""Alert selectivities ``k`` (percent) swept in Fig. 5 (series)."""
+
+PAPER_ERROR_ALLOWANCES = (0.002, 0.004, 0.008, 0.016, 0.032)
+"""Error allowances swept on the x-axis of Figs. 5-7."""
+
+
+def threshold_for_selectivity(values: np.ndarray, selectivity_percent: float,
+                              direction: ThresholdDirection = ThresholdDirection.UPPER,
+                              ) -> float:
+    """Threshold making ``selectivity_percent`` of the values violate.
+
+    For an upper threshold this is the ``(100 - k)``-th percentile; for a
+    lower threshold, the ``k``-th.
+    """
+    if not 0.0 < selectivity_percent < 100.0:
+        raise ConfigurationError(
+            f"selectivity must be in (0, 100), got {selectivity_percent}")
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise TraceError(f"expected a non-empty 1-d trace, got {arr.shape}")
+    if direction is ThresholdDirection.UPPER:
+        return float(np.percentile(arr, 100.0 - selectivity_percent))
+    return float(np.percentile(arr, selectivity_percent))
+
+
+def thresholds_for_violation_rates(traces: list[np.ndarray],
+                                   rates_percent: np.ndarray,
+                                   ) -> list[float]:
+    """Per-trace thresholds hitting the requested local violation rates.
+
+    Fig. 8 assigns each monitor a local threshold such that its local
+    violation rate follows a Zipf distribution: monitor ``i`` violates on
+    ``rates_percent[i]`` percent of its grid points.
+
+    Args:
+        traces: one full-resolution trace per monitor.
+        rates_percent: target violation rate (percent) per monitor; values
+            are clipped into (0, 50] to keep thresholds meaningful.
+    """
+    rates = np.asarray(rates_percent, dtype=float)
+    if len(traces) != rates.size:
+        raise ConfigurationError(
+            f"{rates.size} rates for {len(traces)} traces")
+    clipped = np.clip(rates, 1e-4, 50.0)
+    return [threshold_for_selectivity(trace, float(rate))
+            for trace, rate in zip(traces, clipped)]

@@ -1,0 +1,197 @@
+"""Traffic-difference metric ``rho = Pi - Po`` (paper SII-A, SV-A).
+
+The network monitoring tasks watch, per VM and per 15-second window, the
+difference between incoming packets with the SYN flag set (``Pi``) and
+outgoing packets with SYN+ACK set (``Po``). Benign traffic keeps the two
+nearly balanced (every accepted SYN is answered), so ``rho`` hovers near a
+small positive residue; SYN floods and other asymmetric events drive it up.
+
+Two paths produce ``rho`` traces:
+
+* :func:`syn_ack_difference_from_flows` — the faithful path: takes per-VM
+  window packet counts from the netflow substrate and applies the paper's
+  flag model (every packet carries SYN with probability ``p = 0.1``; the
+  flag probability cancels out of ``rho``'s expectation).
+* :class:`TrafficDifferenceGenerator` — the fast path used by the large
+  Fig. 5(a) sweeps: generates the per-window handshake process directly
+  (diurnal Poisson volume, incomplete-handshake residue, rare asymmetric
+  bursts) without materialising individual flows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, TraceError
+from repro.workloads.base import MetricTrace, TraceGenerator
+
+__all__ = [
+    "DEFAULT_SYN_PROBABILITY",
+    "NETWORK_DEFAULT_INTERVAL",
+    "syn_ack_difference_from_flows",
+    "TrafficDifferenceGenerator",
+]
+
+DEFAULT_SYN_PROBABILITY = 0.1
+"""SYN-flag probability per packet (paper SV-A: ``p = 0.1``)."""
+
+NETWORK_DEFAULT_INTERVAL = 15.0
+"""Default sampling interval of network tasks, seconds (paper SV-A)."""
+
+
+def syn_ack_difference_from_flows(incoming: np.ndarray, outgoing: np.ndarray,
+                                  rng: np.random.Generator,
+                                  syn_probability: float = DEFAULT_SYN_PROBABILITY,
+                                  ) -> np.ndarray:
+    """Per-window ``rho`` for one VM from its raw packet counts.
+
+    ``Pi ~ Binomial(incoming, p)`` and ``Po ~ Binomial(outgoing, p)``: each
+    packet carries the relevant flag with probability ``p``. The expectation
+    of ``rho = Pi - Po`` is ``p * (incoming - outgoing)`` — independent of
+    ``p`` up to scale, as the paper notes.
+
+    Args:
+        incoming: packets received per window.
+        outgoing: packets sent per window.
+        rng: randomness source for the flag draws.
+        syn_probability: the flag probability ``p``.
+
+    Returns:
+        Float array of ``rho`` values, one per window.
+    """
+    if not 0.0 < syn_probability <= 1.0:
+        raise ConfigurationError(
+            f"syn_probability must be in (0, 1], got {syn_probability}")
+    inc = np.asarray(incoming)
+    out = np.asarray(outgoing)
+    if inc.shape != out.shape or inc.ndim != 1:
+        raise TraceError(
+            f"misaligned counts: {inc.shape} vs {out.shape}")
+    if (inc < 0).any() or (out < 0).any():
+        raise TraceError("packet counts must be non-negative")
+    p_in = rng.binomial(inc.astype(np.int64), syn_probability)
+    p_out = rng.binomial(out.astype(np.int64), syn_probability)
+    return (p_in - p_out).astype(float)
+
+
+class TrafficDifferenceGenerator(TraceGenerator):
+    """Direct generator of per-VM ``rho`` traces.
+
+    Per window the model draws the number of handshakes ``h`` from a
+    diurnally modulated Poisson process; ``Po`` answers a fraction
+    ``completion_rate`` of them, so benign ``rho`` is the small
+    incomplete-handshake residue plus cross-window jitter. Rare asymmetric
+    bursts (scanning, flood precursors, and — when injected via
+    :mod:`repro.workloads.ddos` — actual attacks) add one-way SYN volume.
+
+    The resulting stream is quiet most of the time with occasional large
+    excursions — the regime the paper's thresholds (high percentiles of
+    ``rho``) are drawn from.
+
+    Args:
+        base_handshakes: mean handshakes per window at the diurnal peak.
+        diurnal_depth: fraction of volume removed at the trough.
+        diurnal_period: cycle length in grid steps (default: one day of
+            15-second windows).
+        completion_rate: fraction of SYNs answered within the window.
+        burst_prob: per-step probability that an asymmetric burst starts.
+        burst_log_peak / burst_log_sigma: log-normal burst peak parameters
+            (in packets of one-way SYN excess).
+        burst_ramp / burst_hold: burst shape in steps.
+        phase: diurnal phase offset in [0, 1) (gives VMs distinct clocks).
+    """
+
+    default_interval = NETWORK_DEFAULT_INTERVAL
+    unit = "packets/15s"
+
+    def __init__(self, base_handshakes: float = 2000.0,
+                 diurnal_depth: float = 0.85, diurnal_period: int = 5760,
+                 completion_rate: float = 0.999,
+                 burst_prob: float = 0.002, burst_log_peak: float = 5.5,
+                 burst_log_sigma: float = 0.9, burst_ramp: int = 12,
+                 burst_hold: int = 20, phase: float = 0.0):
+        if base_handshakes <= 0:
+            raise ConfigurationError(
+                f"base_handshakes must be > 0, got {base_handshakes}")
+        if not 0.0 <= diurnal_depth < 1.0:
+            raise ConfigurationError(
+                f"diurnal_depth must be in [0, 1), got {diurnal_depth}")
+        if diurnal_period < 2:
+            raise ConfigurationError(
+                f"diurnal_period must be >= 2, got {diurnal_period}")
+        if not 0.0 < completion_rate <= 1.0:
+            raise ConfigurationError(
+                f"completion_rate must be in (0, 1], got {completion_rate}")
+        if not 0.0 <= burst_prob <= 1.0:
+            raise ConfigurationError(
+                f"burst_prob must be in [0, 1], got {burst_prob}")
+        if burst_ramp < 1 or burst_hold < 0:
+            raise ConfigurationError(
+                f"bad burst shape: ramp={burst_ramp}, hold={burst_hold}")
+        self._base = base_handshakes
+        self._depth = diurnal_depth
+        self._period = diurnal_period
+        self._completion = completion_rate
+        self._burst_prob = burst_prob
+        self._burst_log_peak = burst_log_peak
+        self._burst_log_sigma = burst_log_sigma
+        self._burst_ramp = burst_ramp
+        self._burst_hold = burst_hold
+        self._phase = phase
+
+    #: mean data packets carried per handshake (used for packet volumes)
+    PACKETS_PER_HANDSHAKE = 10.0
+
+    def generate_with_volume(self, n_steps: int, rng: np.random.Generator,
+                             ) -> tuple[np.ndarray, np.ndarray]:
+        """Generate ``(rho, packets)`` — the metric plus raw packet volume.
+
+        ``packets[w]`` is the total number of packets the VM's monitor must
+        capture and inspect in window ``w`` (handshakes plus data packets);
+        the Dom0 CPU cost model consumes it. Burst/flood SYN excess counts
+        toward the volume as well.
+        """
+        rho, handshakes = self._generate_internal(n_steps, rng)
+        data = rng.poisson(handshakes * self.PACKETS_PER_HANDSHAKE)
+        packets = handshakes + data + np.maximum(rho, 0.0).astype(np.int64)
+        return rho, packets.astype(np.int64)
+
+    def generate(self, n_steps: int, rng: np.random.Generator) -> np.ndarray:
+        rho, _ = self._generate_internal(n_steps, rng)
+        return rho
+
+    def _generate_internal(self, n_steps: int, rng: np.random.Generator,
+                           ) -> tuple[np.ndarray, np.ndarray]:
+        t = np.arange(n_steps, dtype=float)
+        cycle = 2.0 * np.pi * (t / self._period + self._phase)
+        lam = self._base * (1.0 - self._depth * 0.5 * (1.0 + np.cos(cycle)))
+        handshakes = rng.poisson(lam)
+        answered = rng.binomial(handshakes, self._completion)
+        rho = (handshakes - answered).astype(float)
+
+        # Cross-window jitter: some SYN-ACKs answer the previous window's
+        # SYNs, shifting a little symmetric mass between windows.
+        jitter = rng.normal(0.0, np.sqrt(np.maximum(lam, 1.0)) * 0.015)
+        rho += jitter
+
+        # Asymmetric bursts: one-way SYN excess with ramp/hold/ramp shape.
+        starts = np.flatnonzero(rng.random(n_steps) < self._burst_prob)
+        if starts.size:
+            up = np.linspace(0.0, 1.0, self._burst_ramp, endpoint=False)
+            shape = np.concatenate([up, np.ones(self._burst_hold), up[::-1]])
+            for s in starts:
+                peak = rng.lognormal(self._burst_log_peak,
+                                     self._burst_log_sigma)
+                end = min(int(s) + shape.size, n_steps)
+                seg = shape[:end - int(s)] * peak
+                # Packet counts fluctuate even at a flood's plateau.
+                seg *= rng.normal(1.0, 0.04, seg.size)
+                # Bursts dominate the background residue rather than
+                # stacking on it: the flood's SYN excess is the signal.
+                rho[int(s):end] = np.maximum(rho[int(s):end], seg)
+        return rho, handshakes
+
+    def trace_for_vm(self, vm_id: int, n_steps: int,
+                     rng: np.random.Generator) -> MetricTrace:
+        """Named per-VM trace convenience wrapper."""
+        return self.trace(n_steps, rng, name=f"vm-{vm_id}/traffic-diff")

@@ -1,0 +1,73 @@
+"""Zipf-distribution utilities (paper SV-B, Fig. 8).
+
+Fig. 8 skews the per-monitor local violation rates according to a Zipf
+distribution with varying skewness ``s`` (``s = 0`` is uniform); web-object
+popularity in the application workload is Zipf-distributed as well.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["zipf_weights", "zipf_rates", "zipf_hotspot_rates",
+           "sample_zipf_ranks"]
+
+
+def zipf_weights(n: int, skew: float) -> np.ndarray:
+    """Normalised Zipf weights ``w_r ∝ 1 / r^skew`` for ranks 1..n.
+
+    Args:
+        n: number of ranks.
+        skew: Zipf exponent ``s >= 0``; 0 gives a uniform distribution.
+
+    Returns:
+        Array of ``n`` weights summing to 1, descending by rank.
+    """
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    if skew < 0.0:
+        raise ConfigurationError(f"skew must be >= 0, got {skew}")
+    ranks = np.arange(1, n + 1, dtype=float)
+    weights = ranks ** (-skew)
+    return weights / weights.sum()
+
+
+def zipf_rates(n: int, skew: float, mean_rate: float) -> np.ndarray:
+    """Per-rank rates with a fixed mean, Zipf-skewed across ranks.
+
+    Used by Fig. 8 to assign local violation rates: the total violation mass
+    is held constant (``n * mean_rate``) while its distribution across
+    monitors goes from uniform (``skew = 0``) to heavily skewed.
+    """
+    if mean_rate <= 0.0:
+        raise ConfigurationError(f"mean_rate must be > 0, got {mean_rate}")
+    return zipf_weights(n, skew) * n * mean_rate
+
+
+def zipf_hotspot_rates(n: int, skew: float, base_rate: float,
+                       cap: float = 20.0) -> np.ndarray:
+    """Per-rank rates where skew *creates hotspots* above a floor rate.
+
+    The coldest monitor keeps ``base_rate`` while hotter ranks scale up
+    Zipf-fashion (``rate_r = base_rate * w_r / w_min``, capped). This is
+    the Fig. 8 regime: skewing the load concentrates violations on a few
+    monitors, degrading the even allocation scheme.
+    """
+    if base_rate <= 0.0:
+        raise ConfigurationError(f"base_rate must be > 0, got {base_rate}")
+    if cap <= 0.0:
+        raise ConfigurationError(f"cap must be > 0, got {cap}")
+    weights = zipf_weights(n, skew)
+    rates = base_rate * weights / weights.min()
+    return np.minimum(rates, cap)
+
+
+def sample_zipf_ranks(n_items: int, skew: float, size: int,
+                      rng: np.random.Generator) -> np.ndarray:
+    """Draw ``size`` item ranks (0-based) from a Zipf distribution."""
+    if size < 0:
+        raise ConfigurationError(f"size must be >= 0, got {size}")
+    weights = zipf_weights(n_items, skew)
+    return rng.choice(n_items, size=size, p=weights)

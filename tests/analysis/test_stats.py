@@ -1,0 +1,101 @@
+"""Tests for the analysis helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (allocation_convergence, bootstrap_ci,
+                                  box_stats)
+from repro.exceptions import ConfigurationError
+
+
+class TestBootstrapCI:
+    def test_interval_brackets_mean(self, rng):
+        data = rng.normal(10.0, 2.0, 200)
+        point, lower, upper = bootstrap_ci(data, rng)
+        assert lower <= point <= upper
+        assert point == pytest.approx(float(np.mean(data)))
+        # The CI should be reasonably tight for n=200.
+        assert upper - lower < 1.5
+
+    def test_single_observation_degenerate(self, rng):
+        point, lower, upper = bootstrap_ci(np.array([5.0]), rng)
+        assert point == lower == upper == 5.0
+
+    def test_custom_statistic(self, rng):
+        data = rng.normal(0.0, 1.0, 100)
+        point, lower, upper = bootstrap_ci(data, rng, statistic=np.median)
+        assert lower <= point <= upper
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci(np.array([]), rng)
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci(np.ones(5), rng, confidence=1.5)
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci(np.ones(5), rng, n_boot=3)
+
+
+class TestBoxStats:
+    def test_ordering(self, rng):
+        stats = box_stats(rng.normal(0.0, 1.0, 500))
+        assert stats["min"] <= stats["q25"] <= stats["median"] \
+            <= stats["q75"] <= stats["max"]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            box_stats(np.array([]))
+
+
+class TestAllocationConvergence:
+    def test_static_history_converged(self):
+        history = [(0.5, 0.5)] * 5
+        report = allocation_convergence(history)
+        assert report.converged
+        assert report.rounds_to_converge == 0
+        assert report.max_movement == 0.0
+
+    def test_settling_trajectory(self):
+        history = [
+            (0.5, 0.5),
+            (0.2, 0.8),    # big move
+            (0.19, 0.81),  # settled from here on
+            (0.185, 0.815),
+        ]
+        report = allocation_convergence(history, tolerance=0.05)
+        assert report.converged
+        assert report.rounds_to_converge == 1
+        assert report.max_movement == pytest.approx(0.6)
+
+    def test_oscillating_never_converges(self):
+        history = [(0.2, 0.8), (0.8, 0.2)] * 4
+        report = allocation_convergence(history, tolerance=0.05)
+        assert not report.converged
+        assert report.rounds_to_converge == -1
+        assert report.final_movement == pytest.approx(1.2)
+
+    def test_short_history_trivially_converged(self):
+        assert allocation_convergence([(1.0,)]).converged
+
+    def test_real_run_converges_on_stationary_data(self, rng):
+        """The paper's claim: stable data -> stable assignment."""
+        from repro.core.coordination import AdaptiveAllocation
+        from repro.core.task import DistributedTaskSpec
+        from repro.experiments.distributed import run_distributed_task
+
+        n = 12_000
+        hot = 95.0 + rng.normal(0.0, 2.0, n)      # stuck at I=1
+        cold1 = rng.normal(0.0, 0.1, n)            # saturates at Im
+        cold2 = rng.normal(0.0, 0.1, n)
+        spec = DistributedTaskSpec(global_threshold=300.0,
+                                   local_thresholds=(100.0,) * 3,
+                                   error_allowance=0.01, max_interval=10)
+        result = run_distributed_task([hot, cold1, cold2], spec,
+                                      policy=AdaptiveAllocation(),
+                                      update_period=500,
+                                      keep_allocations=True)
+        assert len(result.allocation_history) >= 10
+        report = allocation_convergence(list(result.allocation_history),
+                                        tolerance=0.25)
+        assert report.converged

@@ -1,0 +1,48 @@
+"""Tests for the clairvoyant oracle baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.oracle import OracleSampler
+from repro.core.sampler import SamplingScheme
+from repro.exceptions import ConfigurationError
+from repro.experiments.runner import run_sampler_on_trace
+
+
+class TestOracleSampler:
+    def test_detects_every_alert(self, bursty_trace):
+        threshold = 100.0
+        oracle = OracleSampler(bursty_trace, threshold)
+        result = run_sampler_on_trace(bursty_trace, oracle, threshold)
+        assert result.misdetection_rate == 0.0
+
+    def test_cheaper_than_periodic(self, bursty_trace):
+        threshold = 100.0
+        oracle = OracleSampler(bursty_trace, threshold)
+        result = run_sampler_on_trace(bursty_trace, oracle, threshold)
+        assert result.sampling_ratio < 0.1
+
+    def test_no_alerts_skips_everything_without_heartbeat(self):
+        values = np.zeros(100)
+        oracle = OracleSampler(values, 1.0)
+        result = run_sampler_on_trace(values, oracle, 1.0)
+        # Only the mandatory first sample.
+        assert result.accuracy.samples_taken == 1
+
+    def test_heartbeat_bounds_idle_gaps(self):
+        values = np.zeros(100)
+        oracle = OracleSampler(values, 1.0, heartbeat=10)
+        result = run_sampler_on_trace(values, oracle, 1.0)
+        assert result.accuracy.samples_taken == 10
+        gaps = np.diff(result.sampled_indices)
+        assert (gaps <= 10).all()
+
+    def test_satisfies_protocol(self, bursty_trace):
+        assert isinstance(OracleSampler(bursty_trace, 100.0),
+                          SamplingScheme)
+
+    def test_rejects_bad_heartbeat(self):
+        with pytest.raises(ConfigurationError):
+            OracleSampler(np.zeros(10), 1.0, heartbeat=0)

@@ -1,0 +1,33 @@
+"""Tests for the periodic sampling baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.periodic import PeriodicSampler
+from repro.core.sampler import SamplingScheme
+from repro.exceptions import ConfigurationError
+
+
+class TestPeriodicSampler:
+    def test_fixed_interval(self):
+        sampler = PeriodicSampler(interval=3)
+        for t in (0, 3, 6):
+            assert sampler.observe(1.0, t).next_interval == 3
+        assert sampler.observations == 3
+
+    def test_violation_flag_with_threshold(self):
+        sampler = PeriodicSampler(interval=1, threshold=10.0)
+        assert not sampler.observe(5.0, 0).violation
+        assert sampler.observe(15.0, 1).violation
+
+    def test_no_threshold_never_flags(self):
+        sampler = PeriodicSampler(interval=1)
+        assert not sampler.observe(1e9, 0).violation
+
+    def test_satisfies_protocol(self):
+        assert isinstance(PeriodicSampler(), SamplingScheme)
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ConfigurationError):
+            PeriodicSampler(interval=0)

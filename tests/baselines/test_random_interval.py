@@ -1,0 +1,62 @@
+"""Tests for the random-interval baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.random_interval import RandomIntervalSampler
+from repro.core.sampler import SamplingScheme
+from repro.exceptions import ConfigurationError
+from repro.experiments.runner import run_sampler_on_trace
+
+
+class TestRandomIntervalSampler:
+    def test_mean_gap_matches_budget(self, rng):
+        values = np.zeros(50_000)
+        sampler = RandomIntervalSampler(mean_interval=5.0, rng=rng)
+        result = run_sampler_on_trace(values, sampler, 1.0)
+        assert result.sampling_ratio == pytest.approx(0.2, abs=0.02)
+
+    def test_mean_interval_one_is_periodic(self, rng):
+        values = np.zeros(100)
+        sampler = RandomIntervalSampler(mean_interval=1.0, rng=rng)
+        result = run_sampler_on_trace(values, sampler, 1.0)
+        assert result.sampling_ratio == 1.0
+
+    def test_max_interval_cap(self, rng):
+        values = np.zeros(20_000)
+        sampler = RandomIntervalSampler(mean_interval=50.0, rng=rng,
+                                        max_interval=10)
+        result = run_sampler_on_trace(values, sampler, 1.0)
+        gaps = np.diff(result.sampled_indices)
+        assert gaps.max() <= 10
+
+    def test_misses_more_than_volley_at_same_budget(self, rng,
+                                                    bursty_trace):
+        from repro.core.task import TaskSpec
+        from repro.experiments.runner import run_adaptive
+
+        task = TaskSpec(threshold=100.0, error_allowance=0.02,
+                        max_interval=10)
+        volley = run_adaptive(bursty_trace, task)
+        budget = max(1.0 / volley.sampling_ratio, 1.0)
+        random_runs = [
+            run_sampler_on_trace(
+                bursty_trace,
+                RandomIntervalSampler(budget, np.random.default_rng(s)),
+                100.0)
+            for s in range(5)
+        ]
+        random_miss = np.mean([r.misdetection_rate for r in random_runs])
+        # Budget-matched random sampling misses alerts Volley catches.
+        assert random_miss > volley.misdetection_rate + 0.1
+
+    def test_satisfies_protocol(self, rng):
+        assert isinstance(RandomIntervalSampler(2.0, rng), SamplingScheme)
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            RandomIntervalSampler(0.5, rng)
+        with pytest.raises(ConfigurationError):
+            RandomIntervalSampler(2.0, rng, max_interval=0)

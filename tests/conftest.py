@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.task import TaskSpec
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fixed-seed generator so tests are deterministic."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def quiet_trace(rng: np.random.Generator) -> np.ndarray:
+    """A stable low-noise stream far below any interesting threshold."""
+    return 10.0 + rng.normal(0.0, 0.5, 5000)
+
+
+@pytest.fixture
+def bursty_trace(rng: np.random.Generator) -> np.ndarray:
+    """A quiet stream with two pronounced excursions above 100."""
+    values = 10.0 + rng.normal(0.0, 0.5, 5000)
+    for start in (1500, 3500):
+        ramp = np.linspace(0.0, 1.0, 20)
+        shape = np.concatenate([ramp, np.ones(30), ramp[::-1]])
+        shape = shape * (150.0 + rng.normal(0.0, 2.0, shape.size))
+        values[start:start + shape.size] = np.maximum(
+            values[start:start + shape.size], shape)
+    return values
+
+
+@pytest.fixture
+def simple_task() -> TaskSpec:
+    """A generic upper-threshold task used across tests."""
+    return TaskSpec(threshold=100.0, error_allowance=0.01, max_interval=10)

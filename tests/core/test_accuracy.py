@@ -1,0 +1,104 @@
+"""Tests for accuracy accounting against periodic ground truth."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.accuracy import (alert_episodes, evaluate_sampling,
+                                 truth_alert_indices)
+from repro.exceptions import TraceError
+from repro.types import ThresholdDirection
+
+
+class TestTruthAlertIndices:
+    def test_upper(self):
+        values = np.array([1.0, 5.0, 2.0, 7.0, 7.0])
+        assert truth_alert_indices(values, 4.0).tolist() == [1, 3, 4]
+
+    def test_strict_comparison(self):
+        values = np.array([4.0, 4.0001])
+        assert truth_alert_indices(values, 4.0).tolist() == [1]
+
+    def test_lower_direction(self):
+        values = np.array([1.0, 5.0, 2.0, 7.0])
+        idx = truth_alert_indices(values, 4.0, ThresholdDirection.LOWER)
+        assert idx.tolist() == [0, 2]
+
+    def test_rejects_bad_traces(self):
+        with pytest.raises(TraceError):
+            truth_alert_indices(np.array([]), 1.0)
+        with pytest.raises(TraceError):
+            truth_alert_indices(np.array([[1.0, 2.0]]), 1.0)
+        with pytest.raises(TraceError):
+            truth_alert_indices(np.array([1.0, np.nan]), 1.0)
+
+
+class TestAlertEpisodes:
+    def test_empty(self):
+        assert alert_episodes(np.array([], dtype=int)) == []
+
+    def test_single_episode(self):
+        assert alert_episodes(np.array([3, 4, 5])) == [(3, 5)]
+
+    def test_multiple_episodes(self):
+        assert alert_episodes(np.array([1, 2, 7, 9, 10])) == [
+            (1, 2), (7, 7), (9, 10)]
+
+
+class TestEvaluateSampling:
+    def test_full_sampling_detects_everything(self):
+        values = np.array([0.0, 10.0, 0.0, 10.0, 10.0])
+        result = evaluate_sampling(values, 5.0, list(range(5)))
+        assert result.misdetection_rate == 0.0
+        assert result.sampling_ratio == 1.0
+        assert result.truth_alerts == 3
+        assert result.detected_alerts == 3
+        assert result.truth_episodes == 2
+        assert result.detected_episodes == 2
+
+    def test_missed_alerts_counted(self):
+        values = np.array([0.0, 10.0, 10.0, 0.0])
+        # Sampling skips index 1; detects only index 2.
+        result = evaluate_sampling(values, 5.0, [0, 2])
+        assert result.truth_alerts == 2
+        assert result.detected_alerts == 1
+        assert result.misdetection_rate == pytest.approx(0.5)
+        assert result.detected_episodes == 1
+        assert result.mean_detection_delay == pytest.approx(1.0)
+
+    def test_no_truth_alerts_means_zero_misdetection(self):
+        values = np.zeros(10)
+        result = evaluate_sampling(values, 5.0, [0, 5])
+        assert result.truth_alerts == 0
+        assert result.misdetection_rate == 0.0
+        assert result.cost_saving == pytest.approx(0.8)
+
+    def test_duplicate_samples_deduplicated(self):
+        values = np.array([0.0, 10.0])
+        result = evaluate_sampling(values, 5.0, [0, 0, 1, 1])
+        assert result.samples_taken == 2
+
+    def test_out_of_bounds_sample_rejected(self):
+        values = np.zeros(5)
+        with pytest.raises(TraceError):
+            evaluate_sampling(values, 1.0, [0, 5])
+        with pytest.raises(TraceError):
+            evaluate_sampling(values, 1.0, [-1])
+
+    def test_lower_direction(self):
+        values = np.array([5.0, 1.0, 5.0])
+        result = evaluate_sampling(values, 2.0, [0, 1, 2],
+                                   ThresholdDirection.LOWER)
+        assert result.truth_alerts == 1
+        assert result.detected_alerts == 1
+
+    def test_episode_detection_delay(self):
+        values = np.zeros(20)
+        values[10:16] = 10.0  # one 6-step episode
+        result = evaluate_sampling(values, 5.0, [0, 13, 19])
+        assert result.truth_episodes == 1
+        assert result.detected_episodes == 1
+        assert result.mean_detection_delay == pytest.approx(3.0)
+        assert result.detected_alerts == 1
+        assert result.truth_alerts == 6

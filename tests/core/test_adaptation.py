@@ -1,0 +1,196 @@
+"""Tests for the monitor-level violation-likelihood adaptation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.adaptation import (AdaptationConfig,
+                                   ViolationLikelihoodSampler)
+from repro.core.task import TaskSpec
+from repro.exceptions import ConfigurationError
+from repro.types import ThresholdDirection
+
+
+def drive(sampler, values, start=0):
+    """Feed values on the grid the sampler asks for; return sampled steps."""
+    t = start
+    sampled = []
+    n = len(values)
+    while t < n:
+        sampled.append(t)
+        decision = sampler.observe(float(values[t]), t)
+        t += max(1, decision.next_interval)
+    return sampled
+
+
+class TestAdaptationConfig:
+    @pytest.mark.parametrize("kwargs", [
+        dict(slack_ratio=-0.1),
+        dict(slack_ratio=1.0),
+        dict(patience=0),
+        dict(min_samples=1),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            AdaptationConfig(**kwargs)
+
+    def test_paper_defaults(self):
+        config = AdaptationConfig()
+        assert config.slack_ratio == 0.2
+        assert config.patience == 20
+        assert config.stats_restart == 1000
+
+
+class TestWarmup:
+    def test_stays_at_default_until_min_samples(self, simple_task):
+        sampler = ViolationLikelihoodSampler(
+            simple_task, AdaptationConfig(min_samples=10))
+        for t in range(9):
+            decision = sampler.observe(1.0, t)
+            assert decision.next_interval == 1
+            assert decision.misdetection_bound == 1.0
+
+
+class TestGrowth:
+    def test_grows_after_patience_on_stable_stream(self, simple_task):
+        config = AdaptationConfig(patience=5, min_samples=5)
+        sampler = ViolationLikelihoodSampler(simple_task, config)
+        # Constant stream at 1.0 vs threshold 100: beta ~ 0 once warm.
+        for t in range(60):
+            sampler.observe(1.0, t)
+        assert sampler.interval > 1
+        assert sampler.grow_events >= 1
+
+    def test_never_exceeds_max_interval(self):
+        task = TaskSpec(threshold=100.0, error_allowance=0.05,
+                        max_interval=3)
+        sampler = ViolationLikelihoodSampler(
+            task, AdaptationConfig(patience=2, min_samples=5))
+        t = 0
+        for _ in range(200):
+            decision = sampler.observe(1.0, t)
+            t += max(1, decision.next_interval)
+        assert sampler.interval <= 3
+
+    def test_zero_error_allowance_is_periodic(self, rng):
+        task = TaskSpec(threshold=100.0, error_allowance=0.0)
+        sampler = ViolationLikelihoodSampler(task)
+        values = rng.normal(0.0, 0.001, 300)
+        sampled = drive(sampler, values)
+        assert sampled == list(range(300))
+
+
+class TestReset:
+    def test_resets_when_value_approaches_threshold(self):
+        task = TaskSpec(threshold=100.0, error_allowance=0.01,
+                        max_interval=10)
+        sampler = ViolationLikelihoodSampler(
+            task, AdaptationConfig(patience=3, min_samples=5))
+        t = 0
+        for _ in range(100):
+            decision = sampler.observe(1.0, t)
+            t += max(1, decision.next_interval)
+        assert sampler.interval > 1
+        # A jump right next to the threshold must force the default rate.
+        decision = sampler.observe(99.5, t)
+        assert decision.next_interval == 1
+        assert decision.reset
+        assert sampler.reset_events >= 1
+
+    def test_violation_flag(self, simple_task):
+        sampler = ViolationLikelihoodSampler(simple_task)
+        assert not sampler.observe(50.0, 0).violation
+        assert sampler.observe(150.0, 1).violation
+
+
+class TestLowerThreshold:
+    def test_lower_direction_adapts_and_flags(self):
+        task = TaskSpec(threshold=0.0, error_allowance=0.05,
+                        direction=ThresholdDirection.LOWER,
+                        max_interval=10)
+        sampler = ViolationLikelihoodSampler(
+            task, AdaptationConfig(patience=3, min_samples=5))
+        t = 0
+        for _ in range(100):
+            decision = sampler.observe(100.0, t)
+            t += max(1, decision.next_interval)
+        assert sampler.interval > 1
+        decision = sampler.observe(-1.0, t)
+        assert decision.violation
+
+
+class TestBookkeeping:
+    def test_time_must_advance(self, simple_task):
+        sampler = ViolationLikelihoodSampler(simple_task)
+        sampler.observe(1.0, 5)
+        with pytest.raises(ValueError):
+            sampler.observe(1.0, 5)
+        with pytest.raises(ValueError):
+            sampler.observe(1.0, 3)
+
+    def test_error_allowance_setter_validates(self, simple_task):
+        sampler = ViolationLikelihoodSampler(simple_task)
+        sampler.error_allowance = 0.5
+        assert sampler.error_allowance == 0.5
+        with pytest.raises(ConfigurationError):
+            sampler.error_allowance = -0.1
+        with pytest.raises(ConfigurationError):
+            sampler.error_allowance = 1.1
+
+    def test_observation_counter(self, simple_task):
+        sampler = ViolationLikelihoodSampler(simple_task)
+        for t in range(7):
+            sampler.observe(1.0, t)
+        assert sampler.observations == 7
+
+
+class TestCoordinationStats:
+    def test_drain_returns_none_when_empty(self, simple_task):
+        sampler = ViolationLikelihoodSampler(simple_task)
+        assert sampler.drain_coordination_stats() is None
+
+    def test_drain_resets_accumulation(self, simple_task):
+        sampler = ViolationLikelihoodSampler(simple_task)
+        for t in range(30):
+            sampler.observe(1.0, t)
+        stats = sampler.drain_coordination_stats()
+        assert stats is not None
+        assert stats.observations == 30
+        assert stats.avg_error_needed > 0.0
+        assert sampler.drain_coordination_stats() is None
+
+    def test_marginal_reduction_zero_at_cap(self):
+        task = TaskSpec(threshold=1000.0, error_allowance=0.1,
+                        max_interval=1)
+        sampler = ViolationLikelihoodSampler(
+            task, AdaptationConfig(patience=2, min_samples=5))
+        for t in range(40):
+            sampler.observe(1.0, t)
+        stats = sampler.drain_coordination_stats()
+        assert stats is not None
+        # max_interval=1 means the monitor can never grow: r_i must be 0.
+        assert stats.avg_cost_reduction == 0.0
+        assert stats.yield_per_error == 0.0
+
+    def test_yield_infinite_when_error_needed_zero(self):
+        from repro.core.adaptation import CoordinationStats
+        stats = CoordinationStats(avg_cost_reduction=0.5,
+                                  avg_error_needed=0.0, observations=10)
+        assert stats.yield_per_error == float("inf")
+
+
+class TestStatisticsIntegration:
+    def test_delta_estimate_uses_elapsed_steps(self, simple_task):
+        sampler = ViolationLikelihoodSampler(simple_task)
+        sampler.observe(0.0, 0)
+        sampler.observe(10.0, 5)  # delta_hat = 10/5 = 2
+        assert sampler.stats.mean == pytest.approx(2.0)
+
+    def test_stats_restart_respected(self):
+        task = TaskSpec(threshold=1e9, error_allowance=0.01)
+        config = AdaptationConfig(stats_restart=100, min_samples=5)
+        sampler = ViolationLikelihoodSampler(task, config)
+        for t in range(150):
+            sampler.observe(float(t % 3), t)
+        assert sampler.stats.restarts >= 1

@@ -1,0 +1,135 @@
+"""Tests for error-allowance allocation policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.adaptation import CoordinationStats
+from repro.core.coordination import (AdaptiveAllocation, AllocationPolicy,
+                                     EvenAllocation)
+from repro.exceptions import ConfigurationError, CoordinationError
+
+
+def report(r=0.25, e=0.001, n=100):
+    return CoordinationStats(avg_cost_reduction=r, avg_error_needed=e,
+                             observations=n)
+
+
+class TestInitial:
+    def test_even_initial_split(self):
+        policy = EvenAllocation()
+        alloc = policy.initial(4, 0.01)
+        assert alloc == (0.0025, 0.0025, 0.0025, 0.0025)
+
+    def test_initial_rejects_zero_monitors(self):
+        with pytest.raises(ConfigurationError):
+            EvenAllocation().initial(0, 0.01)
+
+    def test_base_class_reallocate_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            AllocationPolicy().reallocate((0.01,), [report()], 0.01)
+
+
+class TestEvenAllocation:
+    def test_always_even(self):
+        policy = EvenAllocation()
+        current = (0.001, 0.009)
+        update = policy.reallocate(current, [report(), report()], 0.01)
+        assert update.allocations == (0.005, 0.005)
+        assert not update.reallocated
+
+    def test_mismatched_reports_raise(self):
+        with pytest.raises(CoordinationError):
+            EvenAllocation().reallocate((0.01,), [report(), report()], 0.01)
+
+
+class TestAdaptiveAllocation:
+    def test_single_monitor_gets_everything(self):
+        policy = AdaptiveAllocation()
+        update = policy.reallocate((0.01,), [report()], 0.01)
+        assert update.allocations == (0.01,)
+
+    def test_silent_monitor_keeps_allocation(self):
+        policy = AdaptiveAllocation()
+        current = (0.004, 0.006)
+        update = policy.reallocate(current, [report(), None], 0.01)
+        assert update.allocations == current
+        assert not update.reallocated
+
+    def test_uniform_yields_throttle(self):
+        policy = AdaptiveAllocation(uniform_spread=0.1)
+        current = (0.004, 0.006)
+        reports = [report(r=0.25, e=0.002), report(r=0.25, e=0.002)]
+        update = policy.reallocate(current, reports, 0.01)
+        assert not update.reallocated
+        assert update.allocations == current
+
+    def test_allowance_flows_to_higher_yield(self):
+        policy = AdaptiveAllocation(step=1.0, uniform_spread=0.0)
+        current = (0.005, 0.005)
+        # Monitor 0 needs err ~0.004 to grow (binding); monitor 1 is
+        # hopeless (needs 0.5). Allowance must shift toward monitor 0.
+        reports = [report(r=0.5, e=0.004), report(r=0.5, e=0.5)]
+        update = policy.reallocate(current, reports, 0.01)
+        assert update.reallocated
+        assert update.allocations[0] > update.allocations[1]
+        assert sum(update.allocations) == pytest.approx(0.01)
+
+    def test_gradual_step(self):
+        full = AdaptiveAllocation(step=1.0, uniform_spread=0.0)
+        slow = AdaptiveAllocation(step=0.1, uniform_spread=0.0)
+        current = (0.005, 0.005)
+        reports = [report(r=0.5, e=0.004), report(r=0.5, e=0.5)]
+        target = full.reallocate(current, reports, 0.01).allocations
+        step = slow.reallocate(current, reports, 0.01).allocations
+        # One slow round moves exactly 10% of the way to the target.
+        assert step[0] == pytest.approx(0.005 + 0.1 * (target[0] - 0.005))
+
+    def test_floor_respected(self):
+        policy = AdaptiveAllocation(step=1.0, uniform_spread=0.0,
+                                    min_share_fraction=0.01)
+        current = (0.005, 0.005)
+        reports = [report(r=0.5, e=0.004), report(r=0.0, e=0.5)]
+        update = policy.reallocate(current, reports, 0.01)
+        assert min(update.allocations) >= 0.01 * 0.01 - 1e-12
+
+    def test_tiny_error_needed_does_not_blow_up(self):
+        policy = AdaptiveAllocation(step=1.0, uniform_spread=0.0)
+        current = (0.005, 0.005)
+        # Monitor 0's bound underflowed to ~0; its yield must stay finite
+        # and must not capture the entire budget.
+        reports = [report(r=0.01, e=1e-15), report(r=0.5, e=0.004)]
+        update = policy.reallocate(current, reports, 0.01)
+        assert update.allocations[1] > update.allocations[0]
+
+    def test_zero_yields_keep_current(self):
+        policy = AdaptiveAllocation()
+        current = (0.004, 0.006)
+        reports = [report(r=0.0), report(r=0.0)]
+        update = policy.reallocate(current, reports, 0.01)
+        assert update.allocations == current
+        assert not update.reallocated
+
+    def test_zero_budget(self):
+        policy = AdaptiveAllocation()
+        update = policy.reallocate((0.0, 0.0), [report(), report()], 0.0)
+        assert update.allocations == (0.0, 0.0)
+
+    def test_conserves_total(self):
+        policy = AdaptiveAllocation(step=1.0, uniform_spread=0.0)
+        current = (0.002, 0.003, 0.005)
+        reports = [report(r=0.5, e=0.001), report(r=0.2, e=0.01),
+                   report(r=0.05, e=0.2)]
+        update = policy.reallocate(current, reports, 0.01)
+        assert sum(update.allocations) == pytest.approx(0.01, rel=1e-6)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(min_share_fraction=0.0),
+        dict(min_share_fraction=1.0),
+        dict(uniform_spread=-0.1),
+        dict(step=0.0),
+        dict(step=1.5),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            AdaptiveAllocation(**kwargs)

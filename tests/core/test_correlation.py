@@ -1,0 +1,180 @@
+"""Tests for multi-task state correlation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.adaptation import AdaptationConfig
+from repro.core.correlation import (CorrelationDetector, CorrelationPlanner,
+                                    TaskProfile, TriggeredSampler)
+from repro.core.task import TaskSpec
+from repro.baselines.periodic import PeriodicSampler
+from repro.exceptions import ConfigurationError, CorrelationError
+
+
+def correlated_pair(rng, n=4000, n_events=5):
+    """Build (trigger, target) streams where the trigger leads violations.
+
+    The trigger (think: response time) rises during every event; the
+    target (think: traffic difference) violates only during events.
+    Events occupy well under the detector's elevation quantile so the
+    elevation level separates baseline from event values.
+    """
+    trigger = 10.0 + rng.normal(0.0, 0.5, n)
+    target = 5.0 + rng.normal(0.0, 0.5, n)
+    starts = np.linspace(100, n - 100, n_events).astype(int)
+    for s in starts:
+        trigger[s:s + 60] += 30.0
+        target[s + 5:s + 55] += 100.0
+    return trigger, target
+
+
+class TestCorrelationDetector:
+    def test_detects_necessary_condition(self, rng):
+        trigger, target = correlated_pair(rng)
+        detector = CorrelationDetector(elevation_quantile=0.9,
+                                       min_support=10)
+        evidence = detector.analyze(trigger, target, target_threshold=50.0)
+        assert evidence.necessary_condition_score > 0.95
+        assert evidence.support > 100
+        assert evidence.pearson > 0.5
+        assert 0.0 < evidence.elevated_fraction < 0.5
+
+    def test_uncorrelated_scores_low(self, rng):
+        trigger = rng.normal(0.0, 1.0, 4000)
+        target = np.zeros(4000)
+        target[rng.choice(4000, size=50, replace=False)] = 100.0
+        detector = CorrelationDetector(elevation_quantile=0.9,
+                                       min_support=10)
+        evidence = detector.analyze(trigger, target, 50.0)
+        # The trigger is elevated ~10% of the time, so by chance the score
+        # should be near 0.1, far from a necessary condition.
+        assert evidence.necessary_condition_score < 0.5
+
+    def test_lag_window_catches_leading_trigger(self, rng):
+        n = 2000
+        trigger = rng.normal(1.0, 0.1, n)
+        target = np.zeros(n)
+        for s in (300, 900, 1500):
+            trigger[s:s + 10] = 100.0
+            target[s + 12:s + 22] = 100.0  # violates after trigger cooled
+        strict = CorrelationDetector(elevation_quantile=0.95,
+                                     min_support=5, lag_window=0)
+        lagged = CorrelationDetector(elevation_quantile=0.95,
+                                     min_support=5, lag_window=15)
+        s0 = strict.analyze(trigger, target, 50.0)
+        s1 = lagged.analyze(trigger, target, 50.0)
+        assert s1.necessary_condition_score > s0.necessary_condition_score
+
+    def test_insufficient_support(self, rng):
+        trigger = rng.normal(0.0, 1.0, 100)
+        target = np.zeros(100)
+        target[5] = 10.0
+        detector = CorrelationDetector(min_support=10)
+        with pytest.raises(CorrelationError):
+            detector.analyze(trigger, target, 5.0)
+
+    def test_misaligned_histories(self):
+        detector = CorrelationDetector()
+        with pytest.raises(CorrelationError):
+            detector.analyze(np.zeros(10), np.zeros(11), 1.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(elevation_quantile=0.0),
+        dict(elevation_quantile=1.0),
+        dict(min_support=0),
+        dict(lag_window=-1),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            CorrelationDetector(**kwargs)
+
+
+class TestCorrelationPlanner:
+    def test_plans_cheap_trigger_for_expensive_target(self, rng):
+        trigger, target = correlated_pair(rng)
+        tasks = [
+            TaskProfile(task_id="response-time", values=trigger,
+                        threshold=35.0, cost_per_sample=1.0),
+            TaskProfile(task_id="ddos", values=target, threshold=50.0,
+                        cost_per_sample=50.0),
+        ]
+        planner = CorrelationPlanner(min_score=0.9, loss_budget=0.1)
+        rules = planner.plan(tasks)
+        assert len(rules) == 1
+        rule = rules[0]
+        assert rule.target_id == "ddos"
+        assert rule.trigger_id == "response-time"
+        assert rule.expected_saving > 0.0
+        assert rule.estimated_loss <= 0.1
+
+    def test_no_rule_for_uncorrelated_tasks(self, rng):
+        tasks = [
+            TaskProfile(task_id="a", values=rng.normal(0, 1, 2000),
+                        threshold=3.0, cost_per_sample=1.0),
+            TaskProfile(task_id="b",
+                        values=np.where(rng.random(2000) < 0.02, 10.0, 0.0),
+                        threshold=5.0, cost_per_sample=10.0),
+        ]
+        planner = CorrelationPlanner(min_score=0.95)
+        assert planner.plan(tasks) == []
+
+    def test_trigger_must_be_cheaper(self, rng):
+        trigger, target = correlated_pair(rng)
+        tasks = [
+            TaskProfile(task_id="t", values=trigger, threshold=35.0,
+                        cost_per_sample=50.0),
+            TaskProfile(task_id="g", values=target, threshold=50.0,
+                        cost_per_sample=50.0),
+        ]
+        assert CorrelationPlanner(min_score=0.9).plan(tasks) == []
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(min_score=0.0),
+        dict(min_score=1.5),
+        dict(loss_budget=-0.1),
+        dict(suspend_interval=1),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            CorrelationPlanner(**kwargs)
+
+
+class TestTriggeredSampler:
+    def test_suspends_when_trigger_cold(self):
+        inner = PeriodicSampler(interval=1)
+        sampler = TriggeredSampler(inner, elevation_level=50.0,
+                                   suspend_interval=10)
+        decision = sampler.observe(1.0, 0, trigger_value=10.0)
+        assert decision.next_interval == 10
+        assert sampler.suspended_steps == 1
+
+    def test_resumes_when_trigger_hot(self):
+        inner = PeriodicSampler(interval=1)
+        sampler = TriggeredSampler(inner, elevation_level=50.0,
+                                   suspend_interval=10)
+        decision = sampler.observe(1.0, 0, trigger_value=80.0)
+        assert decision.next_interval == 1
+
+    def test_missing_trigger_counts_as_hot(self):
+        inner = PeriodicSampler(interval=1)
+        sampler = TriggeredSampler(inner, elevation_level=50.0)
+        decision = sampler.observe(1.0, 0, trigger_value=None)
+        assert decision.next_interval == 1
+
+    def test_inner_statistics_stay_warm(self, simple_task):
+        from repro.core.adaptation import ViolationLikelihoodSampler
+        inner = ViolationLikelihoodSampler(
+            simple_task, AdaptationConfig(min_samples=5))
+        sampler = TriggeredSampler(inner, elevation_level=50.0,
+                                   suspend_interval=10)
+        t = 0
+        for _ in range(20):
+            decision = sampler.observe(1.0, t, trigger_value=0.0)
+            t += max(1, decision.next_interval)
+        assert inner.stats.count > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TriggeredSampler(PeriodicSampler(), 1.0, suspend_interval=0)

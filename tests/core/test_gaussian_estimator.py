@@ -1,0 +1,93 @@
+"""Tests for the Gaussian estimator variant (estimator ablation)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adaptation import (AdaptationConfig,
+                                   ViolationLikelihoodSampler)
+from repro.core.likelihood import (gaussian_misdetection_estimate,
+                                   gaussian_step_violation_estimate,
+                                   misdetection_bound,
+                                   step_violation_bound)
+from repro.core.task import TaskSpec
+from repro.exceptions import ConfigurationError
+
+finite = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False)
+positive_std = st.floats(min_value=1e-3, max_value=1e3, allow_nan=False)
+
+
+class TestGaussianStepEstimate:
+    def test_known_value_at_zero_gap(self):
+        # gap == 0 means the threshold equals the mean extrapolation:
+        # exactly half the normal mass violates.
+        p = gaussian_step_violation_estimate(0.0, 0.0, 0.0, 1.0, 1)
+        assert p == pytest.approx(0.5)
+
+    def test_three_sigma(self):
+        p = gaussian_step_violation_estimate(0.0, 3.0, 0.0, 1.0, 1)
+        assert p == pytest.approx(0.00135, abs=1e-4)
+
+    def test_zero_std_degenerate(self):
+        assert gaussian_step_violation_estimate(0.0, 10.0, 1.0, 0.0, 5) \
+            == 0.0
+        assert gaussian_step_violation_estimate(0.0, 10.0, 1.0, 0.0, 10) \
+            == 1.0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            gaussian_step_violation_estimate(0.0, 1.0, 0.0, 1.0, 0)
+        with pytest.raises(ValueError):
+            gaussian_step_violation_estimate(0.0, 1.0, 0.0, -1.0, 1)
+
+    @given(value=finite, threshold=finite, mean=finite, std=positive_std,
+           steps=st.integers(min_value=1, max_value=20))
+    @settings(max_examples=150, deadline=None)
+    def test_property_chebyshev_dominates_gaussian(self, value, threshold,
+                                                   mean, std, steps):
+        """Cantelli is a valid bound for the normal: always >= the tail."""
+        bound = step_violation_bound(value, threshold, mean, std, steps)
+        exact = gaussian_step_violation_estimate(value, threshold, mean,
+                                                 std, steps)
+        assert bound >= exact - 1e-12
+
+    @given(value=finite, threshold=finite, mean=finite, std=positive_std,
+           interval=st.integers(min_value=1, max_value=10))
+    @settings(max_examples=100, deadline=None)
+    def test_property_misdetection_dominance_and_range(self, value,
+                                                       threshold, mean,
+                                                       std, interval):
+        exact = gaussian_misdetection_estimate(value, threshold, mean, std,
+                                               interval)
+        bound = misdetection_bound(value, threshold, mean, std, interval)
+        assert 0.0 <= exact <= 1.0
+        assert bound >= exact - 1e-12
+
+
+class TestGaussianSampler:
+    def test_config_accepts_estimator(self):
+        config = AdaptationConfig(estimator="gaussian")
+        assert config.estimator == "gaussian"
+        with pytest.raises(ConfigurationError):
+            AdaptationConfig(estimator="cauchy")
+
+    def test_gaussian_is_more_aggressive(self, rng):
+        values = 10.0 + rng.normal(0.0, 1.0, 4000)
+        task = TaskSpec(threshold=40.0, error_allowance=0.01,
+                        max_interval=10)
+
+        def samples(estimator):
+            sampler = ViolationLikelihoodSampler(
+                task, AdaptationConfig(estimator=estimator))
+            t, count = 0, 0
+            while t < values.size:
+                decision = sampler.observe(float(values[t]), t)
+                t += max(1, decision.next_interval)
+                count += 1
+            return count
+
+        assert samples("gaussian") <= samples("chebyshev")

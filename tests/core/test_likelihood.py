@@ -1,0 +1,126 @@
+"""Unit and property tests for violation-likelihood estimation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.likelihood import (cantelli_upper_bound, misdetection_bound,
+                                   misdetection_bound_profile,
+                                   step_violation_bound)
+
+finite = st.floats(min_value=-1e6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+positive_std = st.floats(min_value=1e-6, max_value=1e4,
+                         allow_nan=False, allow_infinity=False)
+
+
+class TestCantelli:
+    def test_vacuous_for_non_positive_k(self):
+        assert cantelli_upper_bound(0.0) == 1.0
+        assert cantelli_upper_bound(-3.0) == 1.0
+
+    def test_known_values(self):
+        assert cantelli_upper_bound(1.0) == pytest.approx(0.5)
+        assert cantelli_upper_bound(3.0) == pytest.approx(0.1)
+
+    def test_decreasing_in_k(self):
+        ks = [0.1, 0.5, 1.0, 2.0, 5.0, 10.0]
+        bounds = [cantelli_upper_bound(k) for k in ks]
+        assert bounds == sorted(bounds, reverse=True)
+
+
+class TestStepViolationBound:
+    def test_far_below_threshold_is_small(self):
+        bound = step_violation_bound(value=0.0, threshold=100.0,
+                                     mean=0.0, std=1.0, steps=1)
+        assert bound == pytest.approx(1.0 / (1.0 + 100.0 ** 2))
+
+    def test_above_threshold_is_one(self):
+        assert step_violation_bound(150.0, 100.0, 0.0, 1.0, 1) == 1.0
+
+    def test_zero_std_deterministic(self):
+        # Extrapolation stays below the threshold: impossible to violate.
+        assert step_violation_bound(0.0, 10.0, 1.0, 0.0, 5) == 0.0
+        # Extrapolation reaches the threshold: certain under the model.
+        assert step_violation_bound(0.0, 10.0, 1.0, 0.0, 10) == 1.0
+
+    def test_positive_drift_raises_bound(self):
+        no_drift = step_violation_bound(0.0, 50.0, 0.0, 2.0, 5)
+        drift = step_violation_bound(0.0, 50.0, 5.0, 2.0, 5)
+        assert drift > no_drift
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            step_violation_bound(0.0, 1.0, 0.0, 1.0, 0)
+        with pytest.raises(ValueError):
+            step_violation_bound(0.0, 1.0, 0.0, -1.0, 1)
+
+    @given(value=finite, threshold=finite, mean=finite, std=positive_std,
+           steps=st.integers(min_value=1, max_value=50))
+    @settings(max_examples=150, deadline=None)
+    def test_property_in_unit_interval(self, value, threshold, mean, std,
+                                       steps):
+        bound = step_violation_bound(value, threshold, mean, std, steps)
+        assert 0.0 <= bound <= 1.0
+
+    @given(value=finite, threshold=finite, mean=finite, std=positive_std)
+    @settings(max_examples=100, deadline=None)
+    def test_property_more_steps_not_tighter_without_drift(
+            self, value, threshold, mean, std):
+        # With zero drift the uncertainty only grows with horizon.
+        b1 = step_violation_bound(value, threshold, 0.0, std, 1)
+        b5 = step_violation_bound(value, threshold, 0.0, std, 5)
+        assert b5 >= b1 - 1e-12
+
+
+class TestMisdetectionBound:
+    def test_increases_with_interval(self):
+        bounds = [misdetection_bound(0.0, 50.0, 0.0, 2.0, i)
+                  for i in range(1, 11)]
+        for earlier, later in zip(bounds, bounds[1:]):
+            assert later >= earlier
+
+    def test_interval_one_equals_step_bound(self):
+        b = misdetection_bound(0.0, 50.0, 0.5, 2.0, 1)
+        s = step_violation_bound(0.0, 50.0, 0.5, 2.0, 1)
+        assert b == pytest.approx(s)
+
+    def test_certain_when_any_step_is_certain(self):
+        # Drift carries the value over the threshold within the interval.
+        assert misdetection_bound(0.0, 10.0, 2.0, 0.0, 10) == 1.0
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            misdetection_bound(0.0, 1.0, 0.0, 1.0, 0)
+
+    def test_profile_matches_individual_bounds(self):
+        profile = misdetection_bound_profile(0.0, 50.0, 0.2, 2.0, 8)
+        assert len(profile) == 8
+        for i, value in enumerate(profile, start=1):
+            assert value == pytest.approx(
+                misdetection_bound(0.0, 50.0, 0.2, 2.0, i))
+
+    def test_profile_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            misdetection_bound_profile(0.0, 1.0, 0.0, 1.0, 0)
+
+    @given(value=finite, threshold=finite, mean=finite, std=positive_std,
+           interval=st.integers(min_value=1, max_value=20))
+    @settings(max_examples=150, deadline=None)
+    def test_property_in_unit_interval_and_monotone(self, value, threshold,
+                                                    mean, std, interval):
+        bound = misdetection_bound(value, threshold, mean, std, interval)
+        assert 0.0 <= bound <= 1.0
+        if interval > 1:
+            smaller = misdetection_bound(value, threshold, mean, std,
+                                         interval - 1)
+            assert bound >= smaller - 1e-12
+
+    @given(std=positive_std, interval=st.integers(min_value=1, max_value=10))
+    @settings(max_examples=50, deadline=None)
+    def test_property_farther_threshold_never_larger(self, std, interval):
+        near = misdetection_bound(0.0, 10.0, 0.0, std, interval)
+        far = misdetection_bound(0.0, 1000.0, 0.0, std, interval)
+        assert far <= near + 1e-12

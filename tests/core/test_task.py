@@ -1,0 +1,111 @@
+"""Tests for task specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.task import DistributedTaskSpec, TaskSpec
+from repro.exceptions import ConfigurationError
+from repro.types import ThresholdDirection
+
+
+class TestTaskSpec:
+    def test_defaults(self):
+        task = TaskSpec(threshold=10.0, error_allowance=0.01)
+        assert task.default_interval == 1.0
+        assert task.max_interval == 10
+        assert task.direction is ThresholdDirection.UPPER
+
+    def test_violated_upper(self):
+        task = TaskSpec(threshold=10.0, error_allowance=0.01)
+        assert task.violated(10.5)
+        assert not task.violated(10.0)  # strict comparison
+        assert not task.violated(9.0)
+
+    def test_violated_lower(self):
+        task = TaskSpec(threshold=10.0, error_allowance=0.01,
+                        direction=ThresholdDirection.LOWER)
+        assert task.violated(9.0)
+        assert not task.violated(10.0)
+        assert not task.violated(11.0)
+
+    def test_oriented_frames(self):
+        upper = TaskSpec(threshold=10.0, error_allowance=0.0)
+        sign, threshold = upper.oriented()
+        assert (sign, threshold) == (1.0, 10.0)
+        lower = TaskSpec(threshold=10.0, error_allowance=0.0,
+                         direction=ThresholdDirection.LOWER)
+        sign, threshold = lower.oriented()
+        assert (sign, threshold) == (-1.0, -10.0)
+        # Violation logic is preserved in the oriented frame.
+        assert (sign * 9.0 > threshold) == lower.violated(9.0)
+        assert (sign * 11.0 > threshold) == lower.violated(11.0)
+
+    def test_with_error_allowance(self):
+        task = TaskSpec(threshold=10.0, error_allowance=0.01, name="x")
+        copy = task.with_error_allowance(0.05)
+        assert copy.error_allowance == 0.05
+        assert copy.threshold == task.threshold
+        assert copy.name == "x"
+        assert task.error_allowance == 0.01
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(threshold=1.0, error_allowance=-0.1),
+        dict(threshold=1.0, error_allowance=1.5),
+        dict(threshold=1.0, error_allowance=0.1, default_interval=0.0),
+        dict(threshold=1.0, error_allowance=0.1, max_interval=0),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TaskSpec(**kwargs)
+
+
+class TestDistributedTaskSpec:
+    def test_even_split(self):
+        spec = DistributedTaskSpec.with_even_thresholds(
+            global_threshold=100.0, num_monitors=4, error_allowance=0.01)
+        assert spec.num_monitors == 4
+        assert spec.local_thresholds == (25.0, 25.0, 25.0, 25.0)
+
+    def test_local_spec(self):
+        spec = DistributedTaskSpec.with_even_thresholds(
+            100.0, 4, 0.01, name="t")
+        local = spec.local_spec(2, 0.0025)
+        assert local.threshold == 25.0
+        assert local.error_allowance == 0.0025
+        assert "monitor2" in local.name
+
+    def test_local_spec_out_of_range(self):
+        spec = DistributedTaskSpec.with_even_thresholds(100.0, 4, 0.01)
+        with pytest.raises(ConfigurationError):
+            spec.local_spec(4, 0.01)
+        with pytest.raises(ConfigurationError):
+            spec.local_spec(-1, 0.01)
+
+    def test_local_thresholds_may_undershoot_global(self):
+        # sum(T_i) < T is safe (local silence still implies global silence).
+        spec = DistributedTaskSpec(global_threshold=100.0,
+                                   local_thresholds=(30.0, 30.0, 30.0),
+                                   error_allowance=0.01)
+        assert spec.num_monitors == 3
+
+    def test_local_thresholds_must_not_exceed_global(self):
+        with pytest.raises(ConfigurationError):
+            DistributedTaskSpec(global_threshold=100.0,
+                                local_thresholds=(60.0, 60.0),
+                                error_allowance=0.01)
+
+    def test_empty_thresholds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DistributedTaskSpec(global_threshold=1.0, local_thresholds=(),
+                                error_allowance=0.01)
+
+    def test_bad_monitor_count(self):
+        with pytest.raises(ConfigurationError):
+            DistributedTaskSpec.with_even_thresholds(10.0, 0, 0.01)
+
+    def test_bad_error_allowance(self):
+        with pytest.raises(ConfigurationError):
+            DistributedTaskSpec(global_threshold=10.0,
+                                local_thresholds=(5.0, 5.0),
+                                error_allowance=2.0)

@@ -1,0 +1,166 @@
+"""Tests for the coordinator node."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.adaptation import AdaptationConfig
+from repro.core.coordination import AdaptiveAllocation
+from repro.core.task import DistributedTaskSpec
+from repro.datacenter.coordinator import CoordinatorNode
+from repro.datacenter.cost import FlatSamplingCostModel
+from repro.datacenter.monitor import MonitorDaemon
+from repro.datacenter.network import VirtualNetwork
+from repro.datacenter.server import Dom0CpuAccount
+from repro.datacenter.vm import TraceAgent, VirtualMachine
+from repro.exceptions import CoordinationError
+from repro.simulation.engine import SimulationEngine
+
+
+def build_task(traces, err=0.01, thresholds=None, policy=None,
+               update_period=1000):
+    traces = [np.asarray(t, dtype=float) for t in traces]
+    horizon = len(traces[0])
+    if thresholds is None:
+        thresholds = [100.0] * len(traces)
+    engine = SimulationEngine()
+    network = VirtualNetwork()
+    spec = DistributedTaskSpec(
+        global_threshold=float(sum(thresholds)),
+        local_thresholds=tuple(thresholds),
+        error_allowance=err, max_interval=10)
+    coordinator = CoordinatorNode(spec, engine, network, policy=policy,
+                                  update_period_steps=update_period)
+    dom0 = Dom0CpuAccount(window_seconds=1.0, num_windows=horizon)
+    monitors = []
+    for i, trace in enumerate(traces):
+        vm = VirtualMachine(i, 0, TraceAgent(values=trace))
+        monitor = MonitorDaemon(
+            monitor_id=i, vm=vm, task=spec.local_spec(i, err / len(traces)),
+            engine=engine, cost_model=FlatSamplingCostModel(), dom0=dom0,
+            horizon_steps=horizon,
+            config=AdaptationConfig(patience=3, min_samples=5),
+            coordinator=coordinator)
+        coordinator.register(monitor)
+        monitors.append(monitor)
+    return engine, coordinator, monitors, network
+
+
+class TestRegistration:
+    def test_requires_all_monitors_before_start(self):
+        engine = SimulationEngine()
+        spec = DistributedTaskSpec(global_threshold=200.0,
+                                   local_thresholds=(100.0, 100.0),
+                                   error_allowance=0.01)
+        coordinator = CoordinatorNode(spec, engine, VirtualNetwork())
+        with pytest.raises(CoordinationError):
+            coordinator.start()
+
+    def test_rejects_extra_monitors(self):
+        traces = [np.zeros(10), np.zeros(10)]
+        engine, coordinator, monitors, _ = build_task(traces)
+        with pytest.raises(CoordinationError):
+            coordinator.register(monitors[0])
+
+    def test_no_registration_after_start(self):
+        traces = [np.zeros(10), np.zeros(10)]
+        engine, coordinator, monitors, _ = build_task(traces)
+        coordinator.start()
+        with pytest.raises(CoordinationError):
+            coordinator.register(monitors[0])
+
+    def test_bad_update_period(self):
+        spec = DistributedTaskSpec(global_threshold=1.0,
+                                   local_thresholds=(1.0,),
+                                   error_allowance=0.01)
+        with pytest.raises(CoordinationError):
+            CoordinatorNode(spec, SimulationEngine(), VirtualNetwork(),
+                            update_period_steps=0)
+
+
+class TestGlobalPolls:
+    def test_local_violation_triggers_poll(self):
+        a = np.zeros(20)
+        a[5] = 150.0  # local violation on monitor 0 only
+        b = np.zeros(20)
+        engine, coordinator, monitors, network = build_task([a, b])
+        coordinator.start()
+        for m in monitors:
+            m.start()
+        engine.run_until(20.0)
+        assert len(coordinator.polls) == 1
+        poll = coordinator.polls[0]
+        assert poll.time_index == 5
+        assert poll.values == (150.0, 0.0)
+        assert not poll.violated          # 150 < 200 global threshold
+        assert coordinator.alerts == ()
+        assert network.messages_of("violation-report") == 1
+        assert network.messages_of("poll-request") == 2
+
+    def test_global_alert_when_sum_crosses(self):
+        a = np.zeros(20)
+        b = np.zeros(20)
+        a[5] = 150.0
+        b[5] = 120.0  # both violate locally; sum 270 > 200
+        engine, coordinator, monitors, network = build_task([a, b])
+        coordinator.start()
+        for m in monitors:
+            m.start()
+        engine.run_until(20.0)
+        assert len(coordinator.polls) == 1  # deduped per step
+        assert len(coordinator.alerts) == 1
+        alert = coordinator.alerts[0]
+        assert alert.time_index == 5
+        assert alert.value == pytest.approx(270.0)
+
+    def test_poll_forces_samples_on_idle_monitors(self):
+        # Monitor 1 idles at a long interval; monitor 0's violation must
+        # force it to produce a value for the poll. The violation is a
+        # plateau so monitor 0 cannot step entirely over it.
+        a = np.ones(300)
+        a[240:260] = 150.0
+        b = np.ones(300)
+        engine, coordinator, monitors, _ = build_task([a, b], err=0.05)
+        coordinator.start()
+        for m in monitors:
+            m.start()
+        engine.run_until(300.0)
+        poll_steps = [p.time_index for p in coordinator.polls]
+        assert any(240 <= s < 260 for s in poll_steps)
+        forced = [s for s in poll_steps if s in monitors[1].sampled_steps]
+        assert forced, "idle monitor was never polled into sampling"
+
+
+class TestAllocationUpdates:
+    def test_periodic_reallocation_with_adaptive_policy(self):
+        rng = np.random.default_rng(0)
+        # Heterogeneous streams: one near its threshold, one far below.
+        hot = 95.0 + rng.normal(0.0, 2.0, 400)
+        cold = rng.normal(0.0, 0.1, 400)
+        engine, coordinator, monitors, _ = build_task(
+            [hot, cold], err=0.01, policy=AdaptiveAllocation(),
+            update_period=100)
+        coordinator.start()
+        for m in monitors:
+            m.start()
+        engine.run_until(400.0)
+        assert coordinator.reallocations >= 1
+        allocations = coordinator.allocations
+        assert sum(allocations) == pytest.approx(0.01, rel=1e-6)
+        assert min(allocations) >= 0.01 * 0.01 - 1e-12  # floor respected
+        # The hot monitor is hopeless (values hover at its threshold) and
+        # must stay at the default interval; the cold one must have grown.
+        assert monitors[0].sampler.interval == 1
+        assert monitors[1].sampler.interval > 1
+
+    def test_monitor_allowance_follows_allocation(self):
+        traces = [np.zeros(250), np.zeros(250)]
+        engine, coordinator, monitors, _ = build_task(
+            traces, err=0.02, update_period=100)
+        coordinator.start()
+        for m in monitors:
+            m.start()
+        engine.run_until(250.0)
+        for monitor, err in zip(monitors, coordinator.allocations):
+            assert monitor.sampler.error_allowance == pytest.approx(err)

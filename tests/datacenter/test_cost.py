@@ -1,0 +1,66 @@
+"""Tests for the sampling cost models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datacenter.cost import (FlatSamplingCostModel, MonetaryCostModel,
+                                   NetworkSamplingCostModel)
+from repro.exceptions import ConfigurationError
+
+
+class TestNetworkSamplingCostModel:
+    def test_scales_with_packets(self):
+        model = NetworkSamplingCostModel(fixed_seconds=0.04,
+                                         per_packet_seconds=3e-6)
+        assert model.cpu_seconds(0) == pytest.approx(0.04)
+        assert model.cpu_seconds(20_000) == pytest.approx(0.1)
+
+    def test_paper_calibration_band(self):
+        """40 VMs at peak-hour volume keep Dom0 in the paper's CPU band."""
+        model = NetworkSamplingCostModel()
+        peak_packets = 22_000  # per VM per 15-second window at peak
+        utilisation = 100.0 * 40 * model.cpu_seconds(peak_packets) / 15.0
+        assert 20.0 < utilisation < 34.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            NetworkSamplingCostModel(fixed_seconds=-1.0)
+        model = NetworkSamplingCostModel()
+        with pytest.raises(ConfigurationError):
+            model.cpu_seconds(-1)
+
+
+class TestFlatSamplingCostModel:
+    def test_constant(self):
+        model = FlatSamplingCostModel(seconds_per_sample=0.01)
+        assert model.cpu_seconds() == 0.01
+        assert model.cpu_seconds(10**9) == 0.01
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            FlatSamplingCostModel(seconds_per_sample=-0.1)
+
+
+class TestMonetaryCostModel:
+    def test_accumulates(self):
+        model = MonetaryCostModel(price_per_sample=2.0,
+                                  price_per_message=0.5)
+        model.charge_sample(3)
+        model.charge_message(4)
+        assert model.samples == 3
+        assert model.messages == 4
+        assert model.total_cost == pytest.approx(8.0)
+
+    def test_default_single_charge(self):
+        model = MonetaryCostModel()
+        model.charge_sample()
+        model.charge_message()
+        assert (model.samples, model.messages) == (1, 1)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            MonetaryCostModel(price_per_sample=-1.0)
+        model = MonetaryCostModel()
+        with pytest.raises(ConfigurationError):
+            model.charge_sample(-1)

@@ -1,0 +1,125 @@
+"""Tests for the monitor daemon on the simulation engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.adaptation import AdaptationConfig
+from repro.core.task import TaskSpec
+from repro.datacenter.cost import FlatSamplingCostModel
+from repro.datacenter.monitor import MonitorDaemon
+from repro.datacenter.server import Dom0CpuAccount
+from repro.datacenter.vm import TraceAgent, VirtualMachine
+from repro.exceptions import SimulationError
+from repro.simulation.engine import SimulationEngine
+
+
+def make_monitor(values, err=0.01, interval=1.0, horizon=None,
+                 coordinator=None, packets=None):
+    engine = SimulationEngine()
+    horizon = horizon if horizon is not None else len(values)
+    dom0 = Dom0CpuAccount(window_seconds=interval, num_windows=horizon)
+    agent = TraceAgent(values=np.asarray(values, dtype=float),
+                       packets=packets)
+    vm = VirtualMachine(0, 0, agent)
+    task = TaskSpec(threshold=100.0, error_allowance=err,
+                    default_interval=interval, max_interval=10)
+    monitor = MonitorDaemon(
+        monitor_id=0, vm=vm, task=task, engine=engine,
+        cost_model=FlatSamplingCostModel(0.01), dom0=dom0,
+        horizon_steps=horizon,
+        config=AdaptationConfig(patience=3, min_samples=5),
+        coordinator=coordinator)
+    return engine, monitor, dom0
+
+
+class TestMonitorDaemon:
+    def test_periodic_when_zero_allowance(self):
+        values = np.zeros(50)
+        engine, monitor, _ = make_monitor(values, err=0.0)
+        monitor.start()
+        engine.run_until(50.0)
+        assert monitor.samples_taken == 50
+        assert monitor.sampled_steps == list(range(50))
+
+    def test_adaptation_reduces_samples(self):
+        values = np.ones(300)
+        engine, monitor, _ = make_monitor(values, err=0.05)
+        monitor.start()
+        engine.run_until(300.0)
+        assert monitor.samples_taken < 200
+
+    def test_cost_charged_per_sample(self):
+        values = np.zeros(20)
+        engine, monitor, dom0 = make_monitor(values, err=0.0)
+        monitor.start()
+        engine.run_until(20.0)
+        # 0.01 cpu-seconds per 1-second window = 1% per window.
+        assert np.allclose(dom0.utilization(), 1.0)
+
+    def test_double_start_rejected(self):
+        engine, monitor, _ = make_monitor(np.zeros(5))
+        monitor.start()
+        with pytest.raises(SimulationError):
+            monitor.start()
+
+    def test_horizon_must_fit_agent(self):
+        values = np.zeros(5)
+        with pytest.raises(SimulationError):
+            make_monitor(values, horizon=10)
+
+    def test_poll_returns_current_value_without_resampling(self):
+        values = np.arange(10.0)
+        engine, monitor, _ = make_monitor(values, err=0.0)
+        monitor.start()
+        engine.run_until(3.0)  # samples at steps 0..3
+        before = monitor.samples_taken
+        assert monitor.poll(3) == 3.0
+        assert monitor.samples_taken == before
+
+    def test_poll_forces_sample_when_idle(self):
+        values = np.ones(300)
+        engine, monitor, _ = make_monitor(values, err=0.05)
+        monitor.start()
+        engine.run_until(250.0)
+        assert monitor.sampler.interval > 1  # grown by now
+        last = monitor.sampled_steps[-1]
+        target = last + 1
+        before = monitor.samples_taken
+        value = monitor.poll(target)
+        assert value == 1.0
+        assert monitor.samples_taken == before + 1
+        assert target in monitor.sampled_steps
+
+    def test_poll_into_past_rejected(self):
+        values = np.zeros(10)
+        engine, monitor, _ = make_monitor(values, err=0.0)
+        monitor.start()
+        engine.run_until(5.0)
+        with pytest.raises(SimulationError):
+            monitor.poll(2)
+
+    def test_poll_beyond_horizon_rejected(self):
+        values = np.zeros(10)
+        engine, monitor, _ = make_monitor(values, err=0.0)
+        monitor.start()
+        with pytest.raises(SimulationError):
+            monitor.poll(10)
+
+    def test_reports_local_violations(self):
+        class Sink:
+            def __init__(self):
+                self.reports = []
+
+            def on_local_violation(self, monitor, step):
+                self.reports.append(step)
+
+        values = np.zeros(20)
+        values[7] = 150.0
+        sink = Sink()
+        engine, monitor, _ = make_monitor(values, err=0.0,
+                                          coordinator=sink)
+        monitor.start()
+        engine.run_until(20.0)
+        assert sink.reports == [7]

@@ -1,0 +1,29 @@
+"""Tests for the virtual coordination network."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datacenter.network import VirtualNetwork
+from repro.exceptions import ConfigurationError
+
+
+def test_counts_by_kind():
+    net = VirtualNetwork(bytes_per_message=100)
+    net.send("poll-request", 3)
+    net.send("poll-response", 3)
+    net.send("violation-report")
+    assert net.total_messages == 7
+    assert net.total_bytes == 700
+    assert net.messages_of("poll-request") == 3
+    assert net.messages_of("unknown") == 0
+    assert net.breakdown() == {"poll-request": 3, "poll-response": 3,
+                               "violation-report": 1}
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        VirtualNetwork(bytes_per_message=0)
+    net = VirtualNetwork()
+    with pytest.raises(ConfigurationError):
+        net.send("x", -1)

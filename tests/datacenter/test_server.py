@@ -1,0 +1,64 @@
+"""Tests for servers and Dom0 CPU accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datacenter.server import Dom0CpuAccount, PhysicalServer
+from repro.exceptions import ConfigurationError, SimulationError
+
+
+class TestDom0CpuAccount:
+    def test_utilization_per_window(self):
+        account = Dom0CpuAccount(window_seconds=15.0, num_windows=3)
+        account.charge(0, 1.5)
+        account.charge(0, 1.5)
+        account.charge(2, 7.5)
+        util = account.utilization()
+        assert util.tolist() == [20.0, 0.0, 50.0]
+
+    def test_stats(self):
+        account = Dom0CpuAccount(window_seconds=10.0, num_windows=4)
+        for w, busy in enumerate((1.0, 2.0, 3.0, 4.0)):
+            account.charge(w, busy)
+        stats = account.utilization_stats()
+        assert stats["min"] == 10.0
+        assert stats["max"] == 40.0
+        assert stats["median"] == pytest.approx(25.0)
+        assert stats["mean"] == pytest.approx(25.0)
+
+    def test_out_of_horizon_rejected(self):
+        account = Dom0CpuAccount(window_seconds=1.0, num_windows=2)
+        with pytest.raises(SimulationError):
+            account.charge(2, 0.1)
+        with pytest.raises(SimulationError):
+            account.charge(-1, 0.1)
+
+    def test_negative_cpu_rejected(self):
+        account = Dom0CpuAccount(window_seconds=1.0, num_windows=2)
+        with pytest.raises(SimulationError):
+            account.charge(0, -0.1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Dom0CpuAccount(window_seconds=0.0, num_windows=1)
+        with pytest.raises(ConfigurationError):
+            Dom0CpuAccount(window_seconds=1.0, num_windows=0)
+
+
+class TestPhysicalServer:
+    def test_attach_vms(self):
+        server = PhysicalServer(0, window_seconds=15.0, num_windows=10)
+        server.attach_vm(3)
+        server.attach_vm(4)
+        assert server.vm_ids == (3, 4)
+
+    def test_duplicate_vm_rejected(self):
+        server = PhysicalServer(0, 15.0, 10)
+        server.attach_vm(3)
+        with pytest.raises(ConfigurationError):
+            server.attach_vm(3)
+
+    def test_bad_id(self):
+        with pytest.raises(ConfigurationError):
+            PhysicalServer(-1, 15.0, 10)

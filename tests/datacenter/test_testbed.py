@@ -1,0 +1,90 @@
+"""Tests for the testbed builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datacenter.testbed import (PAPER_SCALE, Testbed, TestbedConfig,
+                                      build_testbed)
+from repro.exceptions import ConfigurationError
+
+
+class TestTestbedConfig:
+    def test_derived_sizes(self):
+        config = TestbedConfig(num_servers=7, vms_per_server=4,
+                               servers_per_coordinator=5)
+        assert config.num_vms == 28
+        assert config.num_coordinators == 2
+
+    def test_paper_scale_constant(self):
+        assert PAPER_SCALE["num_servers"] * PAPER_SCALE["vms_per_server"] \
+            == 800
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(num_servers=0),
+        dict(vms_per_server=0),
+        dict(servers_per_coordinator=0),
+        dict(horizon_steps=5),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TestbedConfig(**kwargs)
+
+
+class TestPerVmMode:
+    @pytest.fixture(scope="class")
+    def testbed(self) -> Testbed:
+        tb = build_testbed(TestbedConfig(num_servers=2, vms_per_server=4,
+                                         horizon_steps=600,
+                                         error_allowance=0.02))
+        tb.run()
+        return tb
+
+    def test_topology(self, testbed):
+        assert len(testbed.servers) == 2
+        assert len(testbed.vms) == 8
+        assert len(testbed.monitors) == 8
+        assert testbed.coordinators == []
+        assert testbed.servers[0].vm_ids == (0, 1, 2, 3)
+
+    def test_savings(self, testbed):
+        assert 0.0 < testbed.sampling_ratio < 1.0
+
+    def test_dom0_accounting(self, testbed):
+        stats = testbed.dom0_utilization_stats()
+        assert len(stats) == 2
+        assert all(s["mean"] > 0.0 for s in stats)
+
+    def test_accuracy_summary(self, testbed):
+        accuracy = testbed.monitor_accuracy()
+        assert len(accuracy) == 8
+        assert all(0.0 <= a.misdetection_rate <= 1.0 for a in accuracy)
+
+    def test_cannot_run_twice(self, testbed):
+        with pytest.raises(ConfigurationError):
+            testbed.run()
+
+
+class TestDistributedMode:
+    def test_wiring_and_run(self):
+        tb = build_testbed(TestbedConfig(num_servers=2, vms_per_server=4,
+                                         servers_per_coordinator=1,
+                                         horizon_steps=600,
+                                         error_allowance=0.01,
+                                         distributed=True))
+        assert len(tb.coordinators) == 2
+        for coordinator in tb.coordinators:
+            assert coordinator.spec.num_monitors == 4
+        tb.run()
+        assert tb.total_samples > 0
+        # Coordination traffic exists whenever local violations occurred.
+        reports = tb.network.messages_of("violation-report")
+        polls = sum(len(c.polls) for c in tb.coordinators)
+        assert (reports == 0) == (polls == 0)
+
+    def test_periodic_reference_ratio_is_one(self):
+        tb = build_testbed(TestbedConfig(num_servers=1, vms_per_server=2,
+                                         horizon_steps=300,
+                                         error_allowance=0.0))
+        tb.run()
+        assert tb.sampling_ratio == pytest.approx(1.0)

@@ -1,0 +1,51 @@
+"""Tests for VMs and trace agents."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datacenter.vm import TraceAgent, VirtualMachine
+from repro.exceptions import ConfigurationError, SimulationError
+
+
+class TestTraceAgent:
+    def test_serves_values(self):
+        agent = TraceAgent(values=np.array([1.0, 2.0, 3.0]))
+        assert agent.horizon == 3
+        assert agent.value_at(1) == 2.0
+        assert agent.packets_at(1) == 0
+
+    def test_serves_packets(self):
+        agent = TraceAgent(values=np.zeros(3),
+                           packets=np.array([10, 20, 30]))
+        assert agent.packets_at(2) == 30
+
+    def test_out_of_horizon(self):
+        agent = TraceAgent(values=np.zeros(3), packets=np.zeros(3, int))
+        with pytest.raises(SimulationError):
+            agent.value_at(3)
+        with pytest.raises(SimulationError):
+            agent.packets_at(-1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TraceAgent(values=np.array([]))
+        with pytest.raises(ConfigurationError):
+            TraceAgent(values=np.zeros(3), packets=np.zeros(4, int))
+        with pytest.raises(ConfigurationError):
+            TraceAgent(values=np.zeros(2), packets=np.array([-1, 0]))
+
+
+class TestVirtualMachine:
+    def test_identity(self):
+        agent = TraceAgent(values=np.zeros(2))
+        vm = VirtualMachine(vm_id=7, server_id=1, agent=agent)
+        assert vm.vm_id == 7
+        assert vm.server_id == 1
+        assert vm.agent is agent
+
+    def test_bad_ids(self):
+        agent = TraceAgent(values=np.zeros(2))
+        with pytest.raises(ConfigurationError):
+            VirtualMachine(vm_id=-1, server_id=0, agent=agent)

@@ -1,0 +1,68 @@
+"""Tests for the CLI entry point."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.__main__ import (EXTENSIONS, FIGURES, main,
+                                        run_figure, write_csv)
+from repro.experiments.figures import fig6
+
+
+def test_figures_list_complete():
+    assert FIGURES == ("fig5a", "fig5b", "fig5c", "fig6", "fig7", "fig8")
+    assert EXTENSIONS == ("monetary", "delay", "multitask", "reliability")
+
+
+def test_extension_experiments_run():
+    text, result = run_figure("monetary", seed=0)
+    assert "Monetary cost" in text
+    assert result.saving > 0
+
+
+def test_unknown_figure_rejected():
+    with pytest.raises(ValueError):
+        run_figure("fig99", seed=0)
+
+
+def test_main_runs_one_figure(monkeypatch, capsys):
+    # Shrink the driver so the CLI test stays fast.
+    import repro.experiments.__main__ as cli
+
+    def tiny(name, seed):
+        assert name == "fig6"
+        return "TINY-REPORT", object()
+
+    monkeypatch.setattr(cli, "run_figure", tiny)
+    assert main(["fig6"]) == 0
+    out = capsys.readouterr().out
+    assert "TINY-REPORT" in out
+    assert "scale factor" in out
+
+
+def test_main_writes_csv(monkeypatch, capsys, tmp_path):
+    import repro.experiments.__main__ as cli
+
+    result = fig6(error_allowances=(0.0, 0.032), num_servers=1,
+                  vms_per_server=2, horizon=200)
+    monkeypatch.setattr(cli, "run_figure",
+                        lambda name, seed: ("R", result))
+    assert main(["fig6", "--csv", str(tmp_path)]) == 0
+    csv_file = tmp_path / "fig6.csv"
+    assert csv_file.exists()
+    content = csv_file.read_text()
+    assert content.startswith("error_allowance,")
+    assert len(content.splitlines()) == 3  # header + 2 allowances
+
+
+def test_write_csv_creates_directories(tmp_path):
+    result = fig6(error_allowances=(0.032,), num_servers=1,
+                  vms_per_server=2, horizon=200)
+    target = tmp_path / "nested" / "dir"
+    write_csv(target, "fig6", result)
+    assert (target / "fig6.csv").exists()
+
+
+def test_main_bad_choice():
+    with pytest.raises(SystemExit):
+        main(["not-a-figure"])

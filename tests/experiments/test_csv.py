@@ -1,0 +1,24 @@
+"""Tests for CSV export."""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import to_csv
+
+
+def test_basic_csv():
+    text = to_csv(["a", "b"], [[1, 2.5], ["x", "y"]])
+    assert text == "a,b\n1,2.5\nx,y\n"
+
+
+def test_quoting():
+    text = to_csv(["name"], [["has,comma"], ['has"quote'], ["has\nnewline"]])
+    lines = text.splitlines()
+    assert lines[1] == '"has,comma"'
+    assert lines[2] == '"has""quote"'
+    assert '"has' in text
+
+
+def test_float_full_precision():
+    value = 0.1234567890123456
+    text = to_csv(["v"], [[value]])
+    assert repr(value) in text

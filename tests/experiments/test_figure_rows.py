@@ -1,0 +1,47 @@
+"""Tests for figure-result CSV row export."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig5, fig6, fig8
+from repro.experiments.reporting import to_csv
+
+
+class TestFig5Rows:
+    def test_rows_cover_grid(self):
+        result = fig5("network", num_streams=2, horizon=2000,
+                      selectivities=(3.2, 0.4),
+                      error_allowances=(0.008, 0.032))
+        headers, rows = result.to_rows()
+        assert headers[0] == "selectivity_percent"
+        assert len(rows) == 4
+        csv = to_csv(headers, rows)
+        assert csv.count("\n") == 5
+
+    def test_rows_match_cells(self):
+        result = fig5("network", num_streams=2, horizon=2000,
+                      selectivities=(0.4,), error_allowances=(0.016,))
+        _, rows = result.to_rows()
+        cell = result.cells[0]
+        assert rows[0][2] == cell.sampling_ratio
+        assert rows[0][3] == cell.misdetection_rate
+
+
+class TestFig6Rows:
+    def test_rows_per_allowance(self):
+        result = fig6(error_allowances=(0.0, 0.016), num_servers=1,
+                      vms_per_server=2, horizon=300)
+        headers, rows = result.to_rows()
+        assert headers[0] == "error_allowance"
+        assert [row[0] for row in rows] == [0.0, 0.016]
+        assert rows[0][-1] == 1.0  # periodic sampling ratio
+
+
+class TestFig8Rows:
+    def test_rows_per_skew(self):
+        result = fig8(skews=(0.0, 1.0), num_monitors=3, horizon=4000,
+                      repeats=1)
+        headers, rows = result.to_rows()
+        assert headers[0] == "zipf_skew"
+        assert len(rows) == 2
+        assert rows[0][1] == result.even_ratios[0]
+        assert rows[1][2] == result.adaptive_ratios[1]

@@ -1,0 +1,34 @@
+"""Tests for the monetary cost analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.monetary import monetary_analysis
+
+
+class TestMonetaryAnalysis:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return monetary_analysis(num_tasks=4, horizon=4000)
+
+    def test_adaptive_cheaper(self, result):
+        assert result.adaptive_cost < result.periodic_cost
+        assert result.saving > 0.0
+        assert result.adaptive_cost == pytest.approx(
+            result.periodic_cost * result.mean_sampling_ratio, rel=0.01)
+
+    def test_fraction_of_operation_bill(self, result):
+        periodic_share = result.monitoring_fraction(result.periodic_cost)
+        adaptive_share = result.monitoring_fraction(result.adaptive_cost)
+        assert 0.0 < adaptive_share < periodic_share < 1.0
+
+    def test_report_renders(self, result):
+        text = result.report()
+        assert "Monetary cost" in text
+        assert "periodic" in text and "volley" in text
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            monetary_analysis(num_tasks=0)

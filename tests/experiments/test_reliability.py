@@ -1,0 +1,62 @@
+"""Tests for the message-loss reliability experiment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datacenter.network import VirtualNetwork
+from repro.exceptions import ConfigurationError
+from repro.experiments.reliability import reliability_experiment
+
+
+class TestLossyNetwork:
+    def test_reliable_by_default(self):
+        net = VirtualNetwork()
+        assert all(net.deliver("violation-report") for _ in range(100))
+        assert net.total_dropped == 0
+
+    def test_loss_rate_realised(self):
+        net = VirtualNetwork(loss_rate=0.3,
+                             rng=np.random.default_rng(0))
+        outcomes = [net.deliver("x") for _ in range(5000)]
+        dropped = outcomes.count(False)
+        assert dropped == net.total_dropped == net.dropped_of("x")
+        assert dropped / 5000 == pytest.approx(0.3, abs=0.03)
+
+    def test_loss_requires_rng(self):
+        with pytest.raises(ConfigurationError):
+            VirtualNetwork(loss_rate=0.1)
+
+    def test_bad_loss_rate(self):
+        with pytest.raises(ConfigurationError):
+            VirtualNetwork(loss_rate=1.0, rng=np.random.default_rng(0))
+
+
+class TestReliabilityExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return reliability_experiment(loss_rates=(0.0, 0.2, 0.4),
+                                      horizon=900)
+
+    def test_reliable_network_has_full_recall(self, result):
+        assert result.recalls[0] == 1.0
+        assert result.dropped_reports[0] == 0
+        assert result.truth_alerts > 0
+
+    def test_recall_degrades_with_loss(self, result):
+        assert result.recalls[-1] < result.recalls[0]
+        # With a single reporter, recall tracks the delivery probability.
+        assert result.recalls[-1] == pytest.approx(0.6, abs=0.25)
+
+    def test_drops_increase_with_loss(self, result):
+        assert result.dropped_reports[-1] > result.dropped_reports[1] > 0
+
+    def test_report_renders(self, result):
+        assert "message loss" in result.report()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            reliability_experiment(loss_rates=())
+        with pytest.raises(ConfigurationError):
+            reliability_experiment(loss_rates=(1.5,))

@@ -1,0 +1,30 @@
+"""Tests for text reporting."""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import format_matrix, format_table
+
+
+def test_format_table_alignment():
+    text = format_table(["name", "value"], [["a", 1.5], ["bb", 20]],
+                        title="caption")
+    lines = text.splitlines()
+    assert lines[0] == "caption"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert set(lines[2]) <= {"-", " "}
+    assert "1.500" in text
+    assert "20" in text
+
+
+def test_format_matrix_cells_and_gaps():
+    values = {(1, "a"): 0.5, (2, "b"): 0.25}
+    text = format_matrix("row", [1, 2], "col", ["a", "b"], values)
+    assert "0.500" in text
+    assert "0.250" in text
+    assert "-" in text  # missing cells rendered as dashes
+
+
+def test_format_matrix_custom_format():
+    values = {(1, "a"): 0.123456}
+    text = format_matrix("r", [1], "c", ["a"], values, fmt="{:.5f}")
+    assert "0.12346" in text

@@ -1,0 +1,95 @@
+"""Tests for the single-monitor experiment runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.adaptation import AdaptationConfig
+from repro.core.task import TaskSpec
+from repro.exceptions import TraceError
+from repro.experiments.runner import (run_adaptive, run_periodic,
+                                      run_sampler_on_trace, run_triggered)
+from repro.baselines.periodic import PeriodicSampler
+
+
+class TestRunSamplerOnTrace:
+    def test_periodic_covers_grid(self):
+        values = np.zeros(100)
+        result = run_sampler_on_trace(values, PeriodicSampler(7), 1.0)
+        assert result.sampled_indices.tolist() == list(range(0, 100, 7))
+        assert result.intervals.tolist() == [7] * len(result.sampled_indices)
+
+    def test_rejects_empty_trace(self):
+        with pytest.raises(TraceError):
+            run_sampler_on_trace(np.array([]), PeriodicSampler(), 1.0)
+
+    def test_interval_recording_optional(self):
+        values = np.zeros(10)
+        result = run_sampler_on_trace(values, PeriodicSampler(), 1.0,
+                                      record_intervals=False)
+        assert result.intervals.size == 0
+
+
+class TestRunPeriodic:
+    def test_interval_one_is_ground_truth(self, bursty_trace):
+        result = run_periodic(bursty_trace, 100.0, interval=1)
+        assert result.sampling_ratio == 1.0
+        assert result.misdetection_rate == 0.0
+
+    def test_large_interval_misses(self, bursty_trace):
+        result = run_periodic(bursty_trace, 100.0, interval=40)
+        assert result.sampling_ratio == pytest.approx(1.0 / 40, abs=0.01)
+        assert result.misdetection_rate > 0.0
+
+
+class TestRunAdaptive:
+    def test_saves_cost_with_bounded_misdetection(self, bursty_trace):
+        task = TaskSpec(threshold=100.0, error_allowance=0.02,
+                        max_interval=10)
+        result = run_adaptive(bursty_trace, task)
+        assert result.sampling_ratio < 0.8
+        assert result.misdetection_rate <= 0.1
+
+    def test_zero_allowance_equals_periodic(self, bursty_trace):
+        task = TaskSpec(threshold=100.0, error_allowance=0.0)
+        result = run_adaptive(bursty_trace, task)
+        assert result.sampling_ratio == 1.0
+
+    def test_larger_allowance_weakly_cheaper(self, bursty_trace):
+        ratios = []
+        for err in (0.002, 0.008, 0.032):
+            task = TaskSpec(threshold=100.0, error_allowance=err,
+                            max_interval=10)
+            ratios.append(run_adaptive(bursty_trace, task).sampling_ratio)
+        assert ratios[0] >= ratios[-1]
+
+    def test_custom_config_used(self, bursty_trace):
+        task = TaskSpec(threshold=100.0, error_allowance=0.02,
+                        max_interval=10)
+        eager = run_adaptive(bursty_trace, task,
+                             AdaptationConfig(patience=2, min_samples=5))
+        default = run_adaptive(bursty_trace, task)
+        # Lower patience grows faster, hence fewer samples.
+        assert eager.sampling_ratio <= default.sampling_ratio
+
+
+class TestRunTriggered:
+    def test_cold_trigger_saves_cost(self, quiet_trace):
+        task = TaskSpec(threshold=100.0, error_allowance=0.0)
+        trigger = np.zeros_like(quiet_trace)  # always cold
+        result = run_triggered(quiet_trace, trigger, task,
+                               elevation_level=1.0, suspend_interval=10)
+        assert result.sampling_ratio == pytest.approx(0.1, abs=0.01)
+
+    def test_hot_trigger_restores_full_sampling(self, quiet_trace):
+        task = TaskSpec(threshold=100.0, error_allowance=0.0)
+        trigger = np.full_like(quiet_trace, 10.0)  # always hot
+        result = run_triggered(quiet_trace, trigger, task,
+                               elevation_level=1.0, suspend_interval=10)
+        assert result.sampling_ratio == 1.0
+
+    def test_misaligned_trigger_rejected(self, quiet_trace):
+        task = TaskSpec(threshold=100.0, error_allowance=0.0)
+        with pytest.raises(TraceError):
+            run_triggered(quiet_trace, quiet_trace[:-1], task, 1.0)

@@ -1,0 +1,144 @@
+"""Integration tests across the whole stack.
+
+These exercise the paths a user of the library walks: generate a domain
+workload, pick a threshold by selectivity, run Volley against the periodic
+baseline, check accuracy; run a DDoS scenario on the datacenter testbed;
+plan and apply correlation triggering across tasks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (AdaptationConfig, CorrelationPlanner, DistributedTaskSpec,
+                   OracleSampler, TaskProfile, TaskSpec, run_adaptive,
+                   run_distributed_task, run_periodic, run_sampler_on_trace,
+                   run_triggered)
+from repro.workloads import (SynFloodAttack, SystemMetricsDataset,
+                             TrafficDifferenceGenerator,
+                             WebWorkloadGenerator, inject_attacks,
+                             threshold_for_selectivity)
+
+
+class TestNetworkPipeline:
+    def test_volley_vs_periodic_vs_oracle(self, rng):
+        gen = TrafficDifferenceGenerator()
+        rho = gen.generate(15_000, rng)
+        threshold = threshold_for_selectivity(rho, 0.4)
+        task = TaskSpec(threshold=threshold, error_allowance=0.01,
+                        max_interval=10)
+
+        volley = run_adaptive(rho, task)
+        periodic = run_periodic(rho, threshold)
+        oracle = run_sampler_on_trace(
+            rho, OracleSampler(rho, threshold), threshold)
+
+        # Cost ordering: oracle <= volley < periodic.
+        assert oracle.sampling_ratio <= volley.sampling_ratio
+        assert volley.sampling_ratio < periodic.sampling_ratio
+        # Volley's accuracy loss stays near the allowance.
+        assert volley.misdetection_rate <= 0.05
+        assert periodic.misdetection_rate == 0.0
+
+    def test_ddos_attack_detected_despite_adaptation(self, rng):
+        gen = TrafficDifferenceGenerator(burst_prob=0.0)
+        rho = gen.generate(8000, rng)
+        attack = SynFloodAttack(start=6000, peak_syn_rate=5000.0,
+                                ramp_steps=8, hold_steps=40)
+        attacked = inject_attacks(rho, [attack])
+        threshold = 1000.0
+        task = TaskSpec(threshold=threshold, error_allowance=0.01,
+                        max_interval=10)
+        result = run_adaptive(attacked, task)
+        # The attack plateau must be seen: at least one sampled point
+        # inside the attack window is above the threshold.
+        start, end = attack.alert_window()
+        hits = [t for t in result.sampled_indices
+                if start <= t < end and attacked[t] > threshold]
+        assert hits, "SYN flood escaped detection"
+        # Detection happens within the ramp plus a couple of intervals.
+        assert min(hits) - start <= attack.ramp_steps + 2 * 10
+
+
+class TestSystemPipeline:
+    def test_metric_sweep_monotone_in_allowance(self):
+        dataset = SystemMetricsDataset(num_nodes=1, seed=5)
+        values = dataset.generate(0, "load_1m", 12_000)
+        threshold = threshold_for_selectivity(values, 0.4)
+        ratios = []
+        for err in (0.002, 0.032):
+            task = TaskSpec(threshold=threshold, error_allowance=err,
+                            max_interval=10)
+            ratios.append(run_adaptive(values, task).sampling_ratio)
+        assert ratios[1] <= ratios[0]
+
+
+class TestApplicationPipeline:
+    def test_flash_crowd_object_monitoring(self, rng):
+        gen = WebWorkloadGenerator(diurnal_period=10_000)
+        trace = gen.access_rate_trace(10, 20_000, rng)
+        threshold = trace.percentile_threshold(0.4)
+        task = TaskSpec(threshold=threshold, error_allowance=0.016,
+                        max_interval=10)
+        result = run_adaptive(trace.values, task)
+        assert result.sampling_ratio < 0.9
+        assert result.misdetection_rate <= 0.1
+
+
+class TestDistributedPipeline:
+    def test_correlated_attack_raises_global_alert(self, rng):
+        # Four servers hosting one application; a flood hits all of them,
+        # so the global (sum) state crosses while local streams also do.
+        m, n = 4, 6000
+        traces = []
+        attack = SynFloodAttack(start=5000, peak_syn_rate=2000.0,
+                                ramp_steps=10, hold_steps=30)
+        for i in range(m):
+            base = TrafficDifferenceGenerator(burst_prob=0.0).generate(
+                n, rng)
+            traces.append(inject_attacks(base, [attack]))
+        spec = DistributedTaskSpec(
+            global_threshold=4000.0,
+            local_thresholds=(1000.0,) * m,
+            error_allowance=0.01, max_interval=10)
+        result = run_distributed_task(traces, spec, keep_polls=True)
+        assert result.truth_alerts > 0
+        assert result.detected_alerts > 0
+        assert result.misdetection_rate <= 0.2
+        assert any(p.violated for p in result.polls)
+
+
+class TestCorrelationPipeline:
+    def test_plan_then_run_triggered(self, rng):
+        n = 20_000
+        # Response time (cheap) rises whenever traffic difference (costly
+        # to sample) is about to violate.
+        response = 20.0 + rng.normal(0.0, 1.0, n)
+        rho = TrafficDifferenceGenerator(burst_prob=0.0).generate(n, rng)
+        for s in range(2000, n - 100, 2400):
+            response[s:s + 80] += 200.0
+            rho[s + 10:s + 70] += 3000.0
+        rho_threshold = 1000.0
+
+        planner = CorrelationPlanner(min_score=0.9, loss_budget=0.1,
+                                     suspend_interval=10)
+        rules = planner.plan([
+            TaskProfile(task_id="response", values=response,
+                        threshold=150.0, cost_per_sample=1.0),
+            TaskProfile(task_id="ddos", values=rho,
+                        threshold=rho_threshold, cost_per_sample=40.0),
+        ])
+        assert len(rules) == 1
+        rule = rules[0]
+
+        task = TaskSpec(threshold=rho_threshold, error_allowance=0.01,
+                        max_interval=10)
+        guarded = run_triggered(rho, response, task, rule.elevation_level,
+                                suspend_interval=10,
+                                config=AdaptationConfig())
+        unguarded = run_adaptive(rho, task)
+        # Triggering saves cost on top of plain adaptation without
+        # blowing the accuracy loss budget.
+        assert guarded.sampling_ratio <= unguarded.sampling_ratio + 0.01
+        assert guarded.misdetection_rate <= 0.15

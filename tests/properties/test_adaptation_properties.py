@@ -1,0 +1,128 @@
+"""Hypothesis property tests over the adaptation invariants.
+
+These drive the full sampler over arbitrary bounded traces and check the
+invariants that must hold for *any* input: interval bounds, zero-allowance
+degeneration, schedule validity, and the accuracy bookkeeping identities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.accuracy import evaluate_sampling
+from repro.core.adaptation import (AdaptationConfig,
+                                   ViolationLikelihoodSampler)
+from repro.core.task import TaskSpec
+from repro.experiments.runner import run_sampler_on_trace
+
+bounded_floats = st.floats(min_value=-1e5, max_value=1e5,
+                           allow_nan=False, allow_infinity=False)
+traces = st.lists(bounded_floats, min_size=5, max_size=400)
+
+
+def drive(trace, task, config):
+    sampler = ViolationLikelihoodSampler(task, config)
+    t, intervals = 0, []
+    n = len(trace)
+    while t < n:
+        decision = sampler.observe(float(trace[t]), t)
+        intervals.append(decision.next_interval)
+        t += max(1, decision.next_interval)
+    return sampler, intervals
+
+
+class TestIntervalInvariants:
+    @given(trace=traces,
+           err=st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+           max_interval=st.integers(min_value=1, max_value=15))
+    @settings(max_examples=120, deadline=None)
+    def test_interval_always_within_bounds(self, trace, err, max_interval):
+        task = TaskSpec(threshold=100.0, error_allowance=err,
+                        max_interval=max_interval)
+        config = AdaptationConfig(patience=2, min_samples=2)
+        _, intervals = drive(trace, task, config)
+        assert all(1 <= i <= max_interval for i in intervals)
+
+    @given(trace=traces)
+    @settings(max_examples=60, deadline=None)
+    def test_zero_allowance_is_periodic(self, trace):
+        task = TaskSpec(threshold=0.0, error_allowance=0.0)
+        _, intervals = drive(trace, task, AdaptationConfig())
+        assert all(i == 1 for i in intervals)
+
+    @given(trace=traces,
+           err=st.floats(min_value=0.001, max_value=0.2, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_bound_always_in_unit_interval(self, trace, err):
+        task = TaskSpec(threshold=50.0, error_allowance=err,
+                        max_interval=8)
+        sampler = ViolationLikelihoodSampler(
+            task, AdaptationConfig(patience=2, min_samples=2))
+        t = 0
+        while t < len(trace):
+            decision = sampler.observe(float(trace[t]), t)
+            assert 0.0 <= decision.misdetection_bound <= 1.0
+            t += max(1, decision.next_interval)
+
+
+class TestScheduleInvariants:
+    @given(trace=st.lists(bounded_floats, min_size=5, max_size=300),
+           err=st.floats(min_value=0.0, max_value=0.3, allow_nan=False))
+    @settings(max_examples=80, deadline=None)
+    def test_schedule_strictly_increasing_and_covers_start(self, trace,
+                                                           err):
+        task = TaskSpec(threshold=10.0, error_allowance=err,
+                        max_interval=10)
+        sampler = ViolationLikelihoodSampler(
+            task, AdaptationConfig(patience=2, min_samples=2))
+        result = run_sampler_on_trace(np.asarray(trace), sampler, 10.0)
+        indices = result.sampled_indices
+        assert indices[0] == 0
+        assert (np.diff(indices) >= 1).all()
+        assert indices[-1] < len(trace)
+
+    @given(trace=st.lists(bounded_floats, min_size=5, max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_accuracy_identities(self, trace):
+        arr = np.asarray(trace)
+        threshold = float(np.median(arr))
+        sampled = list(range(0, arr.size, 3))
+        result = evaluate_sampling(arr, threshold, sampled)
+        assert 0 <= result.detected_alerts <= result.truth_alerts
+        assert 0 <= result.detected_episodes <= result.truth_episodes
+        assert 0.0 <= result.misdetection_rate <= 1.0
+        assert 0.0 <= result.sampling_ratio <= 1.0
+        # detected + missed fractions reconcile.
+        if result.truth_alerts:
+            assert result.misdetection_rate == \
+                1.0 - result.detected_alerts / result.truth_alerts
+
+
+class TestCoordinationInvariants:
+    @given(yields=st.lists(
+        st.tuples(st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+                  st.floats(min_value=1e-9, max_value=1.0,
+                            allow_nan=False)),
+        min_size=2, max_size=12),
+        total=st.floats(min_value=1e-4, max_value=0.5, allow_nan=False))
+    @settings(max_examples=120, deadline=None)
+    def test_allocations_conserve_total_and_respect_floor(self, yields,
+                                                          total):
+        from repro.core.adaptation import CoordinationStats
+        from repro.core.coordination import AdaptiveAllocation
+
+        policy = AdaptiveAllocation(step=1.0, uniform_spread=0.0)
+        m = len(yields)
+        current = tuple(total / m for _ in range(m))
+        reports = [CoordinationStats(avg_cost_reduction=r,
+                                     avg_error_needed=e,
+                                     observations=10)
+                   for r, e in yields]
+        update = policy.reallocate(current, reports, total)
+        assert sum(update.allocations) <= total * (1.0 + 1e-6)
+        if update.reallocated:
+            assert sum(update.allocations) >= total * (1.0 - 1e-6)
+            floor = total * 0.01
+            assert min(update.allocations) >= floor * (1.0 - 1e-9)

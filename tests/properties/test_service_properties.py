@@ -1,0 +1,75 @@
+"""Hypothesis property tests for the streaming service."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adaptation import AdaptationConfig
+from repro.core.task import TaskSpec
+from repro.core.windowed import AggregateKind
+from repro.service import MonitoringService
+
+bounded = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False)
+
+
+@given(values=st.lists(bounded, min_size=5, max_size=200),
+       err=st.floats(min_value=0.0, max_value=0.3, allow_nan=False))
+@settings(max_examples=80, deadline=None)
+def test_due_offer_schedule_is_consistent(values, err):
+    """Whenever due() says yes, offer() consumes; otherwise it refuses."""
+    service = MonitoringService(AdaptationConfig(patience=2,
+                                                 min_samples=2))
+    service.add_task("t", TaskSpec(threshold=10.0, error_allowance=err,
+                                   max_interval=8))
+    consumed = 0
+    for step, value in enumerate(values):
+        due = service.due("t", step)
+        decision = service.offer("t", value, step)
+        assert (decision is not None) == due
+        if due:
+            consumed += 1
+            assert service.next_due("t") > step
+    assert service.samples_taken("t") == consumed
+    assert consumed >= 1
+
+
+@given(values=st.lists(bounded, min_size=3, max_size=100),
+       window=st.integers(min_value=1, max_value=10))
+@settings(max_examples=60, deadline=None)
+def test_windowed_service_matches_reference_aggregate(values, window):
+    """With a zero allowance the service samples every step, so its
+    windowed aggregate must equal the reference implementation."""
+    from repro.core.windowed import aggregate_trace
+
+    service = MonitoringService()
+    threshold = 1e9  # never alert; we only check the aggregation
+    service.add_task("w", TaskSpec(threshold=threshold,
+                                   error_allowance=0.0),
+                     window=window, window_kind=AggregateKind.MEAN)
+    reference = aggregate_trace(np.asarray(values), window,
+                                AggregateKind.MEAN)
+    state = service._state("w")
+    for step, value in enumerate(values):
+        observed = state.aggregate(step, value)
+        # offer() would run the same aggregate; compare directly.
+        assert observed == pytest.approx(reference[step], rel=1e-9,
+                                         abs=1e-9)
+
+
+@given(alert_steps=st.sets(st.integers(min_value=0, max_value=99),
+                           max_size=10))
+@settings(max_examples=60, deadline=None)
+def test_alert_callback_fires_exactly_on_violations(alert_steps):
+    values = np.zeros(100)
+    for step in alert_steps:
+        values[step] = 50.0
+    fired: list[int] = []
+    service = MonitoringService()
+    service.add_task("t", TaskSpec(threshold=10.0, error_allowance=0.0),
+                     on_alert=lambda a: fired.append(a.time_index))
+    for step, value in enumerate(values):
+        service.offer("t", float(value), step)
+    assert sorted(fired) == sorted(alert_steps)

@@ -1,0 +1,29 @@
+"""Tests for the simulated clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation.clock import SimulationClock
+
+
+def test_starts_at_zero_by_default():
+    assert SimulationClock().now == 0.0
+
+
+def test_custom_start():
+    assert SimulationClock(start=5.0).now == 5.0
+
+
+def test_advances_forward():
+    clock = SimulationClock()
+    clock.advance_to(3.0)
+    clock.advance_to(3.0)  # staying put is allowed
+    assert clock.now == 3.0
+
+
+def test_rejects_backwards():
+    clock = SimulationClock(start=10.0)
+    with pytest.raises(SimulationError):
+        clock.advance_to(9.999)

@@ -1,0 +1,119 @@
+"""Tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation.engine import SimulationEngine
+
+
+def test_schedule_and_run_until():
+    engine = SimulationEngine()
+    fired = []
+    engine.schedule(5.0, lambda: fired.append(engine.now))
+    engine.schedule(15.0, lambda: fired.append(engine.now))
+    engine.run_until(10.0)
+    assert fired == [5.0]
+    assert engine.now == 10.0
+    engine.run_until(20.0)
+    assert fired == [5.0, 15.0]
+
+
+def test_schedule_at_absolute_time():
+    engine = SimulationEngine(start_time=100.0)
+    fired = []
+    engine.schedule_at(150.0, lambda: fired.append(engine.now))
+    engine.run_until(200.0)
+    assert fired == [150.0]
+
+
+def test_schedule_in_past_rejected():
+    engine = SimulationEngine(start_time=10.0)
+    with pytest.raises(SimulationError):
+        engine.schedule_at(5.0, lambda: None)
+    with pytest.raises(SimulationError):
+        engine.schedule(-1.0, lambda: None)
+
+
+def test_run_until_past_rejected():
+    engine = SimulationEngine(start_time=10.0)
+    with pytest.raises(SimulationError):
+        engine.run_until(5.0)
+
+
+def test_events_scheduled_during_run_execute():
+    engine = SimulationEngine()
+    fired = []
+
+    def first():
+        engine.schedule(1.0, lambda: fired.append("nested"))
+
+    engine.schedule(1.0, first)
+    engine.run_until(3.0)
+    assert fired == ["nested"]
+
+
+def test_periodic_process():
+    engine = SimulationEngine()
+    ticks = []
+    engine.schedule_every(10.0, lambda: ticks.append(engine.now))
+    engine.run_until(35.0)
+    assert ticks == [10.0, 20.0, 30.0]
+
+
+def test_periodic_with_first_delay():
+    engine = SimulationEngine()
+    ticks = []
+    engine.schedule_every(10.0, lambda: ticks.append(engine.now),
+                          first_delay=0.0)
+    engine.run_until(25.0)
+    assert ticks == [0.0, 10.0, 20.0]
+
+
+def test_periodic_stops_on_stop_iteration():
+    engine = SimulationEngine()
+    ticks = []
+
+    def action():
+        ticks.append(engine.now)
+        if len(ticks) == 3:
+            raise StopIteration
+
+    engine.schedule_every(1.0, action)
+    engine.run_until(100.0)
+    assert len(ticks) == 3
+
+
+def test_periodic_rejects_bad_period():
+    with pytest.raises(SimulationError):
+        SimulationEngine().schedule_every(0.0, lambda: None)
+
+
+def test_run_drains_queue():
+    engine = SimulationEngine()
+    fired = []
+    for t in (1.0, 2.0, 3.0):
+        engine.schedule(t, lambda t=t: fired.append(t))
+    executed = engine.run()
+    assert executed == 3
+    assert fired == [1.0, 2.0, 3.0]
+    assert engine.events_processed == 3
+    assert engine.pending_events == 0
+
+
+def test_run_max_events():
+    engine = SimulationEngine()
+    for t in (1.0, 2.0, 3.0):
+        engine.schedule(t, lambda: None)
+    assert engine.run(max_events=2) == 2
+    assert engine.pending_events == 1
+
+
+def test_cancel_via_handle():
+    engine = SimulationEngine()
+    fired = []
+    handle = engine.schedule(1.0, lambda: fired.append("x"))
+    handle.cancel()
+    engine.run_until(5.0)
+    assert fired == []

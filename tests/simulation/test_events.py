@@ -1,0 +1,59 @@
+"""Tests for the event queue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation.events import EventQueue
+
+
+def test_pop_in_time_order():
+    queue = EventQueue()
+    order = []
+    queue.push(3.0, lambda: order.append("c"))
+    queue.push(1.0, lambda: order.append("a"))
+    queue.push(2.0, lambda: order.append("b"))
+    while queue:
+        queue.pop().action()
+    assert order == ["a", "b", "c"]
+
+
+def test_fifo_for_simultaneous_events():
+    queue = EventQueue()
+    order = []
+    for name in "abcde":
+        queue.push(1.0, lambda n=name: order.append(n))
+    while queue:
+        queue.pop().action()
+    assert order == list("abcde")
+
+
+def test_cancelled_events_skipped():
+    queue = EventQueue()
+    ran = []
+    handle = queue.push(1.0, lambda: ran.append("cancelled"))
+    queue.push(2.0, lambda: ran.append("kept"))
+    handle.cancel()
+    assert len(queue) == 1
+    queue.pop().action()
+    assert ran == ["kept"]
+    assert not queue
+
+
+def test_peek_time_skips_cancelled():
+    queue = EventQueue()
+    first = queue.push(1.0, lambda: None)
+    queue.push(5.0, lambda: None)
+    first.cancel()
+    assert queue.peek_time() == 5.0
+
+
+def test_pop_empty_raises():
+    with pytest.raises(SimulationError):
+        EventQueue().pop()
+
+
+def test_negative_time_rejected():
+    with pytest.raises(SimulationError):
+        EventQueue().push(-1.0, lambda: None)

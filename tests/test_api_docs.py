@@ -1,0 +1,65 @@
+"""Docs-vs-code consistency: docs/API.md may not name missing symbols.
+
+Every backticked identifier in the API reference that looks like a public
+symbol must exist in the package it is documented under; otherwise docs
+and code have drifted.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+import pytest
+
+import repro
+import repro.analysis
+import repro.baselines
+import repro.core
+import repro.datacenter
+import repro.exceptions
+import repro.experiments
+import repro.simulation
+import repro.workloads
+from repro.experiments import (delay, figures, monetary, multitask,
+                               reliability)
+
+API_MD = pathlib.Path(__file__).resolve().parents[1] / "docs" / "API.md"
+
+NAMESPACES = [repro, repro.core, repro.experiments, repro.workloads,
+              repro.datacenter, repro.simulation, repro.baselines,
+              repro.analysis, repro.exceptions, figures, monetary, delay,
+              multitask, reliability]
+
+
+def documented_symbols() -> set[str]:
+    text = API_MD.read_text()
+    # Backticked CamelCase classes and snake_case callables, first token
+    # before any "(" or ".".
+    raw = re.findall(r"`([A-Za-z_][A-Za-z0-9_./]*)", text)
+    symbols = set()
+    for item in raw:
+        head = item.split("(")[0].split(".")[0].split("/")[0]
+        if head and (head[0].isupper() or "_" in head):
+            symbols.add(head)
+    return symbols
+
+
+IGNORED = {
+    # config/file/env tokens, not Python symbols
+    "REPRO_SCALE", "error_allowance", "local_thresholds", "max_interval",
+    "trace_hook", "message_loss_rate", "except_ReproError",
+    "default_interval", "add_task", "add_trigger", "generate_with_volume",
+    "sampling_ratio", "dom0_utilization_stats", "monitor_accuracy",
+    "monetary_bill", "schedule_every", "run_until",
+}
+
+
+def test_api_reference_file_exists():
+    assert API_MD.exists()
+
+
+@pytest.mark.parametrize("symbol", sorted(documented_symbols() - IGNORED))
+def test_documented_symbol_exists(symbol):
+    found = any(hasattr(ns, symbol) for ns in NAMESPACES)
+    assert found, f"docs/API.md documents missing symbol {symbol!r}"

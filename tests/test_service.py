@@ -1,0 +1,172 @@
+"""Tests for the streaming monitoring service facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.adaptation import AdaptationConfig
+from repro.core.task import TaskSpec
+from repro.core.windowed import AggregateKind
+from repro.exceptions import ConfigurationError
+from repro.service import MonitoringService
+
+
+def task(threshold=100.0, err=0.01):
+    return TaskSpec(threshold=threshold, error_allowance=err,
+                    max_interval=10)
+
+
+class TestRegistration:
+    def test_add_and_list(self):
+        service = MonitoringService()
+        service.add_task("a", task())
+        service.add_task("b", task())
+        assert service.task_names == ["a", "b"]
+
+    def test_duplicate_rejected(self):
+        service = MonitoringService()
+        service.add_task("a", task())
+        with pytest.raises(ConfigurationError):
+            service.add_task("a", task())
+
+    def test_unknown_task_rejected(self):
+        service = MonitoringService()
+        with pytest.raises(ConfigurationError):
+            service.due("ghost", 0)
+        with pytest.raises(ConfigurationError):
+            service.offer("ghost", 1.0, 0)
+
+    def test_bad_window(self):
+        service = MonitoringService()
+        with pytest.raises(ConfigurationError):
+            service.add_task("a", task(), window=0)
+
+
+class TestScheduling:
+    def test_due_and_next_due(self):
+        service = MonitoringService()
+        service.add_task("a", task(err=0.0))
+        assert service.due("a", 0)
+        service.offer("a", 1.0, 0)
+        assert service.next_due("a") == 1
+        assert not service.due("a", 0)
+        assert service.due("a", 1)
+
+    def test_offer_before_due_is_ignored(self):
+        service = MonitoringService()
+        service.add_task("a", task(err=0.05),
+                         config=AdaptationConfig(patience=3, min_samples=5))
+        # Warm the sampler until the interval grows.
+        step = 0
+        for _ in range(200):
+            if service.due("a", step):
+                service.offer("a", 1.0, step)
+            step += 1
+        assert service.interval("a") > 1
+        before = service.samples_taken("a")
+        result = service.offer("a", 1.0, service.next_due("a") - 1)
+        assert result is None
+        assert service.samples_taken("a") == before
+
+    def test_adaptive_schedule_saves_samples(self):
+        service = MonitoringService(AdaptationConfig(patience=3,
+                                                     min_samples=5))
+        service.add_task("a", task(err=0.05))
+        taken = 0
+        for step in range(2000):
+            if service.due("a", step):
+                service.offer("a", 1.0, step)
+                taken += 1
+        assert taken < 1000
+        assert service.samples_taken("a") == taken
+
+
+class TestAlerts:
+    def test_alert_callback_fires(self):
+        fired = []
+        service = MonitoringService()
+        service.add_task("a", task(threshold=10.0, err=0.0),
+                         on_alert=fired.append)
+        service.offer("a", 5.0, 0)
+        service.offer("a", 15.0, 1)
+        assert len(fired) == 1
+        assert fired[0].time_index == 1
+        assert fired[0].value == 15.0
+        assert service.alerts("a") == fired
+
+    def test_windowed_task_alerts_on_aggregate(self):
+        service = MonitoringService()
+        service.add_task("w", task(threshold=10.0, err=0.0), window=4,
+                         window_kind=AggregateKind.MEAN)
+        # Single spike of 24 at step 2: window mean peaks at 24/3 = 8.
+        values = [0.0, 0.0, 24.0, 0.0, 0.0, 0.0]
+        for step, v in enumerate(values):
+            service.offer("w", v, step)
+        assert service.alerts("w") == []
+        # Sustained values of 12: the mean crosses 10 within the window.
+        for step, v in enumerate([12.0] * 6, start=len(values)):
+            service.offer("w", v, step)
+        assert len(service.alerts("w")) >= 1
+
+    def test_windowed_max_kind(self):
+        service = MonitoringService()
+        service.add_task("m", task(threshold=10.0, err=0.0), window=3,
+                         window_kind=AggregateKind.MAX)
+        service.offer("m", 20.0, 0)
+        service.offer("m", 0.0, 1)
+        # Max over the trailing window still sees the old spike.
+        assert len(service.alerts("m")) == 2
+
+
+class TestTriggers:
+    def test_trigger_suspends_target(self):
+        service = MonitoringService(AdaptationConfig(patience=3,
+                                                     min_samples=5))
+        service.add_task("cheap", task(threshold=50.0, err=0.0))
+        service.add_task("costly", task(threshold=100.0, err=0.0))
+        service.add_trigger("costly", trigger="cheap",
+                            elevation_level=40.0, suspend_interval=10)
+
+        # Cold trigger: the costly task idles at the suspend interval.
+        service.offer("cheap", 5.0, 0)
+        service.offer("costly", 1.0, 0)
+        assert service.next_due("costly") == 10
+
+        # Hot trigger: full-rate sampling resumes.
+        service.offer("cheap", 90.0, 10)
+        service.offer("costly", 1.0, 10)
+        assert service.next_due("costly") == 11
+
+    def test_trigger_requires_registered_tasks(self):
+        service = MonitoringService()
+        service.add_task("a", task())
+        with pytest.raises(ConfigurationError):
+            service.add_trigger("a", trigger="missing", elevation_level=1.0)
+        with pytest.raises(ConfigurationError):
+            service.add_trigger("missing", trigger="a", elevation_level=1.0)
+
+    def test_bad_suspend_interval(self):
+        service = MonitoringService()
+        service.add_task("a", task())
+        service.add_task("b", task())
+        with pytest.raises(ConfigurationError):
+            service.add_trigger("a", "b", 1.0, suspend_interval=0)
+
+
+class TestEndToEndStream:
+    def test_matches_runner_semantics(self, bursty_trace):
+        """Streaming through the service equals the trace runner."""
+        from repro.experiments.runner import run_adaptive
+
+        spec = task(threshold=100.0, err=0.01)
+        reference = run_adaptive(bursty_trace, spec)
+
+        service = MonitoringService()
+        service.add_task("t", spec)
+        sampled = []
+        for step, value in enumerate(bursty_trace):
+            if service.due("t", step):
+                service.offer("t", float(value), step)
+                sampled.append(step)
+        assert sampled == reference.sampled_indices.tolist()

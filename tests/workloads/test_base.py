@@ -1,0 +1,72 @@
+"""Tests for the workload base types."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TraceError
+from repro.workloads.base import MetricTrace, TraceGenerator
+
+
+class TestMetricTrace:
+    def test_basic_properties(self):
+        trace = MetricTrace(values=np.arange(10.0), default_interval=15.0,
+                            name="t", unit="pkts")
+        assert len(trace) == 10
+        assert trace.duration_seconds == 150.0
+
+    def test_percentile_threshold(self):
+        trace = MetricTrace(values=np.arange(1000.0))
+        threshold = trace.percentile_threshold(1.0)
+        violations = (trace.values > threshold).mean()
+        assert violations == pytest.approx(0.01, abs=0.002)
+
+    def test_percentile_threshold_validation(self):
+        trace = MetricTrace(values=np.arange(10.0))
+        with pytest.raises(TraceError):
+            trace.percentile_threshold(0.0)
+        with pytest.raises(TraceError):
+            trace.percentile_threshold(100.0)
+
+    @pytest.mark.parametrize("values", [
+        np.array([]),
+        np.zeros((2, 2)),
+        np.array([1.0, np.nan]),
+        np.array([1.0, np.inf]),
+    ])
+    def test_rejects_bad_values(self, values):
+        with pytest.raises(TraceError):
+            MetricTrace(values=values)
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(TraceError):
+            MetricTrace(values=np.zeros(3), default_interval=0.0)
+
+
+class TestTraceGenerator:
+    def test_trace_wraps_generate(self, rng):
+        class Constant(TraceGenerator):
+            default_interval = 5.0
+            unit = "x"
+
+            def generate(self, n_steps, rng):
+                return np.full(n_steps, 7.0)
+
+        trace = Constant().trace(20, rng, name="c")
+        assert len(trace) == 20
+        assert trace.default_interval == 5.0
+        assert trace.name == "c"
+        assert (trace.values == 7.0).all()
+
+    def test_generate_is_abstract(self, rng):
+        with pytest.raises(NotImplementedError):
+            TraceGenerator().generate(10, rng)
+
+    def test_trace_rejects_bad_length(self, rng):
+        class Constant(TraceGenerator):
+            def generate(self, n_steps, rng):
+                return np.zeros(n_steps)
+
+        with pytest.raises(TraceError):
+            Constant().trace(0, rng)

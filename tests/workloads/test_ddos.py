@@ -1,0 +1,67 @@
+"""Tests for SYN-flood injection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, TraceError
+from repro.workloads.ddos import SynFloodAttack, inject_attacks
+
+
+class TestSynFloodAttack:
+    def test_profile_shape(self):
+        attack = SynFloodAttack(start=10, peak_syn_rate=100.0,
+                                ramp_steps=5, hold_steps=10, decay_steps=5)
+        profile = attack.profile(50)
+        assert profile[:10].sum() == 0.0
+        assert profile[14] < 100.0          # still ramping
+        assert profile[15] == pytest.approx(100.0)
+        assert profile[24] == pytest.approx(100.0)
+        assert profile[25] < 100.0          # decaying
+        assert profile[30:].sum() == 0.0
+        assert attack.duration == 20
+
+    def test_profile_truncation(self):
+        attack = SynFloodAttack(start=95, peak_syn_rate=10.0,
+                                ramp_steps=4, hold_steps=10, decay_steps=4)
+        profile = attack.profile(100)
+        assert profile.size == 100
+        assert profile[95:].max() > 0.0
+
+    def test_alert_window(self):
+        attack = SynFloodAttack(start=7, peak_syn_rate=1.0, ramp_steps=2,
+                                hold_steps=3, decay_steps=2)
+        assert attack.alert_window() == (7, 14)
+
+    def test_profile_rejects_empty_grid(self):
+        attack = SynFloodAttack(start=0, peak_syn_rate=1.0)
+        with pytest.raises(TraceError):
+            attack.profile(0)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(start=-1, peak_syn_rate=1.0),
+        dict(start=0, peak_syn_rate=0.0),
+        dict(start=0, peak_syn_rate=1.0, ramp_steps=0),
+        dict(start=0, peak_syn_rate=1.0, decay_steps=0),
+        dict(start=0, peak_syn_rate=1.0, hold_steps=-1),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SynFloodAttack(**kwargs)
+
+
+class TestInjectAttacks:
+    def test_adds_profiles(self):
+        base = np.ones(100)
+        attacks = [SynFloodAttack(start=10, peak_syn_rate=50.0),
+                   SynFloodAttack(start=60, peak_syn_rate=20.0)]
+        out = inject_attacks(base, attacks)
+        assert out[0] == 1.0
+        assert out.max() > 50.0
+        # The original trace is untouched.
+        assert (base == 1.0).all()
+
+    def test_rejects_bad_trace(self):
+        with pytest.raises(TraceError):
+            inject_attacks(np.zeros((2, 2)), [])

@@ -1,0 +1,76 @@
+"""Tests for trace persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TraceError
+from repro.workloads.base import MetricTrace
+from repro.workloads.io import FORMAT_VERSION, load_traces, save_traces
+
+
+def make_traces(rng):
+    return [
+        MetricTrace(values=rng.normal(0, 1, 100), default_interval=15.0,
+                    name="vm-0/traffic-diff", unit="packets/15s"),
+        MetricTrace(values=rng.normal(0, 1, 50), default_interval=5.0,
+                    name="node-1/cpu_user_pct", unit="%"),
+    ]
+
+
+class TestRoundTrip:
+    def test_values_and_metadata_survive(self, tmp_path, rng):
+        traces = make_traces(rng)
+        target = tmp_path / "traces.npz"
+        save_traces(target, traces)
+        loaded = load_traces(target)
+        assert len(loaded) == 2
+        for original, restored in zip(traces, loaded):
+            assert np.array_equal(original.values, restored.values)
+            assert restored.name == original.name
+            assert restored.unit == original.unit
+            assert restored.default_interval == original.default_interval
+
+    def test_order_preserved_with_duplicate_names(self, tmp_path, rng):
+        traces = [
+            MetricTrace(values=np.array([1.0]), name="same"),
+            MetricTrace(values=np.array([2.0]), name="same"),
+        ]
+        target = tmp_path / "dup.npz"
+        save_traces(target, traces)
+        loaded = load_traces(target)
+        assert loaded[0].values[0] == 1.0
+        assert loaded[1].values[0] == 2.0
+
+
+class TestErrors:
+    def test_empty_save_rejected(self, tmp_path):
+        with pytest.raises(TraceError):
+            save_traces(tmp_path / "x.npz", [])
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_traces(tmp_path / "missing.npz")
+
+    def test_foreign_npz_rejected(self, tmp_path):
+        target = tmp_path / "foreign.npz"
+        np.savez(target, data=np.zeros(3))
+        with pytest.raises(TraceError):
+            load_traces(target)
+
+    def test_wrong_version_rejected(self, tmp_path, rng, monkeypatch):
+        import repro.workloads.io as io_module
+
+        target = tmp_path / "old.npz"
+        monkeypatch.setattr(io_module, "FORMAT_VERSION", FORMAT_VERSION + 1)
+        save_traces(target, make_traces(rng))
+        monkeypatch.undo()
+        with pytest.raises(TraceError):
+            load_traces(target)
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        target = tmp_path / "garbage.npz"
+        target.write_bytes(b"not a zip archive at all")
+        with pytest.raises((TraceError, Exception)):
+            load_traces(target)

@@ -1,0 +1,111 @@
+"""Tests for the netflow substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.workloads.netflow import (FlowRecord, NetflowConfig,
+                                     NetflowGenerator, map_addresses_to_vms,
+                                     window_packet_counts)
+
+
+class TestNetflowGenerator:
+    def test_flows_sorted_and_in_range(self, rng):
+        gen = NetflowGenerator(NetflowConfig(flows_per_second=20.0))
+        flows = gen.generate(duration=300.0, rng=rng)
+        assert len(flows) > 100
+        starts = [f.start for f in flows]
+        assert starts == sorted(starts)
+        assert all(0.0 <= s < 300.0 for s in starts)
+
+    def test_no_self_flows(self, rng):
+        gen = NetflowGenerator(NetflowConfig(num_addresses=16,
+                                             flows_per_second=50.0))
+        flows = gen.generate(120.0, rng)
+        assert all(f.src != f.dst for f in flows)
+
+    def test_packets_positive_and_scaled(self, rng):
+        config = NetflowConfig(addresses_per_vm=8)
+        flows = NetflowGenerator(config).generate(120.0, rng)
+        assert all(f.packets >= 1 for f in flows)
+        assert all(f.bytes == f.packets * config.mean_packet_bytes
+                   for f in flows)
+
+    def test_diurnal_modulation(self):
+        config = NetflowConfig(flows_per_second=100.0,
+                               diurnal_period=1000.0, diurnal_depth=0.9)
+        gen = NetflowGenerator(config)
+        # Rate at mid-cycle (peak) far exceeds the rate at cycle start.
+        assert gen._rate_at(500.0) > 5.0 * gen._rate_at(0.0)
+
+    def test_rejects_bad_duration(self, rng):
+        with pytest.raises(ConfigurationError):
+            NetflowGenerator().generate(0.0, rng)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(num_addresses=1),
+        dict(flows_per_second=0.0),
+        dict(diurnal_depth=1.0),
+        dict(addresses_per_vm=0),
+    ])
+    def test_config_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            NetflowConfig(**kwargs)
+
+
+class TestAddressMapping:
+    def test_uniform_mapping(self):
+        mapping = map_addresses_to_vms(100, 10)
+        counts = np.bincount(mapping)
+        assert counts.tolist() == [10] * 10
+
+    def test_uneven_sizes(self):
+        mapping = map_addresses_to_vms(7, 3)
+        counts = np.bincount(mapping, minlength=3)
+        assert counts.max() - counts.min() <= 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            map_addresses_to_vms(0, 3)
+
+
+class TestWindowCounts:
+    def test_conserves_packets(self, rng):
+        flows = [
+            FlowRecord(src=0, dst=1, start=5.0, packets=10, bytes=100),
+            FlowRecord(src=1, dst=2, start=20.0, packets=7, bytes=70),
+            FlowRecord(src=2, dst=0, start=31.0, packets=3, bytes=30),
+        ]
+        mapping = np.array([0, 1, 0])  # addr2 -> vm0
+        incoming, outgoing = window_packet_counts(
+            flows, mapping, num_vms=2, window_seconds=15.0, num_windows=3)
+        assert incoming.sum() == outgoing.sum() == 20
+        assert outgoing[0, 0] == 10        # vm0 sent flow 1 in window 0
+        assert incoming[1, 0] == 10        # vm1 received it
+        assert outgoing[1, 1] == 7
+        assert incoming[0, 1] == 7         # addr2 maps to vm0
+        assert outgoing[0, 2] == 3
+
+    def test_flows_outside_horizon_dropped(self):
+        flows = [FlowRecord(src=0, dst=1, start=100.0, packets=5, bytes=0)]
+        mapping = np.array([0, 1])
+        incoming, outgoing = window_packet_counts(
+            flows, mapping, num_vms=2, window_seconds=15.0, num_windows=2)
+        assert incoming.sum() == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            window_packet_counts([], np.array([0]), 1, 0.0, 1)
+
+
+class TestEndToEndCounts:
+    def test_generator_to_windows(self, rng):
+        config = NetflowConfig(num_addresses=64, flows_per_second=30.0)
+        flows = NetflowGenerator(config).generate(450.0, rng)
+        mapping = map_addresses_to_vms(64, 8)
+        incoming, outgoing = window_packet_counts(
+            flows, mapping, num_vms=8, window_seconds=15.0, num_windows=30)
+        assert incoming.shape == (8, 30)
+        assert incoming.sum() == sum(f.packets for f in flows)

@@ -1,0 +1,132 @@
+"""Tests for the generic synthetic generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.workloads.synthetic import (AR1Generator, CompositeGenerator,
+                                       DiurnalGenerator, RandomWalkGenerator,
+                                       RegimeSwitchGenerator,
+                                       SpikeTrainGenerator)
+
+
+def test_random_walk_clamps(rng):
+    gen = RandomWalkGenerator(sigma=5.0, lo=-1.0, hi=1.0)
+    values = gen.generate(500, rng)
+    assert values.min() >= -1.0
+    assert values.max() <= 1.0
+
+
+def test_random_walk_drift(rng):
+    gen = RandomWalkGenerator(sigma=0.1, drift=1.0)
+    values = gen.generate(100, rng)
+    assert values[-1] > 80.0
+
+
+def test_random_walk_validation():
+    with pytest.raises(ConfigurationError):
+        RandomWalkGenerator(sigma=-1.0)
+    with pytest.raises(ConfigurationError):
+        RandomWalkGenerator(lo=1.0, hi=0.0)
+
+
+def test_ar1_mean_reversion(rng):
+    gen = AR1Generator(mean=50.0, phi=0.5, sigma=1.0)
+    values = gen.generate(5000, rng)
+    assert values.mean() == pytest.approx(50.0, abs=1.0)
+
+
+def test_ar1_smoothness_grows_with_phi(rng):
+    rough = AR1Generator(phi=0.1, sigma=1.0).generate(
+        5000, np.random.default_rng(1))
+    smooth = AR1Generator(phi=0.98, sigma=1.0).generate(
+        5000, np.random.default_rng(1))
+    # Same innovations: higher persistence means relatively smaller steps.
+    rough_steps = np.abs(np.diff(rough)).mean() / rough.std()
+    smooth_steps = np.abs(np.diff(smooth)).mean() / smooth.std()
+    assert smooth_steps < rough_steps
+
+
+def test_ar1_validation():
+    with pytest.raises(ConfigurationError):
+        AR1Generator(phi=1.0)
+    with pytest.raises(ConfigurationError):
+        AR1Generator(sigma=-0.1)
+
+
+def test_diurnal_range_and_period(rng):
+    gen = DiurnalGenerator(period=100, amplitude=10.0, floor=5.0)
+    values = gen.generate(300, rng)
+    assert values.min() >= 5.0 - 1e-9
+    assert values.max() <= 15.0 + 1e-9
+    # Perfect periodicity.
+    assert np.allclose(values[:100], values[100:200])
+
+
+def test_diurnal_validation():
+    with pytest.raises(ConfigurationError):
+        DiurnalGenerator(period=1)
+    with pytest.raises(ConfigurationError):
+        DiurnalGenerator(period=10, amplitude=-1.0)
+
+
+def test_spike_train_mostly_zero(rng):
+    gen = SpikeTrainGenerator(spike_prob=0.001)
+    values = gen.generate(20_000, rng)
+    assert (values == 0.0).mean() > 0.8
+    assert values.max() > 0.0
+
+
+def test_spike_train_no_exact_plateaus(rng):
+    # Strict percentile thresholds degenerate on runs of equal maxima;
+    # the generator jitters spike plateaus to prevent that.
+    gen = SpikeTrainGenerator(spike_prob=0.0005, hold_steps=30)
+    values = gen.generate(20_000, rng)
+    positive = values[values > 0]
+    assert positive.size == np.unique(positive).size
+
+
+def test_spike_train_validation():
+    with pytest.raises(ConfigurationError):
+        SpikeTrainGenerator(spike_prob=1.5)
+    with pytest.raises(ConfigurationError):
+        SpikeTrainGenerator(ramp_steps=0)
+
+
+def test_composite_sums_components(rng):
+    gen = CompositeGenerator([DiurnalGenerator(period=10, amplitude=0.0,
+                                               floor=3.0),
+                              DiurnalGenerator(period=10, amplitude=0.0,
+                                               floor=4.0)])
+    values = gen.generate(50, rng)
+    assert np.allclose(values, 7.0)
+
+
+def test_composite_validation():
+    with pytest.raises(ConfigurationError):
+        CompositeGenerator([])
+
+
+def test_regime_switch_mixes(rng):
+    quiet = DiurnalGenerator(period=10, amplitude=0.0, floor=0.0)
+    busy = DiurnalGenerator(period=10, amplitude=0.0, floor=100.0)
+    gen = RegimeSwitchGenerator(quiet, busy, p_enter_busy=0.05,
+                                p_exit_busy=0.05)
+    values = gen.generate(5000, rng)
+    assert (values == 0.0).any()
+    assert (values == 100.0).any()
+
+
+def test_regime_switch_validation():
+    quiet = DiurnalGenerator(period=10)
+    with pytest.raises(ConfigurationError):
+        RegimeSwitchGenerator(quiet, quiet, p_enter_busy=-0.1)
+
+
+def test_determinism_same_seed():
+    gen = SpikeTrainGenerator(spike_prob=0.01)
+    a = gen.generate(1000, np.random.default_rng(7))
+    b = gen.generate(1000, np.random.default_rng(7))
+    assert np.array_equal(a, b)

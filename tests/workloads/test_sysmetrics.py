@@ -1,0 +1,99 @@
+"""Tests for the synthetic 66-metric system dataset."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.workloads.sysmetrics import (SYSTEM_DEFAULT_INTERVAL,
+                                        SYSTEM_METRICS,
+                                        SystemMetricsDataset)
+
+
+class TestCatalogue:
+    def test_exactly_66_metrics(self):
+        assert len(SYSTEM_METRICS) == 66
+
+    def test_names_unique(self):
+        names = [m.name for m in SYSTEM_METRICS]
+        assert len(set(names)) == 66
+
+    def test_percent_metrics_bounded(self):
+        for spec in SYSTEM_METRICS:
+            if spec.name.endswith("_pct"):
+                assert (spec.lo, spec.hi) == (0.0, 100.0)
+
+    def test_expected_families_present(self):
+        names = set(SystemMetricsDataset.metric_names())
+        for expected in ("cpu_user_pct", "mem_free_mb", "vm_cs_per_s",
+                         "disk_await_ms", "net_rx_kbps", "load_1m"):
+            assert expected in names
+
+
+class TestDataset:
+    def test_values_within_bounds(self):
+        dataset = SystemMetricsDataset(num_nodes=2, seed=0)
+        for metric in ("cpu_user_pct", "load_1m", "disk_await_ms"):
+            values = dataset.generate(0, metric, 3000)
+            spec = dataset.spec(metric)
+            assert values.min() >= spec.lo
+            assert values.max() <= spec.hi
+
+    def test_deterministic_per_node_and_metric(self):
+        a = SystemMetricsDataset(num_nodes=4, seed=9)
+        b = SystemMetricsDataset(num_nodes=4, seed=9)
+        assert np.array_equal(a.generate(2, "cpu_user_pct", 500),
+                              b.generate(2, "cpu_user_pct", 500))
+
+    def test_nodes_differ(self):
+        dataset = SystemMetricsDataset(num_nodes=2, seed=0)
+        assert not np.array_equal(dataset.generate(0, "cpu_user_pct", 500),
+                                  dataset.generate(1, "cpu_user_pct", 500))
+
+    def test_metrics_differ(self):
+        dataset = SystemMetricsDataset(num_nodes=1, seed=0)
+        assert not np.array_equal(dataset.generate(0, "cpu_user_pct", 500),
+                                  dataset.generate(0, "cpu_system_pct", 500))
+
+    def test_seeds_differ(self):
+        a = SystemMetricsDataset(num_nodes=1, seed=0)
+        b = SystemMetricsDataset(num_nodes=1, seed=1)
+        assert not np.array_equal(a.generate(0, "cpu_user_pct", 500),
+                                  b.generate(0, "cpu_user_pct", 500))
+
+    def test_trace_metadata(self):
+        dataset = SystemMetricsDataset(num_nodes=1, seed=0)
+        trace = dataset.trace(0, "cpu_user_pct", 100)
+        assert trace.default_interval == SYSTEM_DEFAULT_INTERVAL
+        assert trace.name == "node-0/cpu_user_pct"
+        assert trace.unit == "%"
+
+    def test_unknown_metric(self):
+        dataset = SystemMetricsDataset(num_nodes=1)
+        with pytest.raises(ConfigurationError):
+            dataset.generate(0, "no_such_metric", 10)
+
+    def test_node_out_of_range(self):
+        dataset = SystemMetricsDataset(num_nodes=2)
+        with pytest.raises(ConfigurationError):
+            dataset.generate(2, "cpu_user_pct", 10)
+
+    def test_bad_length(self):
+        dataset = SystemMetricsDataset(num_nodes=1)
+        with pytest.raises(ConfigurationError):
+            dataset.generate(0, "cpu_user_pct", 0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SystemMetricsDataset(num_nodes=0)
+        with pytest.raises(ConfigurationError):
+            SystemMetricsDataset(num_nodes=1, diurnal_period=1)
+
+    def test_smooth_metric_is_smoother_than_spiky(self):
+        dataset = SystemMetricsDataset(num_nodes=1, seed=3)
+        smooth = dataset.generate(0, "temperature_c", 5000)
+        spiky = dataset.generate(0, "swap_in_rate", 5000)
+        smooth_rel = np.abs(np.diff(smooth)).mean() / (smooth.std() + 1e-9)
+        spiky_rel = np.abs(np.diff(spiky)).mean() / (spiky.std() + 1e-9)
+        assert smooth_rel < spiky_rel

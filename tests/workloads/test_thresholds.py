@@ -1,0 +1,67 @@
+"""Tests for selectivity-based thresholds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, TraceError
+from repro.types import ThresholdDirection
+from repro.workloads.thresholds import (PAPER_ERROR_ALLOWANCES,
+                                        PAPER_SELECTIVITIES,
+                                        threshold_for_selectivity,
+                                        thresholds_for_violation_rates)
+
+
+class TestThresholdForSelectivity:
+    def test_realised_selectivity(self, rng):
+        values = rng.normal(0.0, 1.0, 100_000)
+        for k in (0.5, 2.0, 10.0):
+            threshold = threshold_for_selectivity(values, k)
+            realised = 100.0 * (values > threshold).mean()
+            assert realised == pytest.approx(k, rel=0.05)
+
+    def test_lower_direction(self, rng):
+        values = rng.normal(0.0, 1.0, 100_000)
+        threshold = threshold_for_selectivity(
+            values, 5.0, ThresholdDirection.LOWER)
+        realised = 100.0 * (values < threshold).mean()
+        assert realised == pytest.approx(5.0, rel=0.05)
+
+    def test_validation(self, rng):
+        values = rng.normal(0.0, 1.0, 100)
+        with pytest.raises(ConfigurationError):
+            threshold_for_selectivity(values, 0.0)
+        with pytest.raises(ConfigurationError):
+            threshold_for_selectivity(values, 100.0)
+        with pytest.raises(TraceError):
+            threshold_for_selectivity(np.array([]), 1.0)
+
+
+class TestThresholdsForViolationRates:
+    def test_per_trace_rates(self, rng):
+        traces = [rng.normal(0.0, 1.0, 50_000) for _ in range(3)]
+        rates = np.array([1.0, 5.0, 10.0])
+        thresholds = thresholds_for_violation_rates(traces, rates)
+        for trace, threshold, rate in zip(traces, thresholds, rates):
+            realised = 100.0 * (trace > threshold).mean()
+            assert realised == pytest.approx(rate, rel=0.1)
+
+    def test_extreme_rates_clipped(self, rng):
+        traces = [rng.normal(0.0, 1.0, 1000)]
+        # A 90% violation rate clips to 50%; 0 clips to a tiny rate.
+        thresholds = thresholds_for_violation_rates(traces,
+                                                    np.array([90.0]))
+        realised = (traces[0] > thresholds[0]).mean()
+        assert realised <= 0.51
+
+    def test_mismatched_lengths(self, rng):
+        with pytest.raises(ConfigurationError):
+            thresholds_for_violation_rates([rng.normal(0, 1, 10)],
+                                           np.array([1.0, 2.0]))
+
+
+class TestPaperConstants:
+    def test_paper_axes(self):
+        assert PAPER_SELECTIVITIES == (6.4, 3.2, 1.6, 0.8, 0.4, 0.2, 0.1)
+        assert PAPER_ERROR_ALLOWANCES == (0.002, 0.004, 0.008, 0.016, 0.032)

@@ -1,0 +1,93 @@
+"""Tests for the traffic-difference metric."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, TraceError
+from repro.workloads.traffic import (TrafficDifferenceGenerator,
+                                     syn_ack_difference_from_flows)
+
+
+class TestSynAckFromFlows:
+    def test_expectation_tracks_imbalance(self, rng):
+        incoming = np.full(2000, 10_000)
+        outgoing = np.full(2000, 8_000)
+        rho = syn_ack_difference_from_flows(incoming, outgoing, rng,
+                                            syn_probability=0.1)
+        # E[rho] = p * (in - out) = 200
+        assert rho.mean() == pytest.approx(200.0, rel=0.1)
+
+    def test_balanced_traffic_near_zero(self, rng):
+        counts = np.full(2000, 10_000)
+        rho = syn_ack_difference_from_flows(counts, counts, rng)
+        assert abs(rho.mean()) < 5.0
+
+    def test_misaligned_rejected(self, rng):
+        with pytest.raises(TraceError):
+            syn_ack_difference_from_flows(np.zeros(3), np.zeros(4), rng)
+
+    def test_negative_counts_rejected(self, rng):
+        with pytest.raises(TraceError):
+            syn_ack_difference_from_flows(np.array([-1]), np.array([1]),
+                                          rng)
+
+    def test_bad_probability_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            syn_ack_difference_from_flows(np.zeros(2, dtype=int),
+                                          np.zeros(2, dtype=int), rng,
+                                          syn_probability=0.0)
+
+
+class TestTrafficDifferenceGenerator:
+    def test_quiet_band_is_small(self, rng):
+        gen = TrafficDifferenceGenerator(burst_prob=0.0)
+        rho = gen.generate(5000, rng)
+        # Without bursts the residue stays tiny relative to burst scale.
+        assert np.percentile(rho, 99) < 30.0
+
+    def test_bursts_create_heavy_tail(self, rng):
+        gen = TrafficDifferenceGenerator(burst_prob=0.003)
+        rho = gen.generate(20_000, rng)
+        assert rho.max() > 10.0 * np.percentile(rho, 90)
+
+    def test_volume_alignment_and_scale(self, rng):
+        gen = TrafficDifferenceGenerator()
+        rho, packets = gen.generate_with_volume(3000, rng)
+        assert rho.shape == packets.shape
+        assert (packets >= 0).all()
+        # Volume carries the handshake + data-packet mass.
+        assert packets.mean() > 100.0
+
+    def test_deterministic_given_seed(self):
+        gen = TrafficDifferenceGenerator()
+        a = gen.generate(2000, np.random.default_rng(3))
+        b = gen.generate(2000, np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+    def test_diurnal_depth_shapes_volume(self):
+        rng_a = np.random.default_rng(5)
+        rng_b = np.random.default_rng(5)
+        flat = TrafficDifferenceGenerator(diurnal_depth=0.0)
+        deep = TrafficDifferenceGenerator(diurnal_depth=0.9)
+        _, flat_packets = flat.generate_with_volume(5760, rng_a)
+        _, deep_packets = deep.generate_with_volume(5760, rng_b)
+        assert deep_packets.sum() < flat_packets.sum()
+
+    def test_trace_for_vm_names(self, rng):
+        trace = TrafficDifferenceGenerator().trace_for_vm(17, 100, rng)
+        assert trace.name == "vm-17/traffic-diff"
+        assert trace.default_interval == 15.0
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(base_handshakes=0.0),
+        dict(diurnal_depth=1.0),
+        dict(diurnal_period=1),
+        dict(completion_rate=0.0),
+        dict(burst_prob=-0.1),
+        dict(burst_ramp=0),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TrafficDifferenceGenerator(**kwargs)

@@ -1,0 +1,81 @@
+"""Tests for the WorldCup-style web workload."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.workloads.weblogs import WebWorkloadGenerator
+
+
+class TestWebWorkloadGenerator:
+    def test_popularity_sums_to_one(self):
+        gen = WebWorkloadGenerator(num_objects=100)
+        total = sum(gen.object_popularity(i) for i in range(100))
+        assert total == pytest.approx(1.0)
+
+    def test_popularity_decreasing(self):
+        gen = WebWorkloadGenerator(num_objects=50)
+        pops = [gen.object_popularity(i) for i in range(50)]
+        assert pops == sorted(pops, reverse=True)
+
+    def test_popularity_rank_validation(self):
+        gen = WebWorkloadGenerator(num_objects=10)
+        with pytest.raises(ConfigurationError):
+            gen.object_popularity(10)
+
+    def test_diurnal_trough_much_quieter(self, rng):
+        gen = WebWorkloadGenerator(peak_rate=1000.0, diurnal_period=1000,
+                                   diurnal_depth=0.9, flash_prob=0.0)
+        envelope = gen.rate_envelope(1000, rng)
+        assert envelope.min() < 0.2 * envelope.max()
+
+    def test_flash_crowds_multiply(self, rng):
+        calm_rng = np.random.default_rng(11)
+        crowd_rng = np.random.default_rng(11)
+        calm = WebWorkloadGenerator(flash_prob=0.0, diurnal_period=5000)
+        crowds = WebWorkloadGenerator(flash_prob=0.002, flash_magnitude=8.0,
+                                      diurnal_period=5000)
+        calm_env = calm.rate_envelope(5000, calm_rng)
+        crowd_env = crowds.rate_envelope(5000, crowd_rng)
+        assert crowd_env.max() > 2.0 * calm_env.max()
+
+    def test_site_requests_track_envelope(self, rng):
+        gen = WebWorkloadGenerator(peak_rate=2000.0, diurnal_period=2000,
+                                   flash_prob=0.0)
+        requests = gen.site_requests(2000, rng)
+        assert requests.mean() == pytest.approx(
+            gen.rate_envelope(2000, rng).mean(), rel=0.15)
+
+    def test_object_trace_thins_site_traffic(self, rng):
+        gen = WebWorkloadGenerator(peak_rate=5000.0, diurnal_period=2000)
+        trace = gen.access_rate_trace(0, 2000, rng)
+        assert trace.default_interval == 1.0
+        assert trace.name == "object-0/access-rate"
+        # The most popular object still sees only a fraction of traffic.
+        assert trace.values.mean() < 5000.0 * 0.5
+
+    def test_rare_object_quieter_than_popular(self):
+        gen = WebWorkloadGenerator(peak_rate=5000.0, diurnal_period=2000)
+        popular = gen.access_rate_trace(0, 2000, np.random.default_rng(1))
+        rare = gen.access_rate_trace(400, 2000, np.random.default_rng(1))
+        assert rare.values.mean() < popular.values.mean()
+
+    def test_envelope_length_validation(self, rng):
+        gen = WebWorkloadGenerator()
+        with pytest.raises(ConfigurationError):
+            gen.rate_envelope(0, rng)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(peak_rate=0.0),
+        dict(num_objects=0),
+        dict(diurnal_depth=1.0),
+        dict(diurnal_period=1),
+        dict(flash_prob=2.0),
+        dict(flash_magnitude=0.5),
+        dict(flash_duration=0.0),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            WebWorkloadGenerator(**kwargs)

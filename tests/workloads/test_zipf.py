@@ -1,0 +1,81 @@
+"""Tests for Zipf utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.workloads.zipf import (sample_zipf_ranks, zipf_hotspot_rates,
+                                  zipf_rates, zipf_weights)
+
+
+class TestZipfWeights:
+    def test_uniform_at_zero_skew(self):
+        weights = zipf_weights(4, 0.0)
+        assert np.allclose(weights, 0.25)
+
+    def test_decreasing_with_rank(self):
+        weights = zipf_weights(10, 1.5)
+        assert (np.diff(weights) < 0).all()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ConfigurationError):
+            zipf_weights(5, -0.1)
+
+    @given(n=st.integers(min_value=1, max_value=200),
+           skew=st.floats(min_value=0.0, max_value=4.0,
+                          allow_nan=False, allow_infinity=False))
+    @settings(max_examples=100, deadline=None)
+    def test_property_normalised(self, n, skew):
+        weights = zipf_weights(n, skew)
+        assert weights.sum() == pytest.approx(1.0)
+        assert (weights > 0).all()
+
+
+class TestZipfRates:
+    def test_mean_preserved(self):
+        rates = zipf_rates(8, 2.0, 1.5)
+        assert rates.mean() == pytest.approx(1.5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            zipf_rates(8, 1.0, 0.0)
+
+
+class TestHotspotRates:
+    def test_floor_preserved(self):
+        rates = zipf_hotspot_rates(8, 2.0, 0.2)
+        assert rates.min() == pytest.approx(0.2)
+        assert rates[0] > rates[-1]
+
+    def test_uniform_at_zero_skew(self):
+        rates = zipf_hotspot_rates(8, 0.0, 0.2)
+        assert np.allclose(rates, 0.2)
+
+    def test_cap(self):
+        rates = zipf_hotspot_rates(16, 3.0, 0.2, cap=5.0)
+        assert rates.max() == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            zipf_hotspot_rates(8, 1.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            zipf_hotspot_rates(8, 1.0, 0.1, cap=0.0)
+
+
+class TestSampleRanks:
+    def test_skew_prefers_low_ranks(self, rng):
+        ranks = sample_zipf_ranks(100, 2.0, 5000, rng)
+        assert (ranks < 10).mean() > 0.5
+
+    def test_size_zero(self, rng):
+        assert sample_zipf_ranks(10, 1.0, 0, rng).size == 0
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            sample_zipf_ranks(10, 1.0, -1, rng)

@@ -1,0 +1,55 @@
+"""Parallel sweep layer: pool fan-out vs serial, and warm-cache re-runs.
+
+Not a paper figure — this benchmarks the execution substrate every
+figure sweep now runs on (DESIGN.md S25). Three claims to watch:
+
+* ``workers=N`` produces bit-for-bit the ``workers=1`` matrix;
+* a warm cache turns a full sweep into pure disk reads;
+* the observability surface (cache hits, per-cell wall time) is real.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro.experiments.figures import fig5
+from repro.experiments.parallel import SweepCache
+
+KWARGS = dict(num_streams=3, horizon=4000, seed=0,
+              selectivities=(3.2, 0.8), error_allowances=(0.008, 0.032))
+
+
+def run_serial():
+    return fig5("network", workers=1, **KWARGS)
+
+
+def run_parallel():
+    return fig5("network", workers=2, **KWARGS)
+
+
+def test_parallel_sweep_equivalence(benchmark, report):
+    parallel = benchmark.pedantic(run_parallel, rounds=1, iterations=1)
+    serial = run_serial()
+    report(parallel.report())
+    report(parallel.sweep_stats.report())
+
+    # The tentpole guarantee: fan-out changes nothing about the numbers.
+    assert parallel.cells == serial.cells
+    assert parallel.sweep_stats.workers == 2
+    assert parallel.sweep_stats.cache_misses == len(parallel.cells)
+
+
+def test_warm_cache_sweep(benchmark, report):
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = SweepCache(tmp)
+        cold = fig5("network", workers=1, cache=cache, **KWARGS)
+
+        def rerun():
+            return fig5("network", workers=1, cache=cache, **KWARGS)
+
+        warm = benchmark.pedantic(rerun, rounds=1, iterations=1)
+        report(warm.sweep_stats.report())
+
+        assert warm.cells == cold.cells
+        assert warm.sweep_stats.cache_hits == len(warm.cells)
+        assert warm.sweep_stats.cache_misses == 0

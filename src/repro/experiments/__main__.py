@@ -15,7 +15,10 @@ Extension experiments (not paper figures) are available by name::
     python -m repro.experiments reliability
 
 Scale with ``REPRO_SCALE=4 python -m repro.experiments fig5a`` to approach
-the paper's testbed size.
+the paper's testbed size. Figure sweeps fan out over a process pool
+(``--workers`` / ``REPRO_WORKERS``; results are bit-for-bit identical at
+any worker count) and cache completed cells on disk, so a re-run only
+recomputes cells whose parameters changed; disable with ``--no-cache``.
 """
 
 from __future__ import annotations
@@ -29,32 +32,49 @@ from repro.experiments.figures import (fig5, fig6, fig7, fig7_report, fig8,
                                        scale_factor)
 from repro.experiments.monetary import monetary_analysis
 from repro.experiments.multitask import multitask_experiment
+from repro.experiments.parallel import SweepCache, default_cache_dir
 from repro.experiments.reliability import reliability_experiment
 from repro.experiments.reporting import to_csv
 
 FIGURES = ("fig5a", "fig5b", "fig5c", "fig6", "fig7", "fig8")
 EXTENSIONS = ("monetary", "delay", "multitask", "reliability")
+#: convenience spellings accepted by the CLI
+ALIASES = {"fig5": "fig5a"}
 
 
-def run_figure(name: str, seed: int) -> tuple[str, object]:
-    """Run one driver; returns ``(text report, result object)``."""
+def run_figure(name: str, seed: int, *, workers: int | None = None,
+               cache: SweepCache | None = None, streams: int | None = None,
+               horizon: int | None = None) -> tuple[str, object]:
+    """Run one driver; returns ``(text report, result object)``.
+
+    ``streams`` / ``horizon`` override the scale-derived sweep sizes
+    where the figure has such axes (streams also maps to fig8's monitor
+    count); extension experiments take only the seed.
+    """
+    name = ALIASES.get(name, name)
     if name == "fig5a":
-        result = fig5("network", seed=seed)
+        result = fig5("network", num_streams=streams, horizon=horizon,
+                      seed=seed, workers=workers, cache=cache)
         return result.report(), result
     if name == "fig5b":
-        result = fig5("system", seed=seed)
+        result = fig5("system", num_streams=streams, horizon=horizon,
+                      seed=seed, workers=workers, cache=cache)
         return result.report(), result
     if name == "fig5c":
-        result = fig5("application", seed=seed)
+        result = fig5("application", num_streams=streams, horizon=horizon,
+                      seed=seed, workers=workers, cache=cache)
         return result.report(), result
     if name == "fig6":
-        result = fig6(seed=seed)
+        result = fig6(horizon=horizon, seed=seed, workers=workers,
+                      cache=cache)
         return result.report(), result
     if name == "fig7":
-        result = fig7(seed=seed)
+        result = fig7(num_streams=streams, horizon=horizon, seed=seed,
+                      workers=workers, cache=cache)
         return fig7_report(result), result
     if name == "fig8":
-        result = fig8(seed=seed)
+        result = fig8(num_monitors=streams, horizon=horizon, seed=seed,
+                      workers=workers, cache=cache)
         return result.report(), result
     if name == "monetary":
         result = monetary_analysis(seed=seed)
@@ -87,28 +107,59 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro.experiments",
         description="Regenerate the Volley paper's evaluation figures "
                     "and the extension experiments.")
-    parser.add_argument("figure", choices=FIGURES + EXTENSIONS + ("all",),
+    parser.add_argument("figure",
+                        choices=FIGURES + EXTENSIONS + ("all",)
+                        + tuple(ALIASES),
                         help="which figure/experiment to regenerate "
-                             "('all' = the paper's six figures)")
+                             "('all' = the paper's six figures; 'fig5' "
+                             "is an alias for fig5a)")
     parser.add_argument("--seed", type=int, default=0,
                         help="master random seed (default 0)")
     parser.add_argument("--csv", type=pathlib.Path, default=None,
                         metavar="DIR",
                         help="also write each figure's data as CSV into "
                              "this directory (figures only)")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="sweep process-pool size (default: "
+                             "REPRO_WORKERS, then the CPU count; 1 = "
+                             "strictly serial, identical results either "
+                             "way)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="recompute every sweep cell instead of "
+                             "reusing the on-disk result cache")
+    parser.add_argument("--cache-dir", type=pathlib.Path, default=None,
+                        metavar="DIR",
+                        help="sweep cache location (default: "
+                             "REPRO_CACHE_DIR, then the XDG cache dir)")
+    parser.add_argument("--streams", type=int, default=None, metavar="N",
+                        help="override the stream/monitor count of "
+                             "fig5*/fig7/fig8 sweeps")
+    parser.add_argument("--horizon", type=int, default=None, metavar="N",
+                        help="override the per-stream horizon of figure "
+                             "sweeps")
     args = parser.parse_args(argv)
+
+    cache: SweepCache | None = None
+    if not args.no_cache:
+        cache = SweepCache(args.cache_dir or default_cache_dir())
 
     names = FIGURES if args.figure == "all" else (args.figure,)
     print(f"[repro] scale factor: {scale_factor():g} "
           f"(set REPRO_SCALE to change)")
     for name in names:
-        text, result = run_figure(name, args.seed)
+        text, result = run_figure(name, args.seed, workers=args.workers,
+                                  cache=cache, streams=args.streams,
+                                  horizon=args.horizon)
         print()
         print(text)
+        sweep_stats = getattr(result, "sweep_stats", None)
+        if sweep_stats is not None:
+            print(sweep_stats.report())
         if args.csv is not None:
-            write_csv(args.csv, name, result)
-            if (args.csv / f"{name}.csv").exists():
-                print(f"[repro] wrote {args.csv / (name + '.csv')}")
+            write_csv(args.csv, ALIASES.get(name, name), result)
+            csv_name = ALIASES.get(name, name)
+            if (args.csv / f"{csv_name}.csv").exists():
+                print(f"[repro] wrote {args.csv / (csv_name + '.csv')}")
     return 0
 
 

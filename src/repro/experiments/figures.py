@@ -14,6 +14,14 @@ One function per evaluation figure:
 All drivers honour the ``REPRO_SCALE`` environment variable (a float
 multiplier on stream counts and horizons) so the same code runs at laptop
 scale by default and approaches the paper's 800-VM scale when asked.
+
+Every grid-shaped driver expresses its sweep as pure, picklable
+:class:`~repro.experiments.parallel.SweepJob`\\ s and executes them
+through :func:`~repro.experiments.parallel.run_sweep`, so the same call
+runs serially (``workers=1``), fans out over a process pool
+(``workers=N`` / ``REPRO_WORKERS``), and can resume from an on-disk
+result cache — with bit-for-bit identical numbers in every mode, because
+each cell regenerates its own randomness from the master seed.
 """
 
 from __future__ import annotations
@@ -29,6 +37,8 @@ from repro.core.task import DistributedTaskSpec, TaskSpec
 from repro.datacenter.testbed import TestbedConfig, build_testbed
 from repro.exceptions import ConfigurationError
 from repro.experiments.distributed import run_distributed_task
+from repro.experiments.parallel import SweepCache, SweepJob, SweepStats, \
+    run_sweep
 from repro.experiments.reporting import format_matrix, format_table
 from repro.experiments.runner import run_adaptive
 from repro.simulation.randomness import RandomStreams
@@ -95,6 +105,7 @@ class Fig5Result:
     cells: tuple[SweepCell, ...]
     streams: int
     horizon: int
+    sweep_stats: SweepStats | None = None
 
     def cell(self, selectivity: float, error: float) -> SweepCell:
         """Look up one cell."""
@@ -170,12 +181,43 @@ def _domain_streams(domain: str, num_streams: int, horizon: int,
     return traces
 
 
+def _fig5_cell(*, domain: str, num_streams: int, horizon: int, seed: int,
+               selectivity: float, error_allowance: float,
+               max_interval: int,
+               config: AdaptationConfig | None) -> SweepCell:
+    """Compute one Fig. 5 sweep cell (pure; safe in any worker process).
+
+    Regenerates the domain's traces from the master seed, so the cell's
+    value depends only on its spec — never on which worker ran it, in
+    what order, or what ran before it in the same process.
+    """
+    traces = _domain_streams(domain, num_streams, horizon, seed)
+    ratios, misses, alerts = [], [], 0
+    for trace in traces:
+        threshold = threshold_for_selectivity(trace, selectivity)
+        task = TaskSpec(threshold=threshold,
+                        error_allowance=error_allowance,
+                        max_interval=max_interval,
+                        name=f"fig5-{domain}")
+        result = run_adaptive(trace, task, config)
+        ratios.append(result.sampling_ratio)
+        misses.append(result.misdetection_rate)
+        alerts += result.accuracy.truth_alerts
+    return SweepCell(
+        selectivity=selectivity, error_allowance=error_allowance,
+        sampling_ratio=float(np.mean(ratios)),
+        misdetection_rate=float(np.mean(misses)),
+        truth_alerts=alerts)
+
+
 def fig5(domain: str, num_streams: int | None = None,
          horizon: int | None = None, seed: int = 0,
          selectivities: tuple[float, ...] = PAPER_SELECTIVITIES,
          error_allowances: tuple[float, ...] = PAPER_ERROR_ALLOWANCES,
          max_interval: int = 10,
-         config: AdaptationConfig | None = None) -> Fig5Result:
+         config: AdaptationConfig | None = None,
+         workers: int | None = None,
+         cache: SweepCache | None = None) -> Fig5Result:
     """Reproduce one panel of Fig. 5.
 
     For every (selectivity ``k``, error allowance) combination, runs the
@@ -193,36 +235,33 @@ def fig5(domain: str, num_streams: int | None = None,
             default).
         max_interval: ``Im`` in default intervals.
         config: adaptation tunables.
+        workers: sweep pool size (``None`` = ``REPRO_WORKERS`` then CPU
+            count; ``1`` = strictly in-process). Results are identical
+            for every worker count.
+        cache: completed-cell store (``None`` = always recompute).
     """
     scale = scale_factor()
     if num_streams is None:
         num_streams = int(round(6 * scale))
     if horizon is None:
         horizon = int(round(10_000 * scale))
-    traces = _domain_streams(domain, num_streams, horizon, seed)
+    # Validate the domain before launching any (possibly remote) work.
+    if domain not in ("network", "system", "application"):
+        raise ConfigurationError(
+            f"unknown domain {domain!r}; expected network/system/application")
 
-    cells: list[SweepCell] = []
-    for k in selectivities:
-        thresholds = [threshold_for_selectivity(t, k) for t in traces]
-        for err in error_allowances:
-            ratios, misses, alerts = [], [], 0
-            for trace, threshold in zip(traces, thresholds):
-                task = TaskSpec(threshold=threshold, error_allowance=err,
-                                max_interval=max_interval,
-                                name=f"fig5-{domain}")
-                result = run_adaptive(trace, task, config)
-                ratios.append(result.sampling_ratio)
-                misses.append(result.misdetection_rate)
-                alerts += result.accuracy.truth_alerts
-            cells.append(SweepCell(
-                selectivity=k, error_allowance=err,
-                sampling_ratio=float(np.mean(ratios)),
-                misdetection_rate=float(np.mean(misses)),
-                truth_alerts=alerts))
+    jobs = [SweepJob.call(_fig5_cell,
+                          label=f"fig5-{domain} k={k} err={err}",
+                          domain=domain, num_streams=num_streams,
+                          horizon=horizon, seed=seed, selectivity=k,
+                          error_allowance=err, max_interval=max_interval,
+                          config=config)
+            for k in selectivities for err in error_allowances]
+    cells, stats = run_sweep(jobs, workers=workers, cache=cache)
     return Fig5Result(domain=domain, selectivities=tuple(selectivities),
                       error_allowances=tuple(error_allowances),
                       cells=tuple(cells), streams=num_streams,
-                      horizon=horizon)
+                      horizon=horizon, sweep_stats=stats)
 
 
 @dataclass(frozen=True, slots=True)
@@ -235,6 +274,7 @@ class Fig6Result:
     vms_per_server: int
     num_servers: int
     horizon: int
+    sweep_stats: SweepStats | None = None
 
     def report(self) -> str:
         """Paper-style text rendering of the box-plot statistics."""
@@ -263,10 +303,32 @@ class Fig6Result:
         return headers, rows
 
 
+def _fig6_cell(*, error_allowance: float, num_servers: int,
+               vms_per_server: int, horizon: int, selectivity: float,
+               seed: int) -> tuple[dict[str, float], float]:
+    """One Fig. 6 error allowance: ``(box stats, sampling ratio)``."""
+    testbed = build_testbed(TestbedConfig(
+        num_servers=num_servers, vms_per_server=vms_per_server,
+        horizon_steps=horizon, error_allowance=error_allowance,
+        selectivity_percent=selectivity, seed=seed))
+    testbed.run()
+    util = np.concatenate([s.dom0.utilization() for s in testbed.servers])
+    box = {
+        "min": float(util.min()),
+        "q25": float(np.percentile(util, 25)),
+        "median": float(np.percentile(util, 50)),
+        "q75": float(np.percentile(util, 75)),
+        "max": float(util.max()),
+        "mean": float(util.mean()),
+    }
+    return box, testbed.sampling_ratio
+
+
 def fig6(error_allowances: tuple[float, ...] = (0.0,) + PAPER_ERROR_ALLOWANCES,
          num_servers: int | None = None, vms_per_server: int = 40,
          horizon: int | None = None, selectivity: float = 0.4,
-         seed: int = 0) -> Fig6Result:
+         seed: int = 0, workers: int | None = None,
+         cache: SweepCache | None = None) -> Fig6Result:
     """Reproduce Fig. 6: Dom0 CPU cost of network monitoring vs. ``err``.
 
     Builds the per-VM-task testbed (the paper's 40 VMs per server) once
@@ -280,36 +342,27 @@ def fig6(error_allowances: tuple[float, ...] = (0.0,) + PAPER_ERROR_ALLOWANCES,
     if horizon is None:
         horizon = int(round(2000 * scale))
 
-    stats: list[dict[str, float]] = []
-    ratios: list[float] = []
-    for err in error_allowances:
-        testbed = build_testbed(TestbedConfig(
-            num_servers=num_servers, vms_per_server=vms_per_server,
-            horizon_steps=horizon, error_allowance=err,
-            selectivity_percent=selectivity, seed=seed))
-        testbed.run()
-        util = np.concatenate([s.dom0.utilization()
-                               for s in testbed.servers])
-        stats.append({
-            "min": float(util.min()),
-            "q25": float(np.percentile(util, 25)),
-            "median": float(np.percentile(util, 50)),
-            "q75": float(np.percentile(util, 75)),
-            "max": float(util.max()),
-            "mean": float(util.mean()),
-        })
-        ratios.append(testbed.sampling_ratio)
+    jobs = [SweepJob.call(_fig6_cell, label=f"fig6 err={err}",
+                          error_allowance=err, num_servers=num_servers,
+                          vms_per_server=vms_per_server, horizon=horizon,
+                          selectivity=selectivity, seed=seed)
+            for err in error_allowances]
+    results, sweep_stats = run_sweep(jobs, workers=workers, cache=cache)
+    stats = tuple(box for box, _ in results)
+    ratios = tuple(ratio for _, ratio in results)
     return Fig6Result(error_allowances=tuple(error_allowances),
-                      stats=tuple(stats), sampling_ratios=tuple(ratios),
+                      stats=stats, sampling_ratios=ratios,
                       vms_per_server=vms_per_server,
-                      num_servers=num_servers, horizon=horizon)
+                      num_servers=num_servers, horizon=horizon,
+                      sweep_stats=sweep_stats)
 
 
 def fig7(num_streams: int | None = None, horizon: int | None = None,
          seed: int = 0,
          selectivities: tuple[float, ...] = PAPER_SELECTIVITIES,
          error_allowances: tuple[float, ...] = PAPER_ERROR_ALLOWANCES,
-         ) -> Fig5Result:
+         workers: int | None = None,
+         cache: SweepCache | None = None) -> Fig5Result:
     """Reproduce Fig. 7: actual mis-detection rates, system-level tasks.
 
     Runs the same sweep as Fig. 5(b); the quantity of interest is the
@@ -320,7 +373,8 @@ def fig7(num_streams: int | None = None, horizon: int | None = None,
     """
     result = fig5("system", num_streams=num_streams, horizon=horizon,
                   seed=seed, selectivities=selectivities,
-                  error_allowances=error_allowances)
+                  error_allowances=error_allowances, workers=workers,
+                  cache=cache)
     return result
 
 
@@ -348,6 +402,7 @@ class Fig8Result:
     adaptive_misdetection: tuple[float, ...]
     num_monitors: int
     horizon: int
+    sweep_stats: SweepStats | None = None
 
     def report(self) -> str:
         """Paper-style text rendering."""
@@ -373,11 +428,47 @@ class Fig8Result:
         return headers, rows
 
 
+def _fig8_cell(*, skew: float, rep: int, seed: int, num_monitors: int,
+               horizon: int, base_violation_rate: float,
+               error_allowance: float, update_period: int,
+               max_interval: int) -> tuple[float, float, float, float]:
+    """One (skew, repeat) of Fig. 8.
+
+    Returns ``(even ratio, adaptive ratio, even miss, adaptive miss)``.
+    Traces are regenerated from ``seed + rep`` exactly as the serial
+    sweep always did, so each repeat sees the same streams for every
+    skew and both allocation policies.
+    """
+    streams = RandomStreams(seed + rep)
+    traces = []
+    for i in range(num_monitors):
+        rng = streams.stream("fig8-network", i)
+        gen = TrafficDifferenceGenerator(
+            diurnal_depth=0.0, burst_prob=0.0006, burst_hold=14)
+        traces.append(gen.generate(horizon, rng))
+    rates = zipf_hotspot_rates(num_monitors, skew, base_violation_rate)
+    thresholds = thresholds_for_violation_rates(traces, rates)
+    spec = DistributedTaskSpec(
+        global_threshold=float(sum(thresholds)),
+        local_thresholds=tuple(thresholds),
+        error_allowance=error_allowance,
+        max_interval=max_interval,
+        name=f"fig8-skew-{skew}")
+    even = run_distributed_task(traces, spec, policy=EvenAllocation(),
+                                update_period=update_period)
+    adaptive = run_distributed_task(traces, spec,
+                                    policy=AdaptiveAllocation(),
+                                    update_period=update_period)
+    return (even.sampling_ratio, adaptive.sampling_ratio,
+            even.misdetection_rate, adaptive.misdetection_rate)
+
+
 def fig8(skews: tuple[float, ...] = (0.0, 0.5, 1.0, 1.5, 2.0),
          num_monitors: int | None = None, horizon: int | None = None,
          base_violation_rate: float = 0.2, error_allowance: float = 0.01,
          seed: int = 0, repeats: int = 3, update_period: int = 1000,
-         max_interval: int = 10) -> Fig8Result:
+         max_interval: int = 10, workers: int | None = None,
+         cache: SweepCache | None = None) -> Fig8Result:
     """Reproduce Fig. 8: adaptive vs. even error-allowance allocation.
 
     One distributed network task over ``num_monitors`` monitors; local
@@ -403,38 +494,29 @@ def fig8(skews: tuple[float, ...] = (0.0, 0.5, 1.0, 1.5, 2.0),
     if horizon is None:
         horizon = int(round(20_000 * scale))
 
-    even_acc = {s: [] for s in skews}
-    adapt_acc = {s: [] for s in skews}
-    even_miss_acc = {s: [] for s in skews}
-    adapt_miss_acc = {s: [] for s in skews}
-    for rep in range(max(repeats, 1)):
-        streams = RandomStreams(seed + rep)
-        traces = []
-        for i in range(num_monitors):
-            rng = streams.stream("fig8-network", i)
-            gen = TrafficDifferenceGenerator(
-                diurnal_depth=0.0, burst_prob=0.0006, burst_hold=14)
-            traces.append(gen.generate(horizon, rng))
-        for skew in skews:
-            rates = zipf_hotspot_rates(num_monitors, skew,
-                                       base_violation_rate)
-            thresholds = thresholds_for_violation_rates(traces, rates)
-            spec = DistributedTaskSpec(
-                global_threshold=float(sum(thresholds)),
-                local_thresholds=tuple(thresholds),
-                error_allowance=error_allowance,
-                max_interval=max_interval,
-                name=f"fig8-skew-{skew}")
-            even = run_distributed_task(traces, spec,
-                                        policy=EvenAllocation(),
-                                        update_period=update_period)
-            adaptive = run_distributed_task(traces, spec,
-                                            policy=AdaptiveAllocation(),
-                                            update_period=update_period)
-            even_acc[skew].append(even.sampling_ratio)
-            adapt_acc[skew].append(adaptive.sampling_ratio)
-            even_miss_acc[skew].append(even.misdetection_rate)
-            adapt_miss_acc[skew].append(adaptive.misdetection_rate)
+    grid = [(rep, skew) for rep in range(max(repeats, 1))
+            for skew in skews]
+    jobs = [SweepJob.call(_fig8_cell,
+                          label=f"fig8 skew={skew} rep={rep}",
+                          skew=skew, rep=rep, seed=seed,
+                          num_monitors=num_monitors, horizon=horizon,
+                          base_violation_rate=base_violation_rate,
+                          error_allowance=error_allowance,
+                          update_period=update_period,
+                          max_interval=max_interval)
+            for rep, skew in grid]
+    results, sweep_stats = run_sweep(jobs, workers=workers, cache=cache)
+
+    even_acc: dict[float, list[float]] = {s: [] for s in skews}
+    adapt_acc: dict[float, list[float]] = {s: [] for s in skews}
+    even_miss_acc: dict[float, list[float]] = {s: [] for s in skews}
+    adapt_miss_acc: dict[float, list[float]] = {s: [] for s in skews}
+    for (rep, skew), cell in zip(grid, results):
+        even_ratio, adaptive_ratio, even_miss, adaptive_miss = cell
+        even_acc[skew].append(even_ratio)
+        adapt_acc[skew].append(adaptive_ratio)
+        even_miss_acc[skew].append(even_miss)
+        adapt_miss_acc[skew].append(adaptive_miss)
     return Fig8Result(
         skews=tuple(skews),
         even_ratios=tuple(float(np.mean(even_acc[s])) for s in skews),
@@ -443,4 +525,5 @@ def fig8(skews: tuple[float, ...] = (0.0, 0.5, 1.0, 1.5, 2.0),
                                 for s in skews),
         adaptive_misdetection=tuple(float(np.mean(adapt_miss_acc[s]))
                                     for s in skews),
-        num_monitors=num_monitors, horizon=horizon)
+        num_monitors=num_monitors, horizon=horizon,
+        sweep_stats=sweep_stats)

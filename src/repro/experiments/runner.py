@@ -59,6 +59,37 @@ def _as_trace(values: np.ndarray) -> np.ndarray:
     return arr
 
 
+def _drive_and_score(arr: np.ndarray, observe, threshold: float,
+                     direction: ThresholdDirection,
+                     record_intervals: bool = True) -> RunResult:
+    """The one sample loop every runner shares.
+
+    ``observe(value, t)`` must return the scheme's
+    :class:`~repro.core.adaptation.SamplingDecision`; sampling starts at
+    grid index 0, advances by the decided interval (floored at 1), and
+    stops past the end of the trace. Keeping a single implementation
+    here guarantees triggered runs can never drift from the scored path
+    used by every other scheme.
+    """
+    n = arr.size
+    sampled: list[int] = []
+    intervals: list[int] = []
+    t = 0
+    while t < n:
+        sampled.append(t)
+        decision = observe(float(arr[t]), t)
+        step = max(1, int(decision.next_interval))
+        if record_intervals:
+            intervals.append(step)
+        t += step
+    accuracy = evaluate_sampling(arr, threshold, sampled, direction)
+    return RunResult(
+        sampled_indices=np.asarray(sampled, dtype=int),
+        accuracy=accuracy,
+        intervals=np.asarray(intervals, dtype=int),
+    )
+
+
 def run_sampler_on_trace(values: np.ndarray, scheme: SamplingScheme,
                          threshold: float,
                          direction: ThresholdDirection = ThresholdDirection.UPPER,
@@ -76,23 +107,8 @@ def run_sampler_on_trace(values: np.ndarray, scheme: SamplingScheme,
         record_intervals: also record the interval trajectory.
     """
     arr = _as_trace(values)
-    n = arr.size
-    sampled: list[int] = []
-    intervals: list[int] = []
-    t = 0
-    while t < n:
-        sampled.append(t)
-        decision = scheme.observe(float(arr[t]), t)
-        step = max(1, int(decision.next_interval))
-        if record_intervals:
-            intervals.append(step)
-        t += step
-    accuracy = evaluate_sampling(arr, threshold, sampled, direction)
-    return RunResult(
-        sampled_indices=np.asarray(sampled, dtype=int),
-        accuracy=accuracy,
-        intervals=np.asarray(intervals, dtype=int),
-    )
+    return _drive_and_score(arr, scheme.observe, threshold, direction,
+                            record_intervals)
 
 
 def run_adaptive(values: np.ndarray, task: TaskSpec,
@@ -132,21 +148,8 @@ def run_triggered(values: np.ndarray, trigger_values: np.ndarray,
             f"trigger trace misaligned: {trig.shape} vs {arr.shape}")
     inner = ViolationLikelihoodSampler(task, config)
     sampler = TriggeredSampler(inner, elevation_level, suspend_interval)
-    n = arr.size
-    sampled: list[int] = []
-    intervals: list[int] = []
-    t = 0
-    while t < n:
-        sampled.append(t)
-        decision = sampler.observe(float(arr[t]), t,
-                                   trigger_value=float(trig[t]))
-        step = max(1, int(decision.next_interval))
-        intervals.append(step)
-        t += step
-    accuracy = evaluate_sampling(arr, task.threshold, sampled,
-                                 task.direction)
-    return RunResult(
-        sampled_indices=np.asarray(sampled, dtype=int),
-        accuracy=accuracy,
-        intervals=np.asarray(intervals, dtype=int),
-    )
+
+    def observe(value: float, t: int):
+        return sampler.observe(value, t, trigger_value=float(trig[t]))
+
+    return _drive_and_score(arr, observe, task.threshold, task.direction)

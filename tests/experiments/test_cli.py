@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.__main__ import (EXTENSIONS, FIGURES, main,
+from repro.experiments.__main__ import (ALIASES, EXTENSIONS, FIGURES, main,
                                         run_figure, write_csv)
 from repro.experiments.figures import fig6
 
@@ -12,6 +12,7 @@ from repro.experiments.figures import fig6
 def test_figures_list_complete():
     assert FIGURES == ("fig5a", "fig5b", "fig5c", "fig6", "fig7", "fig8")
     assert EXTENSIONS == ("monetary", "delay", "multitask", "reliability")
+    assert ALIASES == {"fig5": "fig5a"}
 
 
 def test_extension_experiments_run():
@@ -29,7 +30,7 @@ def test_main_runs_one_figure(monkeypatch, capsys):
     # Shrink the driver so the CLI test stays fast.
     import repro.experiments.__main__ as cli
 
-    def tiny(name, seed):
+    def tiny(name, seed, **kwargs):
         assert name == "fig6"
         return "TINY-REPORT", object()
 
@@ -40,14 +41,81 @@ def test_main_runs_one_figure(monkeypatch, capsys):
     assert "scale factor" in out
 
 
+def test_main_forwards_workers_and_cache_flags(monkeypatch, capsys,
+                                               tmp_path):
+    import repro.experiments.__main__ as cli
+
+    seen = {}
+
+    def tiny(name, seed, *, workers, cache, streams, horizon):
+        seen.update(name=name, seed=seed, workers=workers, cache=cache,
+                    streams=streams, horizon=horizon)
+        return "TINY-REPORT", object()
+
+    monkeypatch.setattr(cli, "run_figure", tiny)
+    assert main(["fig5", "--workers", "3", "--seed", "7",
+                 "--streams", "2", "--horizon", "500",
+                 "--cache-dir", str(tmp_path)]) == 0
+    assert seen["name"] == "fig5"
+    assert seen["seed"] == 7
+    assert seen["workers"] == 3
+    assert seen["streams"] == 2
+    assert seen["horizon"] == 500
+    assert seen["cache"] is not None
+    assert seen["cache"].directory == tmp_path
+
+
+def test_main_no_cache_disables_cache(monkeypatch, capsys):
+    import repro.experiments.__main__ as cli
+
+    seen = {}
+
+    def tiny(name, seed, **kwargs):
+        seen.update(kwargs)
+        return "TINY-REPORT", object()
+
+    monkeypatch.setattr(cli, "run_figure", tiny)
+    assert main(["fig6", "--no-cache"]) == 0
+    assert seen["cache"] is None
+
+
+def test_main_prints_sweep_stats(monkeypatch, capsys):
+    import repro.experiments.__main__ as cli
+
+    result = fig6(error_allowances=(0.032,), num_servers=1,
+                  vms_per_server=2, horizon=200, workers=1)
+    assert result.sweep_stats is not None
+    monkeypatch.setattr(cli, "run_figure",
+                        lambda name, seed, **kwargs: ("R", result))
+    assert main(["fig6", "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "[sweep]" in out
+    assert "wall" in out
+
+
+def test_fig5_alias_runs_network_panel(monkeypatch):
+    import repro.experiments.__main__ as cli
+
+    calls = {}
+
+    def tiny_fig5(domain, **kwargs):
+        calls["domain"] = domain
+        return cli.fig6(error_allowances=(0.032,), num_servers=1,
+                        vms_per_server=2, horizon=200, workers=1)
+
+    monkeypatch.setattr(cli, "fig5", tiny_fig5)
+    run_figure("fig5", seed=0)
+    assert calls["domain"] == "network"
+
+
 def test_main_writes_csv(monkeypatch, capsys, tmp_path):
     import repro.experiments.__main__ as cli
 
     result = fig6(error_allowances=(0.0, 0.032), num_servers=1,
-                  vms_per_server=2, horizon=200)
+                  vms_per_server=2, horizon=200, workers=1)
     monkeypatch.setattr(cli, "run_figure",
-                        lambda name, seed: ("R", result))
-    assert main(["fig6", "--csv", str(tmp_path)]) == 0
+                        lambda name, seed, **kwargs: ("R", result))
+    assert main(["fig6", "--csv", str(tmp_path), "--no-cache"]) == 0
     csv_file = tmp_path / "fig6.csv"
     assert csv_file.exists()
     content = csv_file.read_text()
@@ -57,7 +125,7 @@ def test_main_writes_csv(monkeypatch, capsys, tmp_path):
 
 def test_write_csv_creates_directories(tmp_path):
     result = fig6(error_allowances=(0.032,), num_servers=1,
-                  vms_per_server=2, horizon=200)
+                  vms_per_server=2, horizon=200, workers=1)
     target = tmp_path / "nested" / "dir"
     write_csv(target, "fig6", result)
     assert (target / "fig6.csv").exists()

@@ -1,0 +1,146 @@
+"""Serial-vs-parallel equivalence for the sweep execution layer.
+
+The whole point of :mod:`repro.experiments.parallel` is that fanning a
+figure sweep out over a process pool changes *nothing* about the numbers:
+``workers=1`` and ``workers=N`` must produce bit-for-bit identical cell
+matrices, independent of worker count and job submission order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.figures import fig5, fig8
+from repro.experiments.parallel import (SweepJob, job_key, job_streams,
+                                        resolve_workers, run_sweep)
+from repro.experiments.runner import run_periodic
+
+FIG5_KWARGS = dict(num_streams=2, horizon=1500,
+                   selectivities=(3.2, 0.4),
+                   error_allowances=(0.008, 0.032))
+
+
+def _double(*, x: float) -> float:
+    """Module-level job function (picklable by reference)."""
+    return x * 2.0
+
+
+class TestSerialParallelEquivalence:
+    def test_fig5_matrices_identical(self):
+        serial = fig5("network", workers=1, **FIG5_KWARGS)
+        parallel = fig5("network", workers=4, **FIG5_KWARGS)
+        # Exact equality of every cell — not approx: the parallel path
+        # must be bit-for-bit the serial path.
+        assert serial.cells == parallel.cells
+        assert serial.selectivities == parallel.selectivities
+        assert serial.error_allowances == parallel.error_allowances
+
+    def test_fig5_worker_count_irrelevant(self):
+        two = fig5("network", workers=2, **FIG5_KWARGS)
+        three = fig5("network", workers=3, **FIG5_KWARGS)
+        assert two.cells == three.cells
+
+    def test_fig8_matrices_identical(self):
+        kwargs = dict(skews=(0.0, 1.0), num_monitors=3, horizon=3000,
+                      repeats=2)
+        serial = fig8(workers=1, **kwargs)
+        parallel = fig8(workers=4, **kwargs)
+        assert serial.even_ratios == parallel.even_ratios
+        assert serial.adaptive_ratios == parallel.adaptive_ratios
+        assert serial.even_misdetection == parallel.even_misdetection
+        assert serial.adaptive_misdetection == parallel.adaptive_misdetection
+
+    def test_submission_order_irrelevant(self):
+        jobs = [SweepJob.call(_double, x=float(i)) for i in range(6)]
+        forward, _ = run_sweep(jobs, workers=2)
+        backward, _ = run_sweep(list(reversed(jobs)), workers=2)
+        # Results come back in job order, so reversing the submission
+        # order reverses the result list — and nothing else.
+        assert forward == list(reversed(backward))
+        assert forward == [float(i) * 2.0 for i in range(6)]
+
+
+class TestRunSweep:
+    def test_results_in_job_order(self):
+        jobs = [SweepJob.call(_double, x=float(i)) for i in (5, 1, 3)]
+        results, stats = run_sweep(jobs, workers=1)
+        assert results == [10.0, 2.0, 6.0]
+        assert stats.jobs == 3
+        assert stats.cache_hits == 0
+        assert stats.cache_misses == 3
+        assert stats.workers == 1
+        assert len(stats.cell_seconds) == 3
+        assert stats.wall_seconds >= 0.0
+
+    def test_empty_sweep(self):
+        results, stats = run_sweep([], workers=2)
+        assert results == []
+        assert stats.jobs == 0
+        assert stats.hit_rate == 0.0
+
+    def test_stats_report_renders(self):
+        _, stats = run_sweep([SweepJob.call(_double, x=1.0)], workers=1)
+        text = stats.report()
+        assert "[sweep]" in text
+        assert "1 cells" in text
+        assert "wall" in text
+
+
+class TestWorkerResolution:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "7")
+        assert resolve_workers(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "7")
+        assert resolve_workers() == 7
+
+    def test_cpu_count_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers() >= 1
+
+    def test_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_workers(0)
+
+    def test_garbage_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ConfigurationError):
+            resolve_workers()
+
+
+class TestJobStreams:
+    def test_same_job_same_streams(self):
+        job = SweepJob.call(_double, x=1.0)
+        a = job_streams(0, job).stream("noise", 0)
+        b = job_streams(0, job).stream("noise", 0)
+        assert a.standard_normal(8).tolist() == b.standard_normal(8).tolist()
+
+    def test_distinct_jobs_distinct_streams(self):
+        a = job_streams(0, SweepJob.call(_double, x=1.0)).stream("noise", 0)
+        b = job_streams(0, SweepJob.call(_double, x=2.0)).stream("noise", 0)
+        assert a.standard_normal(8).tolist() != b.standard_normal(8).tolist()
+
+    def test_seed_matters(self):
+        job = SweepJob.call(_double, x=1.0)
+        a = job_streams(0, job).stream("noise", 0)
+        b = job_streams(1, job).stream("noise", 0)
+        assert a.standard_normal(8).tolist() != b.standard_normal(8).tolist()
+
+
+class TestJobSpec:
+    def test_label_not_part_of_identity(self):
+        a = SweepJob.call(_double, label="a", x=1.0)
+        b = SweepJob.call(_double, label="b", x=1.0)
+        assert job_key(a) == job_key(b)
+
+    def test_kwargs_order_irrelevant(self):
+        a = SweepJob(func=_double, kwargs=(("x", 1.0),))
+        b = SweepJob.call(_double, x=1.0)
+        assert job_key(a) == job_key(b)
+
+    def test_unhashable_spec_rejected(self):
+        job = SweepJob.call(_double, x=run_periodic)  # a function value
+        with pytest.raises(ConfigurationError):
+            job_key(job)

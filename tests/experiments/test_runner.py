@@ -93,3 +93,36 @@ class TestRunTriggered:
         task = TaskSpec(threshold=100.0, error_allowance=0.0)
         with pytest.raises(TraceError):
             run_triggered(quiet_trace, quiet_trace[:-1], task, 1.0)
+
+    def test_pinned_schedule(self):
+        # Regression pin for the shared sample loop: with a zero error
+        # allowance the inner sampler always asks for interval 1, so the
+        # triggered schedule is fully hand-computable. Trigger is cold
+        # (idle interval 4) except over grid points 8-11:
+        #   t=0 ->+4, t=4 ->+4, t=8..11 hot ->+1 each, t=12 ->+4,
+        #   t=16 ->+4, stop at 20.
+        values = np.zeros(20)
+        trigger = np.zeros(20)
+        trigger[8:12] = 5.0
+        task = TaskSpec(threshold=100.0, error_allowance=0.0)
+        result = run_triggered(values, trigger, task,
+                               elevation_level=1.0, suspend_interval=4)
+        assert result.sampled_indices.tolist() == [0, 4, 8, 9, 10, 11,
+                                                   12, 16]
+        assert result.intervals.tolist() == [4, 4, 1, 1, 1, 1, 4, 4]
+        assert result.misdetection_rate == 0.0
+
+    def test_hot_trigger_matches_adaptive_schedule(self, bursty_trace):
+        # Drift guard: with the trigger always elevated the triggered
+        # runner must walk exactly the schedule of the plain adaptive
+        # runner — both now share one sample loop.
+        task = TaskSpec(threshold=100.0, error_allowance=0.02,
+                        max_interval=10)
+        trigger = np.full_like(bursty_trace, 10.0)
+        triggered = run_triggered(bursty_trace, trigger, task,
+                                  elevation_level=1.0)
+        adaptive = run_adaptive(bursty_trace, task)
+        assert triggered.sampled_indices.tolist() == \
+            adaptive.sampled_indices.tolist()
+        assert triggered.intervals.tolist() == adaptive.intervals.tolist()
+        assert triggered.accuracy == adaptive.accuracy

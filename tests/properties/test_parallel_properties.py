@@ -1,0 +1,171 @@
+"""Property tests for the parallel sweep layer (hypothesis).
+
+Pinned properties: job-key hashing is stable across processes and
+injective on distinct specs; the cache round-trips values exactly; and
+``workers=1`` never spawns a process pool.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+lenient = settings(max_examples=25, deadline=None,
+                   suppress_health_check=[HealthCheck.too_slow])
+
+import repro
+from repro.experiments import parallel
+from repro.experiments.parallel import (SweepCache, SweepJob, job_key,
+                                        run_sweep)
+from repro.experiments.runner import run_adaptive
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-2**63, max_value=2**63),
+    st.floats(allow_nan=False),
+    st.text(max_size=20),
+)
+
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4).map(tuple),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=10,
+)
+
+specs = st.dictionaries(
+    st.text(st.characters(min_codepoint=97, max_codepoint=122),
+            min_size=1, max_size=8),
+    values, max_size=5)
+
+
+def _job(spec: dict) -> SweepJob:
+    return SweepJob.call(run_adaptive, **spec)
+
+
+class TestJobKey:
+    @lenient
+    @given(spec=specs)
+    def test_deterministic(self, spec):
+        assert job_key(_job(spec)) == job_key(_job(spec))
+
+    @lenient
+    @given(a=specs, b=specs)
+    def test_injective_on_distinct_specs(self, a, b):
+        # Python-level equality conflates types (1 == 1.0 == True) and
+        # signed zeros, so the identity notion is the type-tagged
+        # canonical form: specs with equal canonical forms share a key,
+        # all others must not collide.
+        same = parallel._canonical(a) == parallel._canonical(b)
+        if same:
+            assert job_key(_job(a)) == job_key(_job(b))
+        else:
+            assert job_key(_job(a)) != job_key(_job(b))
+
+    def test_type_confusion_impossible(self):
+        lookalikes = [{"x": 1}, {"x": 1.0}, {"x": True}, {"x": "1"},
+                      {"x": None}, {"x": (1,)}, {"x": {"1": None}}]
+        keys = {job_key(_job(spec)) for spec in lookalikes}
+        assert len(keys) == len(lookalikes)
+
+    def test_function_identity_part_of_key(self):
+        from repro.experiments.runner import run_periodic
+        a = SweepJob.call(run_adaptive, x=1.0)
+        b = SweepJob.call(run_periodic, x=1.0)
+        assert job_key(a) != job_key(b)
+
+    def test_stable_across_processes(self):
+        # The key must not depend on interpreter state (PYTHONHASHSEED,
+        # import order, address-space layout): a fresh interpreter with a
+        # *different* hash seed must derive the very same keys.
+        spec_sets = [{}, {"x": 1.0}, {"x": 1}, {"name": "fig5", "k": 0.4},
+                     {"nested": (1, (2.5, "s"), None)}]
+        expected = [job_key(_job(s)) for s in spec_sets]
+        code = (
+            "import json, sys\n"
+            "from repro.experiments.parallel import SweepJob, job_key\n"
+            "from repro.experiments.runner import run_adaptive\n"
+            "specs = ["
+            "{}, {'x': 1.0}, {'x': 1}, {'name': 'fig5', 'k': 0.4},"
+            "{'nested': (1, (2.5, 's'), None)}]\n"
+            "keys = [job_key(SweepJob.call(run_adaptive, **s))"
+            " for s in specs]\n"
+            "print(json.dumps(keys))\n"
+        )
+        src_dir = pathlib.Path(repro.__file__).resolve().parents[1]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (str(src_dir) + os.pathsep
+                             + env.get("PYTHONPATH", ""))
+        env["PYTHONHASHSEED"] = "12345"
+        out = subprocess.run([sys.executable, "-c", code], env=env,
+                             capture_output=True, text=True, check=True)
+        assert json.loads(out.stdout) == expected
+
+
+class TestCacheRoundTrip:
+    @lenient
+    @given(value=values)
+    def test_round_trip_exact(self, value, tmp_path_factory):
+        cache = SweepCache(tmp_path_factory.mktemp("cache"))
+        key = "f" * 64
+        cache.store(key, value)
+        hit, loaded = cache.load(key)
+        assert hit
+        assert loaded == value
+        assert type(loaded) is type(value)
+
+
+def _identity(*, x: float) -> float:
+    return x
+
+
+class TestSerialNeverSpawnsPool:
+    def test_workers_one_stays_in_process(self, monkeypatch):
+        def explode(*args, **kwargs):
+            raise AssertionError("workers=1 must not create a pool")
+
+        monkeypatch.setattr(parallel, "ProcessPoolExecutor", explode)
+        jobs = [SweepJob.call(_identity, x=float(i)) for i in range(5)]
+        results, stats = run_sweep(jobs, workers=1)
+        assert results == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert stats.workers == 1
+
+    def test_single_pending_job_stays_in_process(self, monkeypatch):
+        def explode(*args, **kwargs):
+            raise AssertionError("a single job must not pay pool startup")
+
+        monkeypatch.setattr(parallel, "ProcessPoolExecutor", explode)
+        results, _ = run_sweep([SweepJob.call(_identity, x=9.0)], workers=8)
+        assert results == [9.0]
+
+    def test_pool_used_above_one_worker(self, monkeypatch):
+        created = []
+        real = parallel.ProcessPoolExecutor
+
+        def spy(*args, **kwargs):
+            created.append(kwargs.get("max_workers", args[0] if args
+                                      else None))
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(parallel, "ProcessPoolExecutor", spy)
+        jobs = [SweepJob.call(_identity, x=float(i)) for i in range(3)]
+        results, _ = run_sweep(jobs, workers=2)
+        assert results == [0.0, 1.0, 2.0]
+        assert created == [2]
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_run_sweep_equivalence_property(workers):
+    jobs = [SweepJob.call(_identity, x=float(i)) for i in range(4)]
+    results, _ = run_sweep(jobs, workers=workers)
+    assert results == [0.0, 1.0, 2.0, 3.0]

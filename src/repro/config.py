@@ -38,7 +38,8 @@ from repro.exceptions import ConfigurationError
 from repro.service import MonitoringService
 from repro.types import ThresholdDirection
 
-__all__ = ["ExecutionConfig", "service_from_config", "task_from_config"]
+__all__ = ["ExecutionConfig", "RuntimeConfig", "service_from_config",
+           "task_from_config"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -81,6 +82,80 @@ class ExecutionConfig:
         raw_dir = env.get("REPRO_CACHE_DIR")
         cache_dir = pathlib.Path(raw_dir) if raw_dir else None
         return cls(workers=workers, cache_dir=cache_dir)
+
+_RUNTIME_KEYS = {"shards", "queue_depth", "max_batch", "host", "port",
+                 "unix_socket", "checkpoint_path", "checkpoint_interval",
+                 "shed_retry_ms"}
+
+
+@dataclass(frozen=True, slots=True)
+class RuntimeConfig:
+    """Deployment knobs for the live-ingestion runtime (``repro.runtime``).
+
+    Attributes:
+        shards: number of independent shard workers; tasks are routed to
+            shards by a stable hash of the task name.
+        queue_depth: bounded per-shard ingest queue, in batches. A full
+            queue triggers backpressure: further batches for that shard are
+            shed with an explicit reply, never queued unboundedly.
+        max_batch: maximum updates accepted per ``offer_batch`` frame.
+        host / port: TCP listen address (``port=0`` picks a free port).
+        unix_socket: optional unix-domain socket path to (also) listen on.
+        checkpoint_path: where periodic + shutdown snapshots are written;
+            ``None`` disables checkpointing.
+        checkpoint_interval: seconds between periodic checkpoints.
+        shed_retry_ms: retry hint (milliseconds) returned to clients whose
+            batches were shed under backpressure.
+    """
+
+    shards: int = 4
+    queue_depth: int = 1024
+    max_batch: int = 8192
+    host: str = "127.0.0.1"
+    port: int = 0
+    unix_socket: pathlib.Path | None = None
+    checkpoint_path: pathlib.Path | None = None
+    checkpoint_interval: float = 30.0
+    shed_retry_ms: int = 50
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {self.shards}")
+        if self.queue_depth < 1:
+            raise ConfigurationError(
+                f"queue_depth must be >= 1, got {self.queue_depth}")
+        if self.max_batch < 1:
+            raise ConfigurationError(
+                f"max_batch must be >= 1, got {self.max_batch}")
+        if self.checkpoint_interval <= 0:
+            raise ConfigurationError(
+                f"checkpoint_interval must be > 0, got "
+                f"{self.checkpoint_interval}")
+        if self.shed_retry_ms < 0:
+            raise ConfigurationError(
+                f"shed_retry_ms must be >= 0, got {self.shed_retry_ms}")
+
+    @classmethod
+    def from_dict(cls, entry: Mapping[str, Any]) -> "RuntimeConfig":
+        """Build from a config file's ``runtime`` section (fail closed)."""
+        if not isinstance(entry, Mapping):
+            raise ConfigurationError(
+                f"runtime section must be a dict, got {entry!r}")
+        _reject_unknown(dict(entry), _RUNTIME_KEYS, "runtime section")
+        kwargs: dict[str, Any] = {}
+        for key in ("shards", "queue_depth", "max_batch", "port",
+                    "shed_retry_ms"):
+            if key in entry:
+                kwargs[key] = int(entry[key])
+        if "host" in entry:
+            kwargs["host"] = str(entry["host"])
+        if "checkpoint_interval" in entry:
+            kwargs["checkpoint_interval"] = float(entry["checkpoint_interval"])
+        for key in ("unix_socket", "checkpoint_path"):
+            if key in entry and entry[key] is not None:
+                kwargs[key] = pathlib.Path(str(entry[key]))
+        return cls(**kwargs)
+
 
 _TASK_KEYS = {"name", "threshold", "error_allowance", "default_interval",
               "max_interval", "direction", "window", "aggregate"}

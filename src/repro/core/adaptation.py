@@ -304,6 +304,52 @@ class ViolationLikelihoodSampler:
                                 misdetection_bound=beta,
                                 grew=grew, reset=reset, violation=violation)
 
+    def state_dict(self) -> dict[str, object]:
+        """Return the sampler's mutable state as a JSON-able dict.
+
+        Together with the (immutable) :class:`~repro.core.task.TaskSpec` and
+        :class:`AdaptationConfig` this is everything needed to resume the
+        sampler exactly where it stopped: a restored sampler produces the
+        same decision stream as one that was never interrupted. Used by the
+        live-ingestion runtime's checkpoint/restore (``repro.runtime``).
+        """
+        return {
+            "interval": self._interval,
+            "streak": self._streak,
+            "last_value": self._last_value,
+            "last_time": self._last_time,
+            "error_allowance": self._error_allowance,
+            "observations": self._observations,
+            "grow_events": self._grow_events,
+            "reset_events": self._reset_events,
+            "coord_sum_r": self._coord_sum_r,
+            "coord_sum_log_e": self._coord_sum_log_e,
+            "coord_n": self._coord_n,
+            "stats": self._stats.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        """Restore sampler state produced by :meth:`state_dict`.
+
+        The sampler must have been constructed with the same task and
+        configuration that produced the snapshot; only mutable state is
+        restored.
+        """
+        self._interval = int(state["interval"])  # type: ignore[arg-type]
+        self._streak = int(state["streak"])  # type: ignore[arg-type]
+        last_value = state.get("last_value")
+        last_time = state.get("last_time")
+        self._last_value = None if last_value is None else float(last_value)  # type: ignore[arg-type]
+        self._last_time = None if last_time is None else int(last_time)  # type: ignore[arg-type]
+        self.error_allowance = float(state["error_allowance"])  # type: ignore[arg-type]
+        self._observations = int(state.get("observations", 0))  # type: ignore[arg-type]
+        self._grow_events = int(state.get("grow_events", 0))  # type: ignore[arg-type]
+        self._reset_events = int(state.get("reset_events", 0))  # type: ignore[arg-type]
+        self._coord_sum_r = float(state.get("coord_sum_r", 0.0))  # type: ignore[arg-type]
+        self._coord_sum_log_e = float(state.get("coord_sum_log_e", 0.0))  # type: ignore[arg-type]
+        self._coord_n = int(state.get("coord_n", 0))  # type: ignore[arg-type]
+        self._stats.load_state_dict(state["stats"])  # type: ignore[arg-type]
+
     def drain_coordination_stats(self) -> CoordinationStats | None:
         """Return and reset the averages accumulated since the last drain.
 

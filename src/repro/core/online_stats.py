@@ -96,6 +96,38 @@ class OnlineStatistics:
         self._stale_count = 0
         self._total_count = 0
 
+    def state_dict(self) -> dict[str, object]:
+        """Return the mutable accumulator state as a JSON-able dict.
+
+        Constructor parameters (``restart_after``, ``min_fresh``) are *not*
+        included — a restoring caller rebuilds the object from its own
+        configuration and then loads this state, so checkpoints stay valid
+        across tuning changes.
+        """
+        return {
+            "n": self._n,
+            "mean": self._mean,
+            "var": self._var,
+            "stale_mean": self._stale_mean,
+            "stale_var": self._stale_var,
+            "stale_count": self._stale_count,
+            "restarts": self._restarts,
+            "total_count": self._total_count,
+        }
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        """Restore accumulator state produced by :meth:`state_dict`."""
+        self._n = int(state["n"])  # type: ignore[arg-type]
+        self._mean = float(state["mean"])  # type: ignore[arg-type]
+        self._var = float(state["var"])  # type: ignore[arg-type]
+        stale_mean = state.get("stale_mean")
+        stale_var = state.get("stale_var")
+        self._stale_mean = None if stale_mean is None else float(stale_mean)  # type: ignore[arg-type]
+        self._stale_var = None if stale_var is None else float(stale_var)  # type: ignore[arg-type]
+        self._stale_count = int(state.get("stale_count", 0))  # type: ignore[arg-type]
+        self._restarts = int(state.get("restarts", 0))  # type: ignore[arg-type]
+        self._total_count = int(state.get("total_count", 0))  # type: ignore[arg-type]
+
     @property
     def count(self) -> int:
         """Samples absorbed since the last restart."""

@@ -33,3 +33,16 @@ class CoordinationError(ReproError):
 
 class CorrelationError(ReproError):
     """State-correlation detection/planning failed (e.g. no overlap)."""
+
+
+class ProtocolError(ReproError):
+    """A runtime wire-protocol frame is malformed or oversized.
+
+    Raised by :mod:`repro.runtime.protocol` on truncated frames, frames
+    above the size limit, bodies that are not valid JSON objects, and
+    replies that report a server-side error.
+    """
+
+
+class CheckpointError(ReproError):
+    """A runtime checkpoint file is unreadable or incompatible."""

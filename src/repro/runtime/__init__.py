@@ -1,0 +1,51 @@
+"""Sharded live-ingestion runtime for the monitoring service (S26).
+
+Everything before this package replays *traces*; ``repro.runtime`` is the
+first surface that actually serves traffic. It wraps one
+:class:`~repro.service.MonitoringService` per shard behind an asyncio
+server speaking a length-prefixed JSON protocol
+(:mod:`repro.runtime.protocol`):
+
+* ``offer_batch`` carries many ``(task, step, value)`` updates per frame,
+  routed to shards by a stable hash of the task name;
+* bounded per-shard queues give explicit backpressure — a lagging shard
+  sheds batches with a ``retry_after_ms`` hint instead of blocking the
+  event loop;
+* ``snapshot``/``restore`` checkpoints persist full sampler state (Welford
+  statistics, current interval, patience streak, next-due step) so a
+  restarted server resumes exactly where the previous one stopped;
+* graceful shutdown (SIGTERM) drains the queues and flushes a final
+  checkpoint, so every acknowledged offer is either applied or
+  checkpointed.
+
+Entry points::
+
+    python -m repro.runtime --port 7461 --shards 4 --checkpoint ckpt.json
+    python -m repro.runtime.loadgen --tasks 64 --duration 5
+
+Clients: :class:`~repro.runtime.client.RuntimeClient` (sync) and
+:class:`~repro.runtime.client.AsyncRuntimeClient` (asyncio).
+"""
+
+from repro.config import RuntimeConfig
+from repro.runtime.checkpoint import read_checkpoint, write_checkpoint
+from repro.runtime.client import AsyncRuntimeClient, RuntimeClient
+from repro.runtime.protocol import (MAX_FRAME, encode_frame, read_frame,
+                                    read_frame_blocking)
+from repro.runtime.server import RuntimeServer
+from repro.runtime.shard import ShardWorker, shard_for
+
+__all__ = [
+    "AsyncRuntimeClient",
+    "MAX_FRAME",
+    "RuntimeClient",
+    "RuntimeConfig",
+    "RuntimeServer",
+    "ShardWorker",
+    "encode_frame",
+    "read_checkpoint",
+    "read_frame",
+    "read_frame_blocking",
+    "shard_for",
+    "write_checkpoint",
+]

@@ -1,0 +1,10 @@
+"""``python -m repro.runtime`` starts the ingestion server."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.runtime.server import main
+
+if __name__ == "__main__":
+    sys.exit(main())

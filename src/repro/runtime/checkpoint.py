@@ -1,0 +1,67 @@
+"""Atomic checkpoint persistence for the ingestion runtime.
+
+A checkpoint is one JSON document holding every shard's full
+:meth:`~repro.service.MonitoringService.snapshot` plus the task→shard map
+and counters. Writes go through a same-directory temp file + ``os.replace``
+so a crash mid-write leaves the previous checkpoint intact — readers see
+either the old complete state or the new complete state, never a torn file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Any
+
+from repro.exceptions import CheckpointError
+
+__all__ = ["CHECKPOINT_VERSION", "read_checkpoint", "write_checkpoint"]
+
+CHECKPOINT_VERSION = 1
+
+
+def write_checkpoint(path: pathlib.Path | str,
+                     state: dict[str, Any]) -> pathlib.Path:
+    """Atomically persist a runtime state dict; returns the final path."""
+    path = pathlib.Path(path)
+    payload = dict(state)
+    payload["checkpoint_version"] = CHECKPOINT_VERSION
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    body = json.dumps(payload, separators=(",", ":"))
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(body)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return path
+
+
+def read_checkpoint(path: pathlib.Path | str) -> dict[str, Any]:
+    """Load and validate a checkpoint written by :func:`write_checkpoint`.
+
+    Raises :class:`~repro.exceptions.CheckpointError` when the file is
+    missing, unparsable, or from an incompatible format version.
+    """
+    path = pathlib.Path(path)
+    try:
+        body = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") \
+            from None
+    try:
+        state = json.loads(body)
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(
+            f"checkpoint {path} is not valid JSON: {exc}") from None
+    if not isinstance(state, dict):
+        raise CheckpointError(
+            f"checkpoint {path} must hold a JSON object, got "
+            f"{type(state).__name__}")
+    version = state.get("checkpoint_version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} has version {version!r}; this runtime "
+            f"reads version {CHECKPOINT_VERSION}")
+    return state

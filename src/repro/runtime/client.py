@@ -1,0 +1,259 @@
+"""Sync and asyncio clients for the ingestion runtime.
+
+Both clients speak one request/one reply over a single connection (the
+server replies in order, so no correlation ids are needed). Error replies
+(``ok: false``) raise :class:`~repro.exceptions.ProtocolError` — with the
+deliberate exception of backpressure: a shed batch is an expected
+operating condition, so :meth:`offer_batch` returns the reply dict and the
+caller decides whether to retry after ``retry_after_ms`` or drop.
+
+The sync :class:`RuntimeClient` exists for collection pipelines that are
+not asyncio programs (cron collectors, WSGI hooks, the load generator);
+the :class:`AsyncRuntimeClient` is for event-loop-native integrations.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pathlib
+import socket
+from typing import Any, Sequence
+
+from repro.exceptions import ProtocolError
+from repro.runtime.protocol import encode_frame, read_frame, \
+    read_frame_blocking
+
+__all__ = ["AsyncRuntimeClient", "RuntimeClient"]
+
+Update = Sequence[Any]  # [task, step, value]
+
+
+def _check_reply(reply: dict[str, Any] | None, op: str) -> dict[str, Any]:
+    if reply is None:
+        raise ProtocolError(f"server closed the connection during {op!r}")
+    if not reply.get("ok"):
+        raise ProtocolError(
+            f"{op!r} failed: {reply.get('error', 'unknown error')} "
+            f"(code={reply.get('code', '?')})")
+    return reply
+
+
+class RuntimeClient:
+    """Blocking client over TCP or a unix-domain socket.
+
+    Args:
+        host / port: TCP endpoint (ignored when ``unix_socket`` given).
+        unix_socket: unix-domain socket path.
+        timeout: per-request socket timeout in seconds.
+
+    Usable as a context manager; the connection is opened lazily on the
+    first request and survives across requests.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 unix_socket: str | pathlib.Path | None = None,
+                 timeout: float = 30.0):
+        self._host = host
+        self._port = port
+        self._unix = None if unix_socket is None else str(unix_socket)
+        self._timeout = timeout
+        self._sock: socket.socket | None = None
+        self._file: Any = None
+
+    def connect(self) -> None:
+        """Open the connection now (otherwise the first request does)."""
+        if self._sock is not None:
+            return
+        if self._unix is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self._timeout)
+            sock.connect(self._unix)
+        else:
+            sock = socket.create_connection((self._host, self._port),
+                                            timeout=self._timeout)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        self._file = sock.makefile("rb")
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "RuntimeClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Send one frame and return the raw reply dict."""
+        self.connect()
+        assert self._sock is not None
+        self._sock.sendall(encode_frame(payload))
+        reply = read_frame_blocking(self._file)
+        if reply is None:
+            raise ProtocolError("server closed the connection")
+        return reply
+
+    def _call(self, payload: dict[str, Any]) -> dict[str, Any]:
+        return _check_reply(self.request(payload), str(payload.get("op")))
+
+    # -- convenience ops -------------------------------------------------
+
+    def ping(self) -> dict[str, Any]:
+        return self._call({"op": "ping"})
+
+    def register_task(self, name: str, threshold: float,
+                      **spec: Any) -> dict[str, Any]:
+        """Register a task; ``spec`` takes the declarative config keys
+        (``error_allowance``, ``max_interval``, ``direction``, ``window``,
+        ``aggregate``, ...)."""
+        task = {"name": name, "threshold": threshold, **spec}
+        return self._call({"op": "register_task", "task": task})
+
+    def remove_task(self, name: str) -> dict[str, Any]:
+        return self._call({"op": "remove_task", "task": name})
+
+    def add_trigger(self, target: str, trigger: str, elevation_level: float,
+                    suspend_interval: int = 10) -> dict[str, Any]:
+        return self._call({"op": "add_trigger", "target": target,
+                           "trigger": trigger,
+                           "elevation_level": elevation_level,
+                           "suspend_interval": suspend_interval})
+
+    def offer_batch(self, updates: Sequence[Update]) -> dict[str, Any]:
+        """Push a batch; returns the reply even under backpressure
+        (check ``reply.get("shed", 0)``)."""
+        reply = self.request({"op": "offer_batch",
+                              "updates": [list(u) for u in updates]})
+        if not reply.get("ok"):
+            raise ProtocolError(
+                f"offer_batch failed: {reply.get('error')} "
+                f"(code={reply.get('code', '?')})")
+        return reply
+
+    def due(self, task: str, step: int) -> bool:
+        return bool(self._call({"op": "due", "task": task,
+                                "step": step})["due"])
+
+    def task_info(self, task: str) -> dict[str, Any]:
+        return self._call({"op": "task_info", "task": task})
+
+    def alerts(self, task: str) -> list[list[float]]:
+        return list(self._call({"op": "alerts", "task": task})["alerts"])
+
+    def stats(self) -> dict[str, Any]:
+        return self._call({"op": "stats"})
+
+    def checkpoint(self) -> str:
+        return str(self._call({"op": "checkpoint"})["path"])
+
+
+class AsyncRuntimeClient:
+    """Asyncio twin of :class:`RuntimeClient` (same op surface).
+
+    Requests are serialised with an internal lock so concurrent coroutines
+    can share one client without interleaving frames.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 unix_socket: str | pathlib.Path | None = None):
+        self._host = host
+        self._port = port
+        self._unix = None if unix_socket is None else str(unix_socket)
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._lock = asyncio.Lock()
+
+    async def connect(self) -> None:
+        if self._writer is not None:
+            return
+        if self._unix is not None:
+            self._reader, self._writer = await asyncio.open_unix_connection(
+                self._unix)
+        else:
+            self._reader, self._writer = await asyncio.open_connection(
+                self._host, self._port)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def __aenter__(self) -> "AsyncRuntimeClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.close()
+
+    async def request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        async with self._lock:
+            await self.connect()
+            assert self._writer is not None and self._reader is not None
+            self._writer.write(encode_frame(payload))
+            await self._writer.drain()
+            reply = await read_frame(self._reader)
+        if reply is None:
+            raise ProtocolError("server closed the connection")
+        return reply
+
+    async def _call(self, payload: dict[str, Any]) -> dict[str, Any]:
+        return _check_reply(await self.request(payload),
+                            str(payload.get("op")))
+
+    async def ping(self) -> dict[str, Any]:
+        return await self._call({"op": "ping"})
+
+    async def register_task(self, name: str, threshold: float,
+                            **spec: Any) -> dict[str, Any]:
+        task = {"name": name, "threshold": threshold, **spec}
+        return await self._call({"op": "register_task", "task": task})
+
+    async def remove_task(self, name: str) -> dict[str, Any]:
+        return await self._call({"op": "remove_task", "task": name})
+
+    async def add_trigger(self, target: str, trigger: str,
+                          elevation_level: float,
+                          suspend_interval: int = 10) -> dict[str, Any]:
+        return await self._call({"op": "add_trigger", "target": target,
+                                 "trigger": trigger,
+                                 "elevation_level": elevation_level,
+                                 "suspend_interval": suspend_interval})
+
+    async def offer_batch(self, updates: Sequence[Update]) -> dict[str, Any]:
+        reply = await self.request({"op": "offer_batch",
+                                    "updates": [list(u) for u in updates]})
+        if not reply.get("ok"):
+            raise ProtocolError(
+                f"offer_batch failed: {reply.get('error')} "
+                f"(code={reply.get('code', '?')})")
+        return reply
+
+    async def due(self, task: str, step: int) -> bool:
+        reply = await self._call({"op": "due", "task": task, "step": step})
+        return bool(reply["due"])
+
+    async def task_info(self, task: str) -> dict[str, Any]:
+        return await self._call({"op": "task_info", "task": task})
+
+    async def alerts(self, task: str) -> list[list[float]]:
+        reply = await self._call({"op": "alerts", "task": task})
+        return list(reply["alerts"])
+
+    async def stats(self) -> dict[str, Any]:
+        return await self._call({"op": "stats"})
+
+    async def checkpoint(self) -> str:
+        return str((await self._call({"op": "checkpoint"}))["path"])

@@ -1,0 +1,305 @@
+"""Load generator for the ingestion runtime (``python -m repro.runtime.loadgen``).
+
+Drives N synthetic tasks at a target offer rate through the real wire
+protocol and reports sustained throughput plus request latency
+percentiles to ``BENCH_runtime.json``. With no ``--connect``/``--unix``
+endpoint it self-hosts: a :class:`~repro.runtime.server.RuntimeServer` is
+spun up on an ephemeral loopback port in a background thread, so one
+command benchmarks the full client → TCP → shard-queue → sampler path.
+
+The synthetic streams hover below the threshold with heavy noise, so the
+benchmark exercises both regimes: samplers that grow their intervals (the
+cheap early-return ingest path) and occasional violations (alert path).
+
+With ``--checkpoint`` (self-hosted mode) the run finishes by gracefully
+shutting the server down — flushing a final checkpoint — and restoring it,
+asserting that every task survives with its exact sampler interval,
+next-due step and sample count; the result is recorded as
+``checkpoint_roundtrip`` in the benchmark JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import pathlib
+import sys
+import threading
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.config import RuntimeConfig
+from repro.runtime.client import RuntimeClient
+from repro.runtime.server import RuntimeServer
+from repro.service import MonitoringService
+
+__all__ = ["main", "run_loadgen"]
+
+_THRESHOLD = 100.0
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                max(0, round(q * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+class _SpawnedServer:
+    """RuntimeServer on a background thread with its own event loop."""
+
+    def __init__(self, config: RuntimeConfig):
+        self._config = config
+        self._ready = threading.Event()
+        self._failure: BaseException | None = None
+        self.server: RuntimeServer | None = None
+        self.loop: asyncio.AbstractEventLoop | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="loadgen-server")
+
+    def _run(self) -> None:
+        async def amain() -> None:
+            server = RuntimeServer(self._config)
+            await server.start()
+            self.server = server
+            self.loop = asyncio.get_running_loop()
+            self._ready.set()
+            await server.serve_forever()
+
+        try:
+            asyncio.run(amain())
+        except BaseException as exc:  # surface startup failures to caller
+            self._failure = exc
+            self._ready.set()
+
+    def start(self) -> int:
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._failure is not None:
+            raise self._failure
+        assert self.server is not None and self.server.tcp_port is not None
+        return self.server.tcp_port
+
+    def stop(self) -> None:
+        if self.server is None or self.loop is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(self.server.shutdown(),
+                                                  self.loop)
+        future.result(timeout=30)
+        self._thread.join(timeout=30)
+
+
+def _verify_checkpoint_roundtrip(checkpoint: pathlib.Path,
+                                 expected: dict[str, dict[str, Any]]) -> bool:
+    """Restore the flushed checkpoint and compare every task's state."""
+    from repro.runtime.checkpoint import read_checkpoint
+
+    state = read_checkpoint(checkpoint)
+    restored: dict[str, dict[str, Any]] = {}
+    for snapshot in state.get("shards", []):
+        service = MonitoringService.restore(snapshot)
+        for name in service.task_names:
+            restored[name] = {
+                "interval": service.interval(name),
+                "next_due": service.next_due(name),
+                "samples_taken": service.samples_taken(name),
+            }
+    return restored == expected
+
+
+def run_loadgen(args: argparse.Namespace) -> dict[str, Any]:
+    """Execute the benchmark; returns the report dict (also written out)."""
+    spawned: _SpawnedServer | None = None
+    if args.connect is None and args.unix is None:
+        checkpoint = args.checkpoint
+        config = RuntimeConfig(shards=args.shards,
+                               queue_depth=args.queue_depth,
+                               port=0, checkpoint_path=checkpoint,
+                               checkpoint_interval=3600.0)
+        spawned = _SpawnedServer(config)
+        port = spawned.start()
+        host = "127.0.0.1"
+        unix = None
+    elif args.unix is not None:
+        host, port, unix = "", 0, args.unix
+    else:
+        host, _, port_text = args.connect.partition(":")
+        port, unix = int(port_text), None
+
+    names = [f"lg-{i:04d}" for i in range(args.tasks)]
+    rng = np.random.default_rng(args.seed)
+    mask = (1 << 16) - 1
+    values = rng.normal(80.0, 18.0, mask + 1)
+
+    client = RuntimeClient(host=host, port=port, unix_socket=unix)
+    client.connect()
+    for name in names:
+        client.register_task(name, _THRESHOLD,
+                             error_allowance=args.error_allowance,
+                             max_interval=args.max_interval)
+
+    steps = [0] * args.tasks
+    latencies: list[float] = []
+    offers = accepted = shed = rejected = 0
+    batch_interval = (args.batch / args.rate) if args.rate > 0 else 0.0
+    value_index = 0
+    task_index = 0
+    started = time.perf_counter()
+    deadline = started + args.duration
+    next_send = started
+    while True:
+        now = time.perf_counter()
+        if now >= deadline:
+            break
+        if batch_interval and now < next_send:
+            time.sleep(min(next_send - now, 0.005))
+            continue
+        batch: list[list[Any]] = []
+        for _ in range(args.batch):
+            batch.append([names[task_index], steps[task_index],
+                          float(values[value_index & mask])])
+            steps[task_index] += 1
+            value_index += 1
+            task_index += 1
+            if task_index == args.tasks:
+                task_index = 0
+        sent = time.perf_counter()
+        reply = client.offer_batch(batch)
+        latencies.append(time.perf_counter() - sent)
+        offers += len(batch)
+        accepted += int(reply.get("accepted", 0))
+        shed += int(reply.get("shed", 0))
+        rejected += int(reply.get("rejected", 0))
+        if batch_interval:
+            next_send += batch_interval
+    elapsed = time.perf_counter() - started
+
+    # Wait for the shards to finish applying what was accepted, so the
+    # reported apply throughput covers the full pipeline.
+    drain_deadline = time.monotonic() + 30
+    stats = client.stats()
+    while (stats["totals"]["applied"] + stats["totals"]["rejected"]
+           < accepted and time.monotonic() < drain_deadline):
+        time.sleep(0.02)
+        stats = client.stats()
+    drained = time.perf_counter() - started
+
+    expected: dict[str, dict[str, Any]] = {}
+    if spawned is not None and args.checkpoint is not None:
+        for name in names:
+            info = client.task_info(name)
+            expected[name] = {
+                "interval": info["interval"],
+                "next_due": info["next_due"],
+                "samples_taken": info["samples_taken"],
+            }
+    client.close()
+
+    checkpoint_roundtrip: bool | None = None
+    if spawned is not None:
+        spawned.stop()  # graceful: drains queues, flushes final checkpoint
+        if args.checkpoint is not None:
+            checkpoint_roundtrip = _verify_checkpoint_roundtrip(
+                args.checkpoint, expected)
+
+    latencies.sort()
+    totals = stats["totals"]
+    report = {
+        "tasks": args.tasks,
+        "shards": (args.shards if spawned is not None
+                   else stats.get("shards") and len(stats["shards"])),
+        "batch": args.batch,
+        "rate_target": args.rate,
+        "duration_s": round(elapsed, 4),
+        "offers": offers,
+        "accepted": accepted,
+        "shed": shed,
+        "rejected": rejected,
+        "applied": totals["applied"],
+        "consumed": totals["consumed"],
+        "alerts": totals["alerts"],
+        "offers_per_sec": round(accepted / elapsed) if elapsed else 0,
+        "applied_per_sec": (round(totals["applied"] / drained)
+                            if drained else 0),
+        "latency_ms": {
+            "mean": round(1e3 * sum(latencies) / len(latencies), 4)
+                    if latencies else 0.0,
+            "p50": round(1e3 * _percentile(latencies, 0.50), 4),
+            "p99": round(1e3 * _percentile(latencies, 0.99), 4),
+            "max": round(1e3 * latencies[-1], 4) if latencies else 0.0,
+        },
+        "checkpoint_roundtrip": checkpoint_roundtrip,
+    }
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+    lat = report["latency_ms"]
+    print(f"[loadgen] {accepted} offers in {elapsed:.2f}s = "
+          f"{report['offers_per_sec']} offers/s "
+          f"(applied {report['applied_per_sec']}/s); "
+          f"p50={lat['p50']}ms p99={lat['p99']}ms; "
+          f"shed={shed} rejected={rejected} alerts={report['alerts']}; "
+          f"-> {out}", flush=True)
+    if checkpoint_roundtrip is not None:
+        print(f"[loadgen] checkpoint roundtrip: "
+              f"{'ok' if checkpoint_roundtrip else 'MISMATCH'}", flush=True)
+    return report
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runtime.loadgen",
+        description="Benchmark the ingestion runtime with synthetic tasks; "
+                    "writes throughput and latency percentiles to a JSON "
+                    "report.")
+    parser.add_argument("--tasks", type=int, default=64,
+                        help="synthetic tasks to register (default 64)")
+    parser.add_argument("--duration", type=float, default=5.0,
+                        help="send duration in seconds (default 5)")
+    parser.add_argument("--batch", type=int, default=512,
+                        help="updates per offer_batch frame (default 512)")
+    parser.add_argument("--rate", type=float, default=0.0,
+                        help="target offers/sec; 0 = as fast as possible")
+    parser.add_argument("--shards", type=int, default=4,
+                        help="shards for the self-hosted server")
+    parser.add_argument("--queue-depth", type=int, default=1024)
+    parser.add_argument("--connect", default=None, metavar="HOST:PORT",
+                        help="drive an existing server instead of "
+                             "self-hosting")
+    parser.add_argument("--unix", type=pathlib.Path, default=None,
+                        help="drive an existing server on a unix socket")
+    parser.add_argument("--checkpoint", type=pathlib.Path, default=None,
+                        help="(self-hosted) checkpoint file; verifies a "
+                             "full shutdown->restore roundtrip")
+    parser.add_argument("--out", type=pathlib.Path,
+                        default=pathlib.Path("BENCH_runtime.json"))
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--error-allowance", type=float, default=0.01)
+    parser.add_argument("--max-interval", type=int, default=10)
+    parser.add_argument("--min-throughput", type=float, default=None,
+                        help="exit non-zero below this offers/sec floor")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (``python -m repro.runtime.loadgen``)."""
+    args = _build_parser().parse_args(argv)
+    report = run_loadgen(args)
+    if report.get("checkpoint_roundtrip") is False:
+        print("[loadgen] FAIL: checkpoint did not round-trip",
+              file=sys.stderr, flush=True)
+        return 1
+    if (args.min_throughput is not None
+            and report["offers_per_sec"] < args.min_throughput):
+        print(f"[loadgen] FAIL: {report['offers_per_sec']} offers/s below "
+              f"floor {args.min_throughput}", file=sys.stderr, flush=True)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

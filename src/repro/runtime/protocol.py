@@ -1,0 +1,107 @@
+"""Length-prefixed JSON wire protocol for the ingestion runtime.
+
+Frames are ``<4-byte big-endian length><UTF-8 JSON object>``. JSON keeps
+the protocol debuggable (``socat`` + a hexdump is a usable client) and the
+length prefix keeps parsing trivial and O(frame); binary encodings are a
+drop-in swap later because everything above this module only sees dicts.
+
+Requests are ``{"op": <name>, ...}``; replies are ``{"ok": true, ...}`` or
+``{"ok": false, "error": <message>, "code": <machine-readable>}``. The
+module offers both asyncio (:func:`read_frame`) and blocking
+(:func:`read_frame_blocking`) readers so the sync client shares the exact
+framing code path with the server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, BinaryIO
+
+from repro.exceptions import ProtocolError
+
+__all__ = ["MAX_FRAME", "encode_frame", "read_frame", "read_frame_blocking"]
+
+_HEADER = struct.Struct(">I")
+
+MAX_FRAME = 16 * 1024 * 1024
+"""Upper bound on frame body size; larger frames are a protocol error."""
+
+
+def encode_frame(payload: dict[str, Any]) -> bytes:
+    """Serialise one message to its wire form (header + JSON body)."""
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"frame payload must be a dict, got "
+                            f"{type(payload).__name__}")
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds MAX_FRAME={MAX_FRAME}")
+    return _HEADER.pack(len(body)) + body
+
+
+def _decode_body(body: bytes) -> dict[str, Any]:
+    try:
+        payload = json.loads(body)
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame body is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame body must be a JSON object, got "
+            f"{type(payload).__name__}")
+    return payload
+
+
+def _check_length(length: int) -> None:
+    if length > MAX_FRAME:
+        raise ProtocolError(
+            f"peer announced a {length}-byte frame; limit is {MAX_FRAME}")
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict[str, Any] | None:
+    """Read one frame; ``None`` on clean EOF (peer closed between frames).
+
+    Raises :class:`~repro.exceptions.ProtocolError` on truncation mid-frame,
+    oversized frames, or non-object bodies.
+    """
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if exc.partial:
+            raise ProtocolError("connection closed mid-header") from None
+        return None
+    (length,) = _HEADER.unpack(header)
+    _check_length(length)
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ProtocolError("connection closed mid-frame") from None
+    return _decode_body(body)
+
+
+def read_frame_blocking(stream: BinaryIO) -> dict[str, Any] | None:
+    """Blocking twin of :func:`read_frame` over a file-like byte stream."""
+    header = _read_exactly(stream, _HEADER.size, allow_eof=True)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    _check_length(length)
+    body = _read_exactly(stream, length, allow_eof=False)
+    assert body is not None
+    return _decode_body(body)
+
+
+def _read_exactly(stream: BinaryIO, n: int,
+                  allow_eof: bool) -> bytes | None:
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = stream.read(remaining)
+        if not chunk:
+            if allow_eof and remaining == n:
+                return None
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)

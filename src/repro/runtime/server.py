@@ -1,0 +1,546 @@
+"""Sharded asyncio ingestion server wrapping MonitoringService shards.
+
+One process, one event loop, ``shards`` independent
+:class:`~repro.service.MonitoringService` instances each owned by a
+:class:`~repro.runtime.shard.ShardWorker`. Connection handlers parse
+frames and route; the only work done inline on the data path is hashing
+the task name and a non-blocking queue put — application of updates
+happens in the shard drain loops, so a burst on one shard backpressures
+that shard alone.
+
+Delivery semantics: an ``offer_batch`` reply with ``accepted == n`` means
+the updates are queued on their shards. Batches are applied in arrival
+order per shard. On graceful shutdown (SIGTERM/SIGINT or
+:meth:`RuntimeServer.shutdown`) the server stops accepting connections,
+drains every queue, and flushes a final checkpoint — every acknowledged
+update is therefore either applied or persisted. On a hard crash, updates
+queued after the last checkpoint are lost (at-most-once); clients that
+need stronger guarantees replay from their own cursor.
+
+Sharding constraint: correlation triggers
+(:meth:`~repro.service.MonitoringService.add_trigger`) connect two tasks
+through shared last-seen state, so target and trigger must hash to the
+same shard; ``add_trigger`` rejects cross-shard pairs with code
+``cross-shard-trigger``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import pathlib
+import signal
+import sys
+import time
+from typing import Any
+
+from repro.config import RuntimeConfig, task_from_config
+from repro.core.adaptation import AdaptationConfig
+from repro.core.windowed import AggregateKind
+from repro.exceptions import (CheckpointError, ConfigurationError,
+                              ProtocolError, ReproError)
+from repro.runtime.checkpoint import read_checkpoint, write_checkpoint
+from repro.runtime.protocol import encode_frame, read_frame
+from repro.runtime.shard import ShardWorker, shard_for
+from repro.service import MonitoringService
+from repro.types import Alert
+
+__all__ = ["RuntimeServer", "main"]
+
+
+def _error(message: str, code: str = "bad-request") -> dict[str, Any]:
+    return {"ok": False, "error": message, "code": code}
+
+
+class RuntimeServer:
+    """The live-ingestion runtime: shards, wire handlers, checkpoints.
+
+    Args:
+        runtime: deployment knobs (shard count, queue depth, listen
+            addresses, checkpoint path/interval).
+        service_config: optional declarative service config (the
+            ``defaults``/``tasks``/``triggers`` shape of
+            :func:`repro.config.service_from_config`); tasks it declares
+            are registered at startup unless a checkpoint already has them.
+        adaptation: default adaptation tunables for tasks registered over
+            the wire.
+    """
+
+    def __init__(self, runtime: RuntimeConfig | None = None,
+                 service_config: dict[str, Any] | None = None,
+                 adaptation: AdaptationConfig | None = None):
+        self.config = runtime or RuntimeConfig()
+        self._adaptation = adaptation or AdaptationConfig()
+        self._defaults: dict[str, Any] = {}
+        self._workers = [
+            ShardWorker(i, MonitoringService(self._adaptation),
+                        self.config.queue_depth)
+            for i in range(self.config.shards)
+        ]
+        self._task_shard: dict[str, int] = {}
+        self._servers: list[asyncio.AbstractServer] = []
+        self._connections: set[asyncio.Task[None]] = set()
+        self._checkpoint_task: asyncio.Task[None] | None = None
+        self._shutdown_started = False
+        self._done = asyncio.Event()
+        self._started_monotonic = 0.0
+        self._frames = 0
+        self._restored_tasks = 0
+        self._pending_config = service_config or {}
+        self._tcp_port: int | None = None
+
+    # ------------------------------------------------------------------
+    # Shard plumbing
+
+    def worker_for(self, name: str) -> ShardWorker:
+        """The shard worker a task name routes to."""
+        return self._workers[shard_for(name, self.config.shards)]
+
+    def _find_task(self, name: str) -> tuple[ShardWorker, Any]:
+        worker = self.worker_for(name)
+        return worker, worker.service._state(name)
+
+    def _alert_hook(self, worker: ShardWorker):
+        def hook(alert: Alert, _worker: ShardWorker = worker) -> None:
+            _worker.alerts_fired += 1
+        return hook
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    async def start(self) -> None:
+        """Restore state, start shard workers, bind listen sockets."""
+        self._started_monotonic = time.monotonic()
+        self._maybe_restore()
+        self._apply_service_config(self._pending_config)
+        for worker in self._workers:
+            worker.start()
+        cfg = self.config
+        if cfg.unix_socket is not None:
+            cfg.unix_socket.parent.mkdir(parents=True, exist_ok=True)
+            if cfg.unix_socket.exists():
+                cfg.unix_socket.unlink()
+            self._servers.append(await asyncio.start_unix_server(
+                self._on_connection, path=str(cfg.unix_socket)))
+        if cfg.port is not None:
+            server = await asyncio.start_server(
+                self._on_connection, host=cfg.host, port=cfg.port)
+            self._tcp_port = server.sockets[0].getsockname()[1]
+            self._servers.append(server)
+        if cfg.checkpoint_path is not None:
+            self._checkpoint_task = asyncio.get_running_loop().create_task(
+                self._checkpoint_loop(), name="checkpoint-loop")
+
+    @property
+    def tcp_port(self) -> int | None:
+        """The bound TCP port (resolves ``port=0`` to the actual port)."""
+        return self._tcp_port
+
+    @property
+    def restored_tasks(self) -> int:
+        """Number of tasks recovered from the checkpoint at startup."""
+        return self._restored_tasks
+
+    def _maybe_restore(self) -> None:
+        path = self.config.checkpoint_path
+        if path is None or not pathlib.Path(path).exists():
+            return
+        state = read_checkpoint(path)
+        shard_count = int(state.get("shard_count", -1))
+        if shard_count != self.config.shards:
+            raise CheckpointError(
+                f"checkpoint was written with {shard_count} shards but the "
+                f"server is configured with {self.config.shards}; "
+                f"resharding a checkpoint is not supported")
+        snapshots = state.get("shards", [])
+        for worker, snapshot in zip(self._workers, snapshots):
+            hook = self._alert_hook(worker)
+            worker.service = MonitoringService.restore(
+                snapshot, on_alert=lambda name, alert, _h=hook: _h(alert))
+            self._restored_tasks += len(worker.service.task_names)
+        self._task_shard = {str(k): int(v) for k, v in
+                            state.get("task_shard", {}).items()}
+        for counters, worker in zip(state.get("counters", []), self._workers):
+            worker.offered = int(counters.get("offered", 0))
+            worker.applied = int(counters.get("applied", 0))
+            worker.consumed = int(counters.get("consumed", 0))
+            worker.shed = int(counters.get("shed", 0))
+            worker.rejected = int(counters.get("rejected", 0))
+            worker.alerts_fired = int(counters.get("alerts", 0))
+
+    def _apply_service_config(self, config: dict[str, Any]) -> None:
+        if not config:
+            return
+        if not isinstance(config, dict):
+            raise ConfigurationError(
+                f"service config must be a dict, got {config!r}")
+        self._defaults = dict(config.get("defaults", {}))
+        for entry in config.get("tasks", []):
+            name = str(entry.get("name", ""))
+            if name in self._task_shard:
+                continue  # checkpoint wins over the config file
+            self._register_task(dict(entry))
+        for trigger in config.get("triggers", []):
+            reply = self._op_add_trigger(dict(trigger))
+            if not reply.get("ok"):
+                raise ConfigurationError(str(reply.get("error")))
+
+    def _register_task(self, entry: dict[str, Any]) -> dict[str, Any]:
+        spec = task_from_config(entry, self._defaults)
+        window = int(entry.get("window", 1))
+        kind = AggregateKind(str(entry.get("aggregate", "mean")))
+        worker = self.worker_for(spec.name)
+        worker.service.add_task(spec.name, spec,
+                                on_alert=self._alert_hook(worker),
+                                window=window, window_kind=kind,
+                                config=self._adaptation)
+        self._task_shard[spec.name] = worker.shard_id
+        return {"ok": True, "task": spec.name, "shard": worker.shard_id}
+
+    async def shutdown(self) -> None:
+        """Graceful stop: quiesce, drain every shard, flush a checkpoint."""
+        if self._shutdown_started:
+            await self._done.wait()
+            return
+        self._shutdown_started = True
+        for server in self._servers:
+            server.close()
+        for server in self._servers:
+            await server.wait_closed()
+        for conn in list(self._connections):
+            conn.cancel()
+        if self._checkpoint_task is not None:
+            self._checkpoint_task.cancel()
+            try:
+                await self._checkpoint_task
+            except asyncio.CancelledError:
+                pass
+        for worker in self._workers:
+            await worker.stop()
+        if self.config.checkpoint_path is not None:
+            self.write_checkpoint()
+        if (self.config.unix_socket is not None
+                and self.config.unix_socket.exists()):
+            self.config.unix_socket.unlink()
+        self._done.set()
+
+    async def serve_forever(self) -> None:
+        """Run until :meth:`shutdown` (or SIGTERM/SIGINT) completes."""
+        loop = asyncio.get_running_loop()
+
+        def _request_shutdown() -> None:
+            loop.create_task(self.shutdown())
+
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, _request_shutdown)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-unix platforms / nested loops
+        await self._done.wait()
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+
+    def runtime_state(self) -> dict[str, Any]:
+        """The full runtime state (what checkpoints persist)."""
+        return {
+            "shard_count": self.config.shards,
+            "task_shard": dict(self._task_shard),
+            "shards": [w.service.snapshot() for w in self._workers],
+            "counters": [w.stats() for w in self._workers],
+        }
+
+    def write_checkpoint(self) -> pathlib.Path:
+        """Write a checkpoint now; returns the path written."""
+        path = self.config.checkpoint_path
+        if path is None:
+            raise ConfigurationError("no checkpoint_path configured")
+        return write_checkpoint(path, self.runtime_state())
+
+    async def _checkpoint_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.checkpoint_interval)
+            self.write_checkpoint()
+
+    # ------------------------------------------------------------------
+    # Wire handling
+
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        self._connections.add(task)
+        try:
+            while True:
+                try:
+                    request = await read_frame(reader)
+                except ProtocolError as exc:
+                    writer.write(encode_frame(
+                        _error(str(exc), code="protocol")))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                self._frames += 1
+                reply = self.handle_request(request)
+                writer.write(encode_frame(reply))
+                await writer.drain()
+        except (asyncio.CancelledError, ConnectionResetError,
+                BrokenPipeError):
+            pass
+        finally:
+            self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    def handle_request(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Dispatch one decoded request frame to its op handler.
+
+        Synchronous by design: every op either enqueues (data path) or
+        reads/mutates shard state inline (control path); nothing awaits,
+        so a request can never interleave with another mid-handler.
+        """
+        op = request.get("op")
+        handler = self._OPS.get(op)  # type: ignore[arg-type]
+        if handler is None:
+            return _error(f"unknown op {op!r}", code="unknown-op")
+        try:
+            return handler(self, request)
+        except ReproError as exc:
+            return _error(str(exc))
+
+    def _op_ping(self, request: dict[str, Any]) -> dict[str, Any]:
+        return {"ok": True, "shards": self.config.shards,
+                "tasks": len(self._task_shard)}
+
+    def _op_register_task(self, request: dict[str, Any]) -> dict[str, Any]:
+        entry = request.get("task")
+        if not isinstance(entry, dict):
+            return _error("register_task needs a 'task' dict")
+        return self._register_task(entry)
+
+    def _op_remove_task(self, request: dict[str, Any]) -> dict[str, Any]:
+        name = str(request.get("task", ""))
+        if name not in self._task_shard:
+            return _error(f"unknown task {name!r}", code="unknown-task")
+        worker = self.worker_for(name)
+        worker.service.remove_task(name)
+        del self._task_shard[name]
+        return {"ok": True, "task": name}
+
+    def _op_add_trigger(self, request: dict[str, Any]) -> dict[str, Any]:
+        target = str(request.get("target", ""))
+        trigger = str(request.get("trigger", ""))
+        for name in (target, trigger):
+            if name not in self._task_shard:
+                return _error(f"unknown task {name!r}", code="unknown-task")
+        if self._task_shard[target] != self._task_shard[trigger]:
+            return _error(
+                f"target {target!r} (shard {self._task_shard[target]}) and "
+                f"trigger {trigger!r} (shard {self._task_shard[trigger]}) "
+                f"hash to different shards; correlation gating is "
+                f"intra-shard", code="cross-shard-trigger")
+        worker = self.worker_for(target)
+        worker.service.add_trigger(
+            target, trigger,
+            elevation_level=float(request.get("elevation_level", 0.0)),
+            suspend_interval=int(request.get("suspend_interval", 10)))
+        return {"ok": True, "target": target, "trigger": trigger}
+
+    def _op_offer_batch(self, request: dict[str, Any]) -> dict[str, Any]:
+        updates = request.get("updates")
+        if not isinstance(updates, list):
+            return _error("offer_batch needs an 'updates' list")
+        if len(updates) > self.config.max_batch:
+            return _error(
+                f"batch of {len(updates)} exceeds max_batch="
+                f"{self.config.max_batch}", code="batch-too-large")
+        per_shard: dict[int, list[Any]] = {}
+        rejected = 0
+        for update in updates:
+            if (not isinstance(update, (list, tuple)) or len(update) != 3):
+                return _error(
+                    "each update must be [task, step, value]")
+            shard = self._task_shard.get(str(update[0]))
+            if shard is None:
+                rejected += 1
+                continue
+            per_shard.setdefault(shard, []).append(update)
+        accepted = 0
+        shed = 0
+        for shard, items in per_shard.items():
+            if self._workers[shard].try_enqueue(items):
+                accepted += len(items)
+            else:
+                shed += len(items)
+        reply: dict[str, Any] = {"ok": True, "accepted": accepted,
+                                 "shed": shed, "rejected": rejected}
+        if shed:
+            reply["backpressure"] = True
+            reply["retry_after_ms"] = self.config.shed_retry_ms
+        return reply
+
+    def _op_due(self, request: dict[str, Any]) -> dict[str, Any]:
+        name = str(request.get("task", ""))
+        step = int(request.get("step", 0))
+        worker, state = self._find_task(name)
+        return {"ok": True, "due": step >= state.next_due,
+                "next_due": state.next_due, "shard": worker.shard_id}
+
+    def _op_task_info(self, request: dict[str, Any]) -> dict[str, Any]:
+        name = str(request.get("task", ""))
+        worker, state = self._find_task(name)
+        return {
+            "ok": True,
+            "task": name,
+            "shard": worker.shard_id,
+            "samples_taken": state.samples_taken,
+            "alerts": len(state.alerts),
+            "interval": state.sampler.interval,
+            "next_due": state.next_due,
+            "observations": state.sampler.observations,
+        }
+
+    def _op_alerts(self, request: dict[str, Any]) -> dict[str, Any]:
+        name = str(request.get("task", ""))
+        _, state = self._find_task(name)
+        return {"ok": True, "task": name,
+                "alerts": [[a.time_index, a.value, a.threshold]
+                           for a in state.alerts]}
+
+    def _op_stats(self, request: dict[str, Any]) -> dict[str, Any]:
+        shards = [w.stats() for w in self._workers]
+        totals = {key: sum(s[key] for s in shards)
+                  for key in ("offered", "applied", "consumed", "shed",
+                              "rejected", "alerts", "queue_depth")}
+        totals["tasks"] = len(self._task_shard)
+        return {"ok": True, "shards": shards, "totals": totals,
+                "frames": self._frames,
+                "uptime_s": time.monotonic() - self._started_monotonic,
+                "restored_tasks": self._restored_tasks}
+
+    def _op_checkpoint(self, request: dict[str, Any]) -> dict[str, Any]:
+        path = self.write_checkpoint()
+        return {"ok": True, "path": str(path)}
+
+    _OPS = {
+        "ping": _op_ping,
+        "register_task": _op_register_task,
+        "remove_task": _op_remove_task,
+        "add_trigger": _op_add_trigger,
+        "offer_batch": _op_offer_batch,
+        "due": _op_due,
+        "task_info": _op_task_info,
+        "alerts": _op_alerts,
+        "stats": _op_stats,
+        "checkpoint": _op_checkpoint,
+    }
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runtime",
+        description="Sharded live-ingestion server for Volley monitoring "
+                    "tasks (length-prefixed JSON over TCP/unix socket).")
+    parser.add_argument("--config", type=pathlib.Path, default=None,
+                        help="JSON config file; may hold a 'runtime' "
+                             "section plus defaults/tasks/triggers")
+    parser.add_argument("--host", default=None)
+    parser.add_argument("--port", type=int, default=None,
+                        help="TCP port (0 = ephemeral)")
+    parser.add_argument("--unix", type=pathlib.Path, default=None,
+                        help="unix-domain socket path to listen on")
+    parser.add_argument("--shards", type=int, default=None)
+    parser.add_argument("--queue-depth", type=int, default=None)
+    parser.add_argument("--max-batch", type=int, default=None)
+    parser.add_argument("--checkpoint", type=pathlib.Path, default=None,
+                        help="checkpoint file (restored at startup if it "
+                             "exists; flushed on shutdown)")
+    parser.add_argument("--checkpoint-interval", type=float, default=None,
+                        help="seconds between periodic checkpoints")
+    parser.add_argument("--ready-file", type=pathlib.Path, default=None,
+                        help="write {port, unix, pid} JSON once listening")
+    return parser
+
+
+def _runtime_config(args: argparse.Namespace,
+                    file_section: dict[str, Any]) -> RuntimeConfig:
+    base = RuntimeConfig.from_dict(file_section)
+    overrides: dict[str, Any] = {}
+    for arg, key in (("host", "host"), ("port", "port"),
+                     ("shards", "shards"), ("queue_depth", "queue_depth"),
+                     ("max_batch", "max_batch"),
+                     ("checkpoint_interval", "checkpoint_interval")):
+        value = getattr(args, arg)
+        if value is not None:
+            overrides[key] = value
+    if args.unix is not None:
+        overrides["unix_socket"] = args.unix
+    if args.checkpoint is not None:
+        overrides["checkpoint_path"] = args.checkpoint
+    if not overrides:
+        return base
+    merged = {key: getattr(base, key) for key in (
+        "shards", "queue_depth", "max_batch", "host", "port", "unix_socket",
+        "checkpoint_path", "checkpoint_interval", "shed_retry_ms")}
+    merged.update(overrides)
+    return RuntimeConfig(**merged)
+
+
+async def _run(args: argparse.Namespace) -> None:
+    service_config: dict[str, Any] = {}
+    runtime_section: dict[str, Any] = {}
+    adaptation: AdaptationConfig | None = None
+    if args.config is not None:
+        loaded = json.loads(args.config.read_text(encoding="utf-8"))
+        if not isinstance(loaded, dict):
+            raise ConfigurationError("config file must hold a JSON object")
+        runtime_section = dict(loaded.pop("runtime", {}))
+        adaptation_section = loaded.pop("adaptation", None)
+        if adaptation_section is not None:
+            try:
+                adaptation = AdaptationConfig(**adaptation_section)
+            except TypeError as exc:
+                raise ConfigurationError(
+                    f"bad adaptation section: {exc}") from None
+        service_config = loaded
+    server = RuntimeServer(_runtime_config(args, runtime_section),
+                           service_config=service_config,
+                           adaptation=adaptation)
+    await server.start()
+    endpoints = []
+    if server.tcp_port is not None:
+        endpoints.append(f"tcp {server.config.host}:{server.tcp_port}")
+    if server.config.unix_socket is not None:
+        endpoints.append(f"unix {server.config.unix_socket}")
+    print(f"[runtime] listening on {', '.join(endpoints)} "
+          f"({server.config.shards} shards, "
+          f"{server.restored_tasks} tasks restored)", flush=True)
+    if args.ready_file is not None:
+        ready = {"port": server.tcp_port,
+                 "unix": (str(server.config.unix_socket)
+                          if server.config.unix_socket else None),
+                 "pid": os.getpid()}
+        args.ready_file.write_text(json.dumps(ready), encoding="utf-8")
+    await server.serve_forever()
+    print("[runtime] shut down cleanly", flush=True)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (``python -m repro.runtime``)."""
+    args = _build_parser().parse_args(argv)
+    try:
+        asyncio.run(_run(args))
+    except ReproError as exc:
+        print(f"[runtime] error: {exc}", file=sys.stderr, flush=True)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

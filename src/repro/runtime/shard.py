@@ -1,0 +1,147 @@
+"""Shard workers: one bounded queue + one MonitoringService per shard.
+
+Tasks are partitioned across shards by :func:`shard_for`, a stable
+(``PYTHONHASHSEED``-independent) hash of the task name, so the same task
+always lands on the same shard — across restarts and across independent
+client processes. All updates for a task are therefore applied in arrival
+order by a single consumer, which is what keeps the per-task samplers'
+strictly-increasing ``time_index`` contract safe without locks.
+
+Backpressure contract: :meth:`ShardWorker.try_enqueue` never blocks. When
+the shard's queue is full the batch is *shed* — counted, reported to the
+caller, and dropped. The server turns that into an explicit reply with a
+retry hint; a lagging shard can never stall the event loop or starve the
+other shards.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import zlib
+from typing import Any, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.service import MonitoringService
+
+__all__ = ["ShardWorker", "shard_for"]
+
+Update = Sequence[Any]  # [task_name, step, value]
+
+
+def shard_for(name: str, shards: int) -> int:
+    """Stable shard index for a task name (CRC32, not ``hash()``)."""
+    return zlib.crc32(name.encode("utf-8")) % shards
+
+
+class ShardWorker:
+    """One shard's bounded ingest queue and its drain loop.
+
+    The worker owns its :class:`~repro.service.MonitoringService`
+    exclusively: control operations (register/remove/trigger) and reads go
+    through the owning server on the event loop thread, data-path batches
+    go through the queue and are applied by :meth:`_run`. Since everything
+    runs on one event loop, service state is never touched concurrently.
+    """
+
+    def __init__(self, shard_id: int, service: MonitoringService,
+                 queue_depth: int):
+        if queue_depth < 1:
+            raise ConfigurationError(
+                f"queue_depth must be >= 1, got {queue_depth}")
+        self.shard_id = shard_id
+        self.service = service
+        self._queue: asyncio.Queue[list[Update]] = asyncio.Queue(
+            maxsize=queue_depth)
+        self._runner: asyncio.Task[None] | None = None
+        # Counters exposed via the server's `stats` op.
+        self.offered = 0      # updates accepted into the queue
+        self.applied = 0      # updates applied to the service
+        self.consumed = 0     # updates consumed as scheduled samples
+        self.shed = 0         # updates dropped due to backpressure
+        self.rejected = 0     # updates for unknown/invalid tasks
+        self.alerts_fired = 0
+
+    @property
+    def depth(self) -> int:
+        """Batches currently queued (for stats/backpressure telemetry)."""
+        return self._queue.qsize()
+
+    @property
+    def capacity(self) -> int:
+        """Queue capacity in batches."""
+        return self._queue.maxsize
+
+    def try_enqueue(self, updates: list[Update]) -> bool:
+        """Queue a batch without blocking; False (and shed) when full."""
+        try:
+            self._queue.put_nowait(updates)
+        except asyncio.QueueFull:
+            self.shed += len(updates)
+            return False
+        self.offered += len(updates)
+        return True
+
+    def apply(self, updates: list[Update]) -> None:
+        """Apply a batch synchronously (the drain loop's work unit)."""
+        offer = self.service.offer
+        for name, step, value in updates:
+            try:
+                decision = offer(str(name), float(value), int(step))
+            except ConfigurationError:
+                # Unknown task: raced a remove_task that was applied after
+                # this batch was queued. Shed-with-count, don't poison the
+                # batch.
+                self.rejected += 1
+                continue
+            self.applied += 1
+            if decision is not None:
+                self.consumed += 1
+
+    def start(self) -> None:
+        """Start the drain loop on the running event loop."""
+        if self._runner is None:
+            self._runner = asyncio.get_running_loop().create_task(
+                self._run(), name=f"shard-{self.shard_id}")
+
+    async def _run(self) -> None:
+        while True:
+            updates = await self._queue.get()
+            try:
+                self.apply(updates)
+            finally:
+                self._queue.task_done()
+
+    async def drain(self) -> None:
+        """Wait until every queued batch has been applied."""
+        await self._queue.join()
+
+    async def stop(self) -> None:
+        """Drain outstanding batches, then cancel the drain loop.
+
+        A worker whose drain loop is not running (never started, or already
+        stopped) is left as-is — draining would deadlock with no consumer.
+        """
+        if self._runner is None:
+            return
+        await self.drain()
+        self._runner.cancel()
+        try:
+            await self._runner
+        except asyncio.CancelledError:
+            pass
+        self._runner = None
+
+    def stats(self) -> dict[str, Any]:
+        """Counter snapshot for the ``stats`` wire op."""
+        return {
+            "shard": self.shard_id,
+            "tasks": len(self.service.task_names),
+            "queue_depth": self.depth,
+            "queue_capacity": self.capacity,
+            "offered": self.offered,
+            "applied": self.applied,
+            "consumed": self.consumed,
+            "shed": self.shed,
+            "rejected": self.rejected,
+            "alerts": self.alerts_fired,
+        }

@@ -29,19 +29,23 @@ Example::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable
+from collections import deque
+from dataclasses import dataclass, field, fields as dataclass_fields
+from typing import Any, Callable
 
 from repro.core.adaptation import (AdaptationConfig, SamplingDecision,
                                    ViolationLikelihoodSampler)
 from repro.core.task import TaskSpec
 from repro.core.windowed import AggregateKind
 from repro.exceptions import ConfigurationError
-from repro.types import Alert
+from repro.types import Alert, ThresholdDirection
 
-__all__ = ["MonitoringService", "TaskState"]
+__all__ = ["MonitoringService", "TaskState", "SNAPSHOT_VERSION"]
 
 AlertCallback = Callable[[Alert], None]
+
+SNAPSHOT_VERSION = 1
+"""Format version stamped into :meth:`MonitoringService.snapshot` dicts."""
 
 
 @dataclass
@@ -74,24 +78,129 @@ class TaskState:
     window: int = 1
     window_kind: AggregateKind = AggregateKind.MEAN
     on_alert: AlertCallback | None = None
-    _window_values: list[tuple[int, float]] = field(default_factory=list)
+    _window_values: deque[tuple[int, float]] = field(default_factory=deque)
+    _window_sum: float = 0.0
 
     def aggregate(self, step: int, value: float) -> float:
-        """Fold a raw observation into the task's windowed aggregate."""
+        """Fold a raw observation into the task's windowed aggregate.
+
+        The window buffer is a deque with head-pruning and a running sum:
+        appending and evicting expired entries is O(1) amortized, so
+        windowed tasks stay cheap on the hot ingest path (MAX/MIN still
+        scan the — window-bounded — buffer, as eviction order is by step,
+        not by value).
+        """
         if self.window <= 1:
             return value
-        self._window_values.append((step, value))
+        buf = self._window_values
+        buf.append((step, value))
+        self._window_sum += value
         lo = step - self.window + 1
-        self._window_values = [(s, v) for s, v in self._window_values
-                               if s >= lo]
-        values = [v for _, v in self._window_values]
+        while buf and buf[0][0] < lo:
+            _, old = buf.popleft()
+            self._window_sum -= old
         if self.window_kind is AggregateKind.MEAN:
-            return sum(values) / len(values)
+            return self._window_sum / len(buf)
         if self.window_kind is AggregateKind.SUM:
-            return sum(values)
+            return self._window_sum
         if self.window_kind is AggregateKind.MAX:
-            return max(values)
-        return min(values)
+            return max(v for _, v in buf)
+        return min(v for _, v in buf)
+
+    def state_dict(self) -> dict[str, Any]:
+        """The task's full mutable + declarative state, JSON-able.
+
+        Everything :meth:`MonitoringService.restore` needs to resume this
+        task exactly: the spec, adaptation config, schedule position,
+        sampler internals, alert history, trigger wiring and window buffer.
+        The ``on_alert`` callback is *not* serialisable — restoring callers
+        re-attach their own.
+        """
+        return {
+            "name": self.name,
+            "spec": _spec_to_dict(self.task),
+            "adaptation": _adaptation_to_dict(self.sampler.config),
+            "window": self.window,
+            "window_kind": self.window_kind.value,
+            "next_due": self.next_due,
+            "samples_taken": self.samples_taken,
+            "alerts": [[a.time_index, a.value, a.threshold]
+                       for a in self.alerts],
+            "trigger_task": self.trigger_task,
+            "trigger_level": self.trigger_level,
+            "suspend_interval": self.suspend_interval,
+            "window_values": [[s, v] for s, v in self._window_values],
+            # The running sum is serialised verbatim (not recomputed from
+            # the buffer on restore) so a restored task's aggregates are
+            # bit-identical to an uninterrupted run's, floating-point
+            # accumulation history included.
+            "window_sum": self._window_sum,
+            "sampler": self.sampler.state_dict(),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict[str, Any],
+                        on_alert: AlertCallback | None = None) -> "TaskState":
+        """Rebuild a task (spec, sampler and all) from :meth:`state_dict`."""
+        spec = _spec_from_dict(state["spec"])
+        config = _adaptation_from_dict(state["adaptation"])
+        sampler = ViolationLikelihoodSampler(spec, config)
+        sampler.load_state_dict(state["sampler"])
+        task_state = cls(
+            name=str(state["name"]),
+            task=spec,
+            sampler=sampler,
+            next_due=int(state["next_due"]),
+            samples_taken=int(state["samples_taken"]),
+            alerts=[Alert(time_index=int(t), value=float(v),
+                          threshold=float(thr))
+                    for t, v, thr in state.get("alerts", [])],
+            trigger_task=state.get("trigger_task"),
+            trigger_level=float(state.get("trigger_level", 0.0)),
+            suspend_interval=int(state.get("suspend_interval", 10)),
+            window=int(state["window"]),
+            window_kind=AggregateKind(state["window_kind"]),
+            on_alert=on_alert,
+        )
+        for s, v in state.get("window_values", []):
+            task_state._window_values.append((int(s), float(v)))
+        if "window_sum" in state:
+            task_state._window_sum = float(state["window_sum"])
+        else:
+            task_state._window_sum = sum(
+                v for _, v in task_state._window_values)
+        return task_state
+
+
+def _spec_to_dict(spec: TaskSpec) -> dict[str, Any]:
+    return {
+        "threshold": spec.threshold,
+        "error_allowance": spec.error_allowance,
+        "default_interval": spec.default_interval,
+        "max_interval": spec.max_interval,
+        "direction": spec.direction.value,
+        "name": spec.name,
+    }
+
+
+def _spec_from_dict(entry: dict[str, Any]) -> TaskSpec:
+    return TaskSpec(
+        threshold=float(entry["threshold"]),
+        error_allowance=float(entry["error_allowance"]),
+        default_interval=float(entry["default_interval"]),
+        max_interval=int(entry["max_interval"]),
+        direction=ThresholdDirection(entry["direction"]),
+        name=str(entry.get("name", "")),
+    )
+
+
+def _adaptation_to_dict(config: AdaptationConfig) -> dict[str, Any]:
+    return {f.name: getattr(config, f.name)
+            for f in dataclass_fields(AdaptationConfig)}
+
+
+def _adaptation_from_dict(entry: dict[str, Any]) -> AdaptationConfig:
+    return AdaptationConfig(**entry)
 
 
 class MonitoringService:
@@ -133,6 +242,26 @@ class MonitoringService:
                                       sampler=sampler, window=window,
                                       window_kind=window_kind,
                                       on_alert=on_alert)
+
+    def remove_task(self, name: str) -> None:
+        """Unregister a task (live-runtime tenant churn).
+
+        Any task gated on the removed one loses its trigger and falls back
+        to pure violation-likelihood scheduling — a dangling trigger would
+        otherwise freeze the dependent task at its suspend interval using a
+        stale last-seen value. The removed task's last-seen entry is
+        dropped for the same reason.
+
+        Raises :class:`~repro.exceptions.ConfigurationError` when the task
+        is unknown.
+        """
+        self._state(name)  # must exist
+        del self._tasks[name]
+        self._last_seen.pop(name, None)
+        for other in self._tasks.values():
+            if other.trigger_task == name:
+                other.trigger_task = None
+                other.trigger_level = 0.0
 
     def add_trigger(self, target: str, trigger: str, elevation_level: float,
                     suspend_interval: int = 10) -> None:
@@ -216,3 +345,61 @@ class MonitoringService:
     def interval(self, name: str) -> int:
         """A task's current sampling interval (in default intervals)."""
         return self._state(name).sampler.interval
+
+    def snapshot(self) -> dict[str, Any]:
+        """Serialise the full service state to a JSON-able dict.
+
+        Captures every registered task's spec, adaptation config, schedule
+        position, sampler statistics (Welford state, current interval,
+        patience streak), alert history, trigger wiring, window buffers and
+        the trigger last-seen map — everything :meth:`restore` needs to
+        resume with identical behaviour. Alert callbacks are not captured.
+        """
+        return {
+            "version": SNAPSHOT_VERSION,
+            "adaptation": _adaptation_to_dict(self._config),
+            "tasks": [state.state_dict() for state in self._tasks.values()],
+            "last_seen": dict(self._last_seen),
+        }
+
+    @classmethod
+    def restore(cls, snapshot: dict[str, Any],
+                on_alert: Callable[[str, Alert], None] | None = None,
+                ) -> "MonitoringService":
+        """Rebuild a service from a :meth:`snapshot` dict.
+
+        Args:
+            snapshot: a dict produced by :meth:`snapshot`.
+            on_alert: optional ``(task_name, alert)`` callback attached to
+                every restored task (callbacks cannot be serialised, so
+                they are re-wired here).
+
+        A restored service produces the same decision/alert stream as one
+        that was never interrupted, given the same subsequent offers.
+        """
+        version = snapshot.get("version")
+        if version != SNAPSHOT_VERSION:
+            raise ConfigurationError(
+                f"unsupported snapshot version {version!r}; "
+                f"expected {SNAPSHOT_VERSION}")
+        service = cls(_adaptation_from_dict(snapshot["adaptation"]))
+        for entry in snapshot.get("tasks", []):
+            name = str(entry["name"])
+            callback: AlertCallback | None = None
+            if on_alert is not None:
+                def callback(alert: Alert, _name: str = name) -> None:
+                    on_alert(_name, alert)
+            if name in service._tasks:
+                raise ConfigurationError(
+                    f"snapshot contains duplicate task {name!r}")
+            service._tasks[name] = TaskState.from_state_dict(
+                entry, on_alert=callback)
+        for state in service._tasks.values():
+            if (state.trigger_task is not None
+                    and state.trigger_task not in service._tasks):
+                raise ConfigurationError(
+                    f"snapshot task {state.name!r} references missing "
+                    f"trigger {state.trigger_task!r}")
+        service._last_seen = {str(k): float(v) for k, v in
+                              snapshot.get("last_seen", {}).items()}
+        return service

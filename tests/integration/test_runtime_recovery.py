@@ -1,0 +1,214 @@
+"""Crash-recovery integration: SIGTERM mid-stream, restart, no data loss.
+
+The acceptance bar for the runtime's checkpoint/restore: killing the
+server with SIGTERM in the middle of an ingest run and restarting from
+the flushed checkpoint must lose no registered tasks and resume every
+sampler at its checkpointed interval/statistics — the recovered run's
+alerts and sample counts must equal an uninterrupted run over the same
+stream.
+
+Runs the real server as a subprocess over a unix socket, exactly like a
+deployment would.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.adaptation import AdaptationConfig
+from repro.core.task import TaskSpec
+from repro.exceptions import ProtocolError
+from repro.runtime.client import RuntimeClient
+from repro.service import MonitoringService
+
+REPO_SRC = pathlib.Path(__file__).resolve().parents[2] / "src"
+
+TASKS = [f"vm-{i:02d}" for i in range(8)]
+THRESHOLD = 100.0
+ERR = 0.05
+MAX_INTERVAL = 8
+STEPS = 400
+SPLIT = 200
+SHARDS = 4
+# Faster adaptation than the paper's defaults so the samplers reach
+# non-trivial intervals within the test's 200-step first half.
+ADAPTATION = {"patience": 5, "min_samples": 5, "stats_restart": 100}
+
+
+def make_stream() -> np.ndarray:
+    rng = np.random.default_rng(42)
+    # Quiet band (so samplers can grow their intervals) plus short bursts
+    # crossing the threshold (so alert streams are non-trivial); one burst
+    # per half of the run.
+    values = rng.normal(70.0, 2.0, (STEPS, len(TASKS)))
+    values[40:55] += 38.0
+    values[290:305] += 38.0
+    return values
+
+
+def spawn_server(tmp_path: pathlib.Path, sock: pathlib.Path,
+                 ckpt: pathlib.Path) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{REPO_SRC}{os.pathsep}" \
+        + env.get("PYTHONPATH", "")
+    config = tmp_path / "runtime_config.json"
+    config.write_text(json.dumps({"adaptation": ADAPTATION}),
+                      encoding="utf-8")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.runtime",
+         "--config", str(config),
+         "--unix", str(sock), "--port", "0",
+         "--shards", str(SHARDS),
+         "--checkpoint", str(ckpt),
+         "--checkpoint-interval", "3600"],
+        env=env, cwd=tmp_path,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    deadline = time.monotonic() + 30
+    while not sock.exists():
+        if proc.poll() is not None:
+            raise AssertionError(
+                f"server died at startup:\n{proc.stdout.read()}")
+        if time.monotonic() > deadline:
+            proc.kill()
+            raise AssertionError("server did not come up in 30s")
+        time.sleep(0.02)
+    return proc
+
+
+def wait_applied(client: RuntimeClient, expected: int) -> None:
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        totals = client.stats()["totals"]
+        if totals["applied"] + totals["rejected"] >= expected:
+            assert totals["shed"] == 0
+            return
+        time.sleep(0.02)
+    raise AssertionError("shards did not drain in time")
+
+
+def feed(client: RuntimeClient, stream: np.ndarray, lo: int,
+         hi: int) -> int:
+    sent = 0
+    for step in range(lo, hi):
+        batch = [[name, step, float(stream[step, i])]
+                 for i, name in enumerate(TASKS)]
+        reply = client.offer_batch(batch)
+        assert reply["accepted"] == len(batch), reply
+        sent += len(batch)
+    return sent
+
+
+def reference_run(stream: np.ndarray) -> MonitoringService:
+    service = MonitoringService(AdaptationConfig(**ADAPTATION))
+    for name in TASKS:
+        service.add_task(name, TaskSpec(threshold=THRESHOLD,
+                                        error_allowance=ERR,
+                                        max_interval=MAX_INTERVAL))
+    for step in range(STEPS):
+        for i, name in enumerate(TASKS):
+            service.offer(name, float(stream[step, i]), step)
+    return service
+
+
+def test_sigterm_restart_matches_uninterrupted_run(tmp_path):
+    stream = make_stream()
+    sock = tmp_path / "runtime.sock"
+    ckpt = tmp_path / "ckpt.json"
+
+    # --- Phase 1: serve, register, feed the first half, SIGTERM. -------
+    proc = spawn_server(tmp_path, sock, ckpt)
+    try:
+        client = RuntimeClient(unix_socket=sock)
+        for name in TASKS:
+            client.register_task(name, THRESHOLD, error_allowance=ERR,
+                                 max_interval=MAX_INTERVAL)
+        sent = feed(client, stream, 0, SPLIT)
+        # Half-time sanity: samplers must have adapted (grown intervals),
+        # so the checkpoint carries non-trivial state.
+        wait_applied(client, sent)
+        intervals = {name: client.task_info(name)["interval"]
+                     for name in TASKS}
+        assert any(iv > 1 for iv in intervals.values())
+        client.close()
+
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=30) == 0, proc.stdout.read()
+        assert ckpt.exists()
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+    # --- Phase 2: restart from the checkpoint, feed the second half. ---
+    proc = spawn_server(tmp_path, sock, ckpt)
+    try:
+        client = RuntimeClient(unix_socket=sock)
+        # No registered task may be lost across the restart...
+        for name in TASKS:
+            info = client.task_info(name)
+            # ...and each sampler resumes at its checkpointed interval.
+            assert info["interval"] == intervals[name]
+        sent = feed(client, stream, SPLIT, STEPS)
+        wait_applied(client, client.stats()["totals"]["offered"])
+
+        reference = reference_run(stream)
+        for name in TASKS:
+            info = client.task_info(name)
+            assert info["samples_taken"] == reference.samples_taken(name), \
+                f"{name}: sample count diverged after recovery"
+            assert info["interval"] == reference.interval(name)
+            assert info["next_due"] == reference.next_due(name)
+            recovered_alerts = client.alerts(name)
+            expected_alerts = [[a.time_index, a.value, a.threshold]
+                               for a in reference.alerts(name)]
+            assert recovered_alerts == expected_alerts, \
+                f"{name}: alert stream diverged after recovery"
+        client.close()
+
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=30) == 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+def test_fresh_checkpoint_restart_preserves_unfed_tasks(tmp_path):
+    """Tasks registered but never offered must survive a restart too."""
+    sock = tmp_path / "runtime.sock"
+    ckpt = tmp_path / "ckpt.json"
+    proc = spawn_server(tmp_path, sock, ckpt)
+    try:
+        client = RuntimeClient(unix_socket=sock)
+        client.register_task("idle", 50.0)
+        client.close()
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=30) == 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+    proc = spawn_server(tmp_path, sock, ckpt)
+    try:
+        client = RuntimeClient(unix_socket=sock)
+        info = client.task_info("idle")
+        assert info["samples_taken"] == 0
+        with pytest.raises(ProtocolError):
+            client.register_task("idle", 50.0)  # still registered
+        client.close()
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=30) == 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()

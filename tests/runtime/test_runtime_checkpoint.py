@@ -1,0 +1,215 @@
+"""Checkpoint persistence and service snapshot/restore tests."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.adaptation import AdaptationConfig, ViolationLikelihoodSampler
+from repro.core.online_stats import OnlineStatistics
+from repro.core.task import TaskSpec
+from repro.core.windowed import AggregateKind
+from repro.exceptions import CheckpointError, ConfigurationError
+from repro.runtime.checkpoint import (CHECKPOINT_VERSION, read_checkpoint,
+                                      write_checkpoint)
+from repro.service import MonitoringService
+
+
+def task(threshold=100.0, err=0.01, max_interval=10):
+    return TaskSpec(threshold=threshold, error_allowance=err,
+                    max_interval=max_interval)
+
+
+class TestCheckpointFile:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        write_checkpoint(path, {"shard_count": 2, "shards": []})
+        state = read_checkpoint(path)
+        assert state["shard_count"] == 2
+        assert state["checkpoint_version"] == CHECKPOINT_VERSION
+
+    def test_write_is_atomic_no_temp_left_behind(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        write_checkpoint(path, {"x": 1})
+        write_checkpoint(path, {"x": 2})
+        assert read_checkpoint(path)["x"] == 2
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            read_checkpoint(tmp_path / "absent.json")
+
+    def test_corrupt_file_raises(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text("{truncated")
+        with pytest.raises(CheckpointError):
+            read_checkpoint(path)
+
+    def test_wrong_version_raises(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text(json.dumps({"checkpoint_version": 999}))
+        with pytest.raises(CheckpointError):
+            read_checkpoint(path)
+
+
+class TestOnlineStatisticsState:
+    def test_roundtrip_preserves_estimates(self):
+        stats = OnlineStatistics(restart_after=50, min_fresh=5)
+        rng = np.random.default_rng(3)
+        for x in rng.normal(0.5, 2.0, 130):
+            stats.update(float(x))
+        clone = OnlineStatistics(restart_after=50, min_fresh=5)
+        clone.load_state_dict(stats.state_dict())
+        assert clone.mean == stats.mean
+        assert clone.variance == stats.variance
+        assert clone.effective_count == stats.effective_count
+        assert clone.restarts == stats.restarts
+        # Continued updates must evolve identically.
+        for x in rng.normal(0.5, 2.0, 80):
+            stats.update(float(x))
+            clone.update(float(x))
+            assert clone.mean == stats.mean
+            assert clone.variance == stats.variance
+
+    def test_state_is_json_safe(self):
+        stats = OnlineStatistics()
+        stats.update(1.0)
+        stats.update(2.0)
+        assert json.loads(json.dumps(stats.state_dict())) \
+            == stats.state_dict()
+
+
+class TestSamplerState:
+    def test_restored_sampler_continues_identically(self):
+        """The restored sampler's decision stream must be bit-identical to
+        an uninterrupted one — the checkpoint/restore acceptance bar."""
+        spec = task(threshold=10.0, err=0.05)
+        config = AdaptationConfig(patience=3, min_samples=4,
+                                  stats_restart=60)
+        rng = np.random.default_rng(11)
+        values = rng.normal(7.0, 2.0, 400)
+
+        reference = ViolationLikelihoodSampler(spec, config)
+        split = ViolationLikelihoodSampler(spec, config)
+        step_ref = 0
+        step_split = 0
+        # Drive both to the checkpoint, following each one's own schedule.
+        for _ in range(120):
+            decision = reference.observe(float(values[step_ref]), step_ref)
+            step_ref += decision.next_interval
+        for _ in range(120):
+            decision = split.observe(float(values[step_split]), step_split)
+            step_split += decision.next_interval
+        assert step_ref == step_split
+
+        restored = ViolationLikelihoodSampler(spec, config)
+        restored.load_state_dict(split.state_dict())
+        assert restored.interval == split.interval
+        assert restored.observations == split.observations
+
+        while step_ref < values.size:
+            ref = reference.observe(float(values[step_ref]), step_ref)
+            res = restored.observe(float(values[step_ref]), step_ref)
+            assert ref == res
+            step_ref += ref.next_interval
+
+    def test_coordination_stats_survive_restore(self):
+        spec = task(err=0.05)
+        sampler = ViolationLikelihoodSampler(spec)
+        for step in range(40):
+            sampler.observe(1.0, step)
+        clone = ViolationLikelihoodSampler(spec)
+        clone.load_state_dict(sampler.state_dict())
+        assert clone.drain_coordination_stats() \
+            == sampler.drain_coordination_stats()
+
+
+class TestServiceSnapshot:
+    def test_snapshot_is_json_serialisable(self):
+        service = MonitoringService()
+        service.add_task("a", task(), window=3,
+                         window_kind=AggregateKind.MAX)
+        for step in range(20):
+            service.offer("a", float(step * 7 % 13), step)
+        snapshot = service.snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+
+    def test_restore_resumes_identically(self):
+        rng = np.random.default_rng(5)
+        values = rng.normal(80.0, 15.0, 600)
+
+        def build():
+            service = MonitoringService(AdaptationConfig(patience=3,
+                                                         min_samples=4))
+            service.add_task("inst", task(threshold=100.0, err=0.05))
+            service.add_task("win", task(threshold=95.0, err=0.02),
+                             window=4, window_kind=AggregateKind.MEAN)
+            service.add_task("gate", task(threshold=90.0, err=0.0))
+            service.add_trigger("inst", trigger="gate",
+                                elevation_level=70.0, suspend_interval=6)
+            return service
+
+        def feed(service, lo, hi):
+            for step in range(lo, hi):
+                v = float(values[step])
+                for name in ("inst", "win", "gate"):
+                    service.offer(name, v, step)
+
+        uninterrupted = build()
+        feed(uninterrupted, 0, 600)
+
+        interrupted = build()
+        feed(interrupted, 0, 300)
+        snapshot = json.loads(json.dumps(interrupted.snapshot()))
+        restored = MonitoringService.restore(snapshot)
+        feed(restored, 300, 600)
+
+        for name in ("inst", "win", "gate"):
+            assert restored.samples_taken(name) \
+                == uninterrupted.samples_taken(name)
+            assert restored.alerts(name) == uninterrupted.alerts(name)
+            assert restored.interval(name) == uninterrupted.interval(name)
+            assert restored.next_due(name) == uninterrupted.next_due(name)
+
+    def test_restore_rewires_alert_callbacks(self):
+        service = MonitoringService()
+        service.add_task("a", task(threshold=10.0, err=0.0))
+        fired = []
+        restored = MonitoringService.restore(
+            service.snapshot(),
+            on_alert=lambda name, alert: fired.append((name, alert)))
+        restored.offer("a", 50.0, 0)
+        assert fired and fired[0][0] == "a"
+        assert fired[0][1].value == 50.0
+
+    def test_restore_rejects_wrong_version(self):
+        service = MonitoringService()
+        service.add_task("a", task())
+        snapshot = service.snapshot()
+        snapshot["version"] = 999
+        with pytest.raises(ConfigurationError):
+            MonitoringService.restore(snapshot)
+
+    def test_restore_rejects_dangling_trigger(self):
+        service = MonitoringService()
+        service.add_task("a", task())
+        service.add_task("b", task())
+        service.add_trigger("a", trigger="b", elevation_level=1.0)
+        snapshot = service.snapshot()
+        snapshot["tasks"] = [t for t in snapshot["tasks"]
+                             if t["name"] != "b"]
+        with pytest.raises(ConfigurationError):
+            MonitoringService.restore(snapshot)
+
+    def test_window_buffer_survives_restore(self):
+        service = MonitoringService()
+        service.add_task("w", task(threshold=1e9, err=0.0), window=5,
+                         window_kind=AggregateKind.MEAN)
+        for step, v in enumerate([1.0, 2.0, 3.0]):
+            service.offer("w", v, step)
+        restored = MonitoringService.restore(service.snapshot())
+        # Next aggregate must still see the pre-snapshot window contents.
+        state = restored._state("w")
+        assert state.aggregate(3, 6.0) == pytest.approx(3.0)

@@ -1,0 +1,34 @@
+"""Smoke tests for the load-generator CLI (self-hosted server mode)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.runtime.loadgen import main
+
+
+def test_self_hosted_run_writes_report(tmp_path):
+    out = tmp_path / "bench.json"
+    ckpt = tmp_path / "ckpt.json"
+    rc = main(["--tasks", "8", "--duration", "0.4", "--batch", "64",
+               "--shards", "2", "--seed", "3",
+               "--checkpoint", str(ckpt), "--out", str(out)])
+    assert rc == 0
+    report = json.loads(out.read_text())
+    assert report["tasks"] == 8
+    assert report["shards"] == 2
+    assert report["offers"] > 0
+    assert report["accepted"] == report["offers"]
+    assert report["applied"] == report["accepted"]
+    assert report["latency_ms"]["p50"] <= report["latency_ms"]["p99"]
+    # The graceful stop flushed a checkpoint and it round-tripped.
+    assert report["checkpoint_roundtrip"] is True
+    assert ckpt.exists()
+
+
+def test_min_throughput_floor_fails_closed(tmp_path):
+    out = tmp_path / "bench.json"
+    rc = main(["--tasks", "4", "--duration", "0.3", "--batch", "32",
+               "--shards", "1", "--out", str(out),
+               "--min-throughput", "1e12"])
+    assert rc == 1

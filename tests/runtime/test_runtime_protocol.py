@@ -1,0 +1,114 @@
+"""Framing tests for the runtime wire protocol."""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import struct
+
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.runtime.protocol import (MAX_FRAME, encode_frame, read_frame,
+                                    read_frame_blocking)
+
+
+def feed_reader(data: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    reader.feed_eof()
+    return reader
+
+
+class TestEncode:
+    def test_roundtrip_blocking(self):
+        payload = {"op": "offer_batch", "updates": [["t", 0, 1.5]]}
+        frame = encode_frame(payload)
+        assert read_frame_blocking(io.BytesIO(frame)) == payload
+
+    def test_length_prefix_is_big_endian_body_length(self):
+        frame = encode_frame({"a": 1})
+        (length,) = struct.unpack(">I", frame[:4])
+        assert length == len(frame) - 4
+
+    def test_non_dict_payload_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_frame(["not", "a", "dict"])  # type: ignore[arg-type]
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_frame({"blob": "x" * (MAX_FRAME + 1)})
+
+
+class TestAsyncRead:
+    def test_roundtrip(self):
+        payload = {"op": "ping", "nested": {"k": [1, 2.5, None, "s"]}}
+
+        async def run():
+            return await read_frame(feed_reader(encode_frame(payload)))
+
+        assert asyncio.run(run()) == payload
+
+    def test_clean_eof_returns_none(self):
+        async def run():
+            return await read_frame(feed_reader(b""))
+
+        assert asyncio.run(run()) is None
+
+    def test_truncated_header_raises(self):
+        async def run():
+            return await read_frame(feed_reader(b"\x00\x00"))
+
+        with pytest.raises(ProtocolError):
+            asyncio.run(run())
+
+    def test_truncated_body_raises(self):
+        frame = encode_frame({"op": "ping"})
+
+        async def run():
+            return await read_frame(feed_reader(frame[:-2]))
+
+        with pytest.raises(ProtocolError):
+            asyncio.run(run())
+
+    def test_oversized_announcement_raises(self):
+        async def run():
+            return await read_frame(
+                feed_reader(struct.pack(">I", MAX_FRAME + 1)))
+
+        with pytest.raises(ProtocolError):
+            asyncio.run(run())
+
+    def test_multiple_frames_on_one_stream(self):
+        frames = encode_frame({"n": 1}) + encode_frame({"n": 2})
+
+        async def run():
+            reader = feed_reader(frames)
+            first = await read_frame(reader)
+            second = await read_frame(reader)
+            third = await read_frame(reader)
+            return first, second, third
+
+        assert asyncio.run(run()) == ({"n": 1}, {"n": 2}, None)
+
+
+class TestBlockingRead:
+    def test_bad_json_raises(self):
+        body = b"{not json"
+        with pytest.raises(ProtocolError):
+            read_frame_blocking(
+                io.BytesIO(struct.pack(">I", len(body)) + body))
+
+    def test_non_object_body_raises(self):
+        body = b"[1,2,3]"
+        with pytest.raises(ProtocolError):
+            read_frame_blocking(
+                io.BytesIO(struct.pack(">I", len(body)) + body))
+
+    def test_eof_between_frames_returns_none(self):
+        assert read_frame_blocking(io.BytesIO(b"")) is None
+
+    def test_eof_mid_frame_raises(self):
+        frame = encode_frame({"op": "ping"})
+        with pytest.raises(ProtocolError):
+            read_frame_blocking(io.BytesIO(frame[:-1]))

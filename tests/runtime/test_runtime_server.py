@@ -1,0 +1,339 @@
+"""In-process tests for the sharded ingestion server.
+
+Each test runs a real RuntimeServer on an ephemeral loopback port inside
+``asyncio.run`` and drives it through the async client — the full frame
+path, not handler calls.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.exceptions import ProtocolError
+from repro.runtime.client import AsyncRuntimeClient
+from repro.runtime.server import RuntimeServer
+from repro.runtime.shard import shard_for
+from repro.service import MonitoringService
+
+
+def run_with_server(coro_factory, **config_kwargs):
+    config_kwargs.setdefault("port", 0)
+    config_kwargs.setdefault("shards", 4)
+
+    async def runner():
+        server = RuntimeServer(RuntimeConfig(**config_kwargs))
+        await server.start()
+        client = AsyncRuntimeClient(port=server.tcp_port)
+        try:
+            return await coro_factory(server, client)
+        finally:
+            await client.close()
+            await server.shutdown()
+
+    return asyncio.run(runner())
+
+
+class TestControlOps:
+    def test_ping(self):
+        async def scenario(server, client):
+            return await client.ping()
+
+        reply = run_with_server(scenario)
+        assert reply["ok"] and reply["shards"] == 4
+
+    def test_register_offer_alerts(self):
+        async def scenario(server, client):
+            await client.register_task("t", 10.0, error_allowance=0.0)
+            await client.offer_batch([["t", 0, 5.0], ["t", 1, 20.0]])
+            for worker in server._workers:
+                await worker.drain()
+            return (await client.alerts("t"),
+                    await client.task_info("t"))
+
+        alerts, info = run_with_server(scenario)
+        assert alerts == [[1, 20.0, 10.0]]
+        assert info["samples_taken"] == 2
+        assert info["alerts"] == 1
+
+    def test_register_duplicate_is_error(self):
+        async def scenario(server, client):
+            await client.register_task("t", 10.0)
+            with pytest.raises(ProtocolError, match="already registered"):
+                await client.register_task("t", 10.0)
+            return True
+
+        assert run_with_server(scenario)
+
+    def test_unknown_op_is_error_not_disconnect(self):
+        async def scenario(server, client):
+            reply = await client.request({"op": "frobnicate"})
+            # The connection must survive an unknown op.
+            pong = await client.ping()
+            return reply, pong
+
+        reply, pong = run_with_server(scenario)
+        assert not reply["ok"] and reply["code"] == "unknown-op"
+        assert pong["ok"]
+
+    def test_remove_task(self):
+        async def scenario(server, client):
+            await client.register_task("t", 10.0)
+            await client.remove_task("t")
+            reply = await client.request({"op": "task_info", "task": "t"})
+            offer = await client.offer_batch([["t", 0, 1.0]])
+            return reply, offer
+
+        reply, offer = run_with_server(scenario)
+        assert not reply["ok"]
+        assert offer["rejected"] == 1 and offer["accepted"] == 0
+
+    def test_due_tracks_schedule(self):
+        async def scenario(server, client):
+            await client.register_task("t", 1e9, error_allowance=0.0)
+            assert await client.due("t", 0)
+            await client.offer_batch([["t", 0, 1.0]])
+            for worker in server._workers:
+                await worker.drain()
+            return await client.due("t", 0), await client.due("t", 1)
+
+        due0, due1 = run_with_server(scenario)
+        assert not due0 and due1
+
+    def test_stats_totals(self):
+        async def scenario(server, client):
+            for i in range(8):
+                await client.register_task(f"t{i}", 1e9)
+            await client.offer_batch(
+                [[f"t{i}", 0, 1.0] for i in range(8)])
+            for worker in server._workers:
+                await worker.drain()
+            return await client.stats()
+
+        stats = run_with_server(scenario)
+        assert stats["totals"]["tasks"] == 8
+        assert stats["totals"]["applied"] == 8
+        assert len(stats["shards"]) == 4
+
+
+class TestSharding:
+    def test_tasks_spread_and_route_stably(self):
+        async def scenario(server, client):
+            names = [f"task-{i}" for i in range(64)]
+            shards = {}
+            for name in names:
+                reply = await client.register_task(name, 1e9)
+                shards[name] = reply["shard"]
+            return shards
+
+        shards = run_with_server(scenario)
+        assert all(shards[n] == shard_for(n, 4) for n in shards)
+        # 64 names over 4 shards: every shard gets some tasks.
+        assert len(collections.Counter(shards.values())) == 4
+
+    def test_cross_shard_trigger_rejected(self):
+        async def scenario(server, client):
+            names = [f"task-{i}" for i in range(16)]
+            for name in names:
+                await client.register_task(name, 1e9)
+            same = [n for n in names
+                    if shard_for(n, 4) == shard_for(names[0], 4)]
+            other = [n for n in names
+                     if shard_for(n, 4) != shard_for(names[0], 4)]
+            ok = await client.add_trigger(same[1], same[0], 5.0)
+            bad = await client.request(
+                {"op": "add_trigger", "target": other[0],
+                 "trigger": names[0], "elevation_level": 5.0})
+            return ok, bad
+
+        ok, bad = run_with_server(scenario)
+        assert ok["ok"]
+        assert not bad["ok"] and bad["code"] == "cross-shard-trigger"
+
+    def test_batch_fans_out_across_shards(self):
+        async def scenario(server, client):
+            names = [f"task-{i}" for i in range(32)]
+            for name in names:
+                await client.register_task(name, 1e9)
+            await client.offer_batch([[n, 0, 1.0] for n in names])
+            for worker in server._workers:
+                await worker.drain()
+            stats = await client.stats()
+            return [s["applied"] for s in stats["shards"]]
+
+        per_shard = run_with_server(scenario)
+        assert sum(per_shard) == 32
+        assert all(applied > 0 for applied in per_shard)
+
+
+class TestBackpressure:
+    def test_full_queue_sheds_with_retry_hint(self):
+        async def scenario(server, client):
+            await client.register_task("t", 1e9)
+            # Stall the shard's drain loop so the queue can fill up.
+            worker = server.worker_for("t")
+            worker._runner.cancel()
+            try:
+                await worker._runner
+            except asyncio.CancelledError:
+                pass
+            worker._runner = None
+
+            replies = []
+            for i in range(4):
+                replies.append(await client.offer_batch([["t", i, 1.0]]))
+            return replies
+
+        replies = run_with_server(scenario, queue_depth=2)
+        accepted = [r for r in replies if not r.get("shed")]
+        shed = [r for r in replies if r.get("shed")]
+        assert len(accepted) == 2 and len(shed) == 2
+        assert all(r["backpressure"] and r["retry_after_ms"] >= 0
+                   for r in shed)
+
+    def test_one_lagging_shard_does_not_block_others(self):
+        async def scenario(server, client):
+            names = [f"task-{i}" for i in range(16)]
+            for name in names:
+                await client.register_task(name, 1e9)
+            victim = names[0]
+            stalled = server.worker_for(victim)
+            stalled._runner.cancel()
+            try:
+                await stalled._runner
+            except asyncio.CancelledError:
+                pass
+            stalled._runner = None
+            healthy = [n for n in names
+                       if server.worker_for(n) is not stalled]
+
+            # Saturate the stalled shard...
+            for i in range(server.config.queue_depth + 3):
+                await client.offer_batch([[victim, i, 1.0]])
+            # ...then confirm a healthy shard still applies immediately.
+            reply = await client.offer_batch([[healthy[0], 0, 1.0]])
+            for worker in server._workers:
+                if worker is not stalled:
+                    await worker.drain()
+            info = await client.task_info(healthy[0])
+            return reply, info
+
+        reply, info = run_with_server(scenario, queue_depth=2)
+        assert reply["accepted"] == 1 and not reply.get("shed")
+        assert info["samples_taken"] == 1
+
+    def test_oversized_batch_rejected(self):
+        async def scenario(server, client):
+            await client.register_task("t", 1e9)
+            return await client.request(
+                {"op": "offer_batch",
+                 "updates": [["t", i, 1.0] for i in range(5)]})
+
+        reply = run_with_server(scenario, max_batch=4)
+        assert not reply["ok"] and reply["code"] == "batch-too-large"
+
+
+class TestCheckpointOps:
+    def test_checkpoint_op_and_restore(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+
+        async def scenario(server, client):
+            await client.register_task("t", 10.0, error_allowance=0.0)
+            await client.offer_batch([["t", 0, 5.0], ["t", 1, 25.0]])
+            for worker in server._workers:
+                await worker.drain()
+            await client.checkpoint()
+            return await client.task_info("t")
+
+        info = run_with_server(scenario, checkpoint_path=path,
+                               checkpoint_interval=3600.0)
+
+        async def restart():
+            server = RuntimeServer(RuntimeConfig(
+                port=0, shards=4, checkpoint_path=path,
+                checkpoint_interval=3600.0))
+            await server.start()
+            client = AsyncRuntimeClient(port=server.tcp_port)
+            try:
+                return server.restored_tasks, \
+                    await client.task_info("t"), await client.alerts("t")
+            finally:
+                await client.close()
+                await server.shutdown()
+
+        restored_count, restored_info, alerts = asyncio.run(restart())
+        assert restored_count == 1
+        assert restored_info["samples_taken"] == info["samples_taken"]
+        assert restored_info["next_due"] == info["next_due"]
+        assert alerts == [[1, 25.0, 10.0]]
+
+    def test_shutdown_flushes_final_checkpoint(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+
+        async def scenario(server, client):
+            await client.register_task("t", 1e9)
+            # Queue a batch but do NOT drain: graceful shutdown must
+            # apply it before flushing the final checkpoint.
+            await client.offer_batch([["t", 0, 1.0], ["t", 1, 2.0]])
+            return True
+
+        run_with_server(scenario, checkpoint_path=path,
+                        checkpoint_interval=3600.0)
+        from repro.runtime.checkpoint import read_checkpoint
+
+        state = read_checkpoint(path)
+        restored = MonitoringService.restore(
+            state["shards"][shard_for("t", 4)])
+        assert restored.samples_taken("t") == 2
+
+    def test_shard_count_mismatch_fails_closed(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+
+        async def scenario(server, client):
+            await client.register_task("t", 1e9)
+            return True
+
+        run_with_server(scenario, shards=4, checkpoint_path=path,
+                        checkpoint_interval=3600.0)
+
+        from repro.exceptions import CheckpointError
+
+        async def restart_wrong():
+            server = RuntimeServer(RuntimeConfig(
+                port=0, shards=2, checkpoint_path=path,
+                checkpoint_interval=3600.0))
+            await server.start()
+
+        with pytest.raises(CheckpointError, match="resharding"):
+            asyncio.run(restart_wrong())
+
+
+class TestConfigFileTasks:
+    def test_declarative_tasks_registered_at_start(self):
+        async def runner():
+            server = RuntimeServer(
+                RuntimeConfig(port=0, shards=2),
+                service_config={
+                    "defaults": {"error_allowance": 0.0},
+                    "tasks": [{"name": "cfg-a", "threshold": 5.0},
+                              {"name": "cfg-b", "threshold": 7.0,
+                               "window": 3, "aggregate": "max"}],
+                })
+            await server.start()
+            client = AsyncRuntimeClient(port=server.tcp_port)
+            try:
+                reply = await client.offer_batch(
+                    [["cfg-a", 0, 10.0], ["cfg-b", 0, 10.0]])
+                for worker in server._workers:
+                    await worker.drain()
+                return reply, await client.alerts("cfg-a")
+            finally:
+                await client.close()
+                await server.shutdown()
+
+        reply, alerts = asyncio.run(runner())
+        assert reply["accepted"] == 2
+        assert alerts == [[0, 10.0, 5.0]]

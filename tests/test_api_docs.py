@@ -18,7 +18,9 @@ import repro.baselines
 import repro.core
 import repro.datacenter
 import repro.exceptions
+import repro.config
 import repro.experiments
+import repro.runtime
 import repro.simulation
 import repro.workloads
 from repro.experiments import (delay, figures, monetary, multitask,
@@ -28,8 +30,9 @@ API_MD = pathlib.Path(__file__).resolve().parents[1] / "docs" / "API.md"
 
 NAMESPACES = [repro, repro.core, repro.experiments, repro.workloads,
               repro.datacenter, repro.simulation, repro.baselines,
-              repro.analysis, repro.exceptions, figures, monetary, delay,
-              multitask, reliability]
+              repro.analysis, repro.exceptions, repro.config,
+              repro.runtime, figures, monetary, delay, multitask,
+              reliability]
 
 
 def documented_symbols() -> set[str]:
@@ -53,6 +56,9 @@ IGNORED = {
     "default_interval", "add_task", "add_trigger", "generate_with_volume",
     "sampling_ratio", "dom0_utilization_stats", "monitor_accuracy",
     "monetary_bill", "schedule_every", "run_until",
+    # runtime wire ops / methods / CLI artifacts, not module attributes
+    "register_task", "remove_task", "offer_batch", "task_info",
+    "serve_forever", "BENCH_runtime",
 }
 
 

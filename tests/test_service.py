@@ -154,6 +154,126 @@ class TestTriggers:
             service.add_trigger("a", "b", 1.0, suspend_interval=0)
 
 
+class TestTriggerEdgeCases:
+    def make_gated(self, suspend_interval=10, err=0.0):
+        service = MonitoringService(AdaptationConfig(patience=3,
+                                                     min_samples=5))
+        service.add_task("cheap", task(threshold=50.0, err=0.0))
+        service.add_task("costly", task(threshold=100.0, err=err))
+        service.add_trigger("costly", trigger="cheap",
+                            elevation_level=40.0,
+                            suspend_interval=suspend_interval)
+        return service
+
+    def test_trigger_registered_but_never_offered(self):
+        """With no last-seen trigger value the target runs at full rate:
+        an unobserved trigger must fail open, not suspend the target."""
+        service = self.make_gated()
+        service.offer("costly", 1.0, 0)
+        assert service.next_due("costly") == 1
+
+    def test_trigger_value_exactly_at_elevation_level(self):
+        """The suspend condition is strictly-below: a trigger sitting
+        exactly at the elevation level counts as elevated (hot)."""
+        service = self.make_gated()
+        service.offer("cheap", 40.0, 0)
+        service.offer("costly", 1.0, 0)
+        assert service.next_due("costly") == 1
+        # Epsilon below the level suspends.
+        service.offer("cheap", 39.999, 1)
+        service.offer("costly", 1.0, 1)
+        assert service.next_due("costly") == 1 + 10
+
+    def test_adaptive_interval_larger_than_suspend_interval_wins(self):
+        """Suspension is max(adaptive, suspend): when the sampler itself
+        already wants a longer interval than the suspend interval, a cold
+        trigger must not *shorten* the schedule."""
+        service = self.make_gated(suspend_interval=2, err=0.05)
+        # Warm the costly task until its own interval exceeds 2.
+        step = 0
+        while service.interval("costly") <= 2:
+            if service.due("costly", step):
+                service.offer("costly", 1.0, step)
+            step += 1
+            assert step < 5000, "sampler never grew past the suspend interval"
+        adaptive = service.interval("costly")
+        assert adaptive > 2
+        # Cold trigger, then a consumed sample: next_due advances by the
+        # adaptive interval, not the (smaller) suspend interval.
+        service.offer("cheap", 5.0, step)
+        due = service.next_due("costly")
+        service.offer("costly", 1.0, due)
+        assert service.next_due("costly") - due >= adaptive
+
+
+class TestRemoveTask:
+    def test_remove_and_reregister(self):
+        service = MonitoringService()
+        service.add_task("a", task())
+        service.offer("a", 1.0, 0)
+        service.remove_task("a")
+        assert service.task_names == []
+        with pytest.raises(ConfigurationError):
+            service.due("a", 0)
+        # The name is free for a fresh registration with clean state.
+        service.add_task("a", task())
+        assert service.samples_taken("a") == 0
+
+    def test_remove_unknown_rejected(self):
+        service = MonitoringService()
+        with pytest.raises(ConfigurationError):
+            service.remove_task("ghost")
+
+    def test_remove_clears_dangling_trigger_on_dependents(self):
+        service = MonitoringService()
+        service.add_task("cheap", task(threshold=50.0, err=0.0))
+        service.add_task("costly", task(threshold=100.0, err=0.0))
+        service.add_trigger("costly", trigger="cheap",
+                            elevation_level=40.0, suspend_interval=10)
+        # Cold trigger state is in force...
+        service.offer("cheap", 5.0, 0)
+        service.remove_task("cheap")
+        # ...but removal de-gates the dependent: full-rate scheduling.
+        service.offer("costly", 1.0, 1)
+        assert service.next_due("costly") == 2
+
+    def test_remove_clears_last_seen(self):
+        service = MonitoringService()
+        service.add_task("a", task())
+        service.offer("a", 123.0, 0)
+        service.remove_task("a")
+        assert "a" not in service._last_seen
+
+
+class TestWindowedAggregateBuffer:
+    def test_buffer_is_pruned_to_window(self):
+        service = MonitoringService()
+        service.add_task("w", task(threshold=1e9, err=0.0), window=4)
+        state = service._state("w")
+        for step in range(100):
+            service.offer("w", float(step), step)
+        assert len(state._window_values) <= 4
+
+    def test_sparse_offers_prune_stale_entries(self):
+        service = MonitoringService()
+        service.add_task("w", task(threshold=1e9, err=0.0), window=3)
+        state = service._state("w")
+        assert state.aggregate(0, 30.0) == 30.0
+        # A gap larger than the window evicts everything old.
+        assert state.aggregate(10, 6.0) == 6.0
+        assert list(state._window_values) == [(10, 6.0)]
+
+    def test_running_sum_tracks_evictions(self):
+        service = MonitoringService()
+        service.add_task("w", task(threshold=1e9, err=0.0), window=2,
+                         window_kind=AggregateKind.SUM)
+        state = service._state("w")
+        assert state.aggregate(0, 1.0) == 1.0
+        assert state.aggregate(1, 2.0) == 3.0
+        assert state.aggregate(2, 4.0) == 6.0
+        assert state.aggregate(3, 8.0) == 12.0
+
+
 class TestEndToEndStream:
     def test_matches_runner_semantics(self, bursty_trace):
         """Streaming through the service equals the trace runner."""

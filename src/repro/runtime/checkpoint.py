@@ -35,6 +35,18 @@ def write_checkpoint(path: pathlib.Path | str,
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp, path)
+    # fsync the directory so the rename itself survives power loss.
+    # Best-effort: some platforms/filesystems refuse to fsync a directory.
+    try:
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+    except OSError:  # pragma: no cover
+        return path
+    try:
+        os.fsync(dir_fd)
+    except OSError:  # pragma: no cover
+        pass
+    finally:
+        os.close(dir_fd)
     return path
 
 

@@ -29,6 +29,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import logging
 import os
 import pathlib
 import signal
@@ -48,6 +49,8 @@ from repro.service import MonitoringService
 from repro.types import Alert
 
 __all__ = ["RuntimeServer", "main"]
+
+logger = logging.getLogger(__name__)
 
 
 def _error(message: str, code: str = "bad-request") -> dict[str, Any]:
@@ -86,6 +89,8 @@ class RuntimeServer:
         self._shutdown_started = False
         self._done = asyncio.Event()
         self._started_monotonic = 0.0
+        self._last_checkpoint_monotonic: float | None = None
+        self._checkpoint_failures = 0
         self._frames = 0
         self._restored_tasks = 0
         self._pending_config = service_config or {}
@@ -257,12 +262,26 @@ class RuntimeServer:
         path = self.config.checkpoint_path
         if path is None:
             raise ConfigurationError("no checkpoint_path configured")
-        return write_checkpoint(path, self.runtime_state())
+        written = write_checkpoint(path, self.runtime_state())
+        self._last_checkpoint_monotonic = time.monotonic()
+        return written
 
     async def _checkpoint_loop(self) -> None:
         while True:
             await asyncio.sleep(self.config.checkpoint_interval)
-            self.write_checkpoint()
+            try:
+                self.write_checkpoint()
+            except Exception:
+                # A transient write failure (disk full, permissions) must
+                # not kill the periodic loop — crash recovery would then
+                # silently degrade to the last successful checkpoint. Log,
+                # count it, and retry next interval. Failure age is
+                # visible via the `stats` op.
+                self._checkpoint_failures += 1
+                logger.exception("periodic checkpoint failed (%d so far); "
+                                 "will retry in %gs",
+                                 self._checkpoint_failures,
+                                 self.config.checkpoint_interval)
 
     # ------------------------------------------------------------------
     # Wire handling
@@ -306,13 +325,18 @@ class RuntimeServer:
         so a request can never interleave with another mid-handler.
         """
         op = request.get("op")
-        handler = self._OPS.get(op)  # type: ignore[arg-type]
+        handler = self._OPS.get(op) if isinstance(op, str) else None
         if handler is None:
             return _error(f"unknown op {op!r}", code="unknown-op")
         try:
             return handler(self, request)
         except ReproError as exc:
             return _error(str(exc))
+        except (ValueError, TypeError, KeyError) as exc:
+            # Malformed field inside an otherwise well-framed request
+            # (e.g. aggregate="bogus", non-int step). The connection must
+            # get an error reply, never be dropped.
+            return _error(f"invalid request: {exc}")
 
     def _op_ping(self, request: dict[str, Any]) -> dict[str, Any]:
         return {"ok": True, "shards": self.config.shards,
@@ -366,6 +390,16 @@ class RuntimeServer:
             if (not isinstance(update, (list, tuple)) or len(update) != 3):
                 return _error(
                     "each update must be [task, step, value]")
+            step, value = update[1], update[2]
+            if (not isinstance(step, (int, float))
+                    or not isinstance(value, (int, float))
+                    or isinstance(step, bool) or isinstance(value, bool)):
+                # Reject before enqueueing: a malformed update must never
+                # be ACKed and then fail inside the shard drain loop.
+                return _error(
+                    f"update step and value must be numbers, got "
+                    f"[{update[0]!r}, {step!r}, {value!r}]",
+                    code="bad-update")
             shard = self._task_shard.get(str(update[0]))
             if shard is None:
                 rejected += 1
@@ -419,10 +453,18 @@ class RuntimeServer:
                   for key in ("offered", "applied", "consumed", "shed",
                               "rejected", "alerts", "queue_depth")}
         totals["tasks"] = len(self._task_shard)
-        return {"ok": True, "shards": shards, "totals": totals,
-                "frames": self._frames,
-                "uptime_s": time.monotonic() - self._started_monotonic,
-                "restored_tasks": self._restored_tasks}
+        reply = {"ok": True, "shards": shards, "totals": totals,
+                 "frames": self._frames,
+                 "uptime_s": time.monotonic() - self._started_monotonic,
+                 "restored_tasks": self._restored_tasks}
+        if self.config.checkpoint_path is not None:
+            last = self._last_checkpoint_monotonic
+            reply["checkpoint"] = {
+                "failures": self._checkpoint_failures,
+                "last_age_s": (None if last is None
+                               else time.monotonic() - last),
+            }
+        return reply
 
     def _op_checkpoint(self, request: dict[str, Any]) -> dict[str, Any]:
         path = self.write_checkpoint()

@@ -17,6 +17,7 @@ other shards.
 from __future__ import annotations
 
 import asyncio
+import logging
 import zlib
 from typing import Any, Sequence
 
@@ -24,6 +25,8 @@ from repro.exceptions import ConfigurationError
 from repro.service import MonitoringService
 
 __all__ = ["ShardWorker", "shard_for"]
+
+logger = logging.getLogger(__name__)
 
 Update = Sequence[Any]  # [task_name, step, value]
 
@@ -93,6 +96,12 @@ class ShardWorker:
                 # batch.
                 self.rejected += 1
                 continue
+            except (ValueError, TypeError):
+                # Non-numeric step/value that slipped past wire validation
+                # (or a direct caller). Count it rejected; the rest of the
+                # batch must still apply.
+                self.rejected += 1
+                continue
             self.applied += 1
             if decision is not None:
                 self.consumed += 1
@@ -108,6 +117,14 @@ class ShardWorker:
             updates = await self._queue.get()
             try:
                 self.apply(updates)
+            except Exception:
+                # The drain loop is the shard's only consumer: if it dies,
+                # acknowledged batches pile up unapplied and shutdown's
+                # drain() deadlocks. Reject the batch and keep consuming.
+                self.rejected += len(updates)
+                logger.exception(
+                    "shard %d: dropping batch of %d updates after "
+                    "unexpected error", self.shard_id, len(updates))
             finally:
                 self._queue.task_done()
 

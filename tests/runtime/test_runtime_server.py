@@ -236,6 +236,78 @@ class TestBackpressure:
         assert not reply["ok"] and reply["code"] == "batch-too-large"
 
 
+class TestMalformedInput:
+    """Regression tests: malformed frames must get error replies and must
+    never poison a shard drain loop or drop the connection."""
+
+    def test_non_numeric_update_rejected_before_ack(self):
+        async def scenario(server, client):
+            await client.register_task("t", 1e9)
+            bad_value = await client.request(
+                {"op": "offer_batch", "updates": [["t", 0, "oops"]]})
+            bad_step = await client.request(
+                {"op": "offer_batch", "updates": [["t", None, 1.0]]})
+            bool_step = await client.request(
+                {"op": "offer_batch", "updates": [["t", True, 1.0]]})
+            ok = await client.offer_batch([["t", 0, 1.0]])
+            for worker in server._workers:
+                await worker.drain()
+            info = await client.task_info("t")
+            return bad_value, bad_step, bool_step, ok, info
+
+        bad_value, bad_step, bool_step, ok, info = run_with_server(scenario)
+        for reply in (bad_value, bad_step, bool_step):
+            assert not reply["ok"] and reply["code"] == "bad-update"
+        # The shard kept applying after the rejected frames, and
+        # run_with_server's shutdown() returning at all proves the drain
+        # loop is still consuming (a dead consumer deadlocks queue.join()).
+        assert ok["accepted"] == 1
+        assert info["samples_taken"] == 1
+
+    def test_drain_loop_survives_poison_update(self):
+        # Inject a malformed update directly into the queue, bypassing
+        # wire validation: apply() must reject it per-update and keep
+        # applying the rest of the batch.
+        async def scenario(server, client):
+            await client.register_task("t", 1e9)
+            worker = server.worker_for("t")
+            assert worker.try_enqueue([["t", 0, "oops"], ["t", 1, 2.0]])
+            await worker.drain()
+            info = await client.task_info("t")
+            stats = await client.stats()
+            return info, stats
+
+        info, stats = run_with_server(scenario)
+        assert info["samples_taken"] == 1
+        assert stats["totals"]["rejected"] == 1
+        assert stats["totals"]["applied"] == 1
+
+    def test_malformed_control_fields_get_error_reply(self):
+        async def scenario(server, client):
+            bogus_agg = await client.request(
+                {"op": "register_task",
+                 "task": {"name": "x", "threshold": 1.0,
+                          "aggregate": "bogus"}})
+            bad_window = await client.request(
+                {"op": "register_task",
+                 "task": {"name": "x", "threshold": 1.0, "window": "wide"}})
+            bad_step = await client.request(
+                {"op": "due", "task": "x", "step": "zero"})
+            unhashable_op = await client.request({"op": ["offer_batch"]})
+            # The connection must survive all of the above.
+            pong = await client.ping()
+            return bogus_agg, bad_window, bad_step, unhashable_op, pong
+
+        bogus_agg, bad_window, bad_step, unhashable_op, pong = \
+            run_with_server(scenario)
+        assert not bogus_agg["ok"] and "bogus" in bogus_agg["error"]
+        assert not bad_window["ok"]
+        assert not bad_step["ok"]
+        assert not unhashable_op["ok"]
+        assert unhashable_op["code"] == "unknown-op"
+        assert pong["ok"]
+
+
 class TestCheckpointOps:
     def test_checkpoint_op_and_restore(self, tmp_path):
         path = tmp_path / "ckpt.json"
@@ -288,6 +360,32 @@ class TestCheckpointOps:
         restored = MonitoringService.restore(
             state["shards"][shard_for("t", 4)])
         assert restored.samples_taken("t") == 2
+
+    def test_checkpoint_loop_survives_write_failure(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+
+        async def scenario(server, client):
+            await client.register_task("t", 1e9)
+            real = server.write_checkpoint
+            calls = {"n": 0}
+
+            def flaky():
+                calls["n"] += 1
+                if calls["n"] == 1:
+                    raise OSError("disk full")
+                return real()
+
+            server.write_checkpoint = flaky
+            # Wait until the loop has both failed once and recovered.
+            while calls["n"] < 2:
+                await asyncio.sleep(0.005)
+            server.write_checkpoint = real
+            return await client.stats()
+
+        stats = run_with_server(scenario, checkpoint_path=path,
+                                checkpoint_interval=0.01)
+        assert stats["checkpoint"]["failures"] == 1
+        assert path.exists()
 
     def test_shard_count_mismatch_fails_closed(self, tmp_path):
         path = tmp_path / "ckpt.json"

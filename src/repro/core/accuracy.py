@@ -130,23 +130,50 @@ def evaluate_sampling(values: np.ndarray, threshold: float,
     """
     arr = np.asarray(values, dtype=float)
     truth = truth_alert_indices(arr, threshold, direction)
-    sampled = np.unique(np.asarray(sampled_indices, dtype=int))
+    sampled = np.asarray(sampled_indices, dtype=int)
+    # Schedules from the drivers arrive strictly increasing already; only
+    # fall back to the sorting dedup for arbitrary caller input.
+    if sampled.size > 1 and not np.all(sampled[1:] > sampled[:-1]):
+        sampled = np.unique(sampled)
     if sampled.size and (sampled[0] < 0 or sampled[-1] >= arr.size):
         raise TraceError("sampled index out of trace bounds")
 
-    sampled_set = set(int(i) for i in sampled)
-    detected = np.array([i for i in truth if int(i) in sampled_set],
-                        dtype=int)
+    # Detection: truth ∩ sampled. Both arrays are sorted and unique, so
+    # binary-search probes of `sampled` at each truth point replace the
+    # former Python-set membership scan (and np.isin's merge sort over
+    # the concatenated arrays). A probe landing past the end clips to the
+    # last element, which compares unequal by construction.
+    if truth.size and sampled.size:
+        pos = np.searchsorted(sampled, truth, side="left")
+        detected = truth[
+            sampled[np.minimum(pos, sampled.size - 1)] == truth]
+    else:
+        detected = truth[:0]
 
-    episodes = alert_episodes(truth)
-    detected_eps = 0
-    delays: list[int] = []
-    for start, end in episodes:
-        hit = next((i for i in range(start, end + 1) if i in sampled_set),
-                   None)
-        if hit is not None:
-            detected_eps += 1
-            delays.append(hit - start)
+    # Episodes: maximal runs of consecutive truth indices, found from the
+    # first-difference instead of a Python loop over alert_episodes().
+    if truth.size:
+        breaks = np.flatnonzero(np.diff(truth) > 1)
+        starts = truth[np.concatenate(([0], breaks + 1))]
+        ends = truth[np.concatenate((breaks, [truth.size - 1]))]
+    else:
+        starts = ends = truth
+    n_episodes = int(starts.size)
+
+    # Per-episode first detection: every index in [start, end] is a truth
+    # point, so the episode's first sampled violating point is the first
+    # element of `detected` at or past its start — one searchsorted over
+    # all episodes instead of a per-episode range scan.
+    if n_episodes and detected.size:
+        pos = np.searchsorted(detected, starts, side="left")
+        first = detected[np.minimum(pos, detected.size - 1)]
+        hit = (pos < detected.size) & (first <= ends)
+        delays = first[hit] - starts[hit]
+        detected_eps = int(np.count_nonzero(hit))
+        mean_delay = float(delays.mean()) if delays.size else 0.0
+    else:
+        detected_eps = 0
+        mean_delay = 0.0
 
     n_truth = int(truth.size)
     n_detected = int(detected.size)
@@ -158,7 +185,7 @@ def evaluate_sampling(values: np.ndarray, threshold: float,
         truth_alerts=n_truth,
         detected_alerts=n_detected,
         misdetection_rate=misdetection,
-        truth_episodes=len(episodes),
+        truth_episodes=n_episodes,
         detected_episodes=detected_eps,
-        mean_detection_delay=float(np.mean(delays)) if delays else 0.0,
+        mean_detection_delay=mean_delay,
     )

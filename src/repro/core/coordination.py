@@ -203,7 +203,10 @@ class AdaptiveAllocation(AllocationPolicy):
             raw = [floor] * m
             for i in free:
                 if free_yield > 0.0:
-                    raw[i] = remaining * yields[i] / free_yield
+                    # Ratio first: yields can be denormal, and
+                    # ``remaining * y`` would underflow before the divide,
+                    # breaking conservation of the total allowance.
+                    raw[i] = remaining * (yields[i] / free_yield)
                 else:
                     raw[i] = remaining / len(free)
             newly = {i for i in free if raw[i] < floor}

@@ -313,6 +313,10 @@ class TriggeredSampler:
         self._level = elevation_level
         self._suspend_interval = suspend_interval
         self._suspended_steps = 0
+        # Resolved once: the inner scheme's fused drive surface, when it
+        # has one (ViolationLikelihoodSampler does; generic schemes fall
+        # back to observe() inside observe_fast).
+        self._inner_fast = getattr(inner, "observe_fast", None)
 
     @property
     def interval(self) -> int:
@@ -345,3 +349,24 @@ class TriggeredSampler:
                 violation=decision.violation,
             )
         return decision
+
+    def observe_fast(self, value: float, time_index: int,
+                     trigger_value: float | None = None) -> int:
+        """Allocation-light twin of :meth:`observe` (DESIGN.md S27).
+
+        Returns the next interval as a plain int — the inner scheme's
+        decision, floored at the suspend interval while the trigger is
+        cold. State transitions (inner sampler state, the suspended-steps
+        counter) are identical to :meth:`observe`.
+        """
+        fast = self._inner_fast
+        if fast is not None:
+            interval = fast(value, time_index)
+        else:
+            interval = int(self._inner.observe(value, time_index)
+                           .next_interval)
+        if trigger_value is not None and trigger_value < self._level:
+            self._suspended_steps += 1
+            if interval < self._suspend_interval:
+                interval = self._suspend_interval
+        return interval

@@ -137,6 +137,10 @@ def run_distributed_task(traces: list[np.ndarray] | np.ndarray,
     detected = 0
     poll_log: list[GlobalPoll] = []
     thresholds = spec.local_thresholds
+    # Fused drive (DESIGN.md S27): per-monitor rows converted to Python
+    # floats once, samplers driven through observe_fast — no per-step
+    # float() coercion or SamplingDecision allocation on the m x n loop.
+    rows = matrix.tolist()
 
     for t in range(n):
         violated_here = False
@@ -144,11 +148,11 @@ def run_distributed_task(traces: list[np.ndarray] | np.ndarray,
         for i in range(m):
             if next_due[i] != t:
                 continue
-            value = float(matrix[i, t])
-            decision = samplers[i].observe(value, t)
+            value = rows[i][t]
+            interval = samplers[i].observe_fast(value, t)
             per_monitor_samples[i] += 1
             sampled_here[i] = True
-            next_due[i] = t + max(1, decision.next_interval)
+            next_due[i] = t + max(1, interval)
             if value > thresholds[i]:
                 violated_here = True
                 local_violations += 1
@@ -162,9 +166,9 @@ def run_distributed_task(traces: list[np.ndarray] | np.ndarray,
             for i in range(m):
                 if sampled_here[i]:
                     continue
-                decision = samplers[i].observe(float(matrix[i, t]), t)
+                interval = samplers[i].observe_fast(rows[i][t], t)
                 per_monitor_samples[i] += 1
-                next_due[i] = t + max(1, decision.next_interval)
+                next_due[i] = t + max(1, interval)
             total_value = float(totals[t])
             is_global = bool(truth_mask[t])
             if is_global:

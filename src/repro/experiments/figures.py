@@ -22,6 +22,14 @@ runs serially (``workers=1``), fans out over a process pool
 (``workers=N`` / ``REPRO_WORKERS``), and can resume from an on-disk
 result cache — with bit-for-bit identical numbers in every mode, because
 each cell regenerates its own randomness from the master seed.
+
+Inside every cell the samplers run on the fused core fast path
+(DESIGN.md S27): :func:`~repro.experiments.runner.run_adaptive` and
+:func:`~repro.experiments.distributed.run_distributed_task` drive
+``observe_fast`` with the fused likelihood kernels, and scoring goes
+through the vectorized ``evaluate_sampling`` — decision streams provably
+identical to the reference path, benchmarked by
+``python -m repro.experiments.bench_core`` (``BENCH_core.json``).
 """
 
 from __future__ import annotations

@@ -21,6 +21,13 @@ Cache entries are keyed by everything that determines a cell's value —
 the driver function, workload parameters, task spec, adaptation config,
 seed and scale-derived sizes — so a cache can never serve a stale result
 for a changed spec: a changed spec *is* a different key.
+
+Worker processes execute their cells on the fused core fast path
+(DESIGN.md S27) — the figure drivers' cells call
+:func:`~repro.experiments.runner.run_adaptive` /
+:func:`~repro.experiments.distributed.run_distributed_task`, which drive
+samplers through ``observe_fast`` — so every sweep cell gets the kernel
+speedup for free while remaining bit-identical to the reference path.
 """
 
 from __future__ import annotations

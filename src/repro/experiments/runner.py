@@ -62,14 +62,14 @@ def _as_trace(values: np.ndarray) -> np.ndarray:
 def _drive_and_score(arr: np.ndarray, observe, threshold: float,
                      direction: ThresholdDirection,
                      record_intervals: bool = True) -> RunResult:
-    """The one sample loop every runner shares.
+    """The reference sample loop (one decision object per step).
 
     ``observe(value, t)`` must return the scheme's
     :class:`~repro.core.adaptation.SamplingDecision`; sampling starts at
     grid index 0, advances by the decided interval (floored at 1), and
-    stops past the end of the trace. Keeping a single implementation
-    here guarantees triggered runs can never drift from the scored path
-    used by every other scheme.
+    stops past the end of the trace. This is the driver every *generic*
+    scheme goes through (:func:`run_sampler_on_trace`), and the oracle the
+    fused driver below is equivalence-tested against.
     """
     n = arr.size
     sampled: list[int] = []
@@ -82,6 +82,54 @@ def _drive_and_score(arr: np.ndarray, observe, threshold: float,
         if record_intervals:
             intervals.append(step)
         t += step
+    accuracy = evaluate_sampling(arr, threshold, sampled, direction)
+    return RunResult(
+        sampled_indices=np.asarray(sampled, dtype=int),
+        accuracy=accuracy,
+        intervals=np.asarray(intervals, dtype=int),
+    )
+
+
+def _drive_fast(arr: np.ndarray, observe_fast, threshold: float,
+                direction: ThresholdDirection,
+                record_intervals: bool = True,
+                trigger: np.ndarray | None = None) -> RunResult:
+    """The fused sample loop (DESIGN.md S27).
+
+    ``observe_fast(value, t)`` — or ``observe_fast(value, t, trig)`` when a
+    ``trigger`` trace is supplied — returns the next interval as a plain
+    int, so driving a whole trace allocates no per-step decision objects.
+    The trace (and trigger) are converted to Python floats once up front
+    with ``tolist()`` instead of a ``float(arr[t])`` coercion per visited
+    grid point. Produces schedules identical to :func:`_drive_and_score`
+    over an equivalent ``observe`` (enforced by the equivalence suite).
+    """
+    n = arr.size
+    values = arr.tolist()
+    sampled: list[int] = []
+    intervals: list[int] = []
+    sampled_append = sampled.append
+    intervals_append = intervals.append
+    t = 0
+    if trigger is None:
+        while t < n:
+            sampled_append(t)
+            step = observe_fast(values[t], t)
+            if step < 1:
+                step = 1
+            if record_intervals:
+                intervals_append(step)
+            t += step
+    else:
+        trig_values = trigger.tolist()
+        while t < n:
+            sampled_append(t)
+            step = observe_fast(values[t], t, trig_values[t])
+            if step < 1:
+                step = 1
+            if record_intervals:
+                intervals_append(step)
+            t += step
     accuracy = evaluate_sampling(arr, threshold, sampled, direction)
     return RunResult(
         sampled_indices=np.asarray(sampled, dtype=int),
@@ -112,11 +160,27 @@ def run_sampler_on_trace(values: np.ndarray, scheme: SamplingScheme,
 
 
 def run_adaptive(values: np.ndarray, task: TaskSpec,
-                 config: AdaptationConfig | None = None) -> RunResult:
-    """Run Volley's violation-likelihood sampler over a trace."""
+                 config: AdaptationConfig | None = None,
+                 record_intervals: bool = True) -> RunResult:
+    """Run Volley's violation-likelihood sampler over a trace.
+
+    Drives the sampler through its fused whole-trace fast path
+    (:meth:`~repro.core.adaptation.ViolationLikelihoodSampler.run_trace`);
+    the schedule, intervals and accuracy are identical to driving
+    :meth:`observe` through :func:`run_sampler_on_trace` — the latter is
+    the reference the equivalence suite checks this path against.
+    """
+    arr = _as_trace(values)
     sampler = ViolationLikelihoodSampler(task, config)
-    return run_sampler_on_trace(values, sampler, task.threshold,
-                                task.direction)
+    sampled, intervals = sampler.run_trace(
+        arr.tolist(), record_intervals=record_intervals)
+    accuracy = evaluate_sampling(arr, task.threshold, sampled,
+                                 task.direction)
+    return RunResult(
+        sampled_indices=np.asarray(sampled, dtype=int),
+        accuracy=accuracy,
+        intervals=np.asarray(intervals, dtype=int),
+    )
 
 
 def run_periodic(values: np.ndarray, threshold: float, interval: int = 1,
@@ -148,8 +212,7 @@ def run_triggered(values: np.ndarray, trigger_values: np.ndarray,
             f"trigger trace misaligned: {trig.shape} vs {arr.shape}")
     inner = ViolationLikelihoodSampler(task, config)
     sampler = TriggeredSampler(inner, elevation_level, suspend_interval)
-
-    def observe(value: float, t: int):
-        return sampler.observe(value, t, trigger_value=float(trig[t]))
-
-    return _drive_and_score(arr, observe, task.threshold, task.direction)
+    # Fused path: the trigger trace is converted to floats once inside the
+    # driver (no per-step float(trig[t]) coercion or closure dispatch).
+    return _drive_fast(arr, sampler.observe_fast, task.threshold,
+                       task.direction, trigger=trig)

@@ -334,6 +334,45 @@ class MonitoringService:
                 state.on_alert(alert)
         return decision
 
+    def offer_fast(self, name: str, value: float, step: int) -> int | None:
+        """Allocation-light twin of :meth:`offer` (DESIGN.md S27).
+
+        Identical behaviour — aggregation, trigger gating, schedule
+        advance, alert callbacks and counters — but the sampler is driven
+        through its fused
+        :meth:`~repro.core.adaptation.ViolationLikelihoodSampler.observe_fast`
+        path and no :class:`~repro.core.adaptation.SamplingDecision` is
+        constructed. Returns the sampler's next interval (the pre-gating
+        value :meth:`offer` reports in its decision) when the value was
+        consumed as a scheduled sample, ``None`` when the task was not
+        due. This is the runtime shard drain loop's data path.
+        """
+        state = self._state(name)
+        self._last_seen[name] = value
+        if step < state.next_due:
+            return None
+
+        monitored = state.aggregate(step, value)
+        sampler = state.sampler
+        raw_interval = sampler.observe_fast(monitored, step)
+        state.samples_taken += 1
+
+        interval = raw_interval
+        if state.trigger_task is not None:
+            trigger_value = self._last_seen.get(state.trigger_task)
+            if (trigger_value is not None
+                    and trigger_value < state.trigger_level):
+                interval = max(interval, state.suspend_interval)
+        state.next_due = step + max(1, interval)
+
+        if sampler.last_violation:
+            alert = Alert(time_index=step, value=monitored,
+                          threshold=state.task.threshold)
+            state.alerts.append(alert)
+            if state.on_alert is not None:
+                state.on_alert(alert)
+        return raw_interval
+
     def alerts(self, name: str) -> list[Alert]:
         """Alerts raised by a task so far (chronological)."""
         return list(self._state(name).alerts)

@@ -6,7 +6,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.likelihood import (cantelli_upper_bound, misdetection_bound,
+from repro.core.likelihood import (cantelli_upper_bound,
+                                   gaussian_misdetection_estimate,
+                                   gaussian_misdetection_estimate_fused,
+                                   max_admissible_interval,
+                                   misdetection_bound,
+                                   misdetection_bound_fused,
                                    misdetection_bound_profile,
                                    step_violation_bound)
 
@@ -124,3 +129,129 @@ class TestMisdetectionBound:
         near = misdetection_bound(0.0, 10.0, 0.0, std, interval)
         far = misdetection_bound(0.0, 1000.0, 0.0, std, interval)
         assert far <= near + 1e-12
+
+
+class TestFusedKernels:
+    """The fused kernels must be bit-for-bit equal to the reference."""
+
+    @given(value=finite, threshold=finite, mean=finite, std=positive_std,
+           interval=st.integers(min_value=1, max_value=20))
+    @settings(max_examples=200, deadline=None)
+    def test_chebyshev_fused_bit_equal(self, value, threshold, mean, std,
+                                       interval):
+        reference = misdetection_bound(value, threshold, mean, std, interval)
+        fused = misdetection_bound_fused(value, threshold, mean, std,
+                                         interval)
+        assert fused == reference  # exact, not approx
+
+    @given(value=finite, threshold=finite, mean=finite, std=positive_std,
+           interval=st.integers(min_value=1, max_value=20))
+    @settings(max_examples=200, deadline=None)
+    def test_gaussian_fused_bit_equal(self, value, threshold, mean, std,
+                                      interval):
+        reference = gaussian_misdetection_estimate(value, threshold, mean,
+                                                   std, interval)
+        fused = gaussian_misdetection_estimate_fused(value, threshold, mean,
+                                                     std, interval)
+        assert fused == reference
+
+    @given(value=finite, threshold=finite, mean=finite,
+           interval=st.integers(min_value=1, max_value=20))
+    @settings(max_examples=100, deadline=None)
+    def test_zero_std_bit_equal(self, value, threshold, mean, interval):
+        assert misdetection_bound_fused(value, threshold, mean, 0.0,
+                                        interval) == \
+            misdetection_bound(value, threshold, mean, 0.0, interval)
+
+    def test_fused_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            misdetection_bound_fused(0.0, 1.0, 0.0, 1.0, 0)
+        with pytest.raises(ValueError):
+            misdetection_bound_fused(0.0, 1.0, 0.0, -1.0, 1)
+        with pytest.raises(ValueError):
+            gaussian_misdetection_estimate_fused(0.0, 1.0, 0.0, 1.0, 0)
+        with pytest.raises(ValueError):
+            gaussian_misdetection_estimate_fused(0.0, 1.0, 0.0, -1.0, 1)
+
+
+class TestProfilePinning:
+    def test_pins_to_exactly_one_after_saturation(self):
+        # Positive drift reaches the threshold deterministically: once a
+        # step's bound hits 1 the profile must be exactly 1.0 from there on.
+        profile = misdetection_bound_profile(0.0, 10.0, 5.0, 1e-9, 8)
+        assert any(v == 1.0 for v in profile)
+        first_one = profile.index(1.0)
+        assert profile[first_one:] == [1.0] * (len(profile) - first_one)
+
+    def test_profile_stays_in_unit_interval(self):
+        profile = misdetection_bound_profile(0.0, 3.0, 1.0, 0.5, 12)
+        assert all(0.0 <= v <= 1.0 for v in profile)
+
+    @given(value=finite, threshold=finite, mean=finite, std=positive_std,
+           max_interval=st.integers(min_value=1, max_value=15))
+    @settings(max_examples=100, deadline=None)
+    def test_profile_matches_point_queries_exactly(self, value, threshold,
+                                                   mean, std, max_interval):
+        profile = misdetection_bound_profile(value, threshold, mean, std,
+                                             max_interval)
+        for i, entry in enumerate(profile, start=1):
+            assert entry == misdetection_bound(value, threshold, mean, std, i)
+
+
+class TestMaxAdmissibleInterval:
+    def _oracle(self, value, threshold, mean, std, err, max_interval):
+        """Largest I with beta(I) <= err by exhaustive point queries."""
+        best = 0
+        for i in range(1, max_interval + 1):
+            if misdetection_bound(value, threshold, mean, std, i) <= err:
+                best = i
+        return best
+
+    @given(value=finite, threshold=finite, mean=finite, std=positive_std,
+           err=st.floats(min_value=0.0, max_value=0.999, allow_nan=False),
+           max_interval=st.integers(min_value=1, max_value=15))
+    @settings(max_examples=200, deadline=None)
+    def test_matches_probing_oracle(self, value, threshold, mean, std, err,
+                                    max_interval):
+        got = max_admissible_interval(value, threshold, mean, std, err,
+                                      max_interval)
+        assert got == self._oracle(value, threshold, mean, std, err,
+                                   max_interval)
+
+    @given(value=finite, threshold=finite, mean=finite, err=st.floats(
+        min_value=0.0, max_value=0.999, allow_nan=False),
+        max_interval=st.integers(min_value=1, max_value=15))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_probing_oracle_zero_std(self, value, threshold, mean,
+                                             err, max_interval):
+        got = max_admissible_interval(value, threshold, mean, 0.0, err,
+                                      max_interval)
+        assert got == self._oracle(value, threshold, mean, 0.0, err,
+                                   max_interval)
+
+    def test_violating_value_returns_zero(self):
+        assert max_admissible_interval(5.0, 5.0, 0.0, 1.0, 0.1, 10) == 0
+        assert max_admissible_interval(9.0, 5.0, 0.0, 1.0, 0.1, 10) == 0
+
+    def test_err_one_admits_everything_up_to_cap(self):
+        assert max_admissible_interval(0.0, 10.0, 0.0, 1.0, 1.0, 7) == 7
+        with pytest.raises(ValueError):
+            max_admissible_interval(0.0, 10.0, 0.0, 1.0, 1.0, None)
+
+    def test_unbounded_deterministic_trace_raises(self):
+        # std == 0, non-positive drift: never violates, no finite answer.
+        with pytest.raises(ValueError):
+            max_admissible_interval(0.0, 10.0, -1.0, 0.0, 0.1, None)
+
+    def test_unbounded_with_drift_is_finite(self):
+        # std == 0, positive drift: crossing at gap0/mean.
+        got = max_admissible_interval(0.0, 10.0, 2.0, 0.0, 0.1, None)
+        assert got == 4  # gap0 - 5*2 = 0, not > 0 -> last admissible is 4
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            max_admissible_interval(0.0, 1.0, 0.0, -1.0, 0.1, 10)
+        with pytest.raises(ValueError):
+            max_admissible_interval(0.0, 1.0, 0.0, 1.0, 1.5, 10)
+        with pytest.raises(ValueError):
+            max_admissible_interval(0.0, 1.0, 0.0, 1.0, 0.1, 0)

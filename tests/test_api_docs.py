@@ -58,7 +58,7 @@ IGNORED = {
     "monetary_bill", "schedule_every", "run_until",
     # runtime wire ops / methods / CLI artifacts, not module attributes
     "register_task", "remove_task", "offer_batch", "task_info",
-    "serve_forever", "BENCH_runtime",
+    "serve_forever", "BENCH_runtime", "BENCH_core", "min_speedup",
 }
 
 

@@ -5,6 +5,17 @@ A checkpoint is one JSON document holding every shard's full
 and counters. Writes go through a same-directory temp file + ``os.replace``
 so a crash mid-write leaves the previous checkpoint intact — readers see
 either the old complete state or the new complete state, never a torn file.
+
+Format version 2 appends a ``crc32:<8 hex>`` trailer line covering the
+JSON body. The atomic writer makes torn files impossible through *this*
+code path, but checkpoints also travel — partial copies, filesystem
+corruption, backup tools interrupted mid-stream — and a truncated JSON
+document can still parse if it happens to be cut at a token boundary.
+The checksum closes that hole: :func:`read_checkpoint` refuses any
+version-2 document whose trailer is missing or does not match, so a
+damaged checkpoint raises :class:`~repro.exceptions.CheckpointError`
+instead of silently loading partial shard state. Version-1 files (no
+trailer) remain readable for backward compatibility.
 """
 
 from __future__ import annotations
@@ -12,29 +23,62 @@ from __future__ import annotations
 import json
 import os
 import pathlib
-from typing import Any
+import re
+import zlib
+from typing import TYPE_CHECKING, Any
 
 from repro.exceptions import CheckpointError
 
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.testkit.faults import FaultHook
+
 __all__ = ["CHECKPOINT_VERSION", "read_checkpoint", "write_checkpoint"]
 
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
+
+_LEGACY_VERSIONS = {1}
+"""Trailer-less format versions still accepted by :func:`read_checkpoint`."""
+
+_TRAILER = re.compile(r"\ncrc32:([0-9a-f]{8})\n?\Z")
 
 
-def write_checkpoint(path: pathlib.Path | str,
-                     state: dict[str, Any]) -> pathlib.Path:
-    """Atomically persist a runtime state dict; returns the final path."""
-    path = pathlib.Path(path)
+def _encode(state: dict[str, Any]) -> bytes:
     payload = dict(state)
     payload["checkpoint_version"] = CHECKPOINT_VERSION
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(path.name + ".tmp")
     body = json.dumps(payload, separators=(",", ":"))
-    with open(tmp, "w", encoding="utf-8") as handle:
-        handle.write(body)
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp, path)
+    crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+    return f"{body}\ncrc32:{crc:08x}\n".encode("utf-8")
+
+
+def write_checkpoint(path: pathlib.Path | str, state: dict[str, Any],
+                     fault_hook: "FaultHook | None" = None) -> pathlib.Path:
+    """Atomically persist a runtime state dict; returns the final path.
+
+    Args:
+        path: final checkpoint location.
+        state: the runtime state (JSON-able).
+        fault_hook: chaos-testing seam (``repro.testkit``); the production
+            default injects nothing.
+
+    Raises :class:`~repro.exceptions.CheckpointError` when the filesystem
+    refuses the write (callers — the periodic checkpoint loop, the
+    ``checkpoint`` wire op — degrade gracefully instead of dying).
+    """
+    path = pathlib.Path(path)
+    try:
+        data = _encode(state)
+        if fault_hook is not None and fault_hook.enabled:
+            data = fault_hook.checkpoint_body(data)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot write checkpoint {path}: {exc}") from None
     # fsync the directory so the rename itself survives power loss.
     # Best-effort: some platforms/filesystems refuse to fsync a directory.
     try:
@@ -54,14 +98,31 @@ def read_checkpoint(path: pathlib.Path | str) -> dict[str, Any]:
     """Load and validate a checkpoint written by :func:`write_checkpoint`.
 
     Raises :class:`~repro.exceptions.CheckpointError` when the file is
-    missing, unparsable, or from an incompatible format version.
+    missing, unparsable, truncated, checksum-mismatched, or from an
+    incompatible format version.
     """
     path = pathlib.Path(path)
     try:
-        body = path.read_text(encoding="utf-8")
+        raw = path.read_bytes()
     except OSError as exc:
         raise CheckpointError(f"cannot read checkpoint {path}: {exc}") \
             from None
+    try:
+        text = raw.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise CheckpointError(
+            f"checkpoint {path} is not valid UTF-8: {exc}") from None
+    trailer = _TRAILER.search(text)
+    if trailer is not None:
+        body = text[:trailer.start()]
+        crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+        if crc != int(trailer.group(1), 16):
+            raise CheckpointError(
+                f"checkpoint {path} failed its checksum "
+                f"(stored {trailer.group(1)}, computed {crc:08x}); "
+                f"the file is corrupt or was truncated mid-write")
+    else:
+        body = text
     try:
         state = json.loads(body)
     except json.JSONDecodeError as exc:
@@ -72,8 +133,13 @@ def read_checkpoint(path: pathlib.Path | str) -> dict[str, Any]:
             f"checkpoint {path} must hold a JSON object, got "
             f"{type(state).__name__}")
     version = state.get("checkpoint_version")
-    if version != CHECKPOINT_VERSION:
+    if version == CHECKPOINT_VERSION:
+        if trailer is None:
+            raise CheckpointError(
+                f"checkpoint {path} declares version {version} but has no "
+                f"checksum trailer; the file was truncated")
+    elif version not in _LEGACY_VERSIONS:
         raise CheckpointError(
             f"checkpoint {path} has version {version!r}; this runtime "
-            f"reads version {CHECKPOINT_VERSION}")
+            f"reads versions {sorted(_LEGACY_VERSIONS | {CHECKPOINT_VERSION})}")
     return state

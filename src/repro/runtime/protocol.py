@@ -59,11 +59,20 @@ def _check_length(length: int) -> None:
             f"peer announced a {length}-byte frame; limit is {MAX_FRAME}")
 
 
-async def read_frame(reader: asyncio.StreamReader) -> dict[str, Any] | None:
+async def read_frame(reader: asyncio.StreamReader,
+                     fault_hook: Any = None) -> dict[str, Any] | None:
     """Read one frame; ``None`` on clean EOF (peer closed between frames).
 
     Raises :class:`~repro.exceptions.ProtocolError` on truncation mid-frame,
     oversized frames, or non-object bodies.
+
+    Args:
+        reader: the connection's stream reader.
+        fault_hook: chaos-testing seam (a ``repro.testkit`` ``FaultHook``);
+            when enabled it may mutate the body after a complete read —
+            truncation/corruption then surfaces exactly as the matching
+            wire failure would, and a ``None`` body reads as a peer that
+            vanished between frames.
     """
     try:
         header = await reader.readexactly(_HEADER.size)
@@ -77,6 +86,13 @@ async def read_frame(reader: asyncio.StreamReader) -> dict[str, Any] | None:
         body = await reader.readexactly(length)
     except asyncio.IncompleteReadError:
         raise ProtocolError("connection closed mid-frame") from None
+    if fault_hook is not None and fault_hook.enabled:
+        mutated = fault_hook.frame_body(body)
+        if mutated is None:
+            return None
+        if len(mutated) < length:
+            raise ProtocolError("connection closed mid-frame") from None
+        body = mutated
     return _decode_body(body)
 
 

@@ -46,6 +46,7 @@ from repro.runtime.checkpoint import read_checkpoint, write_checkpoint
 from repro.runtime.protocol import encode_frame, read_frame
 from repro.runtime.shard import ShardWorker, shard_for
 from repro.service import MonitoringService
+from repro.testkit.faults import FaultHook, NOOP_HOOK
 from repro.types import Alert
 
 __all__ = ["RuntimeServer", "main"]
@@ -69,17 +70,22 @@ class RuntimeServer:
             are registered at startup unless a checkpoint already has them.
         adaptation: default adaptation tunables for tasks registered over
             the wire.
+        fault_hook: chaos-testing seam (``repro.testkit``). The default
+            :data:`~repro.testkit.faults.NOOP_HOOK` injects nothing and
+            costs one guarded attribute check per frame/batch.
     """
 
     def __init__(self, runtime: RuntimeConfig | None = None,
                  service_config: dict[str, Any] | None = None,
-                 adaptation: AdaptationConfig | None = None):
+                 adaptation: AdaptationConfig | None = None,
+                 fault_hook: FaultHook = NOOP_HOOK):
         self.config = runtime or RuntimeConfig()
         self._adaptation = adaptation or AdaptationConfig()
         self._defaults: dict[str, Any] = {}
+        self.fault_hook = fault_hook
         self._workers = [
             ShardWorker(i, MonitoringService(self._adaptation),
-                        self.config.queue_depth)
+                        self.config.queue_depth, fault_hook=fault_hook)
             for i in range(self.config.shards)
         ]
         self._task_shard: dict[str, int] = {}
@@ -231,6 +237,44 @@ class RuntimeServer:
             self.config.unix_socket.unlink()
         self._done.set()
 
+    async def drain(self) -> None:
+        """Wait until every queued batch on every shard has been applied."""
+        for worker in self._workers:
+            await worker.drain()
+
+    async def abort(self) -> None:
+        """Hard crash: stop everything with no drain and no final flush.
+
+        The counterpart of :meth:`shutdown` for chaos testing — queued
+        batches are abandoned and no checkpoint is written, so the next
+        incarnation restores exactly the last durable checkpoint
+        (at-most-once delivery, as documented in the module docstring).
+        """
+        if self._shutdown_started:
+            await self._done.wait()
+            return
+        self._shutdown_started = True
+        for server in self._servers:
+            server.close()
+        for server in self._servers:
+            await server.wait_closed()
+        for conn in list(self._connections):
+            conn.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        if self._checkpoint_task is not None:
+            self._checkpoint_task.cancel()
+            try:
+                await self._checkpoint_task
+            except asyncio.CancelledError:
+                pass
+        for worker in self._workers:
+            await worker.abort()
+        if (self.config.unix_socket is not None
+                and self.config.unix_socket.exists()):
+            self.config.unix_socket.unlink()
+        self._done.set()
+
     async def serve_forever(self) -> None:
         """Run until :meth:`shutdown` (or SIGTERM/SIGINT) completes."""
         loop = asyncio.get_running_loop()
@@ -262,7 +306,8 @@ class RuntimeServer:
         path = self.config.checkpoint_path
         if path is None:
             raise ConfigurationError("no checkpoint_path configured")
-        written = write_checkpoint(path, self.runtime_state())
+        written = write_checkpoint(path, self.runtime_state(),
+                                   fault_hook=self.fault_hook)
         self._last_checkpoint_monotonic = time.monotonic()
         return written
 
@@ -292,9 +337,10 @@ class RuntimeServer:
         assert task is not None
         self._connections.add(task)
         try:
+            hook = self.fault_hook
             while True:
                 try:
-                    request = await read_frame(reader)
+                    request = await read_frame(reader, fault_hook=hook)
                 except ProtocolError as exc:
                     writer.write(encode_frame(
                         _error(str(exc), code="protocol")))
@@ -304,6 +350,12 @@ class RuntimeServer:
                     break
                 self._frames += 1
                 reply = self.handle_request(request)
+                if (hook.enabled and request.get("op") == "offer_batch"
+                        and hook.duplicate_frame(request)):
+                    # Duplicated delivery: the frame is dispatched twice
+                    # but only the primary reply goes back on the wire —
+                    # exactly what a client retrying a lost ACK produces.
+                    hook.note_duplicate_reply(self.handle_request(request))
                 writer.write(encode_frame(reply))
                 await writer.drain()
         except (asyncio.CancelledError, ConnectionResetError,
@@ -407,8 +459,15 @@ class RuntimeServer:
             per_shard.setdefault(shard, []).append(update)
         accepted = 0
         shed = 0
+        hook = self.fault_hook
         for shard, items in per_shard.items():
-            if self._workers[shard].try_enqueue(items):
+            worker = self._workers[shard]
+            if hook.enabled and hook.force_shed(shard):
+                # Chaos seam: shed as if the queue were full, so the
+                # backpressure reply path is exercised deterministically.
+                worker.shed += len(items)
+                shed += len(items)
+            elif worker.try_enqueue(items):
                 accepted += len(items)
             else:
                 shed += len(items)

@@ -23,6 +23,7 @@ from typing import Any, Sequence
 
 from repro.exceptions import ConfigurationError
 from repro.service import MonitoringService
+from repro.testkit.faults import FaultHook, NOOP_HOOK
 
 __all__ = ["ShardWorker", "shard_for"]
 
@@ -47,12 +48,13 @@ class ShardWorker:
     """
 
     def __init__(self, shard_id: int, service: MonitoringService,
-                 queue_depth: int):
+                 queue_depth: int, fault_hook: FaultHook = NOOP_HOOK):
         if queue_depth < 1:
             raise ConfigurationError(
                 f"queue_depth must be >= 1, got {queue_depth}")
         self.shard_id = shard_id
         self.service = service
+        self.fault_hook = fault_hook
         self._queue: asyncio.Queue[list[Update]] = asyncio.Queue(
             maxsize=queue_depth)
         self._runner: asyncio.Task[None] | None = None
@@ -92,6 +94,12 @@ class ShardWorker:
         behaviour as ``offer`` (equivalence-tested), minus one decision
         object per consumed update on the hottest loop in the runtime.
         """
+        if self.fault_hook.enabled:
+            # Chaos seam: may raise to simulate an unexpected internal
+            # error taking out the whole batch (the drain loop's
+            # reject-and-continue path). Guarded so production pays one
+            # attribute load + falsy check per batch.
+            self.fault_hook.before_apply(self.shard_id, len(updates))
         offer_fast = self.service.offer_fast
         for name, step, value in updates:
             try:
@@ -147,6 +155,22 @@ class ShardWorker:
         if self._runner is None:
             return
         await self.drain()
+        self._runner.cancel()
+        try:
+            await self._runner
+        except asyncio.CancelledError:
+            pass
+        self._runner = None
+
+    async def abort(self) -> None:
+        """Hard-stop the drain loop *without* draining (crash simulation).
+
+        Queued batches are abandoned exactly as a process crash would
+        abandon them; the chaos harness uses this to exercise the
+        at-most-once recovery contract.
+        """
+        if self._runner is None:
+            return
         self._runner.cancel()
         try:
             await self._runner

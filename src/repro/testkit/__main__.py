@@ -1,0 +1,8 @@
+"""``python -m repro.testkit`` — run chaos scenarios, write the report."""
+
+import sys
+
+from repro.testkit.scenarios import main
+
+if __name__ == "__main__":
+    sys.exit(main())

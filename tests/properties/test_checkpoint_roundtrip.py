@@ -1,0 +1,178 @@
+"""Hypothesis properties: checkpoint state round-trips bit-identically.
+
+The recovery story (DESIGN.md S28) rests on one property: serialising
+any component mid-run and restoring it yields an object whose future
+behaviour is *bit-identical* to the original's — not approximately equal,
+identical. These properties drive randomly generated streams to a random
+split point, round-trip the state through JSON (what a checkpoint file
+actually stores), and demand exact equality from then on.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adaptation import AdaptationConfig, ViolationLikelihoodSampler
+from repro.core.online_stats import OnlineStatistics
+from repro.core.task import TaskSpec
+from repro.core.windowed import AggregateKind
+from repro.service import MonitoringService
+from repro.testkit.invariants import snapshot_fingerprint
+
+bounded = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False)
+
+
+def roundtrip(state):
+    """What a checkpoint does to a state dict: JSON out, JSON in."""
+    return json.loads(json.dumps(state))
+
+
+class TestOnlineStatisticsRoundtrip:
+    @given(values=st.lists(bounded, min_size=1, max_size=300),
+           restart_after=st.one_of(st.none(),
+                                   st.integers(min_value=5, max_value=60)),
+           extra=st.lists(bounded, min_size=0, max_size=100))
+    @settings(max_examples=80, deadline=None)
+    def test_restored_statistics_evolve_identically(self, values,
+                                                    restart_after, extra):
+        # `restart_after` small enough that restarts happen mid-stream, so
+        # the fresh-window bookkeeping round-trips too.
+        stats = OnlineStatistics(restart_after=restart_after, min_fresh=3)
+        for x in values:
+            stats.update(x)
+        clone = OnlineStatistics(restart_after=restart_after, min_fresh=3)
+        clone.load_state_dict(roundtrip(stats.state_dict()))
+        assert clone.state_dict() == stats.state_dict()
+        for x in extra:
+            stats.update(x)
+            clone.update(x)
+            assert clone.mean == stats.mean
+            assert clone.variance == stats.variance
+            assert clone.effective_count == stats.effective_count
+            assert clone.restarts == stats.restarts
+        assert clone.state_dict() == stats.state_dict()
+
+
+class TestSamplerRoundtrip:
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+           estimator=st.sampled_from(["chebyshev", "gaussian"]),
+           split=st.integers(min_value=1, max_value=80),
+           err=st.floats(min_value=0.0, max_value=0.3, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_restored_sampler_decisions_are_bit_identical(
+            self, seed, estimator, split, err):
+        """Snapshot at an arbitrary observation count — including right
+        after a statistics restart — and the restored sampler's decision
+        stream must equal the uninterrupted one exactly."""
+        spec = TaskSpec(threshold=10.0, error_allowance=err, max_interval=8)
+        config = AdaptationConfig(patience=3, min_samples=4,
+                                  stats_restart=25, estimator=estimator)
+        rng = np.random.default_rng(seed)
+        values = rng.normal(7.0, 2.0, 600)
+
+        reference = ViolationLikelihoodSampler(spec, config)
+        split_sampler = ViolationLikelihoodSampler(spec, config)
+        step = 0
+        for _ in range(split):
+            decision = reference.observe(float(values[step]), step)
+            split_sampler.observe(float(values[step]), step)
+            step += decision.next_interval
+
+        restored = ViolationLikelihoodSampler(spec, config)
+        restored.load_state_dict(roundtrip(split_sampler.state_dict()))
+        assert restored.state_dict() == split_sampler.state_dict()
+
+        while step < values.size:
+            ref = reference.observe(float(values[step]), step)
+            res = restored.observe(float(values[step]), step)
+            assert ref == res
+            step += ref.next_interval
+        assert restored.state_dict() == reference.state_dict()
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+           estimator=st.sampled_from(["chebyshev", "gaussian"]),
+           record=st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_run_trace_final_state_is_restorable(self, seed, estimator,
+                                                 record):
+        """The fused `run_trace` path (with interval recording on or off)
+        must leave the sampler in a state that round-trips exactly."""
+        spec = TaskSpec(threshold=10.0, error_allowance=0.05,
+                        max_interval=8)
+        config = AdaptationConfig(patience=3, min_samples=4,
+                                  stats_restart=25, estimator=estimator)
+        rng = np.random.default_rng(seed)
+        values = list(rng.normal(7.0, 2.0, 300))
+
+        sampler = ViolationLikelihoodSampler(spec, config)
+        sampled, intervals = sampler.run_trace(values,
+                                               record_intervals=record)
+        assert (len(intervals) > 0) == record or not sampled
+
+        restored = ViolationLikelihoodSampler(spec, config)
+        restored.load_state_dict(roundtrip(sampler.state_dict()))
+        assert restored.state_dict() == sampler.state_dict()
+        # Both must agree on every decision over a continuation stream.
+        step = 300
+        for value in rng.normal(7.0, 2.0, 50):
+            a = sampler.observe(float(value), step)
+            b = restored.observe(float(value), step)
+            assert a == b
+            step += a.next_interval
+
+
+class TestServiceSnapshotRoundtrip:
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+           split=st.integers(min_value=0, max_value=200),
+           window=st.integers(min_value=1, max_value=6),
+           kind=st.sampled_from(list(AggregateKind)))
+    @settings(max_examples=40, deadline=None)
+    def test_snapshot_restore_is_bit_identical_and_continues(
+            self, seed, split, window, kind):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(80.0, 15.0, 300)
+
+        def build():
+            service = MonitoringService(AdaptationConfig(patience=3,
+                                                         min_samples=4))
+            service.add_task("inst", TaskSpec(threshold=100.0,
+                                              error_allowance=0.05,
+                                              max_interval=8))
+            service.add_task("win", TaskSpec(threshold=95.0,
+                                             error_allowance=0.02,
+                                             max_interval=6),
+                             window=window, window_kind=kind)
+            service.add_trigger("inst", trigger="win",
+                                elevation_level=70.0, suspend_interval=5)
+            return service
+
+        def feed(service, lo, hi):
+            for step in range(lo, hi):
+                for name in ("inst", "win"):
+                    service.offer(name, float(values[step]), step)
+
+        uninterrupted = build()
+        feed(uninterrupted, 0, 300)
+
+        interrupted = build()
+        feed(interrupted, 0, split)
+        snapshot = roundtrip(interrupted.snapshot())
+        restored = MonitoringService.restore(snapshot)
+        # Restore -> snapshot must be the identity on the wire format.
+        assert snapshot_fingerprint(restored.snapshot()) \
+            == snapshot_fingerprint(snapshot)
+        feed(restored, split, 300)
+
+        for name in ("inst", "win"):
+            assert restored.samples_taken(name) \
+                == uninterrupted.samples_taken(name)
+            assert restored.alerts(name) == uninterrupted.alerts(name)
+            assert restored.interval(name) == uninterrupted.interval(name)
+            assert restored.next_due(name) == uninterrupted.next_due(name)
+        # The full final states are bit-identical, not merely equivalent.
+        assert snapshot_fingerprint(restored.snapshot()) \
+            == snapshot_fingerprint(uninterrupted.snapshot())

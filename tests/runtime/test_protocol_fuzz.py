@@ -1,0 +1,144 @@
+"""Negative-path protocol fuzz: malformed frames must never kill a shard.
+
+Drives the live server through the testkit's frame fault seam: inbound
+frames are deterministically dropped, truncated mid-body, or corrupted
+(guaranteed-invalid bytes) according to a `(seed, spec)` plan. For every
+frame the server must either reply (an error reply for malformed input)
+or close the connection (a dropped frame) — and afterwards the shard
+consumers must still be draining and the control plane answering.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.runtime.protocol import encode_frame, read_frame
+from repro.runtime.server import RuntimeServer
+from repro.testkit.faults import (FRAME_CORRUPT, FRAME_DROP, FRAME_OK,
+                                  FRAME_TRUNCATE, FaultPlan, FaultSpec,
+                                  PlanFaultHook)
+
+FUZZ_SPEC = FaultSpec(drop_connection_rate=0.25,
+                      truncate_frame_rate=0.2,
+                      corrupt_frame_rate=0.2)
+FRAMES = 150
+TASKS = [f"fuzz-{i}" for i in range(4)]
+
+
+async def _roundtrip(port, payload):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        writer.write(encode_frame(payload))
+        await writer.drain()
+        return await read_frame(reader)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+@pytest.mark.parametrize("seed", [3, 7, 1013])
+def test_fuzzed_frames_get_replies_or_drops_and_shards_survive(seed):
+    plan = FaultPlan(seed, FUZZ_SPEC)
+    hook = PlanFaultHook(plan)
+    hook.armed = False
+
+    async def scenario():
+        server = RuntimeServer(RuntimeConfig(shards=2, port=0),
+                               fault_hook=hook)
+        await server.start()
+        try:
+            for name in TASKS:
+                reply = await _roundtrip(server.tcp_port,
+                                         {"op": "register_task",
+                                          "task": {"name": name,
+                                                   "threshold": 50.0}})
+                assert reply is not None and reply["ok"]
+
+            hook.armed = True
+            clean_updates = 0
+            for index in range(FRAMES):
+                batch = [[name, index, float(index % 90)]
+                         for name in TASKS]
+                reply = await _roundtrip(server.tcp_port,
+                                         {"op": "offer_batch",
+                                          "updates": batch})
+                fate = plan.frame_fault(index)
+                if fate == FRAME_DROP:
+                    # Dropped frame: connection closed with no reply.
+                    assert reply is None
+                elif fate in (FRAME_TRUNCATE, FRAME_CORRUPT):
+                    # Malformed frame: an error *reply*, never a hang or
+                    # a dead server.
+                    assert reply is not None
+                    assert not reply["ok"]
+                    assert reply["code"] == "protocol"
+                else:
+                    assert fate == FRAME_OK
+                    assert reply is not None and reply["ok"]
+                    assert reply["accepted"] == len(batch)
+                    clean_updates += len(batch)
+            assert clean_updates > 0, "spec too hostile: no clean frames"
+            await server.drain()
+            hook.armed = False
+
+            # Every shard consumer survived the barrage: the counters
+            # account for exactly the cleanly-delivered updates, and the
+            # data path still works.
+            stats = await _roundtrip(server.tcp_port, {"op": "stats"})
+            assert stats["ok"]
+            totals = stats["totals"]
+            assert totals["offered"] == clean_updates
+            assert totals["applied"] == clean_updates
+            assert totals["shed"] == 0 and totals["rejected"] == 0
+
+            reply = await _roundtrip(
+                server.tcp_port,
+                {"op": "offer_batch",
+                 "updates": [[TASKS[0], FRAMES + 1, 1.0]]})
+            assert reply is not None and reply["ok"]
+            assert reply["accepted"] == 1
+            ping = await _roundtrip(server.tcp_port, {"op": "ping"})
+            assert ping is not None and ping["ok"]
+            assert ping["tasks"] == len(TASKS)
+        finally:
+            await server.shutdown()
+
+    asyncio.run(scenario())
+
+
+def test_fault_injection_summary_matches_plan():
+    """The hook's injected-fault ledger equals the plan's own schedule —
+    the property the chaos driver's shadow replay rests on."""
+    plan = FaultPlan(11, FUZZ_SPEC)
+    hook = PlanFaultHook(plan)
+
+    async def scenario():
+        server = RuntimeServer(RuntimeConfig(shards=2, port=0),
+                               fault_hook=hook)
+        await server.start()
+        try:
+            hook.armed = False
+            reply = await _roundtrip(server.tcp_port,
+                                     {"op": "register_task",
+                                      "task": {"name": "t", "threshold": 1}})
+            assert reply["ok"]
+            hook.armed = True
+            for index in range(60):
+                await _roundtrip(server.tcp_port,
+                                 {"op": "offer_batch",
+                                  "updates": [["t", index, 0.5]]})
+            hook.armed = False
+        finally:
+            await server.shutdown()
+
+    asyncio.run(scenario())
+    fates = [plan.frame_fault(i) for i in range(60)]
+    assert hook.injected["frames_dropped"] == fates.count(FRAME_DROP)
+    assert hook.injected["frames_truncated"] == fates.count(FRAME_TRUNCATE)
+    assert hook.injected["frames_corrupted"] == fates.count(FRAME_CORRUPT)

@@ -54,6 +54,94 @@ class TestCheckpointFile:
             read_checkpoint(path)
 
 
+class TestChecksumTrailer:
+    """Format v2 regression: damaged checkpoints must raise, not load.
+
+    Before the checksum trailer existed, a truncated checkpoint that
+    happened to be cut at a JSON token boundary would parse and silently
+    restore partial shard state.
+    """
+
+    STATE = {"shard_count": 2, "shards": [{"x": 1}, {"y": 2}],
+             "task_shard": {"a": 0}}
+
+    def _write(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        write_checkpoint(path, dict(self.STATE))
+        return path
+
+    def test_v2_file_carries_crc_trailer(self, tmp_path):
+        path = self._write(tmp_path)
+        text = path.read_text()
+        assert text.splitlines()[-1].startswith("crc32:")
+        assert read_checkpoint(path)["shard_count"] == 2
+
+    def test_losing_only_the_final_newline_is_harmless(self, tmp_path):
+        # The trailer's closing newline is optional: cutting exactly one
+        # byte leaves body + checksum intact, and the file still loads.
+        path = self._write(tmp_path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-1])
+        assert read_checkpoint(path)["shard_count"] == 2
+
+    @pytest.mark.parametrize("cut", [2, 3, 8, 40])
+    def test_truncated_file_raises(self, tmp_path, cut):
+        path = self._write(tmp_path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:len(raw) - cut])
+        with pytest.raises(CheckpointError):
+            read_checkpoint(path)
+
+    def test_truncation_at_json_token_boundary_raises(self, tmp_path):
+        # The historical hole: strip the whole trailer and cut the body so
+        # it is still *valid JSON* — the reader must still reject it.
+        path = self._write(tmp_path)
+        text = path.read_text()
+        body = text[:text.rindex("\ncrc32:")]
+        end = body.rindex(",\"task_shard\"")
+        truncated = body[:end] + "}"
+        assert json.loads(truncated)  # would have loaded before the fix
+        path.write_text(truncated)
+        with pytest.raises(CheckpointError):
+            read_checkpoint(path)
+
+    def test_v2_document_without_trailer_raises(self, tmp_path):
+        # A complete v2 JSON document whose trailer was stripped (e.g. by
+        # a text-mode copy that dropped "binary garbage" lines) is
+        # indistinguishable from a truncated one — reject it.
+        path = tmp_path / "ckpt.json"
+        doc = dict(self.STATE, checkpoint_version=CHECKPOINT_VERSION)
+        path.write_text(json.dumps(doc))
+        with pytest.raises(CheckpointError, match="checksum trailer"):
+            read_checkpoint(path)
+
+    def test_single_flipped_byte_raises(self, tmp_path):
+        path = self._write(tmp_path)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 3] ^= 0x20  # flip inside the JSON body
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointError, match="checksum"):
+            read_checkpoint(path)
+
+    def test_legacy_v1_file_without_trailer_still_reads(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        legacy = dict(self.STATE, checkpoint_version=1)
+        path.write_text(json.dumps(legacy))
+        assert read_checkpoint(path)["shards"] == self.STATE["shards"]
+
+    def test_write_oserror_becomes_checkpoint_error(self, tmp_path):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("occupied")
+        with pytest.raises(CheckpointError, match="cannot write"):
+            write_checkpoint(blocker / "ckpt.json", {"x": 1})
+
+    def test_non_utf8_file_raises(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_bytes(b"\xff\xfe{}")
+        with pytest.raises(CheckpointError, match="UTF-8"):
+            read_checkpoint(path)
+
+
 class TestOnlineStatisticsState:
     def test_roundtrip_preserves_estimates(self):
         stats = OnlineStatistics(restart_after=50, min_fresh=5)

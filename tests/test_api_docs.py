@@ -22,6 +22,8 @@ import repro.config
 import repro.experiments
 import repro.runtime
 import repro.simulation
+import repro.testkit
+import repro.testkit.scenarios
 import repro.workloads
 from repro.experiments import (delay, figures, monetary, multitask,
                                reliability)
@@ -31,8 +33,8 @@ API_MD = pathlib.Path(__file__).resolve().parents[1] / "docs" / "API.md"
 NAMESPACES = [repro, repro.core, repro.experiments, repro.workloads,
               repro.datacenter, repro.simulation, repro.baselines,
               repro.analysis, repro.exceptions, repro.config,
-              repro.runtime, figures, monetary, delay, multitask,
-              reliability]
+              repro.runtime, repro.testkit, repro.testkit.scenarios,
+              figures, monetary, delay, multitask, reliability]
 
 
 def documented_symbols() -> set[str]:
@@ -59,6 +61,10 @@ IGNORED = {
     # runtime wire ops / methods / CLI artifacts, not module attributes
     "register_task", "remove_task", "offer_batch", "task_info",
     "serve_forever", "BENCH_runtime", "BENCH_core", "min_speedup",
+    # testkit FaultPlan/FaultSpec methods, not module attributes
+    "frame_fault", "duplicate_offer", "force_shed", "shard_fault",
+    "checkpoint_fault", "crash_steps", "to_dict", "from_dict",
+    "fault_hook", "checkpoint_armed",
 }
 
 

@@ -1,0 +1,84 @@
+"""Scenario-driver tests: fast tier-1 smokes plus the chaos-marked matrix.
+
+The chaos tier (``pytest -m chaos``) runs every scenario in the matrix
+and asserts all four paper invariants; tier 1 keeps a single-scenario
+smoke and the byte-determinism contract so regressions in the harness
+itself surface on every push.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.testkit.scenarios import (SCENARIOS, main, render_report,
+                                     run_matrix, run_scenario)
+
+INVARIANT_NAMES = ["allowance_conservation", "misdetection_bound",
+                   "restore_bit_identical", "no_acked_offer_lost"]
+
+
+class TestTier1Smoke:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            run_scenario("does-not-exist", 7)
+
+    def test_clean_scenario_passes_and_injects_nothing(self):
+        report = run_scenario("clean", 7)
+        assert report["passed"], report
+        assert all(v == 0 for v in report["injected"].values())
+        assert [r["name"] for r in report["invariants"]] == INVARIANT_NAMES
+        assert all(r["passed"] for r in report["invariants"])
+        assert report["wire"]["mismatches"] == []
+        assert report["counters"]["match"]
+
+    def test_crashy_scenario_report_is_byte_deterministic(self):
+        """The reproducibility contract: same (scenario, seed) in, same
+        bytes out — no timestamps, ports, or scheduling artifacts."""
+        first = render_report(run_matrix(["crashy"], seed=7))
+        second = render_report(run_matrix(["crashy"], seed=7))
+        assert first == second
+        report = json.loads(first)
+        scenario = report["scenarios"][0]
+        assert scenario["crashes"] == 2
+        assert scenario["injected"]["apply_faults"] > 0
+        assert scenario["passed"]
+
+    def test_cli_writes_report_and_exits_zero(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        code = main(["--scenario", "overload", "--seed", "7",
+                     "--out", str(out)])
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["passed"]
+        assert report["seed"] == 7
+        assert [s["scenario"] for s in report["scenarios"]] == ["overload"]
+        assert report["scenarios"][0]["injected"]["batches_shed"] > 0
+        assert "overload" in capsys.readouterr().out
+
+
+@pytest.mark.chaos
+class TestChaosMatrix:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    @pytest.mark.parametrize("seed", [3, 7, 1013])
+    def test_scenario_passes_all_invariants(self, name, seed):
+        report = run_scenario(name, seed)
+        assert report["passed"], json.dumps(report, indent=2)[:2000]
+        for result in report["invariants"]:
+            assert result["passed"], f"{name}/{seed}: {result['detail']}"
+        assert report["wire"]["mismatches"] == []
+        assert report["counters"]["match"], report["counters"]
+
+    def test_faulty_scenarios_actually_inject(self):
+        """Guard against a silently disarmed harness: every non-clean
+        scenario must inject at least one fault at these seeds."""
+        for name in sorted(SCENARIOS):
+            if name == "clean":
+                continue
+            report = run_scenario(name, 7)
+            injected = sum(report["injected"].values()) \
+                + report["crashes"] \
+                + report["checkpoints"]["rejected"] \
+                + report["checkpoints"]["write_errors"]
+            assert injected > 0, f"{name} injected nothing at seed 7"

@@ -85,7 +85,8 @@ class ExecutionConfig:
 
 _RUNTIME_KEYS = {"shards", "queue_depth", "max_batch", "host", "port",
                  "unix_socket", "checkpoint_path", "checkpoint_interval",
-                 "shed_retry_ms"}
+                 "shed_retry_ms", "http_port", "trace_capacity",
+                 "selfmon_interval"}
 
 
 @dataclass(frozen=True, slots=True)
@@ -106,6 +107,13 @@ class RuntimeConfig:
         checkpoint_interval: seconds between periodic checkpoints.
         shed_retry_ms: retry hint (milliseconds) returned to clients whose
             batches were shed under backpressure.
+        http_port: telemetry HTTP endpoint (``/metrics`` + ``/healthz`` +
+            ``/trace``); ``None`` (the default) disables it, ``0`` picks a
+            free port. Binds on ``host``.
+        trace_capacity: decision-trace ring buffer size in events.
+        selfmon_interval: seconds between self-monitoring polls (the
+            runtime's own gauges monitored as Volley tasks); ``None``
+            (the default) disables self-monitoring.
     """
 
     shards: int = 4
@@ -117,6 +125,9 @@ class RuntimeConfig:
     checkpoint_path: pathlib.Path | None = None
     checkpoint_interval: float = 30.0
     shed_retry_ms: int = 50
+    http_port: int | None = None
+    trace_capacity: int = 4096
+    selfmon_interval: float | None = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -134,6 +145,12 @@ class RuntimeConfig:
         if self.shed_retry_ms < 0:
             raise ConfigurationError(
                 f"shed_retry_ms must be >= 0, got {self.shed_retry_ms}")
+        if self.trace_capacity < 1:
+            raise ConfigurationError(
+                f"trace_capacity must be >= 1, got {self.trace_capacity}")
+        if self.selfmon_interval is not None and self.selfmon_interval <= 0:
+            raise ConfigurationError(
+                f"selfmon_interval must be > 0, got {self.selfmon_interval}")
 
     @classmethod
     def from_dict(cls, entry: Mapping[str, Any]) -> "RuntimeConfig":
@@ -144,13 +161,18 @@ class RuntimeConfig:
         _reject_unknown(dict(entry), _RUNTIME_KEYS, "runtime section")
         kwargs: dict[str, Any] = {}
         for key in ("shards", "queue_depth", "max_batch", "port",
-                    "shed_retry_ms"):
+                    "shed_retry_ms", "trace_capacity"):
             if key in entry:
                 kwargs[key] = int(entry[key])
         if "host" in entry:
             kwargs["host"] = str(entry["host"])
         if "checkpoint_interval" in entry:
             kwargs["checkpoint_interval"] = float(entry["checkpoint_interval"])
+        if "http_port" in entry and entry["http_port"] is not None:
+            kwargs["http_port"] = int(entry["http_port"])
+        if "selfmon_interval" in entry and entry["selfmon_interval"] \
+                is not None:
+            kwargs["selfmon_interval"] = float(entry["selfmon_interval"])
         for key in ("unix_socket", "checkpoint_path"):
             if key in entry and entry[key] is not None:
                 kwargs[key] = pathlib.Path(str(entry[key]))

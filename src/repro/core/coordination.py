@@ -26,6 +26,7 @@ Two allocation policies are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.core.adaptation import CoordinationStats
 from repro.exceptions import CoordinationError, ConfigurationError
@@ -55,6 +56,28 @@ class AllocationUpdate:
 
 class AllocationPolicy:
     """Base class for error-allowance allocation policies."""
+
+    _trace: Any = None
+    _trace_task: str | None = None
+
+    def attach_trace(self, trace: Any, task: str | None = None) -> None:
+        """Attach a decision trace; reallocations emit
+        ``allowance_reallocated`` events (``repro.telemetry.trace``).
+
+        Passing ``None`` (or a disabled trace) detaches. The un-traced
+        cost is one ``is None`` check per allocation round.
+        """
+        self._trace = (trace if trace is not None and trace.enabled
+                       else None)
+        self._trace_task = task
+
+    def _emit_reallocated(self, update: "AllocationUpdate",
+                          total_error: float) -> None:
+        trace = self._trace
+        if trace is not None and update.reallocated:
+            trace.emit("allowance_reallocated", task=self._trace_task,
+                       allocations=list(update.allocations),
+                       total_error=total_error)
 
     def initial(self, num_monitors: int, total_error: float,
                 ) -> tuple[float, ...]:
@@ -220,4 +243,6 @@ class AdaptiveAllocation(AllocationPolicy):
         step = self._step
         mixed = tuple((1.0 - step) * c + step * t
                       for c, t in zip(current, raw))
-        return AllocationUpdate(allocations=mixed, reallocated=True)
+        update = AllocationUpdate(allocations=mixed, reallocated=True)
+        self._emit_reallocated(update, total_error)
+        return update

@@ -15,7 +15,13 @@ Measures the sampling core's two drive surfaces against each other on a
   Python-set/episode-scan implementation (kept here verbatim as the
   timing baseline);
 * ``max_admissible_interval`` — closed-form Cantelli inversion + one
-  fused pass vs. probing ``misdetection_bound`` per candidate interval.
+  fused pass vs. probing ``misdetection_bound`` per candidate interval;
+* ``telemetry_overhead`` — the fused ``observe_fast`` loop with the
+  process-wide sampler counters pointed at a live
+  :class:`~repro.telemetry.registry.MetricsRegistry` vs. the default
+  :data:`~repro.telemetry.registry.NULL_REGISTRY`; ``--max-telemetry-overhead``
+  (default 5%) turns the relative slowdown into an exit-code ceiling, the
+  guard that keeps instrumentation honest about its hot-path cost.
 
 Before timing anything the CLI proves the fast path is *exactly*
 equivalent to the reference: both drivers are run over the same trace for
@@ -285,6 +291,28 @@ def run_bench(points: int = 1_000_000, repeats: int = 3, seed: int = 0,
         "inverted_seconds": invert_seconds,
         "speedup": probe_seconds / invert_seconds,
     }
+
+    # --- telemetry overhead on the fast path ------------------------------
+    from repro.telemetry.registry import (MetricsRegistry, NULL_REGISTRY,
+                                          instrument_samplers)
+    live = MetricsRegistry()
+    try:
+        instrument_samplers(NULL_REGISTRY)
+        null_seconds, _ = _best_of(repeats, drive_fast)
+        instrument_samplers(live)
+        live_seconds, _ = _best_of(repeats, drive_fast)
+    finally:
+        instrument_samplers(NULL_REGISTRY)
+    observed = float(live.snapshot()["volley_sampler_observations_total"]
+                     ["series"][0]["value"])
+    if observed < n_observe:  # pragma: no cover - correctness gate
+        raise AssertionError("live registry missed sampler observations")
+    report["telemetry_overhead"] = {
+        "calls": n_observe,
+        "null_registry_seconds": null_seconds,
+        "live_registry_seconds": live_seconds,
+        "overhead_fraction": max(0.0, live_seconds / null_seconds - 1.0),
+    }
     return report
 
 
@@ -307,6 +335,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="fail (exit 1) when the run_adaptive speedup "
                              "is below this floor")
+    parser.add_argument("--max-telemetry-overhead", type=float, default=0.05,
+                        help="fail (exit 1) when live-registry sampler "
+                             "instrumentation slows observe_fast by more "
+                             "than this fraction (default 0.05); negative "
+                             "disables the guard")
     parser.add_argument("--out", type=pathlib.Path,
                         default=pathlib.Path("BENCH_core.json"))
     args = parser.parse_args(argv)
@@ -336,6 +369,11 @@ def main(argv: list[str] | None = None) -> int:
     print(f"[bench-core] evaluate_sampling: {ev['reference_seconds']*1e3:.1f}"
           f"ms ref, {ev['vectorized_seconds']*1e3:.1f}ms vectorized "
           f"({ev['speedup']:.1f}x)")
+    tel = report["telemetry_overhead"]
+    print(f"[bench-core] telemetry overhead: "
+          f"{tel['null_registry_seconds']*1e3:.1f}ms null, "
+          f"{tel['live_registry_seconds']*1e3:.1f}ms live "
+          f"({100 * tel['overhead_fraction']:.2f}%)")
     print(f"[bench-core] wrote {args.out}")
 
     ok = True
@@ -346,6 +384,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.min_speedup is not None and ra["speedup"] < args.min_speedup:
         print(f"[bench-core] FAIL: run_adaptive speedup {ra['speedup']:.2f}x "
               f"below the {args.min_speedup:.2f}x floor", file=sys.stderr)
+        ok = False
+    if (args.max_telemetry_overhead >= 0
+            and tel["overhead_fraction"] > args.max_telemetry_overhead):
+        print(f"[bench-core] FAIL: telemetry overhead "
+              f"{100 * tel['overhead_fraction']:.2f}% above the "
+              f"{100 * args.max_telemetry_overhead:.1f}% ceiling",
+              file=sys.stderr)
         ok = False
     return 0 if ok else 1
 

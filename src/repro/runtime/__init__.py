@@ -16,11 +16,17 @@ server speaking a length-prefixed JSON protocol
   restarted server resumes exactly where the previous one stopped;
 * graceful shutdown (SIGTERM) drains the queues and flushes a final
   checkpoint, so every acknowledged offer is either applied or
-  checkpointed.
+  checkpointed;
+* observability through :mod:`repro.telemetry` (S29): the ``telemetry``
+  and ``trace`` wire ops, and — with ``--http-port`` — a scrapeable
+  ``/metrics`` + ``/healthz`` + ``/trace`` HTTP endpoint;
+  ``--selfmon-interval`` turns on self-monitoring (the runtime's own
+  health gauges watched as Volley tasks).
 
 Entry points::
 
-    python -m repro.runtime --port 7461 --shards 4 --checkpoint ckpt.json
+    python -m repro.runtime --port 7461 --shards 4 --checkpoint ckpt.json \\
+        --http-port 9464 --selfmon-interval 1.0
     python -m repro.runtime.loadgen --tasks 64 --duration 5
 
 Clients: :class:`~repro.runtime.client.RuntimeClient` (sync) and

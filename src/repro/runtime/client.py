@@ -154,6 +154,22 @@ class RuntimeClient:
     def checkpoint(self) -> str:
         return str(self._call({"op": "checkpoint"})["path"])
 
+    def telemetry(self) -> dict[str, Any]:
+        """The server's full metrics snapshot (see ``repro.telemetry``)."""
+        return self._call({"op": "telemetry"})
+
+    def trace(self, since: int = 0,
+              limit: int | None = None) -> dict[str, Any]:
+        """Drain decision-trace events with ``seq >= since``.
+
+        Returns the reply dict: ``events`` (oldest first), ``next_seq``
+        (pass back as ``since`` to poll incrementally), ``dropped``.
+        """
+        payload: dict[str, Any] = {"op": "trace", "since": since}
+        if limit is not None:
+            payload["limit"] = limit
+        return self._call(payload)
+
 
 class AsyncRuntimeClient:
     """Asyncio twin of :class:`RuntimeClient` (same op surface).
@@ -257,3 +273,15 @@ class AsyncRuntimeClient:
 
     async def checkpoint(self) -> str:
         return str((await self._call({"op": "checkpoint"}))["path"])
+
+    async def telemetry(self) -> dict[str, Any]:
+        """The server's full metrics snapshot (see ``repro.telemetry``)."""
+        return await self._call({"op": "telemetry"})
+
+    async def trace(self, since: int = 0,
+                    limit: int | None = None) -> dict[str, Any]:
+        """Drain decision-trace events with ``seq >= since``."""
+        payload: dict[str, Any] = {"op": "trace", "since": since}
+        if limit is not None:
+            payload["limit"] = limit
+        return await self._call(payload)

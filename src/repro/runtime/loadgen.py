@@ -16,6 +16,16 @@ shutting the server down — flushing a final checkpoint — and restoring it,
 asserting that every task survives with its exact sampler interval,
 next-due step and sample count; the result is recorded as
 ``checkpoint_roundtrip`` in the benchmark JSON.
+
+The run also pulls the server's telemetry snapshot (the ``telemetry``
+wire op) before and after driving load: the report carries *server-side*
+offer latency quantiles (from the runtime's
+``volley_offer_latency_seconds`` sketch) next to the client-side numbers,
+plus the server's shed/rejected counter deltas. In self-hosted mode the
+ACKed-offer accounting must agree exactly — a mismatch between the
+server's ``volley_updates_offered_total`` delta and the client's summed
+ACKs fails the run (exit 1), because it would mean acknowledged updates
+were never counted onto a shard.
 """
 
 from __future__ import annotations
@@ -47,6 +57,56 @@ def _percentile(sorted_values: list[float], q: float) -> float:
     index = min(len(sorted_values) - 1,
                 max(0, round(q * (len(sorted_values) - 1))))
     return sorted_values[index]
+
+
+def _family_total(metrics: dict[str, Any], name: str) -> float:
+    """Sum every series of a counter/gauge family in a telemetry snapshot."""
+    family = metrics.get(name)
+    if not family:
+        return 0.0
+    return float(sum(s["value"] for s in family.get("series", [])))
+
+
+def _histogram_value(metrics: dict[str, Any], name: str,
+                     ) -> dict[str, Any] | None:
+    """The (single) series summary of a histogram family, if present."""
+    family = metrics.get(name)
+    if not family or not family.get("series"):
+        return None
+    return family["series"][0]["value"]
+
+
+def _server_side_report(before: dict[str, Any], after: dict[str, Any],
+                        ) -> dict[str, Any] | None:
+    """Server-side latency quantiles + counter deltas over the run.
+
+    Returns None when the server exposes no telemetry (NULL_REGISTRY
+    deployment or a pre-telemetry server).
+    """
+    if not after:
+        return None
+    latency = _histogram_value(after, "volley_offer_latency_seconds")
+    report: dict[str, Any] = {
+        "offered_delta": int(_family_total(after,
+                                           "volley_updates_offered_total")
+                             - _family_total(before,
+                                             "volley_updates_offered_total")),
+        "shed_delta": int(_family_total(after, "volley_updates_shed_total")
+                          - _family_total(before,
+                                          "volley_updates_shed_total")),
+        "rejected_delta": int(
+            _family_total(after, "volley_updates_rejected_total")
+            - _family_total(before, "volley_updates_rejected_total")),
+    }
+    if latency is not None:
+        quantiles = latency.get("quantiles", {})
+        report["offer_latency_ms"] = {
+            "p50": round(1e3 * float(quantiles.get("0.5", 0.0)), 4),
+            "p99": round(1e3 * float(quantiles.get("0.99", 0.0)), 4),
+            "max": round(1e3 * float(latency.get("max", 0.0)), 4),
+            "count": int(latency.get("count", 0)),
+        }
+    return report
 
 
 class _SpawnedServer:
@@ -142,6 +202,14 @@ def run_loadgen(args: argparse.Namespace) -> dict[str, Any]:
                              error_allowance=args.error_allowance,
                              max_interval=args.max_interval)
 
+    def _telemetry_metrics() -> dict[str, Any]:
+        from repro.exceptions import ProtocolError
+        try:
+            return dict(client.telemetry().get("metrics", {}))
+        except ProtocolError:
+            return {}  # pre-telemetry server
+
+    metrics_before = _telemetry_metrics()
     steps = [0] * args.tasks
     latencies: list[float] = []
     offers = accepted = shed = rejected = 0
@@ -188,6 +256,16 @@ def run_loadgen(args: argparse.Namespace) -> dict[str, Any]:
         stats = client.stats()
     drained = time.perf_counter() - started
 
+    metrics_after = _telemetry_metrics()
+    server_side = _server_side_report(metrics_before, metrics_after)
+    counters_consistent: bool | None = None
+    if server_side is not None and spawned is not None:
+        # Exclusive server: the ACKed-offer accounting must line up
+        # exactly with the server's own counters.
+        counters_consistent = (
+            server_side["offered_delta"] == accepted
+            and server_side["shed_delta"] == shed)
+
     expected: dict[str, dict[str, Any]] = {}
     if spawned is not None and args.checkpoint is not None:
         for name in names:
@@ -233,6 +311,8 @@ def run_loadgen(args: argparse.Namespace) -> dict[str, Any]:
             "max": round(1e3 * latencies[-1], 4) if latencies else 0.0,
         },
         "checkpoint_roundtrip": checkpoint_roundtrip,
+        "server": server_side,
+        "counters_consistent": counters_consistent,
     }
     out = pathlib.Path(args.out)
     out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
@@ -244,6 +324,15 @@ def run_loadgen(args: argparse.Namespace) -> dict[str, Any]:
           f"p50={lat['p50']}ms p99={lat['p99']}ms; "
           f"shed={shed} rejected={rejected} alerts={report['alerts']}; "
           f"-> {out}", flush=True)
+    if server_side is not None and "offer_latency_ms" in server_side:
+        srv = server_side["offer_latency_ms"]
+        print(f"[loadgen] server-side offer latency: p50={srv['p50']}ms "
+              f"p99={srv['p99']}ms over {srv['count']} frames; "
+              f"offered_delta={server_side['offered_delta']} "
+              f"shed_delta={server_side['shed_delta']}", flush=True)
+    if counters_consistent is not None:
+        print(f"[loadgen] counter consistency: "
+              f"{'ok' if counters_consistent else 'MISMATCH'}", flush=True)
     if checkpoint_roundtrip is not None:
         print(f"[loadgen] checkpoint roundtrip: "
               f"{'ok' if checkpoint_roundtrip else 'MISMATCH'}", flush=True)
@@ -292,6 +381,10 @@ def main(argv: list[str] | None = None) -> int:
     if report.get("checkpoint_roundtrip") is False:
         print("[loadgen] FAIL: checkpoint did not round-trip",
               file=sys.stderr, flush=True)
+        return 1
+    if report.get("counters_consistent") is False:
+        print("[loadgen] FAIL: server-side counters disagree with "
+              "client-side ACK accounting", file=sys.stderr, flush=True)
         return 1
     if (args.min_throughput is not None
             and report["offers_per_sec"] < args.min_throughput):

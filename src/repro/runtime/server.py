@@ -46,6 +46,12 @@ from repro.runtime.checkpoint import read_checkpoint, write_checkpoint
 from repro.runtime.protocol import encode_frame, read_frame
 from repro.runtime.shard import ShardWorker, shard_for
 from repro.service import MonitoringService
+from repro.telemetry.exposition import (CONTENT_TYPE_PROMETHEUS,
+                                        TelemetryHTTPServer,
+                                        render_prometheus)
+from repro.telemetry.registry import MetricsRegistry, instrument_samplers
+from repro.telemetry.selfmon import SelfMonitor
+from repro.telemetry.trace import DecisionTrace
 from repro.testkit.faults import FaultHook, NOOP_HOOK
 from repro.types import Alert
 
@@ -73,16 +79,30 @@ class RuntimeServer:
         fault_hook: chaos-testing seam (``repro.testkit``). The default
             :data:`~repro.testkit.faults.NOOP_HOOK` injects nothing and
             costs one guarded attribute check per frame/batch.
+        registry: metrics registry for the runtime's instruments; the
+            default creates a fresh live
+            :class:`~repro.telemetry.registry.MetricsRegistry`. Pass
+            :data:`~repro.telemetry.registry.NULL_REGISTRY` to run
+            un-instrumented.
+        trace: decision trace receiving structured runtime events; the
+            default creates a
+            :class:`~repro.telemetry.trace.DecisionTrace` ring of
+            ``runtime.trace_capacity`` events. Pass
+            :data:`~repro.telemetry.trace.NULL_TRACE` to disable.
     """
 
     def __init__(self, runtime: RuntimeConfig | None = None,
                  service_config: dict[str, Any] | None = None,
                  adaptation: AdaptationConfig | None = None,
-                 fault_hook: FaultHook = NOOP_HOOK):
+                 fault_hook: FaultHook = NOOP_HOOK,
+                 registry: Any = None, trace: Any = None):
         self.config = runtime or RuntimeConfig()
         self._adaptation = adaptation or AdaptationConfig()
         self._defaults: dict[str, Any] = {}
         self.fault_hook = fault_hook
+        self.registry = MetricsRegistry() if registry is None else registry
+        self.trace = (DecisionTrace(self.config.trace_capacity)
+                      if trace is None else trace)
         self._workers = [
             ShardWorker(i, MonitoringService(self._adaptation),
                         self.config.queue_depth, fault_hook=fault_hook)
@@ -101,6 +121,10 @@ class RuntimeServer:
         self._restored_tasks = 0
         self._pending_config = service_config or {}
         self._tcp_port: int | None = None
+        self._http: TelemetryHTTPServer | None = None
+        self.selfmon: SelfMonitor | None = None
+        self._register_metrics()
+        self._wire_worker_telemetry()
 
     # ------------------------------------------------------------------
     # Shard plumbing
@@ -119,12 +143,134 @@ class RuntimeServer:
         return hook
 
     # ------------------------------------------------------------------
+    # Telemetry
+
+    def _register_metrics(self) -> None:
+        """Register the runtime's metric families on :attr:`registry`.
+
+        Everything the runtime already counts is exported through
+        snapshot-time callbacks (``fn=``) — the shard workers' plain int
+        counters stay the single source of truth and the hot path pays
+        nothing. Only the latency/size/interval distributions are
+        push-based histograms.
+        """
+        registry = self.registry
+        per_shard = (
+            ("volley_updates_offered_total",
+             "Updates accepted into shard queues", "offered"),
+            ("volley_updates_applied_total",
+             "Updates applied to shard services", "applied"),
+            ("volley_updates_consumed_total",
+             "Updates consumed as scheduled samples", "consumed"),
+            ("volley_updates_shed_total",
+             "Updates shed under backpressure", "shed"),
+            ("volley_updates_rejected_total",
+             "Updates rejected (unknown task / malformed)", "rejected"),
+            ("volley_alerts_fired_total",
+             "State-violation alerts fired", "alerts_fired"),
+        )
+        for name, help_text, attr in per_shard:
+            family = registry.counter(name, help_text, labels=("shard",))
+            for worker in self._workers:
+                family.labels(
+                    worker.shard_id,
+                    fn=lambda w=worker, a=attr: float(getattr(w, a)))
+        depth = registry.gauge("volley_queue_depth",
+                               "Batches queued per shard",
+                               labels=("shard",))
+        for worker in self._workers:
+            depth.labels(worker.shard_id,
+                         fn=lambda w=worker: float(w.depth))
+        registry.counter("volley_frames_total",
+                         "Wire frames handled",
+                         fn=lambda: float(self._frames))
+        registry.gauge("volley_tasks",
+                       "Monitoring tasks registered",
+                       fn=lambda: float(len(self._task_shard)))
+        registry.gauge("volley_uptime_seconds",
+                       "Seconds since the server started",
+                       fn=lambda: (time.monotonic() - self._started_monotonic
+                                   if self._started_monotonic else 0.0))
+        registry.counter("volley_checkpoint_failures_total",
+                         "Periodic checkpoint writes that failed",
+                         fn=lambda: float(self._checkpoint_failures))
+        registry.gauge("volley_checkpoint_age_seconds",
+                       "Seconds since the last successful checkpoint "
+                       "(0 before the first)",
+                       fn=lambda: self.checkpoint_age() or 0.0)
+        registry.counter("volley_trace_events_dropped_total",
+                         "Decision-trace events evicted unread",
+                         fn=lambda: float(self.trace.dropped))
+        self._offer_latency = registry.histogram(
+            "volley_offer_latency_seconds",
+            "offer_batch handler latency (server-side)")
+        self._offer_batch_size = registry.histogram(
+            "volley_offer_batch_size",
+            "Updates per offer_batch frame")
+        self._interval_hist = registry.histogram(
+            "volley_sampling_interval",
+            "Sampling interval after each consumed update")
+        self._checkpoint_write = registry.histogram(
+            "volley_checkpoint_write_seconds",
+            "Checkpoint serialize+fsync latency")
+
+    def _wire_worker_telemetry(self) -> None:
+        """(Re)attach trace + interval histogram to every shard worker.
+
+        Called at construction and again after a checkpoint restore
+        replaces the workers' services.
+        """
+        interval_hist = (self._interval_hist
+                         if self.registry.enabled else None)
+        for worker in self._workers:
+            worker.interval_hist = interval_hist
+            worker.service.attach_telemetry(self.trace, worker.shard_id)
+
+    def checkpoint_age(self) -> float | None:
+        """Seconds since the last successful checkpoint (None if never)."""
+        last = self._last_checkpoint_monotonic
+        return None if last is None else time.monotonic() - last
+
+    @property
+    def http_port(self) -> int | None:
+        """The bound telemetry HTTP port (None when disabled)."""
+        return self._http.port if self._http is not None else None
+
+    def _http_routes(self) -> dict[str, Any]:
+        def metrics(params: dict[str, str]) -> tuple[int, str, str]:
+            body = render_prometheus(self.registry.snapshot())
+            return 200, CONTENT_TYPE_PROMETHEUS, body
+
+        def healthz(params: dict[str, str]) -> tuple[int, str, str]:
+            healthy = not self._shutdown_started
+            body = json.dumps({
+                "ok": healthy,
+                "shards": self.config.shards,
+                "tasks": len(self._task_shard),
+                "uptime_s": time.monotonic() - self._started_monotonic,
+            })
+            return (200 if healthy else 503), "application/json", body
+
+        def trace_route(params: dict[str, str]) -> tuple[int, str, str]:
+            try:
+                since = int(params.get("since", "0"))
+            except ValueError:
+                return 400, "text/plain; charset=utf-8", "bad since\n"
+            return (200, "application/x-ndjson",
+                    self.trace.to_jsonl(since=since))
+
+        return {"/metrics": metrics, "/healthz": healthz,
+                "/trace": trace_route}
+
+    # ------------------------------------------------------------------
     # Lifecycle
 
     async def start(self) -> None:
         """Restore state, start shard workers, bind listen sockets."""
         self._started_monotonic = time.monotonic()
+        instrument_samplers(self.registry)
         self._maybe_restore()
+        self._wire_worker_telemetry()  # restore replaces worker services
         self._apply_service_config(self._pending_config)
         for worker in self._workers:
             worker.start()
@@ -140,6 +286,14 @@ class RuntimeServer:
                 self._on_connection, host=cfg.host, port=cfg.port)
             self._tcp_port = server.sockets[0].getsockname()[1]
             self._servers.append(server)
+        if cfg.http_port is not None:
+            self._http = TelemetryHTTPServer(
+                self._http_routes(), host=cfg.host, port=cfg.http_port)
+            await self._http.start()
+        if cfg.selfmon_interval is not None:
+            self.selfmon = SelfMonitor(self, registry=self.registry,
+                                       trace=self.trace)
+            self.selfmon.start(cfg.selfmon_interval)
         if cfg.checkpoint_path is not None:
             self._checkpoint_task = asyncio.get_running_loop().create_task(
                 self._checkpoint_loop(), name="checkpoint-loop")
@@ -173,13 +327,24 @@ class RuntimeServer:
             self._restored_tasks += len(worker.service.task_names)
         self._task_shard = {str(k): int(v) for k, v in
                             state.get("task_shard", {}).items()}
+
+        def _counter(counters: dict[str, Any], canonical: str,
+                     alias: str) -> int:
+            # Canonical telemetry key first; pre-telemetry checkpoints
+            # only carry the short alias.
+            return int(counters.get(canonical, counters.get(alias, 0)))
+
         for counters, worker in zip(state.get("counters", []), self._workers):
-            worker.offered = int(counters.get("offered", 0))
-            worker.applied = int(counters.get("applied", 0))
-            worker.consumed = int(counters.get("consumed", 0))
-            worker.shed = int(counters.get("shed", 0))
-            worker.rejected = int(counters.get("rejected", 0))
-            worker.alerts_fired = int(counters.get("alerts", 0))
+            worker.offered = _counter(counters, "updates_offered", "offered")
+            worker.applied = _counter(counters, "updates_applied", "applied")
+            worker.consumed = _counter(counters, "updates_consumed",
+                                       "consumed")
+            worker.shed = _counter(counters, "updates_shed", "shed")
+            worker.rejected = _counter(counters, "updates_rejected",
+                                       "rejected")
+            worker.alerts_fired = _counter(counters, "alerts_fired", "alerts")
+        self.trace.emit("restore", tasks=self._restored_tasks,
+                        shards=self.config.shards, path=str(path))
 
     def _apply_service_config(self, config: dict[str, Any]) -> None:
         if not config:
@@ -208,6 +373,8 @@ class RuntimeServer:
                                 window=window, window_kind=kind,
                                 config=self._adaptation)
         self._task_shard[spec.name] = worker.shard_id
+        self.trace.emit("task_registered", task=spec.name,
+                        shard=worker.shard_id, threshold=spec.threshold)
         return {"ok": True, "task": spec.name, "shard": worker.shard_id}
 
     async def shutdown(self) -> None:
@@ -222,6 +389,10 @@ class RuntimeServer:
             await server.wait_closed()
         for conn in list(self._connections):
             conn.cancel()
+        if self.selfmon is not None:
+            await self.selfmon.stop()
+        if self._http is not None:
+            await self._http.stop()
         if self._checkpoint_task is not None:
             self._checkpoint_task.cancel()
             try:
@@ -262,6 +433,10 @@ class RuntimeServer:
             conn.cancel()
         if self._connections:
             await asyncio.gather(*self._connections, return_exceptions=True)
+        if self.selfmon is not None:
+            await self.selfmon.stop()
+        if self._http is not None:
+            await self._http.stop()
         if self._checkpoint_task is not None:
             self._checkpoint_task.cancel()
             try:
@@ -306,9 +481,15 @@ class RuntimeServer:
         path = self.config.checkpoint_path
         if path is None:
             raise ConfigurationError("no checkpoint_path configured")
+        began = time.monotonic()
         written = write_checkpoint(path, self.runtime_state(),
                                    fault_hook=self.fault_hook)
-        self._last_checkpoint_monotonic = time.monotonic()
+        finished = time.monotonic()
+        self._last_checkpoint_monotonic = finished
+        self._checkpoint_write.observe(finished - began)
+        self.trace.emit("checkpoint_written", path=str(written),
+                        write_s=finished - began,
+                        tasks=len(self._task_shard))
         return written
 
     async def _checkpoint_loop(self) -> None:
@@ -323,6 +504,8 @@ class RuntimeServer:
                 # count it, and retry next interval. Failure age is
                 # visible via the `stats` op.
                 self._checkpoint_failures += 1
+                self.trace.emit("checkpoint_failed",
+                                failures=self._checkpoint_failures)
                 logger.exception("periodic checkpoint failed (%d so far); "
                                  "will retry in %gs",
                                  self._checkpoint_failures,
@@ -407,6 +590,7 @@ class RuntimeServer:
         worker = self.worker_for(name)
         worker.service.remove_task(name)
         del self._task_shard[name]
+        self.trace.emit("task_removed", task=name, shard=worker.shard_id)
         return {"ok": True, "task": name}
 
     def _op_add_trigger(self, request: dict[str, Any]) -> dict[str, Any]:
@@ -429,6 +613,8 @@ class RuntimeServer:
         return {"ok": True, "target": target, "trigger": trigger}
 
     def _op_offer_batch(self, request: dict[str, Any]) -> dict[str, Any]:
+        instrumented = self.registry.enabled
+        began = time.perf_counter() if instrumented else 0.0
         updates = request.get("updates")
         if not isinstance(updates, list):
             return _error("offer_batch needs an 'updates' list")
@@ -476,6 +662,11 @@ class RuntimeServer:
         if shed:
             reply["backpressure"] = True
             reply["retry_after_ms"] = self.config.shed_retry_ms
+            self.trace.emit("shed", count=shed,
+                            batch=len(updates), accepted=accepted)
+        if instrumented:
+            self._offer_batch_size.observe(len(updates))
+            self._offer_latency.observe(time.perf_counter() - began)
         return reply
 
     def _op_due(self, request: dict[str, Any]) -> dict[str, Any]:
@@ -529,6 +720,26 @@ class RuntimeServer:
         path = self.write_checkpoint()
         return {"ok": True, "path": str(path)}
 
+    def _op_telemetry(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Full metrics snapshot as JSON (the wire twin of ``/metrics``)."""
+        reply: dict[str, Any] = {"ok": True,
+                                 "metrics": self.registry.snapshot(),
+                                 "trace": {"next_seq": self.trace.next_seq,
+                                           "dropped": self.trace.dropped,
+                                           "retained": len(self.trace)}}
+        if self.selfmon is not None:
+            reply["selfmon"] = self.selfmon.stats()
+        return reply
+
+    def _op_trace(self, request: dict[str, Any]) -> dict[str, Any]:
+        since = int(request.get("since", 0))
+        raw_limit = request.get("limit")
+        limit = None if raw_limit is None else int(raw_limit)
+        return {"ok": True,
+                "events": self.trace.drain(since=since, limit=limit),
+                "next_seq": self.trace.next_seq,
+                "dropped": self.trace.dropped}
+
     _OPS = {
         "ping": _op_ping,
         "register_task": _op_register_task,
@@ -540,6 +751,8 @@ class RuntimeServer:
         "alerts": _op_alerts,
         "stats": _op_stats,
         "checkpoint": _op_checkpoint,
+        "telemetry": _op_telemetry,
+        "trace": _op_trace,
     }
 
 
@@ -564,8 +777,16 @@ def _build_parser() -> argparse.ArgumentParser:
                              "exists; flushed on shutdown)")
     parser.add_argument("--checkpoint-interval", type=float, default=None,
                         help="seconds between periodic checkpoints")
+    parser.add_argument("--http-port", type=int, default=None,
+                        help="telemetry HTTP port serving /metrics, "
+                             "/healthz and /trace (0 = ephemeral; "
+                             "omitted = disabled)")
+    parser.add_argument("--selfmon-interval", type=float, default=None,
+                        help="seconds between self-monitoring polls "
+                             "(omitted = disabled)")
     parser.add_argument("--ready-file", type=pathlib.Path, default=None,
-                        help="write {port, unix, pid} JSON once listening")
+                        help="write {port, unix, http_port, pid} JSON "
+                             "once listening")
     return parser
 
 
@@ -576,7 +797,9 @@ def _runtime_config(args: argparse.Namespace,
     for arg, key in (("host", "host"), ("port", "port"),
                      ("shards", "shards"), ("queue_depth", "queue_depth"),
                      ("max_batch", "max_batch"),
-                     ("checkpoint_interval", "checkpoint_interval")):
+                     ("checkpoint_interval", "checkpoint_interval"),
+                     ("http_port", "http_port"),
+                     ("selfmon_interval", "selfmon_interval")):
         value = getattr(args, arg)
         if value is not None:
             overrides[key] = value
@@ -588,7 +811,8 @@ def _runtime_config(args: argparse.Namespace,
         return base
     merged = {key: getattr(base, key) for key in (
         "shards", "queue_depth", "max_batch", "host", "port", "unix_socket",
-        "checkpoint_path", "checkpoint_interval", "shed_retry_ms")}
+        "checkpoint_path", "checkpoint_interval", "shed_retry_ms",
+        "http_port", "trace_capacity", "selfmon_interval")}
     merged.update(overrides)
     return RuntimeConfig(**merged)
 
@@ -619,6 +843,8 @@ async def _run(args: argparse.Namespace) -> None:
         endpoints.append(f"tcp {server.config.host}:{server.tcp_port}")
     if server.config.unix_socket is not None:
         endpoints.append(f"unix {server.config.unix_socket}")
+    if server.http_port is not None:
+        endpoints.append(f"http {server.config.host}:{server.http_port}")
     print(f"[runtime] listening on {', '.join(endpoints)} "
           f"({server.config.shards} shards, "
           f"{server.restored_tasks} tasks restored)", flush=True)
@@ -626,6 +852,7 @@ async def _run(args: argparse.Namespace) -> None:
         ready = {"port": server.tcp_port,
                  "unix": (str(server.config.unix_socket)
                           if server.config.unix_socket else None),
+                 "http_port": server.http_port,
                  "pid": os.getpid()}
         args.ready_file.write_text(json.dumps(ready), encoding="utf-8")
     await server.serve_forever()

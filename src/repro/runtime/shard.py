@@ -65,6 +65,10 @@ class ShardWorker:
         self.shed = 0         # updates dropped due to backpressure
         self.rejected = 0     # updates for unknown/invalid tasks
         self.alerts_fired = 0
+        # Optional telemetry seam: a histogram instrument recording the
+        # sampling interval after each consumed update (attached by the
+        # owning server when instrumented; None costs one check).
+        self.interval_hist: Any = None
 
     @property
     def depth(self) -> int:
@@ -101,6 +105,7 @@ class ShardWorker:
             # attribute load + falsy check per batch.
             self.fault_hook.before_apply(self.shard_id, len(updates))
         offer_fast = self.service.offer_fast
+        interval_hist = self.interval_hist
         for name, step, value in updates:
             try:
                 interval = offer_fast(str(name), float(value), int(step))
@@ -119,6 +124,8 @@ class ShardWorker:
             self.applied += 1
             if interval is not None:
                 self.consumed += 1
+                if interval_hist is not None:
+                    interval_hist.observe(interval)
 
     def start(self) -> None:
         """Start the drain loop on the running event loop."""
@@ -179,12 +186,25 @@ class ShardWorker:
         self._runner = None
 
     def stats(self) -> dict[str, Any]:
-        """Counter snapshot for the ``stats`` wire op."""
+        """Counter snapshot for the ``stats`` wire op.
+
+        Canonical keys follow the telemetry naming (``updates_offered``,
+        ..., ``alerts_fired``); the pre-telemetry short keys (``offered``,
+        ..., ``alerts``) are kept as deprecated aliases so existing
+        consumers and old checkpoints keep working.
+        """
         return {
             "shard": self.shard_id,
             "tasks": len(self.service.task_names),
             "queue_depth": self.depth,
             "queue_capacity": self.capacity,
+            "updates_offered": self.offered,
+            "updates_applied": self.applied,
+            "updates_consumed": self.consumed,
+            "updates_shed": self.shed,
+            "updates_rejected": self.rejected,
+            "alerts_fired": self.alerts_fired,
+            # Deprecated aliases (pre-telemetry key names).
             "offered": self.offered,
             "applied": self.applied,
             "consumed": self.consumed,

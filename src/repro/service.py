@@ -206,10 +206,29 @@ def _adaptation_from_dict(entry: dict[str, Any]) -> AdaptationConfig:
 class MonitoringService:
     """Push-based multi-task monitoring front end."""
 
+    # Telemetry defaults (class attributes): a service with no attached
+    # trace pays one ``is not None`` check per decision-worthy event.
+    # Traces are deliberately not part of snapshot()/restore() — like
+    # alert callbacks, the owner re-attaches after a restore.
+    _trace = None
+    _trace_shard: int | str | None = None
+
     def __init__(self, config: AdaptationConfig | None = None):
         self._config = config or AdaptationConfig()
         self._tasks: dict[str, TaskState] = {}
         self._last_seen: dict[str, float] = {}
+
+    def attach_telemetry(self, trace: Any,
+                         shard: int | str | None = None) -> None:
+        """Attach a decision trace (``repro.telemetry.trace``).
+
+        Once attached, interval adaptations (grow/reset) and violations
+        observed by :meth:`offer` / :meth:`offer_fast` are emitted as
+        structured trace events tagged with ``shard``. Pass ``None`` to
+        detach.
+        """
+        self._trace = trace if trace is not None and trace.enabled else None
+        self._trace_shard = shard
 
     @property
     def task_names(self) -> list[str]:
@@ -332,6 +351,19 @@ class MonitoringService:
             state.alerts.append(alert)
             if state.on_alert is not None:
                 state.on_alert(alert)
+        trace = self._trace
+        if trace is not None:
+            if decision.grew or decision.reset:
+                trace.emit("interval_adapted", task=name,
+                           shard=self._trace_shard, step=step,
+                           interval=decision.next_interval,
+                           grew=decision.grew, reset=decision.reset,
+                           beta=decision.misdetection_bound)
+            if decision.violation:
+                trace.emit("violation", task=name,
+                           shard=self._trace_shard, step=step,
+                           value=monitored,
+                           threshold=state.task.threshold)
         return decision
 
     def offer_fast(self, name: str, value: float, step: int) -> int | None:
@@ -365,12 +397,27 @@ class MonitoringService:
                 interval = max(interval, state.suspend_interval)
         state.next_due = step + max(1, interval)
 
-        if sampler.last_violation:
+        violation = sampler.last_violation
+        if violation:
             alert = Alert(time_index=step, value=monitored,
                           threshold=state.task.threshold)
             state.alerts.append(alert)
             if state.on_alert is not None:
                 state.on_alert(alert)
+        trace = self._trace
+        if trace is not None:
+            grew = sampler.last_grew
+            reset = sampler.last_reset
+            if grew or reset:
+                trace.emit("interval_adapted", task=name,
+                           shard=self._trace_shard, step=step,
+                           interval=raw_interval, grew=grew, reset=reset,
+                           beta=sampler.last_misdetection_bound)
+            if violation:
+                trace.emit("violation", task=name,
+                           shard=self._trace_shard, step=step,
+                           value=monitored,
+                           threshold=state.task.threshold)
         return raw_interval
 
     def alerts(self, name: str) -> list[Alert]:

@@ -1,0 +1,186 @@
+"""Prometheus text exposition + the lightweight telemetry HTTP endpoint.
+
+:func:`render_prometheus` turns a
+:meth:`~repro.telemetry.registry.MetricsRegistry.snapshot` dict into the
+Prometheus text format (version 0.0.4): counters and gauges verbatim,
+histogram sketches as summaries (``{quantile="..."}`` series plus
+``_sum``/``_count``), which scrapers ingest natively without caring that
+the quantiles come from a mergeable sketch.
+
+:class:`TelemetryHTTPServer` is a deliberately tiny asyncio HTTP/1.0
+responder — no third-party web framework, no keep-alive, no streaming —
+because the only clients are scrapers and ``curl``:
+
+* ``GET /metrics``  -> Prometheus text format;
+* ``GET /healthz``  -> JSON liveness summary;
+* ``GET /trace``    -> the decision trace as JSONL (``?since=<seq>``).
+
+It binds its own port (``RuntimeConfig.http_port``, off by default) so a
+scrape can never occupy the ingest protocol's accept queue.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Callable
+
+__all__ = ["CONTENT_TYPE_PROMETHEUS", "TelemetryHTTPServer",
+           "render_prometheus"]
+
+CONTENT_TYPE_PROMETHEUS = "text/plain; version=0.0.4; charset=utf-8"
+
+_MAX_REQUEST_HEAD = 16 * 1024
+
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _labels_text(names: list[str], values: list[str],
+                 extra: tuple[str, str] | None = None) -> str:
+    pairs = [f'{name}="{_escape_label_value(str(value))}"'
+             for name, value in zip(names, values)]
+    if extra is not None:
+        pairs.append(f'{extra[0]}="{extra[1]}"')
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def render_prometheus(snapshot: dict[str, Any]) -> str:
+    """Render a registry snapshot to Prometheus text format 0.0.4."""
+    lines: list[str] = []
+    for name, family in snapshot.items():
+        kind = family["kind"]
+        help_text = family.get("help", "")
+        label_names = list(family.get("label_names", []))
+        if help_text:
+            escaped = help_text.replace("\\", r"\\").replace("\n", r"\n")
+            lines.append(f"# HELP {name} {escaped}")
+        lines.append(f"# TYPE {name} "
+                     f"{'summary' if kind == 'histogram' else kind}")
+        for series in family.get("series", []):
+            labels = [str(v) for v in series.get("labels", [])]
+            value = series["value"]
+            if kind == "histogram":
+                for q, est in value.get("quantiles", {}).items():
+                    text = _labels_text(label_names, labels,
+                                        extra=("quantile", q))
+                    lines.append(f"{name}{text} {_format_value(est)}")
+                base = _labels_text(label_names, labels)
+                lines.append(f"{name}_sum{base} "
+                             f"{_format_value(value['sum'])}")
+                lines.append(f"{name}_count{base} "
+                             f"{_format_value(value['count'])}")
+            else:
+                text = _labels_text(label_names, labels)
+                lines.append(f"{name}{text} {_format_value(value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+Route = Callable[[dict[str, str]], tuple[int, str, str]]
+"""A route handler: query params -> (status, content type, body)."""
+
+
+class TelemetryHTTPServer:
+    """Minimal asyncio HTTP responder for telemetry routes.
+
+    Args:
+        routes: path -> handler; each handler receives the (naively)
+            parsed query parameters and returns
+            ``(status, content_type, body)``.
+        host / port: listen address (``port=0`` picks a free port).
+    """
+
+    def __init__(self, routes: dict[str, Route],
+                 host: str = "127.0.0.1", port: int = 0):
+        self._routes = dict(routes)
+        self._host = host
+        self._requested_port = port
+        self._server: asyncio.AbstractServer | None = None
+        self.port: int | None = None
+
+    async def start(self) -> None:
+        """Bind and start serving; resolves :attr:`port`."""
+        self._server = await asyncio.start_server(
+            self._handle, host=self._host, port=self._requested_port,
+            limit=_MAX_REQUEST_HEAD)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Stop accepting and close (idempotent)."""
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+
+    @staticmethod
+    def _parse_query(target: str) -> tuple[str, dict[str, str]]:
+        path, _, query = target.partition("?")
+        params: dict[str, str] = {}
+        for part in query.split("&"):
+            if not part:
+                continue
+            key, _, value = part.partition("=")
+            params[key] = value
+        return path, params
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError,
+                ConnectionResetError):
+            writer.close()
+            return
+        try:
+            request_line = head.split(b"\r\n", 1)[0].decode(
+                "ascii", "replace")
+            parts = request_line.split(" ")
+            method, target = (parts[0], parts[1]) if len(parts) >= 2 \
+                else ("", "/")
+            path, params = self._parse_query(target)
+            if method not in ("GET", "HEAD"):
+                status, ctype, body = 405, "text/plain", "method not allowed\n"
+            else:
+                handler = self._routes.get(path)
+                if handler is None:
+                    status, ctype, body = 404, "text/plain", "not found\n"
+                else:
+                    try:
+                        status, ctype, body = handler(params)
+                    except Exception as exc:  # a broken route must 500,
+                        status, ctype = 500, "application/json"  # not hang
+                        body = json.dumps({"error": str(exc)}) + "\n"
+            payload = body.encode("utf-8")
+            reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                      405: "Method Not Allowed", 500: "Internal Server Error",
+                      503: "Service Unavailable"}.get(status, "OK")
+            writer.write(
+                f"HTTP/1.0 {status} {reason}\r\n"
+                f"Content-Type: {ctype}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: close\r\n\r\n".encode("ascii"))
+            if method != "HEAD":
+                writer.write(payload)
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass

@@ -1,0 +1,132 @@
+"""Regression tests for the counter-key normalisation.
+
+PR 5 renamed the runtime counters to the canonical telemetry names
+(``updates_offered`` ... ``alerts_fired``) while keeping the
+pre-telemetry short keys (``offered`` ... ``alerts``) as deprecated
+aliases. Both shapes must stay consistent in ``stats`` replies, in
+``runtime_state()``, and — critically — checkpoints written by the old
+key scheme must still restore.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.config import RuntimeConfig
+from repro.runtime.checkpoint import write_checkpoint
+from repro.runtime.client import AsyncRuntimeClient
+from repro.runtime.server import RuntimeServer
+from repro.service import MonitoringService
+
+ALIASES = {
+    "updates_offered": "offered",
+    "updates_applied": "applied",
+    "updates_consumed": "consumed",
+    "updates_shed": "shed",
+    "updates_rejected": "rejected",
+    "alerts_fired": "alerts",
+}
+
+
+def run_with_server(coro_factory, **config_kwargs):
+    config_kwargs.setdefault("port", 0)
+    config_kwargs.setdefault("shards", 2)
+
+    async def runner():
+        server = RuntimeServer(RuntimeConfig(**config_kwargs))
+        await server.start()
+        client = AsyncRuntimeClient(port=server.tcp_port)
+        try:
+            return await coro_factory(server, client)
+        finally:
+            await client.close()
+            await server.shutdown()
+
+    return asyncio.run(runner())
+
+
+class TestStatsShapes:
+    def test_stats_reports_both_key_shapes_consistently(self):
+        async def scenario(server, client):
+            await client.register_task("t", 10.0, error_allowance=0.0)
+            await client.offer_batch([["t", s, 20.0] for s in range(5)])
+            rejected = await client.offer_batch([["missing", 0, 1.0]])
+            for worker in server._workers:
+                await worker.drain()
+            return rejected, await client.stats()
+
+        rejected, stats = run_with_server(scenario)
+        for shard in stats["shards"]:
+            for canonical, alias in ALIASES.items():
+                assert shard[canonical] == shard[alias], canonical
+        total_offered = sum(s["updates_offered"] for s in stats["shards"])
+        total_alerts = sum(s["alerts_fired"] for s in stats["shards"])
+        assert total_offered == 5
+        assert total_alerts == 5  # error_allowance=0 alerts on every breach
+        # Unknown-task rejections are reported in the batch reply (they
+        # have no shard to be attributed to).
+        assert rejected["rejected"] == 1
+
+    def test_runtime_state_counters_use_canonical_keys(self):
+        async def scenario(server, client):
+            await client.register_task("t", 10.0)
+            await client.offer_batch([["t", 0, 1.0]])
+            for worker in server._workers:
+                await worker.drain()
+            return server.runtime_state()
+
+        state = run_with_server(scenario)
+        for counters in state["counters"]:
+            assert set(ALIASES) <= set(counters)
+            assert set(ALIASES.values()) <= set(counters)
+
+
+class TestAliasOnlyCheckpointRestore:
+    def test_old_key_scheme_checkpoint_restores(self, tmp_path):
+        path = tmp_path / "old.ckpt.json"
+        # A checkpoint as a pre-PR-5 server would have written it:
+        # counters carry ONLY the short alias keys.
+        shards = []
+        for _ in range(2):
+            service = MonitoringService()
+            shards.append(service.snapshot())
+        state = {
+            "shard_count": 2,
+            "task_shard": {},
+            "shards": shards,
+            "counters": [
+                {"shard": 0, "offered": 11, "applied": 9, "consumed": 9,
+                 "shed": 2, "rejected": 1, "alerts": 3},
+                {"shard": 1, "offered": 5, "applied": 5, "consumed": 5,
+                 "shed": 0, "rejected": 0, "alerts": 0},
+            ],
+        }
+        write_checkpoint(path, state)
+
+        async def scenario(server, client):
+            return [w.stats() for w in server._workers]
+
+        stats = run_with_server(scenario, checkpoint_path=path)
+        assert stats[0]["updates_offered"] == 11
+        assert stats[0]["updates_shed"] == 2
+        assert stats[0]["updates_rejected"] == 1
+        assert stats[0]["alerts_fired"] == 3
+        assert stats[1]["updates_offered"] == 5
+        # Aliases mirror the restored values too.
+        assert stats[0]["offered"] == 11 and stats[0]["alerts"] == 3
+
+    def test_canonical_keys_win_over_aliases(self, tmp_path):
+        path = tmp_path / "mixed.ckpt.json"
+        state = {
+            "shard_count": 1,
+            "task_shard": {},
+            "shards": [MonitoringService().snapshot()],
+            "counters": [{"shard": 0, "updates_offered": 42, "offered": 7}],
+        }
+        write_checkpoint(path, state)
+
+        async def scenario(server, client):
+            return server._workers[0].stats()
+
+        stats = run_with_server(scenario, shards=1, checkpoint_path=path)
+        assert stats["updates_offered"] == 42

@@ -24,6 +24,16 @@ def test_self_hosted_run_writes_report(tmp_path):
     # The graceful stop flushed a checkpoint and it round-tripped.
     assert report["checkpoint_roundtrip"] is True
     assert ckpt.exists()
+    # Server-side accounting (PR 5): the telemetry snapshot taken around
+    # the drive must agree with the client's own counting, and the
+    # server-observed offer latency histogram must have real samples.
+    server = report["server"]
+    assert server["offered_delta"] == report["accepted"]
+    assert server["shed_delta"] == report["shed"]
+    assert report["counters_consistent"] is True
+    latency = server["offer_latency_ms"]
+    assert latency["count"] > 0
+    assert 0.0 <= latency["p50"] <= latency["p99"] <= latency["max"]
 
 
 def test_min_throughput_floor_fails_closed(tmp_path):

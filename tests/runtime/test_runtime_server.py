@@ -435,3 +435,44 @@ class TestConfigFileTasks:
         reply, alerts = asyncio.run(runner())
         assert reply["accepted"] == 2
         assert alerts == [[0, 10.0, 5.0]]
+
+
+class TestTelemetryOps:
+    def test_telemetry_op_returns_metrics_and_trace_meta(self):
+        async def scenario(server, client):
+            await client.register_task("t", 10.0)
+            await client.offer_batch([["t", s, 1.0] for s in range(4)])
+            for worker in server._workers:
+                await worker.drain()
+            return await client.telemetry()
+
+        reply = run_with_server(scenario)
+        assert reply["ok"]
+        metrics = reply["metrics"]
+        offered = sum(s["value"] for s in
+                      metrics["volley_updates_offered_total"]["series"])
+        assert offered == 4
+        assert metrics["volley_tasks"]["series"][0]["value"] == 1.0
+        assert metrics["volley_frames_total"]["series"][0]["value"] > 0
+        assert reply["trace"]["next_seq"] >= 1  # task_registered at least
+        assert reply["trace"]["dropped"] == 0
+
+    def test_trace_op_drains_incrementally(self):
+        async def scenario(server, client):
+            await client.register_task("a", 5.0)
+            await client.register_task("b", 5.0)
+            full = await client.trace()
+            tail = await client.trace(since=full["next_seq"] - 1)
+            limited = await client.trace(limit=1)
+            await client.remove_task("a")
+            after = await client.trace(since=full["next_seq"])
+            return full, tail, limited, after
+
+        full, tail, limited, after = run_with_server(scenario)
+        kinds = [e["kind"] for e in full["events"]]
+        assert kinds.count("task_registered") == 2
+        assert len(tail["events"]) == 1
+        assert tail["events"][0]["seq"] == full["next_seq"] - 1
+        assert len(limited["events"]) == 1
+        assert [e["kind"] for e in after["events"]] == ["task_removed"]
+        assert after["events"][0]["task"] == "a"

@@ -1,0 +1,162 @@
+"""Property tests for the log-bucketed quantile sketch.
+
+The sketch's contract is a *relative* error bound: every reported
+quantile is within ``alpha * |true value|`` of the exact sample quantile
+(lower-rank convention) for magnitudes at least ``min_value``. Hypothesis
+drives arbitrary bounded streams through that guarantee, plus the monoid
+laws that make per-shard sketches mergeable.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.telemetry.histogram import LogHistogram
+
+bounded = st.floats(min_value=-1e6, max_value=1e6,
+                    allow_nan=False, allow_infinity=False)
+streams = st.lists(bounded, min_size=1, max_size=300)
+QS = (0.0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0)
+
+
+def exact_quantile(values: list[float], q: float) -> float:
+    """Lower-rank sample quantile (the sketch's stated convention)."""
+    ordered = sorted(values)
+    return ordered[int(q * (len(ordered) - 1))]
+
+
+def fill(values: list[float], alpha: float = 0.01) -> LogHistogram:
+    sketch = LogHistogram(relative_error=alpha)
+    for v in values:
+        sketch.record(v)
+    return sketch
+
+
+class TestRelativeErrorBound:
+    @settings(max_examples=200, deadline=None)
+    @given(streams)
+    def test_quantiles_within_alpha(self, values):
+        alpha = 0.01
+        sketch = fill(values, alpha)
+        for q in QS:
+            exact = exact_quantile(values, q)
+            est = sketch.quantile(q)
+            if abs(exact) > sketch.min_value:
+                bound = alpha * abs(exact) * (1 + 1e-9) + 1e-12
+                assert abs(est - exact) <= bound, \
+                    f"q={q}: {est} vs exact {exact}"
+            else:
+                # Sub-min_value magnitudes collapse into the zero bucket.
+                assert est == 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(streams, st.sampled_from([0.001, 0.05, 0.2]))
+    def test_bound_scales_with_alpha(self, values, alpha):
+        sketch = fill(values, alpha)
+        for q in (0.5, 0.99):
+            exact = exact_quantile(values, q)
+            if abs(exact) > sketch.min_value:
+                est = sketch.quantile(q)
+                assert abs(est - exact) <= \
+                    alpha * abs(exact) * (1 + 1e-9) + 1e-12
+
+    def test_exact_min_max_mean(self):
+        values = [3.0, -7.5, 0.25, 100.0]
+        sketch = fill(values)
+        assert sketch.min == -7.5
+        assert sketch.max == 100.0
+        assert sketch.mean == pytest.approx(sum(values) / len(values))
+        assert sketch.count == 4
+
+
+class TestMergeMonoid:
+    @settings(max_examples=100, deadline=None)
+    @given(streams, streams)
+    def test_merge_commutes(self, a, b):
+        ab = fill(a)
+        ab.merge(fill(b))
+        ba = fill(b)
+        ba.merge(fill(a))
+        assert ab.count == ba.count
+        assert ab.total == pytest.approx(ba.total)
+        for q in QS:
+            assert ab.quantile(q) == ba.quantile(q)
+
+    @settings(max_examples=100, deadline=None)
+    @given(streams, streams, streams)
+    def test_merge_associates(self, a, b, c):
+        left = fill(a)
+        bc = fill(b)
+        bc.merge(fill(c))
+        left_first = fill(a)
+        left_first.merge(fill(b))
+        left_first.merge(fill(c))
+        left.merge(bc)
+        assert left.count == left_first.count
+        for q in QS:
+            assert left.quantile(q) == left_first.quantile(q)
+
+    @settings(max_examples=100, deadline=None)
+    @given(streams, streams)
+    def test_merge_equals_concatenation(self, a, b):
+        merged = fill(a)
+        merged.merge(fill(b))
+        whole = fill(a + b)
+        assert merged.count == whole.count
+        for q in QS:
+            assert merged.quantile(q) == whole.quantile(q)
+
+    def test_merge_rejects_mismatched_alpha(self):
+        with pytest.raises(ConfigurationError, match="relative errors"):
+            LogHistogram(relative_error=0.01).merge(
+                LogHistogram(relative_error=0.02))
+
+
+class TestSerialisation:
+    @settings(max_examples=100, deadline=None)
+    @given(streams)
+    def test_roundtrip_preserves_queries(self, values):
+        sketch = fill(values)
+        clone = LogHistogram.from_dict(sketch.to_dict())
+        assert clone.count == sketch.count
+        assert clone.min == sketch.min and clone.max == sketch.max
+        for q in QS:
+            assert clone.quantile(q) == sketch.quantile(q)
+
+    def test_roundtrip_is_json_able(self):
+        import json
+        sketch = fill([1.0, -2.0, 0.0, 1e-12, 250.75])
+        entry = json.loads(json.dumps(sketch.to_dict()))
+        assert LogHistogram.from_dict(entry).quantile(0.5) == \
+            sketch.quantile(0.5)
+
+
+class TestValidation:
+    def test_bad_relative_error(self):
+        for alpha in (0.0, 1.0, -0.5):
+            with pytest.raises(ConfigurationError):
+                LogHistogram(relative_error=alpha)
+
+    def test_bad_min_value(self):
+        with pytest.raises(ConfigurationError):
+            LogHistogram(min_value=0.0)
+
+    def test_bad_quantile(self):
+        sketch = fill([1.0])
+        for q in (-0.1, 1.1, math.nan):
+            with pytest.raises(ValueError):
+                sketch.quantile(q)
+
+    def test_bad_record_count(self):
+        with pytest.raises(ValueError):
+            LogHistogram().record(1.0, count=0)
+
+    def test_empty_sketch_answers_zero(self):
+        sketch = LogHistogram()
+        assert sketch.quantile(0.5) == 0.0
+        assert sketch.min == 0.0 and sketch.max == 0.0 and sketch.mean == 0.0

@@ -22,6 +22,7 @@ import repro.config
 import repro.experiments
 import repro.runtime
 import repro.simulation
+import repro.telemetry
 import repro.testkit
 import repro.testkit.scenarios
 import repro.workloads
@@ -33,7 +34,8 @@ API_MD = pathlib.Path(__file__).resolve().parents[1] / "docs" / "API.md"
 NAMESPACES = [repro, repro.core, repro.experiments, repro.workloads,
               repro.datacenter, repro.simulation, repro.baselines,
               repro.analysis, repro.exceptions, repro.config,
-              repro.runtime, repro.testkit, repro.testkit.scenarios,
+              repro.runtime, repro.telemetry, repro.testkit,
+              repro.testkit.scenarios,
               figures, monetary, delay, multitask, reliability]
 
 
@@ -65,6 +67,11 @@ IGNORED = {
     "frame_fault", "duplicate_offer", "force_shed", "shard_fault",
     "checkpoint_fault", "crash_steps", "to_dict", "from_dict",
     "fault_hook", "checkpoint_armed",
+    # telemetry config keys, metric-name prefixes, instrument/trace
+    # methods and math tokens, not module attributes
+    "http_port", "trace_capacity", "selfmon_interval", "relative_error",
+    "bench_core", "dump_jsonl", "volley_selfmon_", "volley_sampler_",
+    "interval_adapted", "allowance_reallocated", "checkpoint_written",
 }
 
 

@@ -1,0 +1,50 @@
+"""Timeline-driven incident scenarios: compile, replay, score.
+
+The scenario engine closes the loop between the synthetic workload
+generators and the live ingestion runtime: a declarative
+:class:`~repro.scenarios.timeline.Timeline` (named phases, workload
+overlays, ground-truth violation windows) is compiled into per-task
+trace streams, replayed through a real
+:class:`~repro.runtime.server.RuntimeServer` over the wire, and scored
+against its declared ground truth — detection delay, mis-detection rate
+vs. the configured error allowance, false-alarm rate and probe cost per
+scenario, written to a byte-reproducible ``BENCH_scenarios.json``.
+
+``python -m repro.scenarios run --all --seed 7`` replays the whole
+canned catalogue; see :mod:`repro.scenarios.catalog` for the shipped
+scenarios and :mod:`repro.scenarios.replay` for chaos-fault layering.
+"""
+
+from repro.scenarios.catalog import CANNED, canned_timeline
+from repro.scenarios.compiler import (BASE_GENERATORS, CompiledScenario,
+                                      GroundTruth, compile_timeline)
+from repro.scenarios.replay import (ReplayResult, replay_scenario,
+                                    simulate_replay)
+from repro.scenarios.scoring import (build_bench, render_report,
+                                     score_scenario)
+from repro.scenarios.timeline import (OVERLAY_KINDS, Overlay, Phase,
+                                      PhaseSpan, ThresholdSpec, Timeline,
+                                      TruthWindow, WorkloadLayer)
+
+__all__ = [
+    "BASE_GENERATORS",
+    "CANNED",
+    "CompiledScenario",
+    "GroundTruth",
+    "OVERLAY_KINDS",
+    "Overlay",
+    "Phase",
+    "PhaseSpan",
+    "ReplayResult",
+    "ThresholdSpec",
+    "Timeline",
+    "TruthWindow",
+    "WorkloadLayer",
+    "build_bench",
+    "canned_timeline",
+    "compile_timeline",
+    "render_report",
+    "replay_scenario",
+    "score_scenario",
+    "simulate_replay",
+]

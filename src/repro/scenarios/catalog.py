@@ -1,0 +1,210 @@
+"""Canned incident scenarios (the shipped timeline catalogue).
+
+Five multi-phase incidents over the paper's three workload domains,
+styled after the staged DDoS exercise timelines: each is a pure
+:class:`~repro.scenarios.timeline.Timeline` value, so ``(seed, name)``
+fully reproduces its run. Fleet sizes sum to a few thousand tasks at
+full scale; ``Timeline.scaled`` produces the reduced CI variants.
+
+* ``ddos-wave-adaptive`` — network ``rho`` fleet; probing below the
+  threshold, a first SYN-flood wave against half the fleet, partial
+  mitigation, then a stronger second wave as the attacker adapts.
+* ``flash-crowd`` — WorldCup-style web objects; a match-time crowd
+  multiplies every object's rate and adds absolute load on top.
+* ``cascade-failure`` — latency fleet; an incipient drift in a small
+  group, then a rolling cascade (staggered onsets) into saturation.
+* ``diurnal-baseline`` — quiet network fleet, no declared incidents:
+  the false-alarm/cost baseline and the golden-file scenario.
+* ``entropy-flood`` — flow-entropy fleet with a *lower* threshold; a
+  SYN flood of near-identical packets collapses entropy (the signature
+  from the distributed entropy-monitoring literature).
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.timeline import (Overlay, Phase, ThresholdSpec,
+                                      Timeline, TruthWindow, WorkloadLayer)
+
+__all__ = ["CANNED", "canned_timeline"]
+
+# Responsive adaptation for incident replays: shorter patience and an
+# earlier Chebyshev onset than the library defaults, so intervals both
+# grow during calm phases and collapse quickly when likelihood rises.
+_ADAPT = {"patience": 5, "min_samples": 5, "stats_restart": 200}
+
+
+def _ddos_wave_adaptive() -> Timeline:
+    return Timeline(
+        name="ddos-wave-adaptive",
+        description="Two-wave SYN flood with attacker adaptation over a "
+                    "diurnal rho fleet",
+        tasks=512,
+        base=WorkloadLayer("traffic", {
+            "base_handshakes": 2000.0, "diurnal_period": 720,
+            "burst_prob": 0.0005, "phase_spread": 1.0}),
+        phases=(
+            Phase("calm", 80),
+            # Reconnaissance: elevated but sub-threshold SYN excess.
+            Phase("probe", 40, overlays=(
+                Overlay("ramp", peak=60.0, coverage=0.5, jitter=0.05),)),
+            Phase("wave1", 70, overlays=(
+                Overlay("spike", peak=260.0, start=0, length=60,
+                        ramp_steps=8, coverage=0.5, jitter=0.05),),
+                  truth=(TruthWindow(start=0, length=60, coverage=0.5),)),
+            # Mitigation bites: residual excess stays below threshold.
+            Phase("mitigation", 30, overlays=(
+                Overlay("decay", peak=80.0, coverage=0.5, jitter=0.05),)),
+            # The attacker adapts: wider botnet, higher rate.
+            Phase("wave2-adapted", 80, overlays=(
+                Overlay("spike", peak=340.0, start=10, length=60,
+                        ramp_steps=6, coverage=0.8, jitter=0.05),),
+                  truth=(TruthWindow(start=10, length=60, coverage=0.8),)),
+            Phase("recovery", 60),
+        ),
+        threshold=ThresholdSpec("absolute", 120.0),
+        err=0.05,
+        default_interval=15.0,
+        max_interval=10,
+        adaptation=dict(_ADAPT),
+    )
+
+
+def _flash_crowd() -> Timeline:
+    return Timeline(
+        name="flash-crowd",
+        description="Match-time flash crowd over Zipf-popular web objects",
+        tasks=384,
+        base=WorkloadLayer("weblogs", {
+            "peak_rate": 20000.0, "num_objects": 384,
+            "diurnal_period": 360, "diurnal_depth": 0.9,
+            "flash_prob": 0.0}),
+        phases=(
+            Phase("night", 90),
+            Phase("morning-ramp", 60),
+            # The crowd multiplies every object's rate and adds absolute
+            # request volume on top, so even cold objects cross their
+            # (selectivity-derived) thresholds.
+            Phase("match-flash", 60, overlays=(
+                Overlay("scale", peak=5.0, start=0, length=55,
+                        ramp_steps=6),
+                Overlay("spike", peak=120.0, start=0, length=55,
+                        ramp_steps=6, jitter=0.05),),
+                  truth=(TruthWindow(start=0, length=55),)),
+            Phase("cooldown", 50, overlays=(
+                Overlay("decay", peak=40.0, length=30, jitter=0.05),)),
+            Phase("evening", 100),
+        ),
+        threshold=ThresholdSpec("selectivity", 2.0),
+        err=0.05,
+        default_interval=1.0,
+        max_interval=10,
+        adaptation=dict(_ADAPT),
+    )
+
+
+def _cascade_failure() -> Timeline:
+    return Timeline(
+        name="cascade-failure",
+        description="Incipient latency drift cascading into a rolling "
+                    "fleet-wide saturation",
+        tasks=640,
+        base=WorkloadLayer("ar1", {"mean": 40.0, "phi": 0.9,
+                                   "sigma": 3.0}),
+        phases=(
+            Phase("steady", 60),
+            # A small group drifts up but stays below the threshold.
+            Phase("incipient", 40, overlays=(
+                Overlay("ramp", peak=35.0, coverage=0.15, jitter=0.05),)),
+            # The failure rolls through 60% of the fleet: onsets are
+            # staggered across 60 steps (dependency-chain collapse).
+            Phase("cascade", 120, overlays=(
+                Overlay("spike", peak=90.0, start=0, length=50,
+                        ramp_steps=5, coverage=0.6, spread=60,
+                        jitter=0.05),),
+                  truth=(TruthWindow(start=0, length=50, coverage=0.6,
+                                     spread=60),)),
+            Phase("saturated", 40, overlays=(
+                Overlay("step", peak=90.0, coverage=0.6, jitter=0.05),),
+                  truth=(TruthWindow(start=0, length=40, coverage=0.6),)),
+            Phase("rollback", 60, overlays=(
+                Overlay("decay", peak=90.0, length=25, coverage=0.6,
+                        jitter=0.05),)),
+        ),
+        threshold=ThresholdSpec("absolute", 100.0),
+        err=0.05,
+        default_interval=5.0,
+        max_interval=10,
+        adaptation=dict(_ADAPT),
+    )
+
+
+def _diurnal_baseline() -> Timeline:
+    return Timeline(
+        name="diurnal-baseline",
+        description="Quiet diurnal fleet with no incidents: false-alarm "
+                    "and probe-cost baseline",
+        tasks=256,
+        base=WorkloadLayer("traffic", {
+            "base_handshakes": 1500.0, "diurnal_period": 360,
+            "burst_prob": 0.001, "phase_spread": 1.0}),
+        phases=(Phase("day-cycle", 360),),
+        threshold=ThresholdSpec("selectivity", 1.0),
+        err=0.05,
+        default_interval=15.0,
+        max_interval=10,
+        adaptation=dict(_ADAPT),
+    )
+
+
+def _entropy_flood() -> Timeline:
+    return Timeline(
+        name="entropy-flood",
+        description="SYN flood of near-identical packets collapsing flow "
+                    "entropy below a lower threshold",
+        tasks=320,
+        base=WorkloadLayer("ar1", {"mean": 12.0, "phi": 0.9,
+                                   "sigma": 0.3}),
+        phases=(
+            Phase("normal", 90),
+            # The flood's packets are near-identical, so source-address
+            # entropy collapses far below the healthy band.
+            Phase("flood-onset", 80, overlays=(
+                Overlay("entropy_shift", peak=6.0, start=0, length=70,
+                        ramp_steps=8, coverage=0.4, jitter=0.05,
+                        floor=0.5),),
+                  truth=(TruthWindow(start=2, length=66, coverage=0.4),)),
+            # Scrubbing brings entropy back up through the threshold.
+            Phase("scrubbing", 50, overlays=(
+                Overlay("entropy_shift", peak=3.0, start=0, length=20,
+                        ramp_steps=2, coverage=0.4, jitter=0.05,
+                        floor=0.5),)),
+            Phase("aftermath", 80),
+        ),
+        threshold=ThresholdSpec("absolute", 9.0),
+        err=0.05,
+        default_interval=15.0,
+        max_interval=10,
+        direction="lower",
+        adaptation=dict(_ADAPT),
+    )
+
+
+CANNED = {
+    "cascade-failure": _cascade_failure,
+    "ddos-wave-adaptive": _ddos_wave_adaptive,
+    "diurnal-baseline": _diurnal_baseline,
+    "entropy-flood": _entropy_flood,
+    "flash-crowd": _flash_crowd,
+}
+"""Canonical scenario name -> timeline factory."""
+
+
+def canned_timeline(name: str) -> Timeline:
+    """The canned timeline for ``name`` (a fresh value each call)."""
+    try:
+        factory = CANNED[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r} "
+            f"(expected one of {sorted(CANNED)})") from None
+    return factory()

@@ -1,0 +1,446 @@
+"""Declarative incident timelines (the scenario engine's source language).
+
+A :class:`Timeline` describes a fleet-scale incident the way the staged
+DDoS exercise scripts do: a sequence of named :class:`Phase` objects
+("calm", "probe", "wave1", ...), each with a duration in default-interval
+grid steps, zero or more workload :class:`Overlay` layers (ramps, spikes,
+decays, entropy collapses) painted on top of a shared base workload, and
+declared ground-truth :class:`TruthWindow` spans in which the incident is
+supposed to violate the monitoring threshold.
+
+Everything is validated fail-closed at construction: phase durations
+partition the horizon by definition, and every overlay/window footprint
+(including its onset spread across the affected sub-fleet) must fit
+inside its phase. Compilation into concrete per-task traces is the job of
+:mod:`repro.scenarios.compiler`; a ``(seed, timeline)`` pair fully
+determines a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields as dataclass_fields
+from typing import Any, Mapping
+
+from repro.exceptions import ConfigurationError
+from repro.types import ThresholdDirection
+
+__all__ = [
+    "OVERLAY_KINDS",
+    "Overlay",
+    "Phase",
+    "PhaseSpan",
+    "ThresholdSpec",
+    "Timeline",
+    "TruthWindow",
+    "WorkloadLayer",
+]
+
+OVERLAY_KINDS = ("ramp", "decay", "step", "spike", "scale", "entropy_shift")
+"""Supported overlay shapes.
+
+``ramp`` rises linearly 0 -> peak; ``decay`` falls peak -> 0; ``step``
+holds at peak; ``spike`` ramps up, holds, ramps down (SYN-flood shape);
+``scale`` multiplies the base by ``peak`` (flash-crowd shape);
+``entropy_shift`` *subtracts* a spike-shaped amount, clamped at
+``floor`` — the entropy-collapse signature of a flood of near-identical
+packets.
+"""
+
+_THRESHOLD_KINDS = ("absolute", "selectivity")
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise ConfigurationError(message)
+
+
+@dataclass(frozen=True, slots=True)
+class Overlay:
+    """One workload layer painted over a phase's base traffic.
+
+    Args:
+        kind: shape, one of :data:`OVERLAY_KINDS`.
+        peak: magnitude — additive units for the additive kinds, a
+            multiplicative factor for ``scale``, the subtracted depth for
+            ``entropy_shift``.
+        start: onset offset from the phase start, in grid steps.
+        length: footprint length in steps (``None`` = to the phase end).
+        ramp_steps: shoulder length for ``spike``/``entropy_shift``.
+        coverage: fraction of the fleet affected; the affected tasks are
+            the first ``ceil(coverage * tasks)`` ranks, so nested
+            incidents (incipient group inside the cascade group) overlap.
+        spread: total steps over which affected-task onsets are staggered
+            (rank 0 starts at ``start``, the last affected rank at
+            ``start + spread``) — rolling/cascading failures.
+        jitter: per-step multiplicative noise sigma on the profile.
+        floor: clamp applied after ``entropy_shift`` subtraction.
+    """
+
+    kind: str
+    peak: float
+    start: int = 0
+    length: int | None = None
+    ramp_steps: int = 4
+    coverage: float = 1.0
+    spread: int = 0
+    jitter: float = 0.0
+    floor: float = 0.0
+
+    def __post_init__(self) -> None:
+        _require(self.kind in OVERLAY_KINDS,
+                 f"unknown overlay kind {self.kind!r} "
+                 f"(expected one of {OVERLAY_KINDS})")
+        _require(self.start >= 0,
+                 f"overlay start must be >= 0, got {self.start}")
+        _require(self.length is None or self.length >= 1,
+                 f"overlay length must be >= 1, got {self.length}")
+        _require(self.ramp_steps >= 1,
+                 f"ramp_steps must be >= 1, got {self.ramp_steps}")
+        _require(0.0 < self.coverage <= 1.0,
+                 f"coverage must be in (0, 1], got {self.coverage}")
+        _require(self.spread >= 0,
+                 f"spread must be >= 0, got {self.spread}")
+        _require(self.spread == 0 or self.length is not None,
+                 "an overlay with spread > 0 needs an explicit length")
+        _require(self.jitter >= 0.0,
+                 f"jitter must be >= 0, got {self.jitter}")
+        if self.kind == "scale":
+            _require(self.peak > 0.0,
+                     f"scale overlays need peak > 0, got {self.peak}")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {f.name: getattr(self, f.name) for f in
+                dataclass_fields(self)}
+
+    @classmethod
+    def from_dict(cls, entry: Mapping[str, Any]) -> "Overlay":
+        return cls(**_known_kwargs(cls, entry))
+
+
+@dataclass(frozen=True, slots=True)
+class TruthWindow:
+    """A declared ground-truth violation span, relative to its phase.
+
+    The scorer joins detected alerts against these windows; coverage and
+    spread follow the same sub-fleet semantics as :class:`Overlay`, so a
+    window is normally authored with the same geometry as the overlay
+    that causes it.
+    """
+
+    start: int
+    length: int
+    coverage: float = 1.0
+    spread: int = 0
+
+    def __post_init__(self) -> None:
+        _require(self.start >= 0,
+                 f"window start must be >= 0, got {self.start}")
+        _require(self.length >= 1,
+                 f"window length must be >= 1, got {self.length}")
+        _require(0.0 < self.coverage <= 1.0,
+                 f"coverage must be in (0, 1], got {self.coverage}")
+        _require(self.spread >= 0,
+                 f"spread must be >= 0, got {self.spread}")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {f.name: getattr(self, f.name) for f in
+                dataclass_fields(self)}
+
+    @classmethod
+    def from_dict(cls, entry: Mapping[str, Any]) -> "TruthWindow":
+        return cls(**_known_kwargs(cls, entry))
+
+
+@dataclass(frozen=True, slots=True)
+class Phase:
+    """A named span of the timeline with its overlays and truth windows."""
+
+    name: str
+    duration: int
+    overlays: tuple[Overlay, ...] = ()
+    truth: tuple[TruthWindow, ...] = ()
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "phase name must be non-empty")
+        _require(self.duration >= 1,
+                 f"phase duration must be >= 1, got {self.duration}")
+        object.__setattr__(self, "overlays", tuple(self.overlays))
+        object.__setattr__(self, "truth", tuple(self.truth))
+        for ov in self.overlays:
+            span = ov.length if ov.length is not None \
+                else self.duration - ov.start
+            _require(ov.start < self.duration,
+                     f"phase {self.name!r}: overlay starts at {ov.start} "
+                     f"past duration {self.duration}")
+            _require(ov.start + ov.spread + span <= self.duration,
+                     f"phase {self.name!r}: overlay footprint "
+                     f"{ov.start}+{ov.spread}+{span} exceeds duration "
+                     f"{self.duration}")
+        for w in self.truth:
+            _require(w.start + w.spread + w.length <= self.duration,
+                     f"phase {self.name!r}: truth window "
+                     f"{w.start}+{w.spread}+{w.length} exceeds duration "
+                     f"{self.duration}")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "duration": self.duration,
+                "overlays": [ov.to_dict() for ov in self.overlays],
+                "truth": [w.to_dict() for w in self.truth]}
+
+    @classmethod
+    def from_dict(cls, entry: Mapping[str, Any]) -> "Phase":
+        return cls(name=str(entry["name"]),
+                   duration=int(entry["duration"]),
+                   overlays=tuple(Overlay.from_dict(o)
+                                  for o in entry.get("overlays", [])),
+                   truth=tuple(TruthWindow.from_dict(w)
+                               for w in entry.get("truth", [])))
+
+
+@dataclass(frozen=True)
+class WorkloadLayer:
+    """The base workload every task carries: a generator name + params.
+
+    Generator names are resolved by the compiler's registry
+    (:data:`repro.scenarios.compiler.BASE_GENERATORS`); params are passed
+    to the generator constructor. The special params ``phase`` and
+    ``phase_spread`` set the per-task diurnal phase offset for the
+    phase-aware generators.
+    """
+
+    generator: str
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _require(bool(self.generator),
+                 "base generator name must be non-empty")
+        object.__setattr__(self, "params", dict(self.params))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"generator": self.generator, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, entry: Mapping[str, Any]) -> "WorkloadLayer":
+        return cls(generator=str(entry["generator"]),
+                   params=dict(entry.get("params", {})))
+
+
+@dataclass(frozen=True, slots=True)
+class ThresholdSpec:
+    """How per-task thresholds are derived.
+
+    ``absolute`` applies ``value`` to every task; ``selectivity`` derives
+    each task's threshold from its own *base* (pre-overlay) trace so that
+    ``value`` percent of background points violate — the paper's SV-A
+    rule, which keeps Zipf-skewed fleets comparable under one spec.
+    """
+
+    kind: str = "absolute"
+    value: float = 0.0
+
+    def __post_init__(self) -> None:
+        _require(self.kind in _THRESHOLD_KINDS,
+                 f"unknown threshold kind {self.kind!r} "
+                 f"(expected one of {_THRESHOLD_KINDS})")
+        if self.kind == "selectivity":
+            _require(0.0 < self.value < 100.0,
+                     f"selectivity must be in (0, 100), got {self.value}")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+    @classmethod
+    def from_dict(cls, entry: Mapping[str, Any]) -> "ThresholdSpec":
+        return cls(kind=str(entry.get("kind", "absolute")),
+                   value=float(entry.get("value", 0.0)))
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseSpan:
+    """A phase's absolute position on the compiled grid (end exclusive)."""
+
+    name: str
+    start: int
+    end: int
+
+
+@dataclass(frozen=True)
+class Timeline:
+    """A complete declarative incident scenario.
+
+    Attributes:
+        name: scenario identifier (also the task-name prefix).
+        description: one-line human summary.
+        tasks: fleet size — number of monitoring tasks replayed.
+        base: shared base workload layer.
+        phases: ordered phases; durations partition the horizon exactly.
+        threshold: per-task threshold derivation rule.
+        err: Volley error allowance per task.
+        default_interval: grid step in seconds (``Id``), metadata for
+            the seconds-denominated scores.
+        max_interval: Volley maximum sampling interval (``Im``).
+        direction: ``"upper"`` or ``"lower"`` violation side.
+        adaptation: optional overrides for
+            :class:`~repro.core.adaptation.AdaptationConfig` fields.
+    """
+
+    name: str
+    description: str
+    tasks: int
+    base: WorkloadLayer
+    phases: tuple[Phase, ...]
+    threshold: ThresholdSpec
+    err: float = 0.01
+    default_interval: float = 1.0
+    max_interval: int = 10
+    direction: str = "upper"
+    adaptation: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "timeline name must be non-empty")
+        _require(self.tasks >= 1,
+                 f"tasks must be >= 1, got {self.tasks}")
+        object.__setattr__(self, "phases", tuple(self.phases))
+        _require(len(self.phases) >= 1, "timeline needs at least one phase")
+        names = [ph.name for ph in self.phases]
+        _require(len(set(names)) == len(names),
+                 f"duplicate phase names in {self.name!r}: {names}")
+        _require(0.0 < self.err < 1.0,
+                 f"err must be in (0, 1), got {self.err}")
+        _require(self.default_interval > 0,
+                 f"default_interval must be > 0, got {self.default_interval}")
+        _require(self.max_interval >= 1,
+                 f"max_interval must be >= 1, got {self.max_interval}")
+        _require(self.direction in ("upper", "lower"),
+                 f"direction must be 'upper' or 'lower', "
+                 f"got {self.direction!r}")
+        object.__setattr__(self, "adaptation", dict(self.adaptation))
+
+    # -- derived geometry ------------------------------------------------
+
+    @property
+    def horizon(self) -> int:
+        """Total grid steps; the phase durations partition ``[0, horizon)``."""
+        return sum(ph.duration for ph in self.phases)
+
+    @property
+    def direction_enum(self) -> ThresholdDirection:
+        return ThresholdDirection(self.direction)
+
+    def phase_spans(self) -> tuple[PhaseSpan, ...]:
+        """Absolute ``[start, end)`` span of every phase, in order."""
+        spans = []
+        cursor = 0
+        for ph in self.phases:
+            spans.append(PhaseSpan(ph.name, cursor, cursor + ph.duration))
+            cursor += ph.duration
+        return tuple(spans)
+
+    def covered(self, coverage: float) -> int:
+        """Number of affected tasks for a coverage fraction (>= 1)."""
+        return max(1, min(self.tasks, round(coverage * self.tasks)))
+
+    @staticmethod
+    def onset_offset(spread: int, rank: int, covered: int) -> int:
+        """Deterministic onset stagger of affected rank ``rank``."""
+        if spread == 0 or covered <= 1:
+            return 0
+        return (spread * rank) // (covered - 1)
+
+    # -- serialisation ---------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "tasks": self.tasks,
+            "base": self.base.to_dict(),
+            "phases": [ph.to_dict() for ph in self.phases],
+            "threshold": self.threshold.to_dict(),
+            "err": self.err,
+            "default_interval": self.default_interval,
+            "max_interval": self.max_interval,
+            "direction": self.direction,
+            "adaptation": dict(self.adaptation),
+        }
+
+    @classmethod
+    def from_dict(cls, entry: Mapping[str, Any]) -> "Timeline":
+        return cls(
+            name=str(entry["name"]),
+            description=str(entry.get("description", "")),
+            tasks=int(entry["tasks"]),
+            base=WorkloadLayer.from_dict(entry["base"]),
+            phases=tuple(Phase.from_dict(p) for p in entry["phases"]),
+            threshold=ThresholdSpec.from_dict(entry.get("threshold", {})),
+            err=float(entry.get("err", 0.01)),
+            default_interval=float(entry.get("default_interval", 1.0)),
+            max_interval=int(entry.get("max_interval", 10)),
+            direction=str(entry.get("direction", "upper")),
+            adaptation=dict(entry.get("adaptation", {})),
+        )
+
+    # -- derived timelines -----------------------------------------------
+
+    def scaled(self, fleet: float = 1.0, horizon: float = 1.0) -> "Timeline":
+        """A reduced (or enlarged) copy for CI-scale runs.
+
+        Fleet size and every phase/overlay/window span are rescaled and
+        re-clamped so the result is always a valid timeline; scaling by
+        1.0 returns an equal timeline.
+        """
+        _require(fleet > 0 and horizon > 0,
+                 f"scale factors must be > 0, got {fleet}, {horizon}")
+        tasks = max(4, round(self.tasks * fleet))
+        phases = []
+        for ph in self.phases:
+            duration = max(4, round(ph.duration * horizon))
+            overlays = []
+            for ov in ph.overlays:
+                start, length, spread = _fit_segment(
+                    round(ov.start * horizon),
+                    None if ov.length is None
+                    else max(1, round(ov.length * horizon)),
+                    round(ov.spread * horizon), duration)
+                overlays.append(Overlay(
+                    kind=ov.kind, peak=ov.peak, start=start, length=length,
+                    ramp_steps=max(1, round(ov.ramp_steps * horizon)),
+                    coverage=ov.coverage, spread=spread, jitter=ov.jitter,
+                    floor=ov.floor))
+            truth = []
+            for w in ph.truth:
+                start, length, spread = _fit_segment(
+                    round(w.start * horizon),
+                    max(1, round(w.length * horizon)),
+                    round(w.spread * horizon), duration)
+                truth.append(TruthWindow(start=start, length=length,
+                                         coverage=w.coverage, spread=spread))
+            phases.append(Phase(name=ph.name, duration=duration,
+                                overlays=tuple(overlays),
+                                truth=tuple(truth)))
+        return Timeline(
+            name=self.name, description=self.description, tasks=tasks,
+            base=self.base, phases=tuple(phases), threshold=self.threshold,
+            err=self.err, default_interval=self.default_interval,
+            max_interval=self.max_interval, direction=self.direction,
+            adaptation=dict(self.adaptation))
+
+
+def _fit_segment(start: int, length: int | None, spread: int,
+                 duration: int) -> tuple[int, int | None, int]:
+    """Clamp a scaled ``(start, length, spread)`` into a phase duration."""
+    start = max(0, min(start, duration - 1))
+    if length is None:
+        return start, None, 0
+    length = max(1, min(length, duration - start))
+    spread = max(0, min(spread, duration - start - length))
+    return start, length, spread
+
+
+def _known_kwargs(cls: type, entry: Mapping[str, Any]) -> dict[str, Any]:
+    known = {f.name for f in dataclass_fields(cls)}
+    unknown = set(entry) - known
+    if unknown:
+        raise ConfigurationError(
+            f"unknown {cls.__name__} key(s) {sorted(unknown)}")
+    return dict(entry)

@@ -13,7 +13,7 @@ Three domains mirror the paper's evaluation:
 the selectivity-based threshold rule, :mod:`zipf` the skew utilities.
 """
 
-from repro.workloads.base import MetricTrace, TraceGenerator
+from repro.workloads.base import MetricTrace, TraceGenerator, substream
 from repro.workloads.ddos import SynFloodAttack, inject_attacks
 from repro.workloads.io import load_traces, save_traces
 from repro.workloads.netflow import (FlowRecord, NetflowConfig,
@@ -68,6 +68,7 @@ __all__ = [
     "map_addresses_to_vms",
     "sample_zipf_ranks",
     "save_traces",
+    "substream",
     "syn_ack_difference_from_flows",
     "threshold_for_selectivity",
     "thresholds_for_violation_rates",

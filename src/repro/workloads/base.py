@@ -7,13 +7,39 @@ explicitly so every figure is reproducible bit-for-bit.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.exceptions import TraceError
 
-__all__ = ["MetricTrace", "TraceGenerator"]
+__all__ = ["MetricTrace", "TraceGenerator", "substream"]
+
+
+def substream(master_seed: int, namespace: str,
+              *parts: object) -> np.random.Generator:
+    """Independent generator keyed by ``(master_seed, namespace, parts)``.
+
+    Workload generators take their randomness as an explicit
+    ``numpy.random.Generator`` so a scenario is a pure function of its
+    seed; this helper is the canonical way to derive one substream per
+    entity (task, overlay, VM). The key is folded through SHA-256 —
+    stable across processes, platforms and ``PYTHONHASHSEED`` — and parts
+    are type-tagged, so ``1`` and ``"1"`` key different streams. Adding
+    or removing one entity never reshuffles any sibling's stream.
+    """
+    digest = hashlib.sha256()
+    digest.update(namespace.encode("utf-8"))
+    for part in parts:
+        digest.update(b"\x00")
+        digest.update(type(part).__name__.encode("utf-8"))
+        digest.update(b"\x01")
+        digest.update(repr(part).encode("utf-8"))
+    raw = digest.digest()
+    words = [int.from_bytes(raw[i:i + 4], "big") for i in range(0, 16, 4)]
+    seed = int(master_seed) & 0xFFFFFFFFFFFFFFFF
+    return np.random.default_rng(np.random.SeedSequence([seed] + words))
 
 
 @dataclass(frozen=True)

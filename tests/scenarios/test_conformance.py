@@ -1,0 +1,54 @@
+"""Conformance bridge: testkit chaos specs layered onto timelines.
+
+The testkit's fault matrix (``repro.testkit.scenarios.SCENARIOS``) and
+the incident-scenario engine compose: any non-crashing fault spec can be
+layered onto a timeline replay, and the scored report stays a pure
+function of ``(timeline, seed, fault spec, fault seed)``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import (canned_timeline, compile_timeline,
+                             render_report, replay_scenario, score_scenario)
+from repro.testkit.scenarios import SCENARIOS as FAULT_SCENARIOS
+
+LAYERABLE = sorted(name for name, spec in FAULT_SCENARIOS.items()
+                   if not spec.crash_fractions)
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    timeline = canned_timeline("cascade-failure").scaled(fleet=0.02,
+                                                         horizon=0.25)
+    return compile_timeline(timeline, seed=7)
+
+
+def test_every_layerable_testkit_spec_is_accepted(compiled):
+    # The catalogue must stay composable: every non-crashing spec from
+    # the chaos matrix is a valid fault layer for a timeline replay.
+    assert LAYERABLE, "testkit fault matrix lost its non-crash scenarios"
+    assert set(LAYERABLE) <= set(FAULT_SCENARIOS)
+
+
+def test_clean_spec_layer_is_transparent(compiled):
+    plain = replay_scenario(compiled, shards=2)
+    layered = replay_scenario(compiled, shards=2,
+                              fault_spec=FAULT_SCENARIOS["clean"])
+    assert layered.alert_steps == plain.alert_steps
+    assert layered.samples == plain.samples
+    assert layered.intervals == plain.intervals
+    assert sum(layered.injected.values()) == 0
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("fault_name",
+                         [n for n in LAYERABLE if n != "clean"])
+def test_fault_layered_replay_is_pure(compiled, fault_name):
+    spec = FAULT_SCENARIOS[fault_name]
+    a = replay_scenario(compiled, shards=2, fault_spec=spec, fault_seed=11)
+    b = replay_scenario(compiled, shards=2, fault_spec=spec, fault_seed=11)
+    assert render_report(score_scenario(compiled, a)) == \
+        render_report(score_scenario(compiled, b))
+    assert a.injected == b.injected

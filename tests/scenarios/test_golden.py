@@ -1,0 +1,59 @@
+"""Golden-file regression for the scored scenario report.
+
+The committed golden pins the full report for the ``diurnal-baseline``
+scenario (reduced scale, seed 7): any change to the workload generators,
+the timeline compiler, the sampling core or the scorer that shifts a
+single byte of the report fails here. Regenerate deliberately with::
+
+    PYTHONPATH=src python - <<'EOF'
+    from repro.scenarios import (canned_timeline, compile_timeline,
+                                 render_report, score_scenario,
+                                 simulate_replay)
+    tl = canned_timeline("diurnal-baseline").scaled(fleet=0.125,
+                                                    horizon=0.5)
+    c = compile_timeline(tl, 7)
+    text = render_report(score_scenario(c, simulate_replay(c, "volley")))
+    open("tests/scenarios/golden/diurnal-baseline_seed7.json",
+         "w").write(text)
+    EOF
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.scenarios import (canned_timeline, compile_timeline,
+                             render_report, score_scenario, simulate_replay)
+
+GOLDEN = (pathlib.Path(__file__).parent / "golden" /
+          "diurnal-baseline_seed7.json")
+
+
+def _render() -> str:
+    timeline = canned_timeline("diurnal-baseline").scaled(fleet=0.125,
+                                                          horizon=0.5)
+    compiled = compile_timeline(timeline, 7)
+    result = simulate_replay(compiled, mode="volley")
+    return render_report(score_scenario(compiled, result))
+
+
+def test_report_matches_committed_golden_byte_for_byte():
+    assert _render() == GOLDEN.read_text(encoding="utf-8")
+
+
+def test_two_runs_are_byte_identical():
+    assert _render() == _render()
+
+
+def test_golden_report_semantics():
+    report = json.loads(GOLDEN.read_text(encoding="utf-8"))
+    assert report["scenario"] == "diurnal-baseline"
+    assert report["seed"] == 7
+    # The no-incident baseline: nothing to detect, nothing missed, and
+    # the adaptive sampler banks probe savings against the quiet fleet.
+    assert report["truth"]["windows"] == 0
+    assert report["detection"]["windows_missed"] == 0
+    assert report["misdetection"]["within_err"] is True
+    assert report["cost"]["cost_saving"] > 0.0
+    assert report["passed"] is True

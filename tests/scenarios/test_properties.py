@@ -1,0 +1,127 @@
+"""Hypothesis properties of timeline compilation.
+
+The three invariants the scenario engine's determinism rests on:
+``(seed, timeline)`` -> bit-identical trace streams; phase boundaries
+partition the horizon exactly (no gap or overlap steps); every
+ground-truth window lies inside its phase.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.scenarios import (Overlay, Phase, ThresholdSpec, Timeline,
+                             TruthWindow, WorkloadLayer, compile_timeline)
+
+_KINDS = st.sampled_from(
+    ["ramp", "decay", "step", "spike", "scale", "entropy_shift"])
+
+
+@st.composite
+def overlays(draw, duration: int):
+    kind = draw(_KINDS)
+    start = draw(st.integers(0, duration - 1))
+    length = draw(st.integers(1, duration - start))
+    spread = draw(st.integers(0, duration - start - length))
+    return Overlay(
+        kind=kind,
+        peak=draw(st.floats(0.5, 200.0, allow_nan=False)),
+        start=start, length=length,
+        ramp_steps=draw(st.integers(1, 6)),
+        coverage=draw(st.floats(0.1, 1.0, allow_nan=False)),
+        spread=spread,
+        jitter=draw(st.sampled_from([0.0, 0.05])),
+    )
+
+
+@st.composite
+def windows(draw, duration: int):
+    start = draw(st.integers(0, duration - 1))
+    length = draw(st.integers(1, duration - start))
+    spread = draw(st.integers(0, duration - start - length))
+    return TruthWindow(start=start, length=length,
+                       coverage=draw(st.floats(0.1, 1.0, allow_nan=False)),
+                       spread=spread)
+
+
+@st.composite
+def phases(draw, index: int):
+    duration = draw(st.integers(5, 40))
+    return Phase(
+        name=f"phase-{index}",
+        duration=duration,
+        overlays=tuple(draw(st.lists(overlays(duration), max_size=2))),
+        truth=tuple(draw(st.lists(windows(duration), max_size=2))),
+    )
+
+
+@st.composite
+def timelines(draw):
+    n_phases = draw(st.integers(1, 4))
+    base = draw(st.sampled_from([
+        WorkloadLayer("ar1", {"mean": 20.0, "phi": 0.8, "sigma": 2.0}),
+        WorkloadLayer("random_walk", {"sigma": 1.0, "start": 10.0,
+                                      "lo": 0.0, "hi": 100.0}),
+        WorkloadLayer("spikes", {"spike_prob": 0.01}),
+        WorkloadLayer("diurnal", {"period": 24, "amplitude": 30.0,
+                                  "phase_spread": 1.0}),
+    ]))
+    return Timeline(
+        name="prop",
+        description="hypothesis-generated",
+        tasks=draw(st.integers(2, 10)),
+        base=base,
+        phases=tuple(draw(phases(i)) for i in range(n_phases)),
+        threshold=ThresholdSpec("absolute", 50.0),
+        err=0.05,
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(timelines(), st.integers(0, 2 ** 32 - 1))
+def test_same_seed_same_timeline_bit_identical(timeline, seed):
+    a = compile_timeline(timeline, seed)
+    b = compile_timeline(timeline, seed)
+    assert a.values.dtype == b.values.dtype == np.float64
+    assert a.values.tobytes() == b.values.tobytes()
+    assert a.thresholds.tobytes() == b.thresholds.tobytes()
+    assert a.windows == b.windows
+    assert a.task_names == b.task_names
+
+
+@settings(max_examples=30, deadline=None)
+@given(timelines())
+def test_phase_spans_partition_horizon_exactly(timeline):
+    spans = timeline.phase_spans()
+    assert spans[0].start == 0
+    assert spans[-1].end == timeline.horizon
+    for prev, cur in zip(spans, spans[1:]):
+        assert prev.end == cur.start  # no gap, no overlap
+    assert sum(s.end - s.start for s in spans) == timeline.horizon
+
+
+@settings(max_examples=30, deadline=None)
+@given(timelines(), st.integers(0, 2 ** 16))
+def test_truth_windows_lie_inside_their_phase(timeline, seed):
+    compiled = compile_timeline(timeline, seed)
+    spans = compiled.spans
+    declared = sum(
+        timeline.covered(w.coverage) * 1
+        for ph in timeline.phases for w in ph.truth)
+    assert len(compiled.windows) == declared
+    for w in compiled.windows:
+        assert 0 <= w.task < timeline.tasks
+        assert w.start < w.end <= timeline.horizon
+        owner = [s for s in spans if s.start <= w.start < s.end]
+        assert len(owner) == 1
+        assert w.end <= owner[0].end  # never bleeds into the next phase
+
+
+@settings(max_examples=15, deadline=None)
+@given(timelines(), st.integers(0, 2 ** 16))
+def test_compiled_shape_and_finiteness(timeline, seed):
+    compiled = compile_timeline(timeline, seed)
+    assert compiled.values.shape == (timeline.horizon, timeline.tasks)
+    assert np.isfinite(compiled.values).all()
+    assert np.isfinite(compiled.thresholds).all()

@@ -1,0 +1,84 @@
+"""Scored benchmarks + the planted-mutant sanity check.
+
+The mutation check (issue satellite): a planted always-sample sampler
+must score ~zero detection delay at maximal probe cost, and a planted
+never-sample sampler must breach the mis-detection invariant — if either
+mutant slips through, the scorer (not the sampler) is broken.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.scenarios import (build_bench, canned_timeline, compile_timeline,
+                             render_report, score_scenario, simulate_replay)
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    timeline = canned_timeline("entropy-flood").scaled(fleet=0.05,
+                                                       horizon=0.5)
+    return compile_timeline(timeline, seed=7)
+
+
+def test_always_sampler_scores_zero_delay_max_cost(compiled):
+    report = score_scenario(compiled, simulate_replay(compiled,
+                                                      mode="always"))
+    det, mis, cost = (report["detection"], report["misdetection"],
+                      report["cost"])
+    assert det["windows_missed"] == 0
+    assert det["mean_delay_steps"] == 0.0
+    assert det["max_delay_steps"] == 0
+    assert mis["rate"] == 0.0
+    assert mis["within_err"] is True
+    assert cost["sampling_ratio"] == 1.0
+    assert cost["cost_saving"] == 0.0
+    assert report["passed"] is True
+
+
+def test_never_sampler_breaches_misdetection_invariant(compiled):
+    report = score_scenario(compiled, simulate_replay(compiled,
+                                                      mode="never"))
+    mis = report["misdetection"]
+    assert mis["detected_points"] == 0
+    assert mis["rate"] == 1.0
+    assert mis["within_err"] is False
+    assert report["detection"]["windows_missed"] > 0
+    assert report["cost"]["sampling_ratio"] == 0.0
+    assert report["passed"] is False
+
+
+def test_volley_sampler_between_the_mutants(compiled):
+    report = score_scenario(compiled, simulate_replay(compiled,
+                                                      mode="volley"))
+    assert report["misdetection"]["within_err"] is True
+    assert report["detection"]["windows_missed"] == 0
+    # Adaptive sampling must actually skip probes during calm phases.
+    assert 0.0 < report["cost"]["sampling_ratio"] < 1.0
+    assert report["cost"]["cost_saving"] > 0.0
+    assert report["passed"] is True
+
+
+def test_report_is_canonical_and_stable(compiled):
+    a = score_scenario(compiled, simulate_replay(compiled, mode="volley"))
+    b = score_scenario(compiled, simulate_replay(compiled, mode="volley"))
+    assert render_report(a) == render_report(b)
+    # Canonical form: sorted keys, trailing newline, round-trips.
+    text = render_report(a)
+    assert text.endswith("\n")
+    assert json.loads(text) == a
+
+
+def test_build_bench_totals_and_gate(compiled):
+    good = score_scenario(compiled, simulate_replay(compiled, mode="always"))
+    bad = score_scenario(compiled, simulate_replay(compiled, mode="never"))
+    bench = build_bench([good, bad], {"seed": 7, "mode": "offline"})
+    totals = bench["totals"]
+    assert totals["scenarios"] == 2
+    assert totals["passed"] == 1
+    assert totals["failed"] == 1
+    assert bench["passed"] is False
+    only_good = build_bench([good], {"seed": 7, "mode": "offline"})
+    assert only_good["passed"] is True

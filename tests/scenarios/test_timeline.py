@@ -1,0 +1,119 @@
+"""Timeline model: fail-closed validation, round-trip, scaling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.scenarios import (CANNED, Overlay, Phase, ThresholdSpec,
+                             Timeline, TruthWindow, WorkloadLayer,
+                             canned_timeline)
+
+
+def _mini(**kwargs) -> Timeline:
+    base = dict(
+        name="mini", description="", tasks=8,
+        base=WorkloadLayer("ar1", {"mean": 10.0, "sigma": 0.5}),
+        phases=(Phase("a", 20),
+                Phase("b", 30, overlays=(
+                    Overlay("step", peak=50.0, start=5, length=10),),
+                      truth=(TruthWindow(start=5, length=10),))),
+        threshold=ThresholdSpec("absolute", 30.0))
+    base.update(kwargs)
+    return Timeline(**base)
+
+
+def test_horizon_and_spans_partition():
+    tl = _mini()
+    spans = tl.phase_spans()
+    assert tl.horizon == 50
+    assert (spans[0].start, spans[0].end) == (0, 20)
+    assert (spans[1].start, spans[1].end) == (20, 50)
+
+
+def test_roundtrip_to_from_dict():
+    tl = _mini()
+    assert Timeline.from_dict(tl.to_dict()) == tl
+
+
+def test_canned_catalogue_roundtrips():
+    for name in CANNED:
+        tl = canned_timeline(name)
+        assert Timeline.from_dict(tl.to_dict()) == tl
+        assert tl.name == name
+
+
+@pytest.mark.parametrize("bad", [
+    dict(tasks=0),
+    dict(err=0.0),
+    dict(err=1.0),
+    dict(max_interval=0),
+    dict(direction="sideways"),
+    dict(phases=()),
+])
+def test_timeline_validation_fails_closed(bad):
+    with pytest.raises(ConfigurationError):
+        _mini(**bad)
+
+
+def test_duplicate_phase_names_rejected():
+    with pytest.raises(ConfigurationError):
+        _mini(phases=(Phase("a", 10), Phase("a", 10)))
+
+
+def test_overlay_footprint_must_fit_phase():
+    with pytest.raises(ConfigurationError):
+        Phase("p", 20, overlays=(Overlay("step", peak=1.0, start=15,
+                                         length=10),))
+    with pytest.raises(ConfigurationError):
+        Phase("p", 20, overlays=(Overlay("step", peak=1.0, start=0,
+                                         length=15, spread=10),))
+
+
+def test_truth_window_must_fit_phase():
+    with pytest.raises(ConfigurationError):
+        Phase("p", 20, truth=(TruthWindow(start=15, length=10),))
+    with pytest.raises(ConfigurationError):
+        Phase("p", 20, truth=(TruthWindow(start=0, length=15, spread=10),))
+
+
+def test_overlay_spread_requires_explicit_length():
+    with pytest.raises(ConfigurationError):
+        Overlay("step", peak=1.0, spread=3)
+
+
+def test_unknown_overlay_kind_rejected():
+    with pytest.raises(ConfigurationError):
+        Overlay("teleport", peak=1.0)
+
+
+def test_threshold_spec_validation():
+    with pytest.raises(ConfigurationError):
+        ThresholdSpec("percentile", 1.0)
+    with pytest.raises(ConfigurationError):
+        ThresholdSpec("selectivity", 0.0)
+
+
+def test_scaled_preserves_validity_and_identity():
+    for name in CANNED:
+        tl = canned_timeline(name)
+        assert tl.scaled(1.0, 1.0) == tl
+        small = tl.scaled(fleet=0.1, horizon=0.25)
+        assert small.tasks >= 4
+        assert small.horizon == sum(ph.duration for ph in small.phases)
+        # Construction re-validates every overlay/window footprint.
+        assert Timeline.from_dict(small.to_dict()) == small
+
+
+def test_onset_offset_covers_spread_exactly():
+    assert Timeline.onset_offset(60, 0, 10) == 0
+    assert Timeline.onset_offset(60, 9, 10) == 60
+    assert Timeline.onset_offset(0, 5, 10) == 0
+    assert Timeline.onset_offset(60, 0, 1) == 0
+
+
+def test_covered_bounds():
+    tl = _mini(tasks=10)
+    assert tl.covered(1.0) == 10
+    assert tl.covered(0.05) == 1
+    assert tl.covered(0.5) == 5

@@ -21,6 +21,7 @@ import repro.exceptions
 import repro.config
 import repro.experiments
 import repro.runtime
+import repro.scenarios
 import repro.simulation
 import repro.telemetry
 import repro.testkit
@@ -34,8 +35,8 @@ API_MD = pathlib.Path(__file__).resolve().parents[1] / "docs" / "API.md"
 NAMESPACES = [repro, repro.core, repro.experiments, repro.workloads,
               repro.datacenter, repro.simulation, repro.baselines,
               repro.analysis, repro.exceptions, repro.config,
-              repro.runtime, repro.telemetry, repro.testkit,
-              repro.testkit.scenarios,
+              repro.runtime, repro.scenarios, repro.telemetry,
+              repro.testkit, repro.testkit.scenarios,
               figures, monetary, delay, multitask, reliability]
 
 
@@ -72,6 +73,10 @@ IGNORED = {
     "http_port", "trace_capacity", "selfmon_interval", "relative_error",
     "bench_core", "dump_jsonl", "volley_selfmon_", "volley_sampler_",
     "interval_adapted", "allowance_reallocated", "checkpoint_written",
+    # scenario CLI artifacts and Timeline/compiled methods, not module
+    # attributes
+    "BENCH_scenarios", "phase_spans", "fault_spec", "fault_seed",
+    "phase_spread", "ramp_steps", "entropy_shift", "random_walk",
 }
 
 

@@ -1,0 +1,159 @@
+"""``python -m repro.cluster`` starts the multi-process cluster.
+
+One command brings up the full topology: the routing tier listening on
+TCP, N worker processes (or in-proc hosts / remote TCP endpoints,
+depending on ``--backend``), shard placement, the heartbeat failure
+detector and — when ``--checkpoint`` is given — periodic cluster
+checkpoints. The config file format is the same one
+``python -m repro.runtime`` takes (``defaults`` / ``tasks`` /
+``triggers`` / ``adaptation``), with the runtime section named
+``cluster`` instead of ``runtime``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import pathlib
+import sys
+from typing import Any
+
+from repro.config import ClusterConfig
+from repro.core.adaptation import AdaptationConfig
+from repro.exceptions import ConfigurationError, ReproError
+
+from repro.cluster.server import ClusterServer
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster",
+        description="Multi-process sharded cluster for Volley monitoring "
+                    "tasks: routing tier + N workers + live migration.")
+    parser.add_argument("--config", type=pathlib.Path, default=None,
+                        help="JSON config file; may hold a 'cluster' "
+                             "section plus defaults/tasks/triggers")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes to spawn (default 2)")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="global shard count (default 2x workers)")
+    parser.add_argument("--backend", default=None,
+                        choices=["inproc", "subprocess", "tcp"])
+    parser.add_argument("--worker-endpoint", action="append", default=None,
+                        metavar="HOST:PORT",
+                        help="tcp backend: one per worker, repeatable")
+    parser.add_argument("--host", default=None)
+    parser.add_argument("--port", type=int, default=None,
+                        help="router TCP port (0 = ephemeral)")
+    parser.add_argument("--http-port", type=int, default=None,
+                        help="fleet telemetry HTTP port (0 = ephemeral; "
+                             "omitted = disabled)")
+    parser.add_argument("--queue-depth", type=int, default=None)
+    parser.add_argument("--max-batch", type=int, default=None)
+    parser.add_argument("--checkpoint", type=pathlib.Path, default=None,
+                        help="cluster checkpoint file (restored at startup "
+                             "if it exists; flushed on shutdown)")
+    parser.add_argument("--checkpoint-interval", type=float, default=None)
+    parser.add_argument("--heartbeat-interval", type=float, default=None)
+    parser.add_argument("--runtime-dir", type=pathlib.Path, default=None,
+                        help="directory for worker sockets/ready files "
+                             "(default: a fresh temp dir)")
+    parser.add_argument("--ready-file", type=pathlib.Path, default=None,
+                        help="write {port, http_port, pid, workers} JSON "
+                             "once listening")
+    return parser
+
+
+def _cluster_config(args: argparse.Namespace,
+                    file_section: dict[str, Any]) -> ClusterConfig:
+    base = ClusterConfig.from_dict(file_section)
+    overrides: dict[str, Any] = {}
+    for arg, key in (("workers", "workers"), ("shards", "shards"),
+                     ("backend", "backend"), ("host", "host"),
+                     ("port", "port"), ("http_port", "http_port"),
+                     ("queue_depth", "queue_depth"),
+                     ("max_batch", "max_batch"),
+                     ("checkpoint_interval", "checkpoint_interval"),
+                     ("heartbeat_interval", "heartbeat_interval"),
+                     ("runtime_dir", "runtime_dir")):
+        value = getattr(args, arg)
+        if value is not None:
+            overrides[key] = value
+    if args.worker_endpoint:
+        overrides["worker_endpoints"] = tuple(args.worker_endpoint)
+        overrides.setdefault("workers", len(args.worker_endpoint))
+        overrides.setdefault("backend", "tcp")
+    if args.checkpoint is not None:
+        overrides["checkpoint_path"] = args.checkpoint
+    if not overrides:
+        return base
+    merged = {key: getattr(base, key) for key in (
+        "workers", "shards", "backend", "worker_endpoints", "host", "port",
+        "http_port", "queue_depth", "max_batch", "buffer_depth",
+        "heartbeat_interval", "heartbeat_misses", "heartbeat_timeout",
+        "connections_per_worker", "checkpoint_path", "checkpoint_interval",
+        "shed_retry_ms", "trace_capacity", "runtime_dir")}
+    merged.update(overrides)
+    return ClusterConfig(**merged)
+
+
+async def _run(args: argparse.Namespace) -> None:
+    service_config: dict[str, Any] = {}
+    cluster_section: dict[str, Any] = {}
+    adaptation: AdaptationConfig | None = None
+    if args.config is not None:
+        loaded = json.loads(args.config.read_text(encoding="utf-8"))
+        if not isinstance(loaded, dict):
+            raise ConfigurationError("config file must hold a JSON object")
+        cluster_section = dict(loaded.pop("cluster", {}))
+        adaptation_section = loaded.pop("adaptation", None)
+        if adaptation_section is not None:
+            try:
+                adaptation = AdaptationConfig(**adaptation_section)
+            except TypeError as exc:
+                raise ConfigurationError(
+                    f"bad adaptation section: {exc}") from None
+        service_config = loaded
+    server = ClusterServer(_cluster_config(args, cluster_section),
+                           adaptation=adaptation)
+    await server.start()
+    try:
+        await server.apply_config(service_config)
+    except Exception:
+        await server.shutdown()
+        raise
+    coord = server.coordinator
+    endpoints = [f"tcp {server.config.host}:{server.tcp_port}"]
+    if server.http_port is not None:
+        endpoints.append(f"http {server.config.host}:{server.http_port}")
+    print(f"[cluster] listening on {', '.join(endpoints)} "
+          f"({len(coord.transports)} workers x {coord.n_shards} shards, "
+          f"backend={server.config.backend}, "
+          f"{coord.restored_tasks} tasks restored)", flush=True)
+    if args.ready_file is not None:
+        ready = {"port": server.tcp_port,
+                 "http_port": server.http_port,
+                 "pid": os.getpid(),
+                 "workers": coord.worker_pids()}
+        args.ready_file.write_text(json.dumps(ready), encoding="utf-8")
+    await server.serve_forever()
+    print("[cluster] shut down cleanly", flush=True)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (``python -m repro.cluster``)."""
+    args = _build_parser().parse_args(argv)
+    try:
+        asyncio.run(_run(args))
+    except ReproError as exc:
+        print(f"[cluster] error: {exc}", file=sys.stderr, flush=True)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

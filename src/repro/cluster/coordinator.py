@@ -1,0 +1,810 @@
+"""The cluster coordinator: placement table, migration, failure recovery.
+
+One :class:`Coordinator` owns the authoritative map from global shard id
+to worker, reached through a :class:`~repro.cluster.transport.ShardTransport`
+per worker. Everything stateful about the cluster flows through here:
+
+* **Forwarding** — :meth:`submit` takes pre-routed per-shard batches and
+  fans them out, one ``w_offer`` frame per touched worker. A worker that
+  cannot be reached costs its updates a *shed* (never a silent loss) and
+  feeds the failure detector.
+* **Live migration** — :meth:`migrate` moves one shard between workers
+  under load: buffer incoming offers, wait for in-flight forwards, drain
+  the source, snapshot, restore on the target, verify the restored
+  state's fingerprint matches the source's **before** cutover, then
+  replay the buffer. A fingerprint mismatch aborts the migration with
+  the source still authoritative — the failure mode is a rejected
+  migration, never a corrupted shard.
+* **Failure re-placement** — a heartbeat loop declares a worker dead
+  after ``heartbeat_misses`` consecutive missed pings and rebuilds its
+  shards on survivors from the last cluster checkpoint state (or fresh,
+  re-registering catalog tasks, when no checkpoint covered the shard) —
+  the at-most-once contract: ACKed-and-applied survives via snapshots,
+  queued-but-unapplied dies with the process.
+* **Fleet telemetry** — per-worker registries are pulled raw and merged
+  (:mod:`repro.cluster.fleet`); worker sampler traces are pulled and
+  re-emitted into the coordinator's ring so one ``trace`` stream covers
+  the whole cluster.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import logging
+import pathlib
+import tempfile
+import time
+from typing import Any
+
+from repro.config import ClusterConfig, task_from_config
+from repro.core.adaptation import AdaptationConfig
+from repro.exceptions import ClusterError, ConfigurationError
+from repro.runtime.checkpoint import read_checkpoint, write_checkpoint
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.trace import DecisionTrace
+
+from repro.cluster.fleet import merge_fleet_snapshots
+from repro.cluster.hosting import WorkerHost
+from repro.cluster.routing import route
+from repro.cluster.transport import (InProcTransport, ShardTransport,
+                                     SubprocessTransport, TCPTransport)
+
+__all__ = ["Coordinator", "ShardRoute"]
+
+logger = logging.getLogger(__name__)
+
+_FLUSH_RETRY_LIMIT = 200
+"""Shed-retry attempts per buffered batch during replay before giving up
+(each waits ``shed_retry_ms``, so the default is ~10s of backpressure)."""
+
+
+class ShardRoute:
+    """Routing-table entry for one global shard."""
+
+    __slots__ = ("shard_id", "worker_id", "buffering", "buffer",
+                 "buffered_updates", "inflight", "_idle", "_settled")
+
+    def __init__(self, shard_id: int, worker_id: str):
+        self.shard_id = shard_id
+        self.worker_id = worker_id
+        self.buffering = False
+        self.buffer: list[list[Any]] = []
+        self.buffered_updates = 0
+        self.inflight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._settled = asyncio.Event()
+        self._settled.set()
+
+    def begin_buffering(self) -> None:
+        self.buffering = True
+        self._settled.clear()
+
+    def end_buffering(self) -> None:
+        self.buffering = False
+        self._settled.set()
+
+    async def wait_settled(self) -> None:
+        """Block until no migration/re-placement is in progress."""
+        await self._settled.wait()
+
+    async def wait_idle(self) -> None:
+        """Block until no forwarded offer is in flight for this shard."""
+        await self._idle.wait()
+
+
+class Coordinator:
+    """Owns placement, migration, recovery and fleet telemetry."""
+
+    def __init__(self, config: ClusterConfig,
+                 adaptation: AdaptationConfig | None = None,
+                 registry: MetricsRegistry | None = None,
+                 trace: DecisionTrace | None = None):
+        self.config = config
+        self.adaptation = adaptation or AdaptationConfig()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.trace = trace if trace is not None else DecisionTrace(
+            config.trace_capacity)
+        self.n_shards = config.n_shards
+        self.transports: dict[str, ShardTransport] = {}
+        self.routes: list[ShardRoute] = []
+        self.task_shard: dict[str, int] = {}
+        self.catalog: dict[str, dict[str, Any]] = {}
+        self.defaults: dict[str, Any] = {}
+        self.router_shed = 0
+        self.migrations = 0
+        self.replacements = 0
+        self.restored_tasks = 0
+        self.checkpoint_failures = 0
+        self._dead: set[str] = set()
+        self._misses: dict[str, int] = {}
+        self._trace_cursor: dict[str, int] = {}
+        self._trace_lock = asyncio.Lock()
+        self._recover_lock = asyncio.Lock()
+        self._fleet_cache: dict[str, Any] = {}
+        self._last_checkpoint_state: dict[str, Any] | None = None
+        self._last_checkpoint_monotonic: float | None = None
+        self._heartbeat_task: asyncio.Task | None = None
+        self._checkpoint_task: asyncio.Task | None = None
+        self._tmpdir: tempfile.TemporaryDirectory | None = None
+        self._started_monotonic = time.monotonic()
+        self._worker_up = self.registry.gauge(
+            "volley_worker_up", "1 while the worker answers heartbeats",
+            labels=("worker",))
+        self.registry.counter(
+            "volley_migrations_total", "Completed live shard migrations",
+            fn=lambda: float(self.migrations))
+        self.registry.counter(
+            "volley_replacements_total",
+            "Shards re-placed after worker failure",
+            fn=lambda: float(self.replacements))
+        self.registry.gauge(
+            "volley_tasks", "Registered monitoring tasks",
+            fn=lambda: float(len(self.task_shard)))
+        self.registry.gauge(
+            "volley_coordinator_uptime_seconds",
+            "Seconds since the coordinator started",
+            fn=lambda: time.monotonic() - self._started_monotonic)
+        # Shed at the routing tier (unreachable worker / buffer overflow).
+        # Label shape matches the per-worker shed family after the fleet
+        # merge prepends "worker", so family totals stay truthful.
+        self.registry.counter(
+            "volley_updates_shed_total",
+            "Updates shed under backpressure", labels=("worker", "shard"),
+        ).labels("router", "-", fn=lambda: float(self.router_shed))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    def _adaptation_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self.adaptation)
+
+    def _build_transports(self) -> None:
+        cfg = self.config
+        if cfg.backend == "subprocess":
+            runtime_dir = cfg.runtime_dir
+            if runtime_dir is None:
+                self._tmpdir = tempfile.TemporaryDirectory(
+                    prefix="repro-cluster-")
+                runtime_dir = pathlib.Path(self._tmpdir.name)
+            for i in range(cfg.workers):
+                wid = f"w{i}"
+                self.transports[wid] = SubprocessTransport(
+                    wid, runtime_dir, queue_depth=cfg.queue_depth,
+                    connections=cfg.connections_per_worker,
+                    trace_capacity=cfg.trace_capacity)
+        elif cfg.backend == "tcp":
+            for i, endpoint in enumerate(cfg.worker_endpoints):
+                wid = f"w{i}"
+                host, _, port = endpoint.rpartition(":")
+                if not host or not port.isdigit():
+                    raise ConfigurationError(
+                        f"worker endpoint {endpoint!r} is not host:port")
+                self.transports[wid] = TCPTransport(
+                    wid, host, int(port),
+                    connections=cfg.connections_per_worker)
+        else:  # inproc
+            for i in range(cfg.workers):
+                wid = f"w{i}"
+                self.transports[wid] = InProcTransport(wid, WorkerHost(
+                    wid, queue_depth=cfg.queue_depth,
+                    adaptation=self.adaptation,
+                    trace_capacity=cfg.trace_capacity))
+
+    async def start(self) -> None:
+        """Spawn/connect workers, place every shard, start the loops."""
+        self._build_transports()
+        await asyncio.gather(*(t.start() for t in self.transports.values()))
+        state = self._read_checkpoint_state()
+        worker_ids = sorted(self.transports)
+        placement = (state or {}).get("placement", {})
+        shards_state = (state or {}).get("shards", {})
+        for sid in range(self.n_shards):
+            wid = placement.get(str(sid))
+            if wid not in self.transports:
+                wid = worker_ids[sid % len(worker_ids)]
+            self.routes.append(ShardRoute(sid, wid))
+        if state:
+            self.defaults = dict(state.get("defaults", {}))
+            self.catalog = {str(k): dict(v)
+                            for k, v in state.get("catalog", {}).items()}
+            self.task_shard = {str(k): int(v)
+                               for k, v in state.get("task_shard", {}).items()}
+        for routed in self.routes:
+            entry = shards_state.get(str(routed.shard_id))
+            await self._place_shard(routed, entry)
+            if entry is not None:
+                self.restored_tasks += len(
+                    (entry.get("snapshot") or {}).get("tasks", []))
+        for wid, transport in self.transports.items():
+            self._worker_up.labels(
+                wid, fn=lambda w=wid: 0.0 if w in self._dead else 1.0)
+            self.trace.emit("worker_started", worker=wid,
+                            pid=self.worker_pids().get(wid))
+        self._heartbeat_task = asyncio.create_task(self._heartbeat_loop())
+        if self.config.checkpoint_path is not None:
+            self._checkpoint_task = asyncio.create_task(
+                self._checkpoint_loop())
+
+    def _read_checkpoint_state(self) -> dict[str, Any] | None:
+        path = self.config.checkpoint_path
+        if path is None or not pathlib.Path(path).exists():
+            return None
+        state = read_checkpoint(path)
+        if state.get("kind") != "cluster":
+            raise ConfigurationError(
+                f"{path} is not a cluster checkpoint (kind="
+                f"{state.get('kind')!r}); single-process checkpoints do "
+                f"not restore into a cluster")
+        if int(state.get("n_shards", -1)) != self.n_shards:
+            raise ConfigurationError(
+                f"checkpoint has {state.get('n_shards')} shards but this "
+                f"cluster is configured for {self.n_shards}; shard counts "
+                f"must match (task routing is shard-count dependent)")
+        self._last_checkpoint_state = state
+        return state
+
+    async def _place_shard(self, routed: ShardRoute,
+                           entry: dict[str, Any] | None) -> None:
+        """Install one shard on its routed worker (fresh or from state)."""
+        if entry is None:
+            reply = await self._request(routed.worker_id, {
+                "op": "w_add_shard", "shard": routed.shard_id,
+                "adaptation": self._adaptation_dict()})
+        else:
+            reply = await self._request(routed.worker_id, {
+                "op": "w_restore_shard", "shard": routed.shard_id,
+                "snapshot": entry.get("snapshot"),
+                "counters": entry.get("counters"),
+                "adaptation": self._adaptation_dict()})
+        if not reply.get("ok"):
+            raise ClusterError(
+                f"cannot place shard {routed.shard_id} on "
+                f"{routed.worker_id}: {reply.get('error')}")
+        await self._register_missing_tasks(routed, entry)
+
+    async def _register_missing_tasks(self, routed: ShardRoute,
+                                      entry: dict[str, Any] | None) -> None:
+        """Re-register catalog tasks a snapshot did not already carry."""
+        present = {str(t.get("name")) for t in
+                   ((entry or {}).get("snapshot") or {}).get("tasks", [])}
+        for name, task_entry in self.catalog.items():
+            if (self.task_shard.get(name) != routed.shard_id
+                    or name in present):
+                continue
+            reply = await self._request(routed.worker_id, {
+                "op": "w_register_task", "shard": routed.shard_id,
+                "task": task_entry, "defaults": self.defaults})
+            if not reply.get("ok"):  # pragma: no cover - config drift
+                logger.warning("cannot re-register task %s on shard %d: %s",
+                               name, routed.shard_id, reply.get("error"))
+
+    async def shutdown(self) -> None:
+        """Stop loops, flush a final checkpoint, close every transport."""
+        for task in (self._heartbeat_task, self._checkpoint_task):
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+        self._heartbeat_task = self._checkpoint_task = None
+        if self.config.checkpoint_path is not None:
+            try:
+                await self.write_checkpoint()
+            except Exception:  # pragma: no cover - best-effort flush
+                logger.exception("final cluster checkpoint failed")
+        await asyncio.gather(
+            *(t.close() for t in self.transports.values()),
+            return_exceptions=True)
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+            self._tmpdir = None
+
+    # ------------------------------------------------------------------
+    # Worker RPC helpers
+
+    async def _request(self, worker_id: str,
+                       payload: dict[str, Any]) -> dict[str, Any]:
+        transport = self.transports.get(worker_id)
+        if transport is None or worker_id in self._dead:
+            raise ClusterError(f"worker {worker_id} is not available")
+        return await transport.request(payload)
+
+    async def _best_effort(self, worker_id: str,
+                           payload: dict[str, Any]) -> None:
+        try:
+            await self._request(worker_id, payload)
+        except ClusterError:
+            pass
+
+    def _note_failure(self, worker_id: str) -> None:
+        """A data-path request failed; let the heartbeat confirm sooner."""
+        self._misses[worker_id] = self._misses.get(worker_id, 0) + 1
+
+    def worker_pids(self) -> dict[str, int | None]:
+        """Worker process ids (router pid for in-proc hosts)."""
+        import os
+        pids: dict[str, int | None] = {}
+        for wid, transport in self.transports.items():
+            pid = getattr(transport, "pid", None)
+            pids[wid] = pid if pid is not None else (
+                os.getpid() if isinstance(transport, InProcTransport)
+                else None)
+        return pids
+
+    # ------------------------------------------------------------------
+    # Data path
+
+    async def submit(self, per_shard: dict[int, list[Any]],
+                     ) -> tuple[int, int, int]:
+        """Forward pre-routed updates; returns (accepted, shed, rejected).
+
+        Buffering shards ACK into their migration buffer (replayed after
+        cutover — an ACK here carries the same durability as an ACK into
+        a shard queue). Everything else groups into one ``w_offer`` frame
+        per worker, sent concurrently.
+        """
+        accepted = shed = rejected = 0
+        per_worker: dict[str, list[list[Any]]] = {}
+        touched: list[ShardRoute] = []
+        for sid, items in per_shard.items():
+            routed = self.routes[sid]
+            if routed.buffering:
+                if (routed.buffered_updates + len(items)
+                        <= self.config.buffer_depth):
+                    routed.buffer.append(items)
+                    routed.buffered_updates += len(items)
+                    accepted += len(items)
+                else:
+                    self.router_shed += len(items)
+                    shed += len(items)
+                continue
+            per_worker.setdefault(routed.worker_id, []).append([sid, items])
+            routed.inflight += 1
+            routed._idle.clear()
+            touched.append(routed)
+        if per_worker:
+            try:
+                results = await asyncio.gather(
+                    *(self._offer(wid, batches)
+                      for wid, batches in per_worker.items()))
+            finally:
+                for routed in touched:
+                    routed.inflight -= 1
+                    if routed.inflight == 0:
+                        routed._idle.set()
+            for a, s, r in results:
+                accepted += a
+                shed += s
+                rejected += r
+        return accepted, shed, rejected
+
+    async def _offer(self, worker_id: str,
+                     batches: list[list[Any]]) -> tuple[int, int, int]:
+        total = sum(len(items) for _sid, items in batches)
+        try:
+            reply = await self._request(worker_id,
+                                        {"op": "w_offer", "b": batches})
+        except ClusterError:
+            self._note_failure(worker_id)
+            self.router_shed += total
+            return 0, total, 0
+        if not reply.get("ok"):  # pragma: no cover - defensive
+            self.router_shed += total
+            return 0, total, 0
+        return (int(reply.get("accepted", 0)), int(reply.get("shed", 0)),
+                int(reply.get("rejected", 0)))
+
+    async def drain(self) -> None:
+        """Wait until every live worker has applied its queued batches."""
+        for wid in sorted(self.transports):
+            if wid in self._dead:
+                continue
+            try:
+                await self._request(wid, {"op": "w_drain"})
+            except ClusterError:
+                self._note_failure(wid)
+
+    # ------------------------------------------------------------------
+    # Task control
+
+    async def register_task(self, entry: dict[str, Any]) -> dict[str, Any]:
+        spec = task_from_config(dict(entry), self.defaults)
+        sid = route(spec.name, self.n_shards)
+        routed = self.routes[sid]
+        await routed.wait_settled()
+        reply = await self._request(routed.worker_id, {
+            "op": "w_register_task", "shard": sid,
+            "task": dict(entry), "defaults": self.defaults})
+        if not reply.get("ok"):
+            return reply
+        self.task_shard[spec.name] = sid
+        self.catalog[spec.name] = dict(entry)
+        self.trace.emit("task_registered", task=spec.name, shard=sid,
+                        threshold=spec.threshold)
+        return {"ok": True, "task": spec.name, "shard": sid}
+
+    async def remove_task(self, name: str) -> dict[str, Any]:
+        sid = self.task_shard.get(name)
+        if sid is None:
+            return {"ok": False, "error": f"unknown task {name!r}",
+                    "code": "unknown-task"}
+        routed = self.routes[sid]
+        await routed.wait_settled()
+        reply = await self._request(routed.worker_id, {
+            "op": "w_remove_task", "shard": sid, "task": name})
+        if not reply.get("ok"):
+            return reply
+        del self.task_shard[name]
+        self.catalog.pop(name, None)
+        self.trace.emit("task_removed", task=name, shard=sid)
+        return {"ok": True, "task": name}
+
+    async def add_trigger(self, request: dict[str, Any]) -> dict[str, Any]:
+        target = str(request.get("target", ""))
+        trigger = str(request.get("trigger", ""))
+        for name in (target, trigger):
+            if name not in self.task_shard:
+                return {"ok": False, "error": f"unknown task {name!r}",
+                        "code": "unknown-task"}
+        if self.task_shard[target] != self.task_shard[trigger]:
+            return {"ok": False, "code": "cross-shard-trigger",
+                    "error": f"target {target!r} (shard "
+                             f"{self.task_shard[target]}) and trigger "
+                             f"{trigger!r} (shard "
+                             f"{self.task_shard[trigger]}) hash to "
+                             f"different shards; correlation gating is "
+                             f"intra-shard"}
+        sid = self.task_shard[target]
+        routed = self.routes[sid]
+        await routed.wait_settled()
+        reply = await self._request(routed.worker_id, {
+            "op": "w_add_trigger", "shard": sid, "target": target,
+            "trigger": trigger,
+            "elevation_level": float(request.get("elevation_level", 0.0)),
+            "suspend_interval": int(request.get("suspend_interval", 10))})
+        if not reply.get("ok"):
+            return reply
+        return {"ok": True, "target": target, "trigger": trigger}
+
+    async def forward_task_read(self, op: str, name: str,
+                                extra: dict[str, Any] | None = None,
+                                ) -> dict[str, Any]:
+        """Route a per-task read (``due``/``task_info``/``alerts``)."""
+        sid = self.task_shard.get(name)
+        if sid is None:
+            return {"ok": False, "error": f"unknown task {name!r}",
+                    "code": "unknown-task"}
+        routed = self.routes[sid]
+        await routed.wait_settled()
+        payload = {"op": op, "shard": sid, "task": name}
+        if extra:
+            payload.update(extra)
+        return await self._request(routed.worker_id, payload)
+
+    # ------------------------------------------------------------------
+    # Migration
+
+    async def migrate(self, shard_id: int, target: str) -> dict[str, Any]:
+        """Move one shard to ``target`` live, with offers buffered.
+
+        Protocol: buffer → wait in-flight → drain+snapshot source →
+        restore on target → **fingerprint check** → cutover → replay
+        buffer → drop source copy. Any failure before cutover aborts
+        with the source untouched and the buffer replayed to it.
+        """
+        if not 0 <= shard_id < self.n_shards:
+            raise ClusterError(f"no such shard {shard_id}")
+        if target not in self.transports or target in self._dead:
+            raise ClusterError(f"no such worker {target!r}")
+        routed = self.routes[shard_id]
+        source = routed.worker_id
+        if target == source:
+            return {"ok": True, "shard": shard_id, "from": source,
+                    "to": target, "noop": True}
+        if routed.buffering:
+            raise ClusterError(
+                f"shard {shard_id} is already migrating")
+        routed.begin_buffering()
+        try:
+            await routed.wait_idle()
+            snap = await self._request(source, {
+                "op": "w_snapshot_shard", "shard": shard_id, "drain": True})
+            if not snap.get("ok"):
+                raise ClusterError(
+                    f"cannot snapshot shard {shard_id} on {source}: "
+                    f"{snap.get('error')}")
+            restored = await self._request(target, {
+                "op": "w_restore_shard", "shard": shard_id,
+                "snapshot": snap["snapshot"], "counters": snap["counters"],
+                "adaptation": self._adaptation_dict()})
+            if not restored.get("ok"):
+                raise ClusterError(
+                    f"cannot restore shard {shard_id} on {target}: "
+                    f"{restored.get('error')}")
+            if restored.get("fingerprint") != snap.get("fingerprint"):
+                await self._best_effort(target, {"op": "w_drop_shard",
+                                                 "shard": shard_id})
+                raise ClusterError(
+                    f"fingerprint mismatch migrating shard {shard_id}: "
+                    f"source {snap.get('fingerprint')} != target "
+                    f"{restored.get('fingerprint')}; migration aborted")
+            routed.worker_id = target
+        except Exception:
+            self.trace.emit("migration_aborted", shard=shard_id,
+                            source=source, target=target)
+            # Source is still authoritative; replay what we buffered.
+            await self._flush(routed)
+            routed.end_buffering()
+            raise
+        replayed = await self._flush(routed)
+        routed.end_buffering()
+        await self._best_effort(source, {"op": "w_drop_shard",
+                                         "shard": shard_id})
+        self.migrations += 1
+        self.trace.emit("shard_migrated", shard=shard_id, source=source,
+                        target=target, replayed=replayed,
+                        fingerprint=snap.get("fingerprint"))
+        return {"ok": True, "shard": shard_id, "from": source, "to": target,
+                "replayed": replayed,
+                "fingerprint": snap.get("fingerprint"),
+                "fingerprint_match": True}
+
+    async def _flush(self, routed: ShardRoute) -> int:
+        """Replay a route's buffer head-first to its current worker."""
+        replayed = 0
+        retries = 0
+        while routed.buffer:
+            items = routed.buffer[0]
+            try:
+                reply = await self._request(routed.worker_id, {
+                    "op": "w_offer", "b": [[routed.shard_id, items]]})
+            except ClusterError:
+                self._note_failure(routed.worker_id)
+                reply = None
+            if reply is not None and reply.get("ok"):
+                if int(reply.get("accepted", 0)) == len(items):
+                    replayed += len(items)
+                    routed.buffered_updates -= len(items)
+                    routed.buffer.pop(0)
+                    retries = 0
+                    continue
+                if (int(reply.get("shed", 0))
+                        and retries < _FLUSH_RETRY_LIMIT):
+                    retries += 1
+                    await asyncio.sleep(self.config.shed_retry_ms / 1000.0)
+                    continue
+            # Worker unreachable, shard rejected, or out of retries: the
+            # remaining buffer is honestly accounted as shed and recovery
+            # (if the worker is dead) is the heartbeat's job.
+            for rest in routed.buffer:
+                self.router_shed += len(rest)
+                routed.buffered_updates -= len(rest)
+            routed.buffer.clear()
+            break
+        return replayed
+
+    # ------------------------------------------------------------------
+    # Failure detection and re-placement
+
+    async def _heartbeat_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.heartbeat_interval)
+            try:
+                await self._heartbeat_once()
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # pragma: no cover - keep the loop alive
+                logger.exception("heartbeat pass failed")
+
+    async def _heartbeat_once(self) -> None:
+        for wid, transport in list(self.transports.items()):
+            if wid in self._dead:
+                continue
+            failed = not transport.alive
+            if not failed:
+                try:
+                    reply = await asyncio.wait_for(
+                        transport.request({"op": "w_ping"}),
+                        timeout=self.config.heartbeat_timeout)
+                    failed = not reply.get("ok")
+                except (ClusterError, asyncio.TimeoutError):
+                    failed = True
+            if failed:
+                self._misses[wid] = self._misses.get(wid, 0) + 1
+                if self._misses[wid] >= self.config.heartbeat_misses:
+                    await self._handle_worker_loss(wid)
+            else:
+                self._misses[wid] = 0
+        await self.pull_traces()
+        await self.refresh_fleet()
+        await self._refresh_recovery_state()
+
+    async def _refresh_recovery_state(self) -> None:
+        """Keep an in-memory copy of every shard's state for re-placement.
+
+        This is the 'last checkpoint' failure recovery restores from; it
+        is refreshed every heartbeat so recovery loses at most one beat
+        of sampler adaptation, checkpoint file or not.
+        """
+        self._last_checkpoint_state = await self._collect_state()
+
+    async def _handle_worker_loss(self, worker_id: str) -> None:
+        async with self._recover_lock:
+            if worker_id in self._dead:
+                return
+            self._dead.add(worker_id)
+        self.trace.emit("worker_lost", worker=worker_id,
+                        misses=self._misses.get(worker_id, 0))
+        logger.warning("worker %s declared dead after %d missed heartbeats",
+                       worker_id, self._misses.get(worker_id, 0))
+        shards_state = (self._last_checkpoint_state or {}).get("shards", {})
+        survivors = [wid for wid in sorted(self.transports)
+                     if wid not in self._dead]
+        if not survivors:
+            logger.error("no surviving workers; shards on %s are offline",
+                         worker_id)
+            return
+        load = {wid: sum(1 for r in self.routes if r.worker_id == wid)
+                for wid in survivors}
+        for routed in self.routes:
+            if routed.worker_id != worker_id:
+                continue
+            routed.begin_buffering()
+            try:
+                new_wid = min(survivors, key=lambda w: (load[w], w))
+                entry = shards_state.get(str(routed.shard_id))
+                old = routed.worker_id
+                routed.worker_id = new_wid
+                await self._place_shard(routed, entry)
+                load[new_wid] += 1
+                self.replacements += 1
+                self.trace.emit("shard_replaced", shard=routed.shard_id,
+                                source=old, target=new_wid,
+                                recovered=entry is not None)
+            except ClusterError:
+                logger.exception("re-placement of shard %d failed",
+                                 routed.shard_id)
+            finally:
+                await self._flush(routed)
+                routed.end_buffering()
+        transport = self.transports.get(worker_id)
+        if transport is not None:
+            try:
+                await asyncio.wait_for(transport.close(), timeout=5.0)
+            except (asyncio.TimeoutError, ClusterError,
+                    OSError):  # pragma: no cover - already dead
+                pass
+
+    async def kill_worker(self, worker_id: str) -> None:
+        """Hard-kill one worker (chaos tests / CI re-placement check)."""
+        transport = self.transports.get(worker_id)
+        if transport is None:
+            raise ClusterError(f"no such worker {worker_id!r}")
+        kill = getattr(transport, "kill", None)
+        if kill is None:
+            raise ClusterError(
+                f"worker {worker_id} backend cannot be killed remotely")
+        await kill()
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+
+    async def _collect_state(self) -> dict[str, Any]:
+        # A worker that is unreachable this pass (possibly dying, not yet
+        # declared dead) must not evict its shards from the recovery
+        # state: keep the last-known-good entry so a subsequent
+        # re-placement still has something to restore from.
+        prev_shards = (self._last_checkpoint_state or {}).get("shards", {})
+        shards: dict[str, Any] = {}
+        for routed in self.routes:
+            if routed.worker_id in self._dead:
+                continue
+            key = str(routed.shard_id)
+            try:
+                reply = await self._request(routed.worker_id, {
+                    "op": "w_snapshot_shard", "shard": routed.shard_id})
+            except ClusterError:
+                reply = None
+            if reply is not None and reply.get("ok"):
+                shards[key] = {"snapshot": reply["snapshot"],
+                               "counters": reply["counters"]}
+            elif key in prev_shards:
+                shards[key] = prev_shards[key]
+        return {
+            "kind": "cluster",
+            "n_shards": self.n_shards,
+            "placement": {str(r.shard_id): r.worker_id
+                          for r in self.routes},
+            "task_shard": dict(self.task_shard),
+            "catalog": dict(self.catalog),
+            "defaults": dict(self.defaults),
+            "adaptation": self._adaptation_dict(),
+            "shards": shards,
+        }
+
+    async def write_checkpoint(self) -> pathlib.Path | None:
+        """Collect and persist the full cluster state (v2 CRC format)."""
+        state = await self._collect_state()
+        self._last_checkpoint_state = state
+        if self.config.checkpoint_path is None:
+            return None
+        path = write_checkpoint(self.config.checkpoint_path, state)
+        self._last_checkpoint_monotonic = time.monotonic()
+        return path
+
+    async def _checkpoint_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.checkpoint_interval)
+            try:
+                await self.write_checkpoint()
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # pragma: no cover - degrade, don't die
+                self.checkpoint_failures += 1
+                logger.exception("periodic cluster checkpoint failed")
+
+    # ------------------------------------------------------------------
+    # Fleet telemetry
+
+    async def pull_traces(self) -> None:
+        """Drain worker sampler traces into the coordinator's ring."""
+        async with self._trace_lock:
+            for wid, transport in list(self.transports.items()):
+                if wid in self._dead:
+                    continue
+                try:
+                    reply = await transport.request({
+                        "op": "w_trace",
+                        "since": self._trace_cursor.get(wid, 0)})
+                except ClusterError:
+                    continue
+                if not reply.get("ok"):
+                    continue
+                self._trace_cursor[wid] = int(reply.get("next_seq", 0))
+                for event in reply.get("events", ()):
+                    data = {k: v for k, v in event.items()
+                            if k not in ("seq", "ts_monotonic", "kind",
+                                         "task", "shard")}
+                    self.trace.emit(str(event.get("kind")),
+                                    task=event.get("task"),
+                                    shard=event.get("shard"),
+                                    worker=wid, **data)
+
+    async def refresh_fleet(self) -> dict[str, Any]:
+        """Pull raw worker registries, merge, cache for the HTTP server."""
+        snaps: dict[str, Any] = {}
+        for wid, transport in list(self.transports.items()):
+            if wid in self._dead:
+                continue
+            try:
+                reply = await transport.request({"op": "w_telemetry"})
+            except ClusterError:
+                continue
+            if reply.get("ok"):
+                snaps[wid] = reply.get("metrics", {})
+        self._fleet_cache = merge_fleet_snapshots(
+            snaps, base=self.registry.snapshot())
+        return self._fleet_cache
+
+    @property
+    def fleet_snapshot(self) -> dict[str, Any]:
+        """Last merged fleet metrics snapshot (heartbeat-refreshed)."""
+        return self._fleet_cache
+
+    def placement(self) -> dict[str, Any]:
+        """The live placement table (the ``placement`` wire op's body)."""
+        return {
+            "n_shards": self.n_shards,
+            "workers": {wid: {"alive": wid not in self._dead
+                              and t.alive,
+                              "pid": self.worker_pids()[wid],
+                              "shards": sorted(
+                                  r.shard_id for r in self.routes
+                                  if r.worker_id == wid)}
+                        for wid, t in self.transports.items()},
+            "migrations": self.migrations,
+            "replacements": self.replacements,
+        }

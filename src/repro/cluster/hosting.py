@@ -1,0 +1,394 @@
+"""Shard hosting: the worker-side half of the cluster runtime.
+
+A :class:`WorkerHost` owns a set of :class:`~repro.runtime.shard.ShardWorker`
+instances keyed by *global* shard id and exposes one async ``handle(request)
+-> reply`` dispatch for the worker-side op surface (``w_*`` ops). The same
+object backs every transport backend: the in-proc transport calls
+:meth:`WorkerHost.handle` directly (zero-copy), the subprocess/TCP worker
+(:mod:`repro.cluster.worker`) wraps it in a frame loop.
+
+The host deliberately reuses the single-process runtime's building blocks
+unchanged — :class:`~repro.runtime.shard.ShardWorker` queues and drain
+loops, :meth:`~repro.service.MonitoringService.snapshot` /
+:meth:`~repro.service.MonitoringService.restore` for migration — so a
+shard behaves bit-identically whether it lives in the router process, a
+subprocess, or a remote peer. Shard state moves between workers only as
+snapshot dicts (the checkpoint format), never as live objects.
+
+Telemetry: each host carries its own
+:class:`~repro.telemetry.registry.MetricsRegistry` with the standard
+per-shard counter families; the coordinator pulls raw snapshots
+(``w_telemetry``) and merges them into the fleet view. Sampler decision
+events (``interval_adapted`` / ``violation``) are emitted into the host's
+local :class:`~repro.telemetry.trace.DecisionTrace` and pulled by the
+coordinator's trace aggregation, so a cluster's trace stream carries the
+same event kinds as a single-process runtime's.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any
+
+from repro.config import task_from_config
+from repro.core.adaptation import AdaptationConfig
+from repro.core.windowed import AggregateKind
+from repro.exceptions import ReproError
+from repro.runtime.checkpoint import state_fingerprint
+from repro.runtime.shard import ShardWorker, restore_counters
+from repro.service import MonitoringService
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.trace import DecisionTrace
+from repro.types import Alert
+
+__all__ = ["WorkerHost"]
+
+_PER_SHARD_COUNTERS = (
+    ("volley_updates_offered_total",
+     "Updates accepted into shard queues", "offered"),
+    ("volley_updates_applied_total",
+     "Updates applied to shard services", "applied"),
+    ("volley_updates_consumed_total",
+     "Updates consumed as scheduled samples", "consumed"),
+    ("volley_updates_shed_total",
+     "Updates shed under backpressure", "shed"),
+    ("volley_updates_rejected_total",
+     "Updates rejected (unknown task / malformed)", "rejected"),
+    ("volley_alerts_fired_total",
+     "State-violation alerts fired", "alerts_fired"),
+)
+
+
+def _error(message: str, code: str = "bad-request") -> dict[str, Any]:
+    return {"ok": False, "error": message, "code": code}
+
+
+class WorkerHost:
+    """Hosts a mutable set of global shards inside one event loop.
+
+    Args:
+        worker_id: stable identifier within the cluster (``w0``, ``w1``,
+            ...); labels every metric series and trace event this host
+            produces.
+        queue_depth: per-shard ingest queue depth, in batches.
+        adaptation: default adaptation tunables for tasks registered on
+            hosted shards (the coordinator forwards its own).
+        registry: metrics registry; the default creates a live one so
+            per-worker counters always exist for the fleet merge.
+        trace: decision trace for sampler events; the default creates a
+            local ring the coordinator drains via ``w_trace``.
+    """
+
+    def __init__(self, worker_id: str, queue_depth: int = 1024,
+                 adaptation: AdaptationConfig | None = None,
+                 registry: MetricsRegistry | None = None,
+                 trace: DecisionTrace | None = None,
+                 trace_capacity: int = 4096):
+        self.worker_id = worker_id
+        self.queue_depth = queue_depth
+        self.adaptation = adaptation or AdaptationConfig()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.trace = trace if trace is not None else DecisionTrace(
+            trace_capacity)
+        self.shards: dict[int, ShardWorker] = {}
+        self._running = False
+        self._started_monotonic = time.monotonic()
+        self._interval_hist = self.registry.histogram(
+            "volley_sampling_interval",
+            "Sampling interval after each consumed update")
+        self._queue_depth_family = self.registry.gauge(
+            "volley_queue_depth", "Batches queued per shard",
+            labels=("shard",))
+        self.registry.gauge(
+            "volley_worker_uptime_seconds",
+            "Seconds since this worker host started",
+            fn=lambda: time.monotonic() - self._started_monotonic)
+        self._counter_families = [
+            (self.registry.counter(name, help_text, labels=("shard",)), attr)
+            for name, help_text, attr in _PER_SHARD_COUNTERS]
+
+    # ------------------------------------------------------------------
+    # Shard lifecycle
+
+    def start(self) -> None:
+        """Start the drain loops of every hosted shard (idempotent)."""
+        self._running = True
+        for worker in self.shards.values():
+            worker.start()
+
+    async def close(self, drain: bool = True) -> None:
+        """Stop every hosted shard; with ``drain`` apply queued work first."""
+        self._running = False
+        for worker in self.shards.values():
+            if drain:
+                await worker.stop()
+            else:
+                await worker.abort()
+
+    def _alert_hook(self, worker: ShardWorker):
+        def hook(alert: Alert, _worker: ShardWorker = worker) -> None:
+            _worker.alerts_fired += 1
+        return hook
+
+    def _install(self, shard_id: int, service: MonitoringService,
+                 ) -> ShardWorker:
+        worker = ShardWorker(shard_id, service, self.queue_depth)
+        worker.interval_hist = (self._interval_hist
+                                if self.registry.enabled else None)
+        service.attach_telemetry(self.trace, shard_id)
+        self.shards[shard_id] = worker
+        for family, attr in self._counter_families:
+            family.labels(shard_id,
+                          fn=lambda w=worker, a=attr: float(getattr(w, a)))
+        self._queue_depth_family.labels(
+            shard_id, fn=lambda w=worker: float(w.depth))
+        if self._running:
+            worker.start()
+        return worker
+
+    async def _uninstall(self, shard_id: int, drain: bool) -> None:
+        worker = self.shards.pop(shard_id)
+        if drain:
+            await worker.stop()
+        else:
+            await worker.abort()
+        for family, _attr in self._counter_families:
+            family.remove(shard_id)
+        self._queue_depth_family.remove(shard_id)
+
+    def _shard(self, shard_id: int) -> ShardWorker:
+        worker = self.shards.get(shard_id)
+        if worker is None:
+            raise KeyError(f"worker {self.worker_id} does not host shard "
+                           f"{shard_id}")
+        return worker
+
+    def _find_task(self, request: dict[str, Any]) -> tuple[ShardWorker, Any]:
+        worker = self._shard(int(request.get("shard", -1)))
+        return worker, worker.service._state(str(request.get("task", "")))
+
+    # ------------------------------------------------------------------
+    # Dispatch
+
+    async def handle(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Dispatch one worker-side request; always returns a reply dict."""
+        op = request.get("op")
+        handler = self._OPS.get(op) if isinstance(op, str) else None
+        if handler is None:
+            return _error(f"unknown worker op {op!r}", code="unknown-op")
+        try:
+            reply = handler(self, request)
+            if hasattr(reply, "__await__"):
+                reply = await reply
+            return reply
+        except KeyError as exc:
+            return _error(str(exc.args[0]) if exc.args else str(exc),
+                          code="unknown-shard")
+        except ReproError as exc:
+            return _error(str(exc))
+        except (ValueError, TypeError) as exc:
+            return _error(f"invalid request: {exc}")
+
+    # ------------------------------------------------------------------
+    # Ops — lifecycle / placement
+
+    def _op_ping(self, request: dict[str, Any]) -> dict[str, Any]:
+        return {"ok": True, "worker_id": self.worker_id, "pid": os.getpid(),
+                "shards": sorted(self.shards),
+                "uptime_s": time.monotonic() - self._started_monotonic}
+
+    def _op_add_shard(self, request: dict[str, Any]) -> dict[str, Any]:
+        shard_id = int(request["shard"])
+        if shard_id in self.shards:
+            return _error(f"worker {self.worker_id} already hosts shard "
+                          f"{shard_id}", code="shard-exists")
+        adaptation = request.get("adaptation")
+        if adaptation is not None:
+            self.adaptation = AdaptationConfig(**adaptation)
+        self._install(shard_id, MonitoringService(self.adaptation))
+        return {"ok": True, "shard": shard_id}
+
+    async def _op_restore_shard(self, request: dict[str, Any],
+                                ) -> dict[str, Any]:
+        """Install a shard from a snapshot (migration target / recovery).
+
+        Replies with the fingerprint of the *re-serialised* restored state
+        so the coordinator can verify the transfer was bit-identical
+        before cutting traffic over.
+        """
+        shard_id = int(request["shard"])
+        adaptation = request.get("adaptation")
+        if adaptation is not None:
+            self.adaptation = AdaptationConfig(**adaptation)
+        if shard_id in self.shards:
+            await self._uninstall(shard_id, drain=False)
+        snapshot = request.get("snapshot")
+        if snapshot is None:
+            worker = self._install(shard_id,
+                                   MonitoringService(self.adaptation))
+        else:
+            # The alert callback must bump the ShardWorker's counter, but
+            # the worker only exists after the service does — close over a
+            # cell that is filled right after installation.
+            cell: list[ShardWorker] = []
+
+            def on_alert(_name: str, _alert: Alert) -> None:
+                if cell:
+                    cell[0].alerts_fired += 1
+
+            service = MonitoringService.restore(dict(snapshot),
+                                                on_alert=on_alert)
+            worker = self._install(shard_id, service)
+            cell.append(worker)
+        counters = request.get("counters")
+        if counters:
+            restore_counters(worker, counters)
+        check = worker.service.snapshot()
+        return {"ok": True, "shard": shard_id,
+                "fingerprint": state_fingerprint(check),
+                "tasks": len(worker.service.task_names)}
+
+    async def _op_snapshot_shard(self, request: dict[str, Any],
+                                 ) -> dict[str, Any]:
+        """Serialise one shard's full state (optionally after draining)."""
+        shard_id = int(request["shard"])
+        worker = self._shard(shard_id)
+        if bool(request.get("drain", False)):
+            await worker.drain()
+        snapshot = worker.service.snapshot()
+        return {"ok": True, "shard": shard_id, "snapshot": snapshot,
+                "counters": worker.stats(),
+                "fingerprint": state_fingerprint(snapshot)}
+
+    async def _op_drop_shard(self, request: dict[str, Any]) -> dict[str, Any]:
+        shard_id = int(request["shard"])
+        self._shard(shard_id)  # raise unknown-shard before popping
+        await self._uninstall(shard_id, drain=bool(request.get("drain",
+                                                               False)))
+        return {"ok": True, "shard": shard_id}
+
+    async def _op_drain(self, request: dict[str, Any]) -> dict[str, Any]:
+        shard = request.get("shard")
+        workers = ([self._shard(int(shard))] if shard is not None
+                   else list(self.shards.values()))
+        for worker in workers:
+            await worker.drain()
+        return {"ok": True, "drained": [w.shard_id for w in workers]}
+
+    # ------------------------------------------------------------------
+    # Ops — data path
+
+    def _op_offer(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Apply pre-routed sub-batches: ``{"b": [[shard, updates], ...]}``.
+
+        The router already validated shapes and routed by task id; this
+        side only enqueues. Sub-batches for shards this worker no longer
+        hosts (a migration raced the forward) are *rejected*, not shed —
+        the router counts them and the client sees them in ``rejected``.
+        """
+        accepted = shed = rejected = 0
+        for shard_id, updates in request.get("b", ()):
+            worker = self.shards.get(shard_id)
+            if worker is None:
+                rejected += len(updates)
+                continue
+            if worker.try_enqueue(updates):
+                accepted += len(updates)
+            else:
+                shed += len(updates)
+        return {"ok": True, "accepted": accepted, "shed": shed,
+                "rejected": rejected}
+
+    # ------------------------------------------------------------------
+    # Ops — task control / reads
+
+    def _op_register_task(self, request: dict[str, Any]) -> dict[str, Any]:
+        entry = request.get("task")
+        if not isinstance(entry, dict):
+            return _error("w_register_task needs a 'task' dict")
+        worker = self._shard(int(request.get("shard", -1)))
+        spec = task_from_config(dict(entry),
+                                dict(request.get("defaults") or {}))
+        window = int(entry.get("window", 1))
+        kind = AggregateKind(str(entry.get("aggregate", "mean")))
+        worker.service.add_task(spec.name, spec,
+                                on_alert=self._alert_hook(worker),
+                                window=window, window_kind=kind,
+                                config=self.adaptation)
+        return {"ok": True, "task": spec.name, "shard": worker.shard_id}
+
+    def _op_remove_task(self, request: dict[str, Any]) -> dict[str, Any]:
+        worker = self._shard(int(request.get("shard", -1)))
+        name = str(request.get("task", ""))
+        worker.service.remove_task(name)
+        return {"ok": True, "task": name}
+
+    def _op_add_trigger(self, request: dict[str, Any]) -> dict[str, Any]:
+        worker = self._shard(int(request.get("shard", -1)))
+        worker.service.add_trigger(
+            str(request.get("target", "")), str(request.get("trigger", "")),
+            elevation_level=float(request.get("elevation_level", 0.0)),
+            suspend_interval=int(request.get("suspend_interval", 10)))
+        return {"ok": True}
+
+    def _op_due(self, request: dict[str, Any]) -> dict[str, Any]:
+        worker, state = self._find_task(request)
+        step = int(request.get("step", 0))
+        return {"ok": True, "due": step >= state.next_due,
+                "next_due": state.next_due, "shard": worker.shard_id}
+
+    def _op_task_info(self, request: dict[str, Any]) -> dict[str, Any]:
+        worker, state = self._find_task(request)
+        return {
+            "ok": True,
+            "task": str(request.get("task", "")),
+            "shard": worker.shard_id,
+            "samples_taken": state.samples_taken,
+            "alerts": len(state.alerts),
+            "interval": state.sampler.interval,
+            "next_due": state.next_due,
+            "observations": state.sampler.observations,
+        }
+
+    def _op_alerts(self, request: dict[str, Any]) -> dict[str, Any]:
+        _worker, state = self._find_task(request)
+        return {"ok": True, "task": str(request.get("task", "")),
+                "alerts": [[a.time_index, a.value, a.threshold]
+                           for a in state.alerts]}
+
+    def _op_stats(self, request: dict[str, Any]) -> dict[str, Any]:
+        return {"ok": True, "worker_id": self.worker_id,
+                "shards": [self.shards[sid].stats()
+                           for sid in sorted(self.shards)]}
+
+    def _op_telemetry(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Raw-sketch metrics snapshot for the coordinator-side merge."""
+        return {"ok": True, "worker_id": self.worker_id,
+                "metrics": self.registry.snapshot(raw=True)}
+
+    def _op_trace(self, request: dict[str, Any]) -> dict[str, Any]:
+        since = int(request.get("since", 0))
+        return {"ok": True,
+                "events": self.trace.drain(since=since),
+                "next_seq": self.trace.next_seq,
+                "dropped": self.trace.dropped}
+
+    _OPS = {
+        "w_ping": _op_ping,
+        "w_add_shard": _op_add_shard,
+        "w_restore_shard": _op_restore_shard,
+        "w_snapshot_shard": _op_snapshot_shard,
+        "w_drop_shard": _op_drop_shard,
+        "w_drain": _op_drain,
+        "w_offer": _op_offer,
+        "w_register_task": _op_register_task,
+        "w_remove_task": _op_remove_task,
+        "w_add_trigger": _op_add_trigger,
+        "w_due": _op_due,
+        "w_task_info": _op_task_info,
+        "w_alerts": _op_alerts,
+        "w_stats": _op_stats,
+        "w_telemetry": _op_telemetry,
+        "w_trace": _op_trace,
+    }

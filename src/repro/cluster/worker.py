@@ -1,0 +1,168 @@
+"""Cluster worker process: ``python -m repro.cluster.worker``.
+
+One event loop hosting a :class:`~repro.cluster.hosting.WorkerHost`
+behind the runtime's length-prefixed JSON framing, listening on a
+unix-domain socket (the ``subprocess`` backend) and/or a TCP port (the
+``tcp`` backend for remote peers). The coordinator is the only intended
+client, but the protocol is the same one ``repro.runtime`` speaks, so a
+worker is debuggable with the ordinary tooling.
+
+Lifecycle: the worker writes a ``{pid, unix, port}`` ready file once
+listening, then serves until it receives ``w_shutdown`` (graceful: every
+hosted shard drains its queue first) or SIGTERM. SIGKILL is the chaos
+path — queued batches die with the process and the coordinator recovers
+the shards from the last cluster checkpoint, exactly the at-most-once
+contract the single-process runtime documents.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import logging
+import os
+import pathlib
+import signal
+import sys
+from typing import Any
+
+from repro.cluster.hosting import WorkerHost
+from repro.exceptions import ProtocolError, ReproError
+from repro.runtime.protocol import encode_frame, read_frame
+from repro.telemetry.registry import instrument_samplers
+
+__all__ = ["ClusterWorker", "main"]
+
+logger = logging.getLogger(__name__)
+
+
+class ClusterWorker:
+    """The serving shell around one :class:`WorkerHost`."""
+
+    def __init__(self, worker_id: str, queue_depth: int = 1024,
+                 trace_capacity: int = 4096):
+        self.host = WorkerHost(worker_id, queue_depth=queue_depth,
+                               trace_capacity=trace_capacity)
+        self._servers: list[asyncio.AbstractServer] = []
+        self._shutdown = asyncio.Event()
+        self._tcp_port: int | None = None
+
+    @property
+    def tcp_port(self) -> int | None:
+        return self._tcp_port
+
+    async def start(self, unix_socket: pathlib.Path | None,
+                    host: str, port: int | None) -> None:
+        instrument_samplers(self.host.registry)
+        self.host.start()
+        if unix_socket is not None:
+            unix_socket.parent.mkdir(parents=True, exist_ok=True)
+            if unix_socket.exists():
+                unix_socket.unlink()
+            self._servers.append(await asyncio.start_unix_server(
+                self._on_connection, path=str(unix_socket)))
+        if port is not None:
+            server = await asyncio.start_server(
+                self._on_connection, host=host, port=port)
+            self._tcp_port = server.sockets[0].getsockname()[1]
+            self._servers.append(server)
+
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_frame(reader)
+                except ProtocolError as exc:
+                    writer.write(encode_frame(
+                        {"ok": False, "error": str(exc), "code": "protocol"}))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                if request.get("op") == "w_shutdown":
+                    # ACK first, then begin teardown: the coordinator's
+                    # close() wants a reply before waiting on the process.
+                    writer.write(encode_frame({"ok": True, "shutdown": True}))
+                    await writer.drain()
+                    self._shutdown.set()
+                    continue
+                reply = await self.host.handle(request)
+                writer.write(encode_frame(reply))
+                await writer.drain()
+        except (asyncio.CancelledError, ConnectionResetError,
+                BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def run_until_shutdown(self) -> None:
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self._shutdown.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        await self._shutdown.wait()
+        for server in self._servers:
+            server.close()
+        for server in self._servers:
+            await server.wait_closed()
+        await self.host.close(drain=True)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster.worker",
+        description="One cluster worker process hosting monitoring shards "
+                    "for a repro.cluster coordinator.")
+    parser.add_argument("--worker-id", required=True)
+    parser.add_argument("--unix", type=pathlib.Path, default=None,
+                        help="unix-domain socket to listen on")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=None,
+                        help="TCP port to listen on (0 = ephemeral)")
+    parser.add_argument("--queue-depth", type=int, default=1024)
+    parser.add_argument("--trace-capacity", type=int, default=4096)
+    parser.add_argument("--ready-file", type=pathlib.Path, default=None,
+                        help="write {pid, unix, port} JSON once listening")
+    return parser
+
+
+async def _run(args: argparse.Namespace) -> None:
+    if args.unix is None and args.port is None:
+        raise ReproError("worker needs --unix and/or --port to listen on")
+    worker = ClusterWorker(args.worker_id, queue_depth=args.queue_depth,
+                           trace_capacity=args.trace_capacity)
+    await worker.start(args.unix, args.host, args.port)
+    if args.ready_file is not None:
+        ready: dict[str, Any] = {
+            "pid": os.getpid(),
+            "worker_id": args.worker_id,
+            "unix": str(args.unix) if args.unix is not None else None,
+            "port": worker.tcp_port,
+        }
+        tmp = args.ready_file.with_name(args.ready_file.name + ".tmp")
+        tmp.write_text(json.dumps(ready), encoding="utf-8")
+        os.replace(tmp, args.ready_file)
+    await worker.run_until_shutdown()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (``python -m repro.cluster.worker``)."""
+    args = _build_parser().parse_args(argv)
+    try:
+        asyncio.run(_run(args))
+    except ReproError as exc:
+        print(f"[cluster-worker] error: {exc}", file=sys.stderr, flush=True)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

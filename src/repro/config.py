@@ -38,8 +38,8 @@ from repro.exceptions import ConfigurationError
 from repro.service import MonitoringService
 from repro.types import ThresholdDirection
 
-__all__ = ["ExecutionConfig", "RuntimeConfig", "service_from_config",
-           "task_from_config"]
+__all__ = ["ClusterConfig", "ExecutionConfig", "RuntimeConfig",
+           "service_from_config", "task_from_config"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -174,6 +174,155 @@ class RuntimeConfig:
                 is not None:
             kwargs["selfmon_interval"] = float(entry["selfmon_interval"])
         for key in ("unix_socket", "checkpoint_path"):
+            if key in entry and entry[key] is not None:
+                kwargs[key] = pathlib.Path(str(entry[key]))
+        return cls(**kwargs)
+
+
+_CLUSTER_KEYS = {"workers", "shards", "backend", "worker_endpoints",
+                 "host", "port", "http_port", "queue_depth", "max_batch",
+                 "buffer_depth", "heartbeat_interval", "heartbeat_misses",
+                 "heartbeat_timeout", "connections_per_worker",
+                 "checkpoint_path", "checkpoint_interval", "shed_retry_ms",
+                 "trace_capacity", "runtime_dir"}
+
+_CLUSTER_BACKENDS = ("inproc", "subprocess", "tcp")
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterConfig:
+    """Deployment knobs for the multi-process cluster (``repro.cluster``).
+
+    Attributes:
+        workers: worker processes (or in-proc hosts) the coordinator
+            places shards on. For the ``tcp`` backend this is derived
+            from ``worker_endpoints`` and must not disagree with it.
+        shards: global shard count; defaults to ``max(4, 2 * workers)``
+            so re-placement and migration always have somewhere to go.
+            Placement starts round-robin (shard ``i`` on worker
+            ``i % workers``) and then evolves through migrations.
+        backend: ``inproc`` (hosts in the router process, zero-copy),
+            ``subprocess`` (one process per worker over a unix socket),
+            or ``tcp`` (externally started workers at
+            ``worker_endpoints``).
+        worker_endpoints: ``host:port`` strings for the ``tcp`` backend.
+        host / port: the routing tier's TCP listen address
+            (``port=0`` picks a free port).
+        http_port: fleet telemetry HTTP endpoint (merged ``/metrics``,
+            ``/healthz``, ``/trace``); ``None`` disables, ``0`` picks a
+            free port.
+        queue_depth: per-shard ingest queue depth on each worker.
+        max_batch: maximum updates accepted per ``offer_batch`` frame at
+            the router.
+        buffer_depth: updates buffered per shard while it migrates;
+            overflow is shed with the usual backpressure reply.
+        heartbeat_interval: seconds between coordinator heartbeats.
+        heartbeat_misses: consecutive missed heartbeats before a worker
+            is declared dead and its shards re-placed.
+        heartbeat_timeout: per-heartbeat reply timeout in seconds.
+        connections_per_worker: transport connection-pool size; more than
+            one keeps offers flowing while control ops are in flight.
+        checkpoint_path: cluster checkpoint file (placement table + every
+            shard snapshot, v2 CRC format); ``None`` disables.
+        checkpoint_interval: seconds between periodic cluster checkpoints.
+        shed_retry_ms: retry hint returned to clients on shed batches.
+        trace_capacity: coordinator decision-trace ring size.
+        runtime_dir: directory for worker unix sockets and ready files
+            (``subprocess`` backend); ``None`` uses a fresh temp dir.
+    """
+
+    workers: int = 2
+    shards: int | None = None
+    backend: str = "subprocess"
+    worker_endpoints: tuple[str, ...] = ()
+    host: str = "127.0.0.1"
+    port: int = 0
+    http_port: int | None = None
+    queue_depth: int = 1024
+    max_batch: int = 8192
+    buffer_depth: int = 65536
+    heartbeat_interval: float = 0.5
+    heartbeat_misses: int = 3
+    heartbeat_timeout: float = 2.0
+    connections_per_worker: int = 2
+    checkpoint_path: pathlib.Path | None = None
+    checkpoint_interval: float = 30.0
+    shed_retry_ms: int = 50
+    trace_capacity: int = 4096
+    runtime_dir: pathlib.Path | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1, got {self.workers}")
+        if self.backend not in _CLUSTER_BACKENDS:
+            raise ConfigurationError(
+                f"backend must be one of {list(_CLUSTER_BACKENDS)}, "
+                f"got {self.backend!r}")
+        if self.backend == "tcp":
+            if not self.worker_endpoints:
+                raise ConfigurationError(
+                    "tcp backend needs worker_endpoints")
+            if len(self.worker_endpoints) != self.workers:
+                raise ConfigurationError(
+                    f"{self.workers} workers but "
+                    f"{len(self.worker_endpoints)} worker_endpoints")
+        elif self.worker_endpoints:
+            raise ConfigurationError(
+                f"worker_endpoints only apply to the tcp backend, "
+                f"not {self.backend!r}")
+        if self.shards is not None and self.shards < self.workers:
+            raise ConfigurationError(
+                f"shards ({self.shards}) must be >= workers "
+                f"({self.workers}); a worker with no shard serves nothing")
+        for attr in ("queue_depth", "max_batch", "buffer_depth",
+                     "heartbeat_misses", "connections_per_worker",
+                     "trace_capacity"):
+            if getattr(self, attr) < 1:
+                raise ConfigurationError(
+                    f"{attr} must be >= 1, got {getattr(self, attr)}")
+        for attr in ("heartbeat_interval", "heartbeat_timeout",
+                     "checkpoint_interval"):
+            if getattr(self, attr) <= 0:
+                raise ConfigurationError(
+                    f"{attr} must be > 0, got {getattr(self, attr)}")
+        if self.shed_retry_ms < 0:
+            raise ConfigurationError(
+                f"shed_retry_ms must be >= 0, got {self.shed_retry_ms}")
+
+    @property
+    def n_shards(self) -> int:
+        """The resolved global shard count."""
+        return self.shards if self.shards is not None \
+            else max(4, 2 * self.workers)
+
+    @classmethod
+    def from_dict(cls, entry: Mapping[str, Any]) -> "ClusterConfig":
+        """Build from a config file's ``cluster`` section (fail closed)."""
+        if not isinstance(entry, Mapping):
+            raise ConfigurationError(
+                f"cluster section must be a dict, got {entry!r}")
+        _reject_unknown(dict(entry), _CLUSTER_KEYS, "cluster section")
+        kwargs: dict[str, Any] = {}
+        for key in ("workers", "shards", "port", "queue_depth", "max_batch",
+                    "buffer_depth", "heartbeat_misses",
+                    "connections_per_worker", "shed_retry_ms",
+                    "trace_capacity"):
+            if key in entry and entry[key] is not None:
+                kwargs[key] = int(entry[key])
+        for key in ("heartbeat_interval", "heartbeat_timeout",
+                    "checkpoint_interval"):
+            if key in entry:
+                kwargs[key] = float(entry[key])
+        for key in ("backend", "host"):
+            if key in entry:
+                kwargs[key] = str(entry[key])
+        if "worker_endpoints" in entry:
+            kwargs["worker_endpoints"] = tuple(
+                str(e) for e in entry["worker_endpoints"])
+        if "http_port" in entry and entry["http_port"] is not None:
+            kwargs["http_port"] = int(entry["http_port"])
+        for key in ("checkpoint_path", "runtime_dir"):
             if key in entry and entry[key] is not None:
                 kwargs[key] = pathlib.Path(str(entry[key]))
         return cls(**kwargs)

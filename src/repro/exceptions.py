@@ -46,3 +46,14 @@ class ProtocolError(ReproError):
 
 class CheckpointError(ReproError):
     """A runtime checkpoint file is unreadable or incompatible."""
+
+
+class ClusterError(ReproError):
+    """A cluster operation failed (worker unreachable, migration aborted,
+    placement inconsistency).
+
+    Raised by :mod:`repro.cluster` transports when a worker process cannot
+    be reached and by the coordinator when a control operation (migration,
+    re-placement) cannot complete safely. Data-path callers treat it as
+    shed-with-count, never as a crash.
+    """

@@ -20,19 +20,21 @@ trailer) remain readable for backward compatibility.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import pathlib
 import re
 import zlib
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Mapping
 
 from repro.exceptions import CheckpointError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from repro.testkit.faults import FaultHook
 
-__all__ = ["CHECKPOINT_VERSION", "read_checkpoint", "write_checkpoint"]
+__all__ = ["CHECKPOINT_VERSION", "read_checkpoint", "state_fingerprint",
+           "write_checkpoint"]
 
 CHECKPOINT_VERSION = 2
 
@@ -40,6 +42,18 @@ _LEGACY_VERSIONS = {1}
 """Trailer-less format versions still accepted by :func:`read_checkpoint`."""
 
 _TRAILER = re.compile(r"\ncrc32:([0-9a-f]{8})\n?\Z")
+
+
+def state_fingerprint(state: Mapping[str, Any]) -> str:
+    """Stable fingerprint of a JSON-able state dict (canonical SHA-256).
+
+    Two states with equal fingerprints are byte-identical up to dict
+    ordering. This is the equality the bit-identical-restore invariant is
+    stated in, and what the cluster migration protocol compares before
+    cutting a shard over to its target worker.
+    """
+    canonical = json.dumps(state, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def _encode(state: dict[str, Any]) -> bytes:

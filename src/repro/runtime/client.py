@@ -170,6 +170,16 @@ class RuntimeClient:
             payload["limit"] = limit
         return self._call(payload)
 
+    def migrate(self, shard: int, worker: str) -> dict[str, Any]:
+        """Move one shard to another worker live (``repro.cluster`` only;
+        a single-process server answers with ``unknown-op``)."""
+        return self._call({"op": "migrate", "shard": shard,
+                           "worker": worker})
+
+    def placement(self) -> dict[str, Any]:
+        """The cluster's live placement table (``repro.cluster`` only)."""
+        return self._call({"op": "placement"})
+
 
 class AsyncRuntimeClient:
     """Asyncio twin of :class:`RuntimeClient` (same op surface).
@@ -285,3 +295,13 @@ class AsyncRuntimeClient:
         if limit is not None:
             payload["limit"] = limit
         return await self._call(payload)
+
+    async def migrate(self, shard: int, worker: str) -> dict[str, Any]:
+        """Move one shard to another worker live (``repro.cluster`` only;
+        a single-process server answers with ``unknown-op``)."""
+        return await self._call({"op": "migrate", "shard": shard,
+                                 "worker": worker})
+
+    async def placement(self) -> dict[str, Any]:
+        """The cluster's live placement table (``repro.cluster`` only)."""
+        return await self._call({"op": "placement"})

@@ -7,6 +7,18 @@ endpoint it self-hosts: a :class:`~repro.runtime.server.RuntimeServer` is
 spun up on an ephemeral loopback port in a background thread, so one
 command benchmarks the full client → TCP → shard-queue → sampler path.
 
+Cluster mode: ``--cluster-workers N`` self-hosts a
+:class:`~repro.cluster.server.ClusterServer` fleet instead (default
+``subprocess`` backend — one worker process per core, which is where
+multi-process scaling actually comes from; ``--connections C`` drives it
+over C concurrent sender connections so the routing tier is not
+serialised behind one socket). ``--cluster-sweep 1,2,4,8`` benchmarks
+each fleet size in turn and reports offers/s scaling normalised to the
+single-worker run (``--min-scaling`` turns the floor into an exit code,
+used by the CI cluster-smoke job). ``--migrate-under-load`` live-migrates
+one shard at the midpoint of the run and records whether the cutover was
+bit-identical (fingerprint match) and how many buffered offers replayed.
+
 The synthetic streams hover below the threshold with heavy noise, so the
 benchmark exercises both regimes: samplers that grow their intervals (the
 cheap early-return ingest path) and occasional violations (alert path).
@@ -41,12 +53,16 @@ from typing import Any
 
 import numpy as np
 
-from repro.config import RuntimeConfig
+from repro.config import ClusterConfig, RuntimeConfig
 from repro.runtime.client import RuntimeClient
 from repro.runtime.server import RuntimeServer
 from repro.service import MonitoringService
 
 __all__ = ["main", "run_loadgen"]
+
+_MIGRATION_SHARD = 0
+"""The shard moved by ``--migrate-under-load`` (every shard carries an
+even slice of the synthetic tasks, so any one is representative)."""
 
 _THRESHOLD = 100.0
 
@@ -153,6 +169,74 @@ class _SpawnedServer:
         self._thread.join(timeout=30)
 
 
+class _SpawnedCluster:
+    """ClusterServer on a background thread with its own event loop."""
+
+    def __init__(self, config: ClusterConfig):
+        self._config = config
+        self._ready = threading.Event()
+        self._failure: BaseException | None = None
+        self.server = None
+        self.loop: asyncio.AbstractEventLoop | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="loadgen-cluster")
+
+    def _run(self) -> None:
+        from repro.cluster.server import ClusterServer
+
+        async def amain() -> None:
+            server = ClusterServer(self._config)
+            await server.start()
+            self.server = server
+            self.loop = asyncio.get_running_loop()
+            self._ready.set()
+            await server.serve_forever()
+
+        try:
+            asyncio.run(amain())
+        except BaseException as exc:  # surface startup failures to caller
+            self._failure = exc
+            self._ready.set()
+
+    def start(self) -> int:
+        self._thread.start()
+        self._ready.wait(timeout=60)
+        if self._failure is not None:
+            raise self._failure
+        assert self.server is not None and self.server.tcp_port is not None
+        return self.server.tcp_port
+
+    def migrate_one_shard(self) -> dict[str, Any]:
+        """Move one shard to the least-loaded other worker, under load."""
+        assert self.server is not None and self.loop is not None
+        coordinator = self.server.coordinator
+
+        async def do() -> dict[str, Any]:
+            source = coordinator.routes[_MIGRATION_SHARD].worker_id
+            others = [wid for wid in sorted(coordinator.transports)
+                      if wid != source and wid not in coordinator._dead]
+            if not others:
+                return {"ok": False, "error": "no migration target"}
+            load = {wid: sum(1 for r in coordinator.routes
+                             if r.worker_id == wid) for wid in others}
+            target = min(others, key=lambda w: (load[w], w))
+            try:
+                return await coordinator.migrate(_MIGRATION_SHARD, target)
+            except Exception as exc:
+                return {"ok": False, "error": str(exc)}
+
+        return asyncio.run_coroutine_threadsafe(
+            do(), self.loop).result(timeout=60)
+
+    def stop(self) -> None:
+        if self.server is None or self.loop is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(self.server.shutdown(),
+                                                  self.loop)
+        future.result(timeout=60)
+        self._thread.join(timeout=30)
+
+
 def _verify_checkpoint_roundtrip(checkpoint: pathlib.Path,
                                  expected: dict[str, dict[str, Any]]) -> bool:
     """Restore the flushed checkpoint and compare every task's state."""
@@ -171,49 +255,17 @@ def _verify_checkpoint_roundtrip(checkpoint: pathlib.Path,
     return restored == expected
 
 
-def run_loadgen(args: argparse.Namespace) -> dict[str, Any]:
-    """Execute the benchmark; returns the report dict (also written out)."""
-    spawned: _SpawnedServer | None = None
-    if args.connect is None and args.unix is None:
-        checkpoint = args.checkpoint
-        config = RuntimeConfig(shards=args.shards,
-                               queue_depth=args.queue_depth,
-                               port=0, checkpoint_path=checkpoint,
-                               checkpoint_interval=3600.0)
-        spawned = _SpawnedServer(config)
-        port = spawned.start()
-        host = "127.0.0.1"
-        unix = None
-    elif args.unix is not None:
-        host, port, unix = "", 0, args.unix
-    else:
-        host, _, port_text = args.connect.partition(":")
-        port, unix = int(port_text), None
-
-    names = [f"lg-{i:04d}" for i in range(args.tasks)]
-    rng = np.random.default_rng(args.seed)
+def _send_updates(client: RuntimeClient, names: list[str],
+                  args: argparse.Namespace, rate: float,
+                  seed: int) -> dict[str, Any]:
+    """One connection's send loop over its partition of the tasks."""
+    rng = np.random.default_rng(seed)
     mask = (1 << 16) - 1
     values = rng.normal(80.0, 18.0, mask + 1)
-
-    client = RuntimeClient(host=host, port=port, unix_socket=unix)
-    client.connect()
-    for name in names:
-        client.register_task(name, _THRESHOLD,
-                             error_allowance=args.error_allowance,
-                             max_interval=args.max_interval)
-
-    def _telemetry_metrics() -> dict[str, Any]:
-        from repro.exceptions import ProtocolError
-        try:
-            return dict(client.telemetry().get("metrics", {}))
-        except ProtocolError:
-            return {}  # pre-telemetry server
-
-    metrics_before = _telemetry_metrics()
-    steps = [0] * args.tasks
+    steps = [0] * len(names)
     latencies: list[float] = []
     offers = accepted = shed = rejected = 0
-    batch_interval = (args.batch / args.rate) if args.rate > 0 else 0.0
+    batch_interval = (args.batch / rate) if rate > 0 else 0.0
     value_index = 0
     task_index = 0
     started = time.perf_counter()
@@ -233,7 +285,7 @@ def run_loadgen(args: argparse.Namespace) -> dict[str, Any]:
             steps[task_index] += 1
             value_index += 1
             task_index += 1
-            if task_index == args.tasks:
+            if task_index == len(names):
                 task_index = 0
         sent = time.perf_counter()
         reply = client.offer_batch(batch)
@@ -244,7 +296,106 @@ def run_loadgen(args: argparse.Namespace) -> dict[str, Any]:
         rejected += int(reply.get("rejected", 0))
         if batch_interval:
             next_send += batch_interval
-    elapsed = time.perf_counter() - started
+    return {"offers": offers, "accepted": accepted, "shed": shed,
+            "rejected": rejected, "latencies": latencies,
+            "elapsed": time.perf_counter() - started}
+
+
+def _run_once(args: argparse.Namespace,
+              out: pathlib.Path | None) -> dict[str, Any]:
+    """One benchmark run (single-process or cluster); returns the report."""
+    spawned: _SpawnedServer | None = None
+    cluster: _SpawnedCluster | None = None
+    cluster_workers = int(getattr(args, "cluster_workers", 0) or 0)
+    if args.connect is None and args.unix is None:
+        if cluster_workers:
+            config = ClusterConfig(
+                workers=cluster_workers,
+                shards=max(args.shards, cluster_workers),
+                backend=args.cluster_backend,
+                queue_depth=args.queue_depth, port=0)
+            cluster = _SpawnedCluster(config)
+            port = cluster.start()
+            host, unix = "127.0.0.1", None
+        else:
+            checkpoint = args.checkpoint
+            config = RuntimeConfig(shards=args.shards,
+                                   queue_depth=args.queue_depth,
+                                   port=0, checkpoint_path=checkpoint,
+                                   checkpoint_interval=3600.0)
+            spawned = _SpawnedServer(config)
+            port = spawned.start()
+            host, unix = "127.0.0.1", None
+    elif args.unix is not None:
+        host, port, unix = "", 0, args.unix
+    else:
+        host, _, port_text = args.connect.partition(":")
+        port, unix = int(port_text), None
+
+    names = [f"lg-{i:04d}" for i in range(args.tasks)]
+
+    client = RuntimeClient(host=host, port=port, unix_socket=unix)
+    client.connect()
+    for name in names:
+        client.register_task(name, _THRESHOLD,
+                             error_allowance=args.error_allowance,
+                             max_interval=args.max_interval)
+
+    def _telemetry_metrics() -> dict[str, Any]:
+        from repro.exceptions import ProtocolError
+        try:
+            return dict(client.telemetry().get("metrics", {}))
+        except ProtocolError:
+            return {}  # pre-telemetry server
+
+    metrics_before = _telemetry_metrics()
+
+    migration_holder: dict[str, Any] = {}
+    migration_timer: threading.Timer | None = None
+    if (cluster is not None and cluster_workers > 1
+            and getattr(args, "migrate_under_load", False)):
+        # Move one shard at the midpoint of the run: the cutover must be
+        # invisible to the senders (buffered offers replay after it).
+        migration_timer = threading.Timer(
+            args.duration / 2.0,
+            lambda: migration_holder.update(cluster.migrate_one_shard()))
+        migration_timer.start()
+
+    connections = max(1, int(getattr(args, "connections", 1) or 1))
+    partitions = [names[i::connections] for i in range(connections)]
+    per_conn_rate = args.rate / connections if args.rate > 0 else 0.0
+    if connections == 1:
+        results = [_send_updates(client, names, args, args.rate, args.seed)]
+    else:
+        senders = []
+        for i in range(connections):
+            extra = RuntimeClient(host=host, port=port, unix_socket=unix)
+            extra.connect()
+            senders.append(extra)
+        results: list[dict[str, Any] | None] = [None] * connections
+        threads = []
+        for i, (sender, part) in enumerate(zip(senders, partitions)):
+            def run(i=i, sender=sender, part=part):
+                results[i] = _send_updates(sender, part, args,
+                                           per_conn_rate, args.seed + i)
+            thread = threading.Thread(target=run,
+                                      name=f"loadgen-send-{i}")
+            thread.start()
+            threads.append(thread)
+        for thread in threads:
+            thread.join()
+        for sender in senders:
+            sender.close()
+    if migration_timer is not None:
+        migration_timer.join(timeout=90)
+
+    latencies = sorted(lat for r in results for lat in r["latencies"])
+    offers = sum(r["offers"] for r in results)
+    accepted = sum(r["accepted"] for r in results)
+    shed = sum(r["shed"] for r in results)
+    rejected = sum(r["rejected"] for r in results)
+    started = time.perf_counter() - max(r["elapsed"] for r in results)
+    elapsed = max(r["elapsed"] for r in results)
 
     # Wait for the shards to finish applying what was accepted, so the
     # reported apply throughput covers the full pipeline.
@@ -265,6 +416,12 @@ def run_loadgen(args: argparse.Namespace) -> dict[str, Any]:
         counters_consistent = (
             server_side["offered_delta"] == accepted
             and server_side["shed_delta"] == shed)
+    elif server_side is not None and cluster is not None:
+        # Exclusive cluster: every ACKed offer must land on a shard
+        # queue exactly once (migration-buffer replays included). The
+        # shed deltas are not compared — replay retries legitimately
+        # bump worker-side shed counters with no client-visible shed.
+        counters_consistent = server_side["offered_delta"] == accepted
 
     expected: dict[str, dict[str, Any]] = {}
     if spawned is not None and args.checkpoint is not None:
@@ -283,13 +440,19 @@ def run_loadgen(args: argparse.Namespace) -> dict[str, Any]:
         if args.checkpoint is not None:
             checkpoint_roundtrip = _verify_checkpoint_roundtrip(
                 args.checkpoint, expected)
+    if cluster is not None:
+        cluster.stop()
 
-    latencies.sort()
     totals = stats["totals"]
     report = {
         "tasks": args.tasks,
-        "shards": (args.shards if spawned is not None
+        "shards": (max(args.shards, cluster_workers)
+                   if spawned is not None or cluster is not None
                    else stats.get("shards") and len(stats["shards"])),
+        "cluster": ({"workers": cluster_workers,
+                     "backend": args.cluster_backend}
+                    if cluster is not None else None),
+        "connections": connections,
         "batch": args.batch,
         "rate_target": args.rate,
         "duration_s": round(elapsed, 4),
@@ -313,17 +476,31 @@ def run_loadgen(args: argparse.Namespace) -> dict[str, Any]:
         "checkpoint_roundtrip": checkpoint_roundtrip,
         "server": server_side,
         "counters_consistent": counters_consistent,
+        "migration": (dict(migration_holder)
+                      if migration_timer is not None else None),
     }
-    out = pathlib.Path(args.out)
-    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    if out is not None:
+        out.write_text(json.dumps(report, indent=2) + "\n",
+                       encoding="utf-8")
 
+    where = (f"{cluster_workers}-worker {args.cluster_backend} cluster"
+             if cluster is not None else "server")
     lat = report["latency_ms"]
-    print(f"[loadgen] {accepted} offers in {elapsed:.2f}s = "
+    print(f"[loadgen] {where}: {accepted} offers in {elapsed:.2f}s = "
           f"{report['offers_per_sec']} offers/s "
           f"(applied {report['applied_per_sec']}/s); "
           f"p50={lat['p50']}ms p99={lat['p99']}ms; "
-          f"shed={shed} rejected={rejected} alerts={report['alerts']}; "
-          f"-> {out}", flush=True)
+          f"shed={shed} rejected={rejected} alerts={report['alerts']}"
+          + (f"; -> {out}" if out is not None else ""), flush=True)
+    migration = report["migration"]
+    if migration is not None:
+        print(f"[loadgen] migration under load: "
+              f"{'ok' if migration.get('ok') else 'FAILED'} "
+              f"shard={migration.get('shard')} "
+              f"{migration.get('from')}->{migration.get('to')} "
+              f"replayed={migration.get('replayed')} "
+              f"fingerprint_match={migration.get('fingerprint_match')}",
+              flush=True)
     if server_side is not None and "offer_latency_ms" in server_side:
         srv = server_side["offer_latency_ms"]
         print(f"[loadgen] server-side offer latency: p50={srv['p50']}ms "
@@ -336,6 +513,62 @@ def run_loadgen(args: argparse.Namespace) -> dict[str, Any]:
     if checkpoint_roundtrip is not None:
         print(f"[loadgen] checkpoint roundtrip: "
               f"{'ok' if checkpoint_roundtrip else 'MISMATCH'}", flush=True)
+    return report
+
+
+def run_loadgen(args: argparse.Namespace) -> dict[str, Any]:
+    """Execute the benchmark; returns the report dict (also written out).
+
+    With ``--cluster-sweep`` the benchmark runs once per worker count and
+    the report is a scaling table (offers/s per fleet size, normalised to
+    the single-worker run) instead of a single run's numbers.
+    """
+    out = pathlib.Path(args.out)
+    sweep_spec = getattr(args, "cluster_sweep", None)
+    if not sweep_spec:
+        return _run_once(args, out)
+
+    counts = [int(part) for part in str(sweep_spec).split(",")
+              if part.strip()]
+    if not counts:
+        raise ValueError(f"empty --cluster-sweep {sweep_spec!r}")
+    runs: list[dict[str, Any]] = []
+    for workers in counts:
+        sub = argparse.Namespace(**vars(args))
+        sub.cluster_workers = workers
+        sub.cluster_sweep = None
+        sub.checkpoint = None
+        print(f"[loadgen] sweep: {workers} worker(s), "
+              f"{args.duration}s...", flush=True)
+        runs.append(_run_once(sub, None))
+    base = runs[0]["offers_per_sec"] or 1
+    sweep = [{
+        "workers": workers,
+        "offers_per_sec": run["offers_per_sec"],
+        "applied_per_sec": run["applied_per_sec"],
+        "latency_p99_ms": run["latency_ms"]["p99"],
+        "scaling_vs_single": round(run["offers_per_sec"] / base, 3),
+        "counters_consistent": run["counters_consistent"],
+    } for workers, run in zip(counts, runs)]
+    import os
+    report = {
+        "mode": "cluster-sweep",
+        "backend": args.cluster_backend,
+        "cpu_count": os.cpu_count(),
+        "tasks": args.tasks,
+        "batch": args.batch,
+        "connections": max(1, int(args.connections or 1)),
+        "duration_s_per_run": args.duration,
+        "sweep": sweep,
+        "scaling": sweep[-1]["scaling_vs_single"],
+        "counters_consistent": all(
+            entry["counters_consistent"] is not False for entry in sweep),
+        "migration": runs[-1].get("migration"),
+    }
+    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    table = ", ".join(f"{e['workers']}w={e['offers_per_sec']}/s "
+                      f"({e['scaling_vs_single']}x)" for e in sweep)
+    print(f"[loadgen] sweep: {table}; -> {out}", flush=True)
     return report
 
 
@@ -371,6 +604,27 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--max-interval", type=int, default=10)
     parser.add_argument("--min-throughput", type=float, default=None,
                         help="exit non-zero below this offers/sec floor")
+    parser.add_argument("--cluster-workers", type=int, default=0,
+                        help="self-host a repro.cluster fleet with this "
+                             "many workers instead of a single-process "
+                             "server (0 = single-process)")
+    parser.add_argument("--cluster-backend", default="subprocess",
+                        choices=("inproc", "subprocess"),
+                        help="cluster transport backend (default "
+                             "subprocess: one worker process per core)")
+    parser.add_argument("--connections", type=int, default=1,
+                        help="concurrent sender connections, each driving "
+                             "an even partition of the tasks (default 1)")
+    parser.add_argument("--cluster-sweep", default=None, metavar="N,N,...",
+                        help="run once per worker count (e.g. 1,2,4,8) and "
+                             "report a scaling table")
+    parser.add_argument("--min-scaling", type=float, default=None,
+                        help="(with --cluster-sweep) exit non-zero if the "
+                             "largest fleet's offers/s is below this "
+                             "multiple of the single-worker run's")
+    parser.add_argument("--migrate-under-load", action="store_true",
+                        help="(cluster) migrate one shard at the midpoint "
+                             "of the run and record the result")
     return parser
 
 
@@ -387,9 +641,22 @@ def main(argv: list[str] | None = None) -> int:
               "client-side ACK accounting", file=sys.stderr, flush=True)
         return 1
     if (args.min_throughput is not None
+            and report.get("offers_per_sec") is not None
             and report["offers_per_sec"] < args.min_throughput):
         print(f"[loadgen] FAIL: {report['offers_per_sec']} offers/s below "
               f"floor {args.min_throughput}", file=sys.stderr, flush=True)
+        return 1
+    migration = report.get("migration")
+    if migration is not None and not (migration.get("ok")
+                                      and migration.get("fingerprint_match")):
+        print(f"[loadgen] FAIL: migration under load did not complete "
+              f"bit-identically: {migration}", file=sys.stderr, flush=True)
+        return 1
+    if (args.min_scaling is not None
+            and report.get("scaling") is not None
+            and report["scaling"] < args.min_scaling):
+        print(f"[loadgen] FAIL: scaling {report['scaling']}x below floor "
+              f"{args.min_scaling}x", file=sys.stderr, flush=True)
         return 1
     return 0
 

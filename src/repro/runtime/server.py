@@ -44,7 +44,7 @@ from repro.exceptions import (CheckpointError, ConfigurationError,
                               ProtocolError, ReproError)
 from repro.runtime.checkpoint import read_checkpoint, write_checkpoint
 from repro.runtime.protocol import encode_frame, read_frame
-from repro.runtime.shard import ShardWorker, shard_for
+from repro.runtime.shard import ShardWorker, restore_counters, shard_for
 from repro.service import MonitoringService
 from repro.telemetry.exposition import (CONTENT_TYPE_PROMETHEUS,
                                         TelemetryHTTPServer,
@@ -328,21 +328,8 @@ class RuntimeServer:
         self._task_shard = {str(k): int(v) for k, v in
                             state.get("task_shard", {}).items()}
 
-        def _counter(counters: dict[str, Any], canonical: str,
-                     alias: str) -> int:
-            # Canonical telemetry key first; pre-telemetry checkpoints
-            # only carry the short alias.
-            return int(counters.get(canonical, counters.get(alias, 0)))
-
         for counters, worker in zip(state.get("counters", []), self._workers):
-            worker.offered = _counter(counters, "updates_offered", "offered")
-            worker.applied = _counter(counters, "updates_applied", "applied")
-            worker.consumed = _counter(counters, "updates_consumed",
-                                       "consumed")
-            worker.shed = _counter(counters, "updates_shed", "shed")
-            worker.rejected = _counter(counters, "updates_rejected",
-                                       "rejected")
-            worker.alerts_fired = _counter(counters, "alerts_fired", "alerts")
+            restore_counters(worker, counters)
         self.trace.emit("restore", tasks=self._restored_tasks,
                         shards=self.config.shards, path=str(path))
 
@@ -699,9 +686,18 @@ class RuntimeServer:
 
     def _op_stats(self, request: dict[str, Any]) -> dict[str, Any]:
         shards = [w.stats() for w in self._workers]
-        totals = {key: sum(s[key] for s in shards)
-                  for key in ("offered", "applied", "consumed", "shed",
-                              "rejected", "alerts", "queue_depth")}
+        # The totals dict keeps its original short keys: it is the reply's
+        # own namespace (consumed by loadgen, replay, the chaos harness),
+        # distinct from the per-shard canonical counter snapshots.
+        totals = {short: sum(s[canonical] for s in shards)
+                  for short, canonical in
+                  (("offered", "updates_offered"),
+                   ("applied", "updates_applied"),
+                   ("consumed", "updates_consumed"),
+                   ("shed", "updates_shed"),
+                   ("rejected", "updates_rejected"),
+                   ("alerts", "alerts_fired"),
+                   ("queue_depth", "queue_depth"))}
         totals["tasks"] = len(self._task_shard)
         reply = {"ok": True, "shards": shards, "totals": totals,
                  "frames": self._frames,

@@ -18,14 +18,14 @@ from __future__ import annotations
 
 import asyncio
 import logging
-import zlib
-from typing import Any, Sequence
+from typing import Any, Mapping, Sequence
 
+from repro.cluster.routing import route
 from repro.exceptions import ConfigurationError
 from repro.service import MonitoringService
 from repro.testkit.faults import FaultHook, NOOP_HOOK
 
-__all__ = ["ShardWorker", "shard_for"]
+__all__ = ["ShardWorker", "restore_counters", "shard_for"]
 
 logger = logging.getLogger(__name__)
 
@@ -33,8 +33,33 @@ Update = Sequence[Any]  # [task_name, step, value]
 
 
 def shard_for(name: str, shards: int) -> int:
-    """Stable shard index for a task name (CRC32, not ``hash()``)."""
-    return zlib.crc32(name.encode("utf-8")) % shards
+    """Stable shard index for a task name (CRC32, not ``hash()``).
+
+    Thin alias of :func:`repro.cluster.routing.route`, kept for the
+    runtime's historical import surface; both the single-process server
+    and the cluster routing tier share the one implementation.
+    """
+    return route(name, shards)
+
+
+def restore_counters(worker: "ShardWorker",
+                     counters: Mapping[str, Any]) -> None:
+    """Load a checkpointed counter dict onto ``worker``.
+
+    Canonical telemetry keys (``updates_offered``, ..., ``alerts_fired``)
+    win; the pre-telemetry short aliases (``offered``, ..., ``alerts``)
+    are still honoured so checkpoints written before PR 5 restore
+    correctly — the aliases live on *only* here, on the restore path.
+    """
+    def pick(canonical: str, alias: str) -> int:
+        return int(counters.get(canonical, counters.get(alias, 0)))
+
+    worker.offered = pick("updates_offered", "offered")
+    worker.applied = pick("updates_applied", "applied")
+    worker.consumed = pick("updates_consumed", "consumed")
+    worker.shed = pick("updates_shed", "shed")
+    worker.rejected = pick("updates_rejected", "rejected")
+    worker.alerts_fired = pick("alerts_fired", "alerts")
 
 
 class ShardWorker:
@@ -188,10 +213,11 @@ class ShardWorker:
     def stats(self) -> dict[str, Any]:
         """Counter snapshot for the ``stats`` wire op.
 
-        Canonical keys follow the telemetry naming (``updates_offered``,
-        ..., ``alerts_fired``); the pre-telemetry short keys (``offered``,
-        ..., ``alerts``) are kept as deprecated aliases so existing
-        consumers and old checkpoints keep working.
+        Keys follow the canonical telemetry naming (``updates_offered``,
+        ..., ``alerts_fired``). The pre-telemetry short aliases
+        (``offered``, ..., ``alerts``), deprecated in PR 5, are gone from
+        this snapshot; :func:`restore_counters` still reads them so
+        alias-only checkpoints keep restoring.
         """
         return {
             "shard": self.shard_id,
@@ -204,11 +230,4 @@ class ShardWorker:
             "updates_shed": self.shed,
             "updates_rejected": self.rejected,
             "alerts_fired": self.alerts_fired,
-            # Deprecated aliases (pre-telemetry key names).
-            "offered": self.offered,
-            "applied": self.applied,
-            "consumed": self.consumed,
-            "shed": self.shed,
-            "rejected": self.rejected,
-            "alerts": self.alerts_fired,
         }

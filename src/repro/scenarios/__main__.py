@@ -64,6 +64,14 @@ def _build_parser() -> argparse.ArgumentParser:
                      choices=sorted(FAULT_SCENARIOS),
                      help="layer a testkit chaos fault spec onto the "
                           "replay")
+    run.add_argument("--cluster-workers", type=int, default=0,
+                     help="replay through the multi-process cluster "
+                          "runtime with this many workers (0 = "
+                          "single-process server)")
+    run.add_argument("--cluster-backend", default="subprocess",
+                     choices=("inproc", "subprocess"),
+                     help="cluster transport backend for "
+                          "--cluster-workers")
     run.add_argument("--out", type=pathlib.Path,
                      default=pathlib.Path("BENCH_scenarios.json"))
     return parser
@@ -93,6 +101,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     fault_spec = (FAULT_SCENARIOS[args.faults]
                   if args.faults is not None else None)
+    if args.cluster_workers and args.offline:
+        print("--cluster-workers needs a live replay; drop --offline",
+              file=sys.stderr)
+        return 2
 
     reports: list[dict[str, Any]] = []
     for name in names:
@@ -104,8 +116,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.offline:
             result = simulate_replay(compiled, mode="volley")
         else:
-            result = replay_scenario(compiled, shards=args.shards,
-                                     fault_spec=fault_spec)
+            result = replay_scenario(
+                compiled, shards=args.shards, fault_spec=fault_spec,
+                cluster_workers=args.cluster_workers,
+                cluster_backend=args.cluster_backend)
         report = score_scenario(compiled, result)
         reports.append(report)
         det = report["detection"]
@@ -126,6 +140,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         "shards": args.shards,
         "mode": "offline" if args.offline else "live",
         "faults": args.faults,
+        "cluster_workers": args.cluster_workers,
     })
     args.out.write_text(render_report(bench), encoding="utf-8")
     totals = bench["totals"]

@@ -76,27 +76,38 @@ def _adaptation(timeline_overrides: dict[str, Any]) -> AdaptationConfig:
 def replay_scenario(compiled: CompiledScenario, shards: int = 4,
                     fault_spec: FaultSpec | None = None,
                     fault_seed: int | None = None,
-                    trace_capacity: int = 65536) -> ReplayResult:
-    """Replay a compiled scenario through a live runtime server."""
+                    trace_capacity: int = 65536,
+                    cluster_workers: int = 0,
+                    cluster_backend: str = "subprocess") -> ReplayResult:
+    """Replay a compiled scenario through a live runtime server.
+
+    With ``cluster_workers > 0`` the scenario replays through the
+    multi-process cluster runtime (:mod:`repro.cluster`) instead of a
+    single-process server — the sampler decisions, alerts and scoring
+    must come out identical, which is exactly what the CI cluster-smoke
+    job asserts. Fault injection hooks live inside the single-process
+    server's shard loop, so faults and clusters are mutually exclusive.
+    """
     if fault_spec is not None and fault_spec.crash_fractions:
         raise ConfigurationError(
             "crash_fractions are not supported by scenario replay; use "
             "the testkit conformance driver for crash/restart scenarios")
+    if cluster_workers and fault_spec is not None:
+        raise ConfigurationError(
+            "fault injection is not supported by cluster replay; fault "
+            "hooks are a single-process server feature (chaos against "
+            "the cluster is the testkit SIGKILL matrix)")
     return asyncio.run(_replay(compiled, shards, fault_spec, fault_seed,
-                               trace_capacity))
+                               trace_capacity, int(cluster_workers),
+                               cluster_backend))
 
 
 async def _replay(compiled: CompiledScenario, shards: int,
                   fault_spec: FaultSpec | None, fault_seed: int | None,
-                  trace_capacity: int) -> ReplayResult:
+                  trace_capacity: int, cluster_workers: int,
+                  cluster_backend: str) -> ReplayResult:
     timeline = compiled.timeline
     n_steps, n_tasks = compiled.values.shape
-    config = RuntimeConfig(
-        shards=shards, port=0,
-        queue_depth=max(1024, n_steps + 16),
-        max_batch=max(8192, n_tasks),
-        trace_capacity=trace_capacity,
-        checkpoint_interval=3600.0)
 
     hook = NOOP_HOOK
     plan: FaultPlan | None = None
@@ -107,9 +118,29 @@ async def _replay(compiled: CompiledScenario, shards: int,
         hook.armed = False
         hook.checkpoint_armed = False
 
-    server = RuntimeServer(config,
-                           adaptation=_adaptation(timeline.adaptation),
-                           fault_hook=hook)
+    if cluster_workers:
+        from repro.cluster.server import ClusterServer
+        from repro.config import ClusterConfig
+
+        cluster_config = ClusterConfig(
+            workers=cluster_workers,
+            shards=max(shards, cluster_workers),
+            backend=cluster_backend, port=0,
+            queue_depth=max(1024, n_steps + 16),
+            max_batch=max(8192, n_tasks),
+            trace_capacity=trace_capacity)
+        server = ClusterServer(cluster_config,
+                               adaptation=_adaptation(timeline.adaptation))
+    else:
+        config = RuntimeConfig(
+            shards=shards, port=0,
+            queue_depth=max(1024, n_steps + 16),
+            max_batch=max(8192, n_tasks),
+            trace_capacity=trace_capacity,
+            checkpoint_interval=3600.0)
+        server = RuntimeServer(config,
+                               adaptation=_adaptation(timeline.adaptation),
+                               fault_hook=hook)
     await server.start()
     assert server.tcp_port is not None
     client = AsyncRuntimeClient(port=server.tcp_port)
@@ -155,7 +186,7 @@ async def _replay(compiled: CompiledScenario, shards: int,
             hook.armed = True
         values = compiled.values
         names = compiled.task_names
-        max_batch = config.max_batch
+        max_batch = max(8192, n_tasks)
         for step in range(n_steps):
             row = values[step]
             if skewed:

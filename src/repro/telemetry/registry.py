@@ -113,6 +113,16 @@ class HistogramInstrument:
             "quantiles": sketch.quantiles(SUMMARY_QUANTILES),
         }
 
+    def get_raw(self) -> dict[str, Any]:
+        """Full mergeable sketch (``{"sketch": LogHistogram.to_dict()}``).
+
+        Raw snapshots are what cluster workers ship to the coordinator:
+        summaries cannot be combined, but the underlying sketches merge
+        exactly (order-independent), so fleet-level quantiles are computed
+        after the merge, never averaged from per-worker summaries.
+        """
+        return {"sketch": self.sketch.to_dict()}
+
 
 class MetricsFamily:
     """One named metric and all its labelled series.
@@ -156,13 +166,32 @@ class MetricsFamily:
             self._series[key] = series
         return series
 
-    def snapshot(self) -> dict[str, Any]:
-        """JSON-able view of the family and every series."""
+    def remove(self, *values: Any) -> bool:
+        """Drop one labelled series; True if it existed.
+
+        Used when the labelled resource itself goes away (a shard migrated
+        off a worker) — the next snapshot simply no longer carries the
+        series, rather than exporting a frozen stale value forever.
+        """
+        key = tuple(str(v) for v in values)
+        return self._series.pop(key, None) is not None
+
+    def snapshot(self, raw: bool = False) -> dict[str, Any]:
+        """JSON-able view of the family and every series.
+
+        Args:
+            raw: histogram series export their full mergeable sketch
+                (:meth:`HistogramInstrument.get_raw`) instead of the
+                summary view — the worker→coordinator telemetry feed.
+        """
+        use_raw = raw and self.kind == "histogram"
         return {
             "kind": self.kind,
             "help": self.help,
             "label_names": list(self.label_names),
-            "series": [{"labels": list(key), "value": instrument.get()}
+            "series": [{"labels": list(key),
+                        "value": (instrument.get_raw() if use_raw
+                                  else instrument.get())}
                        for key, instrument in sorted(self._series.items())],
         }
 
@@ -233,15 +262,17 @@ class MetricsRegistry:
         """Registered families in registration order."""
         return self._families.values()
 
-    def snapshot(self) -> dict[str, Any]:
+    def snapshot(self, raw: bool = False) -> dict[str, Any]:
         """One JSON-able dict covering every family and series.
 
         This is the payload of the ``telemetry`` wire op and the input of
         :func:`repro.telemetry.exposition.render_prometheus`. Callback
         series are evaluated here, on the reader's dime — the hot path
-        never pays for them.
+        never pays for them. With ``raw=True`` histogram series carry
+        their mergeable sketches instead of summaries (what cluster
+        workers send the coordinator for fleet-level merging).
         """
-        return {name: family.snapshot()
+        return {name: family.snapshot(raw=raw)
                 for name, family in self._families.items()}
 
 
@@ -266,6 +297,9 @@ class _NullInstrument:
 
     def labels(self, *values: Any, fn: Any = None) -> "_NullInstrument":
         return self
+
+    def remove(self, *values: Any) -> bool:
+        return False
 
     def get(self) -> float:
         return 0.0
@@ -304,7 +338,7 @@ class NullRegistry:
     def families(self) -> Iterable[MetricsFamily]:
         return ()
 
-    def snapshot(self) -> dict[str, Any]:
+    def snapshot(self, raw: bool = False) -> dict[str, Any]:
         return {}
 
 

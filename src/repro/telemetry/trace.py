@@ -44,6 +44,11 @@ TRACE_EVENT_KINDS = (
     "task_removed",
     "restore",               # server restored state from a checkpoint
     "selfmon_alert",         # the self-monitor alerted on runtime health
+    "worker_started",        # cluster: a worker process joined the fleet
+    "worker_lost",           # cluster: heartbeat declared a worker dead
+    "shard_migrated",        # cluster: live migration cut a shard over
+    "migration_aborted",     # cluster: a migration rolled back safely
+    "shard_replaced",        # cluster: failure-driven re-placement
 )
 """Kinds emitted by the instrumented runtime (extensible by callers)."""
 

@@ -23,8 +23,6 @@ four invariants the harness gates every scenario on:
 
 from __future__ import annotations
 
-import hashlib
-import json
 from dataclasses import dataclass
 from typing import Any, Mapping
 
@@ -34,6 +32,7 @@ from repro.core.adaptation import AdaptationConfig, CoordinationStats
 from repro.core.coordination import AllocationPolicy, AllocationUpdate
 from repro.core.task import TaskSpec
 from repro.experiments.runner import run_adaptive
+from repro.runtime.checkpoint import state_fingerprint
 from repro.service import MonitoringService
 from repro.testkit.faults import stable_uniform
 
@@ -298,10 +297,13 @@ def snapshot_fingerprint(snapshot: Mapping[str, Any]) -> str:
     """Stable fingerprint of a service snapshot (canonical-JSON SHA-256).
 
     Two snapshots with equal fingerprints are byte-identical up to dict
-    ordering — the equality the restore invariant is stated in.
+    ordering — the equality the restore invariant is stated in. Alias of
+    :func:`repro.runtime.checkpoint.state_fingerprint`, which the cluster
+    migration protocol uses for its cutover equality check; the testkit
+    name is kept so conformance reports and older call sites read the
+    same either way.
     """
-    canonical = json.dumps(snapshot, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    return state_fingerprint(snapshot)
 
 
 def check_restore_bit_identical(snapshot: Mapping[str, Any],

@@ -75,6 +75,14 @@ ADAPTATION = {"patience": 5, "min_samples": 5, "stats_restart": 100}
 
 COUNTER_KEYS = ("offered", "applied", "consumed", "shed", "rejected",
                 "alerts")
+# Per-shard stats replies carry canonical counter keys only; the shadow
+# predictions keep the compact short names internally.
+CANONICAL_KEYS = {"offered": "updates_offered",
+                  "applied": "updates_applied",
+                  "consumed": "updates_consumed",
+                  "shed": "updates_shed",
+                  "rejected": "updates_rejected",
+                  "alerts": "alerts_fired"}
 
 SCENARIOS: dict[str, FaultSpec] = {
     # Fault-free baseline: the full pipeline and every barrier check must
@@ -325,7 +333,8 @@ class _ScenarioDriver:
         stats = await _roundtrip(server.tcp_port, {"op": "stats"})
         assert stats is not None and stats.get("ok"), stats
         for shard_stats, expected in zip(stats["shards"], self.predicted):
-            actual = {key: shard_stats[key] for key in COUNTER_KEYS}
+            actual = {key: shard_stats[CANONICAL_KEYS[key]]
+                      for key in COUNTER_KEYS}
             if actual != expected:
                 self.counter_mismatches.append(
                     f"barrier {self.barrier_checks}: shard "
@@ -447,7 +456,8 @@ class _ScenarioDriver:
         for shard_stats, predicted in zip(stats["shards"], self.predicted):
             shard = shard_stats["shard"]
             expected[f"applied:shard-{shard}"] = predicted["applied"]
-            actual[f"applied:shard-{shard}"] = int(shard_stats["applied"])
+            actual[f"applied:shard-{shard}"] = \
+                int(shard_stats["updates_applied"])
         return expected, actual
 
     async def _cold_restore_check(self) -> list[str]:

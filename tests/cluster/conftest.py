@@ -1,0 +1,14 @@
+"""Fixtures for the cluster test suite."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import pytest
+
+from cluster_utils import run_cluster
+
+
+@pytest.fixture
+def cluster_runner() -> Callable[..., Any]:
+    return run_cluster

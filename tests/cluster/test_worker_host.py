@@ -1,0 +1,235 @@
+"""Unit tests for the worker-side shard container (``WorkerHost``)."""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.cluster.hosting import WorkerHost
+from repro.runtime.checkpoint import state_fingerprint
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+TASK = {"name": "t", "threshold": 50.0, "error_allowance": 0.01,
+        "max_interval": 8}
+
+
+async def _host_with_task(shard_id: int = 3) -> WorkerHost:
+    host = WorkerHost("w0", queue_depth=8)
+    host.start()
+    assert (await host.handle({"op": "w_add_shard",
+                               "shard": shard_id}))["ok"]
+    assert (await host.handle({"op": "w_register_task", "shard": shard_id,
+                               "task": TASK}))["ok"]
+    return host
+
+
+class TestLifecycle:
+    def test_ping_reports_hosted_shards(self):
+        async def scenario():
+            host = await _host_with_task(shard_id=5)
+            reply = await host.handle({"op": "w_ping"})
+            await host.close()
+            return reply
+
+        reply = run(scenario())
+        assert reply["ok"] and reply["worker_id"] == "w0"
+        assert reply["shards"] == [5]
+
+    def test_duplicate_add_shard_is_an_error(self):
+        async def scenario():
+            host = await _host_with_task(shard_id=1)
+            reply = await host.handle({"op": "w_add_shard", "shard": 1})
+            await host.close()
+            return reply
+
+        reply = run(scenario())
+        assert not reply["ok"] and reply["code"] == "shard-exists"
+
+    def test_unknown_shard_ops_report_unknown_shard(self):
+        async def scenario():
+            host = WorkerHost("w0")
+            host.start()
+            replies = [await host.handle({"op": op, "shard": 9, "task": "t"})
+                       for op in ("w_snapshot_shard", "w_drop_shard",
+                                  "w_register_task", "w_task_info")]
+            await host.close()
+            return replies
+
+        for reply in run(scenario()):
+            assert not reply["ok"]
+
+    def test_unknown_op_is_rejected(self):
+        async def scenario():
+            host = WorkerHost("w0")
+            reply = await host.handle({"op": "launch_missiles"})
+            await host.close()
+            return reply
+
+        reply = run(scenario())
+        assert not reply["ok"] and reply["code"] == "unknown-op"
+
+
+class TestDataPath:
+    def test_offer_applies_and_counts(self):
+        async def scenario():
+            host = await _host_with_task(shard_id=2)
+            offer = await host.handle({
+                "op": "w_offer",
+                "b": [[2, [["t", s, 10.0] for s in range(6)]]]})
+            await host.handle({"op": "w_drain"})
+            stats = await host.handle({"op": "w_stats"})
+            info = await host.handle({"op": "w_task_info", "shard": 2,
+                                      "task": "t"})
+            await host.close()
+            return offer, stats, info
+
+        offer, stats, info = run(scenario())
+        assert offer["accepted"] == 6 and offer["shed"] == 0
+        shard = stats["shards"][0]
+        assert shard["updates_offered"] == 6
+        assert shard["updates_applied"] == 6
+        assert "offered" not in shard  # canonical keys only
+        assert info["samples_taken"] >= 1
+
+    def test_offer_to_missing_shard_is_rejected_not_shed(self):
+        async def scenario():
+            host = await _host_with_task(shard_id=0)
+            reply = await host.handle({
+                "op": "w_offer", "b": [[7, [["t", 0, 1.0]]],
+                                       [0, [["t", 0, 1.0]]]]})
+            await host.close()
+            return reply
+
+        reply = run(scenario())
+        assert reply["rejected"] == 1 and reply["accepted"] == 1
+        assert reply["shed"] == 0
+
+    def test_alerts_fire_through_hosted_shards(self):
+        async def scenario():
+            host = WorkerHost("w0")
+            host.start()
+            await host.handle({"op": "w_add_shard", "shard": 0})
+            await host.handle({"op": "w_register_task", "shard": 0,
+                               "task": {"name": "hot", "threshold": 10.0,
+                                        "error_allowance": 0.0}})
+            await host.handle({"op": "w_offer",
+                               "b": [[0, [["hot", s, 99.0]
+                                          for s in range(4)]]]})
+            await host.handle({"op": "w_drain"})
+            alerts = await host.handle({"op": "w_alerts", "shard": 0,
+                                        "task": "hot"})
+            stats = await host.handle({"op": "w_stats"})
+            await host.close()
+            return alerts, stats
+
+        alerts, stats = run(scenario())
+        assert len(alerts["alerts"]) == 4
+        assert stats["shards"][0]["alerts_fired"] == 4
+
+
+class TestSnapshotRestore:
+    def test_snapshot_restore_roundtrip_is_bit_identical(self):
+        async def scenario():
+            source = await _host_with_task(shard_id=4)
+            await source.handle({"op": "w_offer",
+                                 "b": [[4, [["t", s, 30.0 + s]
+                                            for s in range(20)]]]})
+            snap = await source.handle({"op": "w_snapshot_shard",
+                                        "shard": 4, "drain": True})
+            target = WorkerHost("w1")
+            target.start()
+            restored = await target.handle({
+                "op": "w_restore_shard", "shard": 4,
+                "snapshot": snap["snapshot"], "counters": snap["counters"]})
+            # Counters carried over with the shard.
+            stats = await target.handle({"op": "w_stats"})
+            await source.close()
+            await target.close()
+            return snap, restored, stats
+
+        snap, restored, stats = run(scenario())
+        assert snap["fingerprint"] == state_fingerprint(snap["snapshot"])
+        assert restored["fingerprint"] == snap["fingerprint"]
+        assert restored["tasks"] == 1
+        assert stats["shards"][0]["updates_offered"] == 20
+
+    def test_restored_shard_keeps_sampling_identically(self):
+        async def scenario():
+            a = await _host_with_task(shard_id=0)
+            b = await _host_with_task(shard_id=0)
+            updates = [["t", s, 20.0 + (s % 7)] for s in range(60)]
+            # a sees the whole stream; b is snapshotted to c at step 30.
+            await a.handle({"op": "w_offer", "b": [[0, updates]]})
+            await b.handle({"op": "w_offer", "b": [[0, updates[:30]]]})
+            snap = await b.handle({"op": "w_snapshot_shard", "shard": 0,
+                                   "drain": True})
+            c = WorkerHost("w2")
+            c.start()
+            await c.handle({"op": "w_restore_shard", "shard": 0,
+                            "snapshot": snap["snapshot"],
+                            "counters": snap["counters"]})
+            await c.handle({"op": "w_offer", "b": [[0, updates[30:]]]})
+            final_a = await a.handle({"op": "w_snapshot_shard", "shard": 0,
+                                      "drain": True})
+            final_c = await c.handle({"op": "w_snapshot_shard", "shard": 0,
+                                      "drain": True})
+            for host in (a, b, c):
+                await host.close()
+            return final_a, final_c
+
+        final_a, final_c = run(scenario())
+        assert final_a["fingerprint"] == final_c["fingerprint"]
+
+    def test_drop_shard_removes_metric_series(self):
+        async def scenario():
+            host = await _host_with_task(shard_id=6)
+            before = host.registry.snapshot()
+            await host.handle({"op": "w_drop_shard", "shard": 6})
+            after = host.registry.snapshot()
+            await host.close()
+            return before, after
+
+        before, after = run(scenario())
+        offered = "volley_updates_offered_total"
+        assert any(s["labels"] == ["6"]
+                   for s in before[offered]["series"])
+        assert not any(s["labels"] == ["6"]
+                       for s in after[offered]["series"])
+
+
+class TestTelemetryOps:
+    def test_raw_telemetry_carries_mergeable_sketches(self):
+        async def scenario():
+            host = await _host_with_task(shard_id=0)
+            await host.handle({"op": "w_offer",
+                               "b": [[0, [["t", s, 20.0]
+                                          for s in range(10)]]]})
+            await host.handle({"op": "w_drain"})
+            reply = await host.handle({"op": "w_telemetry"})
+            await host.close()
+            return reply
+
+        reply = run(scenario())
+        hist = reply["metrics"]["volley_sampling_interval"]
+        for series in hist["series"]:
+            assert "sketch" in series["value"]
+
+    def test_trace_cursor_drains_incrementally(self):
+        async def scenario():
+            host = await _host_with_task(shard_id=0)
+            await host.handle({"op": "w_offer",
+                               "b": [[0, [["t", s, 20.0]
+                                          for s in range(40)]]]})
+            await host.handle({"op": "w_drain"})
+            first = await host.handle({"op": "w_trace", "since": 0})
+            second = await host.handle({"op": "w_trace",
+                                        "since": first["next_seq"]})
+            await host.close()
+            return first, second
+
+        first, second = run(scenario())
+        assert first["events"]  # interval adaptation emitted something
+        assert second["events"] == []

@@ -1,11 +1,13 @@
 """Regression tests for the counter-key normalisation.
 
 PR 5 renamed the runtime counters to the canonical telemetry names
-(``updates_offered`` ... ``alerts_fired``) while keeping the
-pre-telemetry short keys (``offered`` ... ``alerts``) as deprecated
-aliases. Both shapes must stay consistent in ``stats`` replies, in
-``runtime_state()``, and — critically — checkpoints written by the old
-key scheme must still restore.
+(``updates_offered`` ... ``alerts_fired``) and kept the pre-telemetry
+short keys (``offered`` ... ``alerts``) as deprecated aliases; this PR
+removes the aliases from ``stats()`` / ``runtime_state()`` entirely.
+Canonical keys are now the only per-shard shape on the wire — but
+checkpoints written by the old key scheme must still restore (the alias
+mapping lives on solely in
+:func:`repro.runtime.shard.restore_counters`).
 """
 
 from __future__ import annotations
@@ -27,6 +29,12 @@ ALIASES = {
     "alerts_fired": "alerts",
 }
 
+CANONICAL_SHARD_KEYS = {
+    "shard", "tasks", "queue_depth", "queue_capacity",
+    "updates_offered", "updates_applied", "updates_consumed",
+    "updates_shed", "updates_rejected", "alerts_fired",
+}
+
 
 def run_with_server(coro_factory, **config_kwargs):
     config_kwargs.setdefault("port", 0)
@@ -46,7 +54,7 @@ def run_with_server(coro_factory, **config_kwargs):
 
 
 class TestStatsShapes:
-    def test_stats_reports_both_key_shapes_consistently(self):
+    def test_stats_per_shard_counters_are_canonical_only(self):
         async def scenario(server, client):
             await client.register_task("t", 10.0, error_allowance=0.0)
             await client.offer_batch([["t", s, 20.0] for s in range(5)])
@@ -57,8 +65,9 @@ class TestStatsShapes:
 
         rejected, stats = run_with_server(scenario)
         for shard in stats["shards"]:
-            for canonical, alias in ALIASES.items():
-                assert shard[canonical] == shard[alias], canonical
+            assert set(shard) == CANONICAL_SHARD_KEYS
+            for alias in ALIASES.values():
+                assert alias not in shard
         total_offered = sum(s["updates_offered"] for s in stats["shards"])
         total_alerts = sum(s["alerts_fired"] for s in stats["shards"])
         assert total_offered == 5
@@ -66,8 +75,12 @@ class TestStatsShapes:
         # Unknown-task rejections are reported in the batch reply (they
         # have no shard to be attributed to).
         assert rejected["rejected"] == 1
+        # The totals dict is its own wire namespace and (deliberately)
+        # keeps the short keys consumed by loadgen/replay/chaos tooling.
+        assert stats["totals"]["offered"] == 5
+        assert stats["totals"]["alerts"] == 5
 
-    def test_runtime_state_counters_use_canonical_keys(self):
+    def test_runtime_state_counters_use_canonical_keys_only(self):
         async def scenario(server, client):
             await client.register_task("t", 10.0)
             await client.offer_batch([["t", 0, 1.0]])
@@ -78,7 +91,7 @@ class TestStatsShapes:
         state = run_with_server(scenario)
         for counters in state["counters"]:
             assert set(ALIASES) <= set(counters)
-            assert set(ALIASES.values()) <= set(counters)
+            assert not set(ALIASES.values()) & set(counters)
 
 
 class TestAliasOnlyCheckpointRestore:
@@ -112,8 +125,9 @@ class TestAliasOnlyCheckpointRestore:
         assert stats[0]["updates_rejected"] == 1
         assert stats[0]["alerts_fired"] == 3
         assert stats[1]["updates_offered"] == 5
-        # Aliases mirror the restored values too.
-        assert stats[0]["offered"] == 11 and stats[0]["alerts"] == 3
+        # The restored stats expose canonical keys only — the aliases
+        # exist on the restore path, never on the reporting path.
+        assert "offered" not in stats[0] and "alerts" not in stats[0]
 
     def test_canonical_keys_win_over_aliases(self, tmp_path):
         path = tmp_path / "mixed.ckpt.json"

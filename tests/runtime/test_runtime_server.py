@@ -162,7 +162,7 @@ class TestSharding:
             for worker in server._workers:
                 await worker.drain()
             stats = await client.stats()
-            return [s["applied"] for s in stats["shards"]]
+            return [s["updates_applied"] for s in stats["shards"]]
 
         per_shard = run_with_server(scenario)
         assert sum(per_shard) == 32

@@ -18,6 +18,7 @@ import repro.baselines
 import repro.core
 import repro.datacenter
 import repro.exceptions
+import repro.cluster
 import repro.config
 import repro.experiments
 import repro.runtime
@@ -36,6 +37,7 @@ NAMESPACES = [repro, repro.core, repro.experiments, repro.workloads,
               repro.datacenter, repro.simulation, repro.baselines,
               repro.analysis, repro.exceptions, repro.config,
               repro.runtime, repro.scenarios, repro.telemetry,
+              repro.cluster,
               repro.testkit, repro.testkit.scenarios,
               figures, monetary, delay, multitask, reliability]
 
@@ -77,6 +79,9 @@ IGNORED = {
     # attributes
     "BENCH_scenarios", "phase_spans", "fault_spec", "fault_seed",
     "phase_spread", "ramp_steps", "entropy_shift", "random_walk",
+    # cluster config keys, placement fields and the worker-op prefix,
+    # not module attributes
+    "worker_endpoints", "worker_id", "shard_id", "w_",
 }
 
 

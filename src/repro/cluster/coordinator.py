@@ -112,6 +112,17 @@ class Coordinator:
         self.task_shard: dict[str, int] = {}
         self.catalog: dict[str, dict[str, Any]] = {}
         self.defaults: dict[str, Any] = {}
+        # Cluster-global task ids for the binary columnar path: assigned
+        # densely at registration, synced lazily to each worker host as a
+        # per-worker watermark (gids below it are interned there). These
+        # are runtime-scoped, not checkpointed — rebuilt from the catalog
+        # on start, re-synced to workers on first use.
+        self.gids: dict[str, int] = {}
+        self.gid_names: list[str] = []
+        self._gid_synced: dict[str, int] = {}
+        # Bumped on every register/remove so routing-tier connections can
+        # revalidate their interned-name resolution lazily.
+        self.task_epoch = 0
         self.router_shed = 0
         self.migrations = 0
         self.replacements = 0
@@ -211,6 +222,8 @@ class Coordinator:
                             for k, v in state.get("catalog", {}).items()}
             self.task_shard = {str(k): int(v)
                                for k, v in state.get("task_shard", {}).items()}
+            for name in self.task_shard:
+                self._assign_gid(name)
         for routed in self.routes:
             entry = shards_state.get(str(routed.shard_id))
             await self._place_shard(routed, entry)
@@ -408,6 +421,93 @@ class Coordinator:
                 self._note_failure(wid)
 
     # ------------------------------------------------------------------
+    # Data path — binary columnar
+
+    def _assign_gid(self, name: str) -> int:
+        gid = self.gids.get(name)
+        if gid is None:
+            gid = self.gids[name] = len(self.gid_names)
+            self.gid_names.append(name)
+        return gid
+
+    async def _sync_gids(self, worker_id: str) -> None:
+        """Intern any gids ``worker_id`` has not seen yet (watermark)."""
+        high = len(self.gid_names)
+        low = self._gid_synced.get(worker_id, 0)
+        if low >= high:
+            return
+        reply = await self._request(worker_id, {
+            "op": "w_intern",
+            "tasks": [[gid, self.gid_names[gid]]
+                      for gid in range(low, high)]})
+        if not reply.get("ok"):
+            raise ClusterError(
+                f"worker {worker_id} rejected gid intern: "
+                f"{reply.get('error')}")
+        self._gid_synced[worker_id] = high
+
+    async def submit_columns(
+            self, per_shard: dict[int, tuple[Any, Any, Any]],
+    ) -> tuple[int, int, int]:
+        """Columnar twin of :meth:`submit` for pre-routed gid columns.
+
+        ``per_shard`` maps shard id to ``(gids, steps, values)`` arrays.
+        Buffering (migrating) shards fall back to row-wise update lists in
+        the migration buffer — replay reuses the JSON ``w_offer`` path, so
+        a migration window costs throughput, never correctness. Everything
+        else groups into one binary ``SHARD_OFFER`` frame per worker.
+        """
+        accepted = shed = rejected = 0
+        per_worker: dict[str, list[Any]] = {}
+        touched: list[ShardRoute] = []
+        for sid, (gids, steps, values) in per_shard.items():
+            routed = self.routes[sid]
+            if routed.buffering:
+                items = [[self.gid_names[g], int(s), float(v)]
+                         for g, s, v in zip(gids.tolist(), steps.tolist(),
+                                            values.tolist())]
+                if (routed.buffered_updates + len(items)
+                        <= self.config.buffer_depth):
+                    routed.buffer.append(items)
+                    routed.buffered_updates += len(items)
+                    accepted += len(items)
+                else:
+                    self.router_shed += len(items)
+                    shed += len(items)
+                continue
+            per_worker.setdefault(routed.worker_id, []).append(
+                (sid, gids, steps, values))
+            routed.inflight += 1
+            routed._idle.clear()
+            touched.append(routed)
+        if per_worker:
+            try:
+                results = await asyncio.gather(
+                    *(self._offer_columns(wid, segments)
+                      for wid, segments in per_worker.items()))
+            finally:
+                for routed in touched:
+                    routed.inflight -= 1
+                    if routed.inflight == 0:
+                        routed._idle.set()
+            for a, s, r in results:
+                accepted += a
+                shed += s
+                rejected += r
+        return accepted, shed, rejected
+
+    async def _offer_columns(self, worker_id: str,
+                             segments: list[Any]) -> tuple[int, int, int]:
+        total = sum(len(seg[1]) for seg in segments)
+        try:
+            await self._sync_gids(worker_id)
+            return await self.transports[worker_id].request_columns(segments)
+        except ClusterError:
+            self._note_failure(worker_id)
+            self.router_shed += total
+            return 0, total, 0
+
+    # ------------------------------------------------------------------
     # Task control
 
     async def register_task(self, entry: dict[str, Any]) -> dict[str, Any]:
@@ -422,6 +522,8 @@ class Coordinator:
             return reply
         self.task_shard[spec.name] = sid
         self.catalog[spec.name] = dict(entry)
+        self._assign_gid(spec.name)
+        self.task_epoch += 1
         self.trace.emit("task_registered", task=spec.name, shard=sid,
                         threshold=spec.threshold)
         return {"ok": True, "task": spec.name, "shard": sid}
@@ -439,6 +541,7 @@ class Coordinator:
             return reply
         del self.task_shard[name]
         self.catalog.pop(name, None)
+        self.task_epoch += 1
         self.trace.emit("task_removed", task=name, shard=sid)
         return {"ok": True, "task": name}
 

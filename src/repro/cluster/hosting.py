@@ -29,20 +29,42 @@ from __future__ import annotations
 
 import os
 import time
-from typing import Any
+from typing import Any, Sequence
+
+import numpy as np
 
 from repro.config import task_from_config
 from repro.core.adaptation import AdaptationConfig
 from repro.core.windowed import AggregateKind
-from repro.exceptions import ReproError
+from repro.exceptions import ConfigurationError, ReproError
 from repro.runtime.checkpoint import state_fingerprint
-from repro.runtime.shard import ShardWorker, restore_counters
+from repro.runtime.shard import ColumnBatch, ShardWorker, restore_counters
 from repro.service import MonitoringService
 from repro.telemetry.registry import MetricsRegistry
 from repro.telemetry.trace import DecisionTrace
 from repro.types import Alert
 
 __all__ = ["WorkerHost"]
+
+_MAX_GID = 1 << 20
+"""Cap on cluster-global task ids a coordinator may intern on a host."""
+
+
+class _GidNames:
+    """Lazy name view for a columnar sub-batch keyed by global task id."""
+
+    __slots__ = ("table", "gids")
+
+    def __init__(self, table: list, gids: np.ndarray):
+        self.table = table
+        self.gids = gids
+
+    def __len__(self) -> int:
+        return len(self.gids)
+
+    def __getitem__(self, pos: int):
+        gid = int(self.gids[pos])
+        return self.table[gid] if 0 <= gid < len(self.table) else None
 
 _PER_SHARD_COUNTERS = (
     ("volley_updates_offered_total",
@@ -84,9 +106,19 @@ class WorkerHost:
                  adaptation: AdaptationConfig | None = None,
                  registry: MetricsRegistry | None = None,
                  trace: DecisionTrace | None = None,
-                 trace_capacity: int = 4096):
+                 trace_capacity: int = 4096, soa: bool = True):
         self.worker_id = worker_id
         self.queue_depth = queue_depth
+        self.soa = soa
+        # Cluster-global task-id table, interned lazily by the coordinator
+        # (``w_intern``). Lives on the *host*, not a shard, so it survives
+        # shard migrations in and out of this worker.
+        self.gid_names: list[str | None] = []
+        # Per-shard gid -> SoA engine row cache (-1 = resolve by name).
+        # Invalidated whenever the shard's service or task set changes;
+        # stale-but-uninvalidated rows are safe because engine rows are
+        # never reused (an evicted row stays inactive -> name fallback).
+        self._gid_rows: dict[int, np.ndarray] = {}
         self.adaptation = adaptation or AdaptationConfig()
         self.registry = registry if registry is not None else MetricsRegistry()
         self.trace = trace if trace is not None else DecisionTrace(
@@ -133,6 +165,7 @@ class WorkerHost:
 
     def _install(self, shard_id: int, service: MonitoringService,
                  ) -> ShardWorker:
+        self._gid_rows.pop(shard_id, None)
         worker = ShardWorker(shard_id, service, self.queue_depth)
         worker.interval_hist = (self._interval_hist
                                 if self.registry.enabled else None)
@@ -148,6 +181,7 @@ class WorkerHost:
         return worker
 
     async def _uninstall(self, shard_id: int, drain: bool) -> None:
+        self._gid_rows.pop(shard_id, None)
         worker = self.shards.pop(shard_id)
         if drain:
             await worker.stop()
@@ -206,7 +240,8 @@ class WorkerHost:
         adaptation = request.get("adaptation")
         if adaptation is not None:
             self.adaptation = AdaptationConfig(**adaptation)
-        self._install(shard_id, MonitoringService(self.adaptation))
+        self._install(shard_id,
+                      MonitoringService(self.adaptation, soa=self.soa))
         return {"ok": True, "shard": shard_id}
 
     async def _op_restore_shard(self, request: dict[str, Any],
@@ -225,8 +260,8 @@ class WorkerHost:
             await self._uninstall(shard_id, drain=False)
         snapshot = request.get("snapshot")
         if snapshot is None:
-            worker = self._install(shard_id,
-                                   MonitoringService(self.adaptation))
+            worker = self._install(
+                shard_id, MonitoringService(self.adaptation, soa=self.soa))
         else:
             # The alert callback must bump the ShardWorker's counter, but
             # the worker only exists after the service does — close over a
@@ -238,7 +273,8 @@ class WorkerHost:
                     cell[0].alerts_fired += 1
 
             service = MonitoringService.restore(dict(snapshot),
-                                                on_alert=on_alert)
+                                                on_alert=on_alert,
+                                                soa=self.soa)
             worker = self._install(shard_id, service)
             cell.append(worker)
         counters = request.get("counters")
@@ -300,6 +336,88 @@ class WorkerHost:
         return {"ok": True, "accepted": accepted, "shed": shed,
                 "rejected": rejected}
 
+    def _op_intern(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Extend the host's gid table: ``{"tasks": [[gid, name], ...]}``.
+
+        The coordinator assigns gids densely and syncs lazily before the
+        first columnar forward that references them, so this is called
+        rarely (new tasks only) and may re-intern existing entries.
+        """
+        entries = request.get("tasks")
+        if not isinstance(entries, list):
+            return _error("w_intern needs a 'tasks' list")
+        for entry in entries:
+            if (not isinstance(entry, (list, tuple)) or len(entry) != 2
+                    or isinstance(entry[0], bool)
+                    or not isinstance(entry[0], int)
+                    or not isinstance(entry[1], str)):
+                return _error("each intern entry must be [gid, name]")
+            gid = entry[0]
+            if not 0 <= gid < _MAX_GID:
+                return _error(f"gid {gid} out of range [0, {_MAX_GID})")
+        for gid, name in entries:
+            if gid >= len(self.gid_names):
+                self.gid_names.extend(
+                    [None] * (gid + 1 - len(self.gid_names)))
+            self.gid_names[gid] = name
+        # New names may resolve to rows the caches marked unknown.
+        self._gid_rows.clear()
+        return {"ok": True, "interned": len(entries),
+                "table_size": len(self.gid_names)}
+
+    def _rows_for(self, shard_id: int, worker: ShardWorker,
+                  gids: np.ndarray) -> np.ndarray:
+        """Resolve gids to SoA engine rows through the per-shard cache."""
+        cache = self._gid_rows.get(shard_id)
+        table = len(self.gid_names)
+        if cache is None or len(cache) < table:
+            fresh = np.full(table, -2, dtype=np.int64)
+            if cache is not None:
+                fresh[:len(cache)] = cache
+            cache = self._gid_rows[shard_id] = fresh
+        in_range = gids[(gids >= 0) & (gids < table)]
+        for gid in np.unique(in_range[cache[in_range] == -2]).tolist():
+            name = self.gid_names[gid]
+            row = -1
+            if name is not None:
+                try:
+                    row = worker.service.soa_row_for(name)
+                except ConfigurationError:
+                    row = -1
+            cache[gid] = row
+        rows = np.full(len(gids), -1, dtype=np.int64)
+        mask = (gids >= 0) & (gids < table)
+        rows[mask] = cache[gids[mask]]
+        return rows
+
+    def handle_shard_offer(
+            self, segments: Sequence[tuple[int, Any]]) -> tuple[int, int, int]:
+        """Enqueue pre-routed binary segments; returns (accepted, shed,
+        rejected).
+
+        Mirrors :meth:`_op_offer` for ``(shard, columns)`` segments from a
+        decoded ``ShardOffer`` frame (or passed directly by the in-proc
+        transport): unknown shards reject, full queues shed, everything
+        else lands as one :class:`ColumnBatch` with gid-resolved engine
+        rows and a lazy name view for the fallback path.
+        """
+        accepted = shed = rejected = 0
+        for shard_id, cols in segments:
+            worker = self.shards.get(int(shard_id))
+            if worker is None:
+                rejected += len(cols)
+                continue
+            gids = cols.task_idx.astype(np.int64)
+            batch = ColumnBatch(
+                rows=self._rows_for(int(shard_id), worker, gids),
+                steps=cols.steps, values=cols.values,
+                names=_GidNames(self.gid_names, gids))
+            if worker.try_enqueue_columns(batch):
+                accepted += len(cols)
+            else:
+                shed += len(cols)
+        return accepted, shed, rejected
+
     # ------------------------------------------------------------------
     # Ops — task control / reads
 
@@ -316,12 +434,15 @@ class WorkerHost:
                                 on_alert=self._alert_hook(worker),
                                 window=window, window_kind=kind,
                                 config=self.adaptation)
+        # The new task's name may already be cached as row -1.
+        self._gid_rows.pop(worker.shard_id, None)
         return {"ok": True, "task": spec.name, "shard": worker.shard_id}
 
     def _op_remove_task(self, request: dict[str, Any]) -> dict[str, Any]:
         worker = self._shard(int(request.get("shard", -1)))
         name = str(request.get("task", ""))
         worker.service.remove_task(name)
+        self._gid_rows.pop(worker.shard_id, None)
         return {"ok": True, "task": name}
 
     def _op_add_trigger(self, request: dict[str, Any]) -> dict[str, Any]:
@@ -330,25 +451,33 @@ class WorkerHost:
             str(request.get("target", "")), str(request.get("trigger", "")),
             elevation_level=float(request.get("elevation_level", 0.0)),
             suspend_interval=int(request.get("suspend_interval", 10)))
+        # Trigger involvement evicts both tasks' SoA rows.
+        self._gid_rows.pop(worker.shard_id, None)
         return {"ok": True}
 
     def _op_due(self, request: dict[str, Any]) -> dict[str, Any]:
-        worker, state = self._find_task(request)
+        # Service accessors, not raw TaskState fields: engine-managed
+        # tasks keep their live schedule in the SoA columns.
+        worker = self._shard(int(request.get("shard", -1)))
+        name = str(request.get("task", ""))
         step = int(request.get("step", 0))
-        return {"ok": True, "due": step >= state.next_due,
-                "next_due": state.next_due, "shard": worker.shard_id}
+        next_due = worker.service.next_due(name)
+        return {"ok": True, "due": step >= next_due,
+                "next_due": next_due, "shard": worker.shard_id}
 
     def _op_task_info(self, request: dict[str, Any]) -> dict[str, Any]:
         worker, state = self._find_task(request)
+        service = worker.service
+        name = str(request.get("task", ""))
         return {
             "ok": True,
-            "task": str(request.get("task", "")),
+            "task": name,
             "shard": worker.shard_id,
-            "samples_taken": state.samples_taken,
+            "samples_taken": service.samples_taken(name),
             "alerts": len(state.alerts),
-            "interval": state.sampler.interval,
-            "next_due": state.next_due,
-            "observations": state.sampler.observations,
+            "interval": service.interval(name),
+            "next_due": service.next_due(name),
+            "observations": service.observations(name),
         }
 
     def _op_alerts(self, request: dict[str, Any]) -> dict[str, Any]:
@@ -382,6 +511,7 @@ class WorkerHost:
         "w_drop_shard": _op_drop_shard,
         "w_drain": _op_drain,
         "w_offer": _op_offer,
+        "w_intern": _op_intern,
         "w_register_task": _op_register_task,
         "w_remove_task": _op_remove_task,
         "w_add_trigger": _op_add_trigger,

@@ -26,10 +26,15 @@ import signal
 import time
 from typing import Any
 
+import numpy as np
+
 from repro.config import ClusterConfig
 from repro.core.adaptation import AdaptationConfig
 from repro.exceptions import (ConfigurationError, ProtocolError, ReproError)
-from repro.runtime.protocol import encode_frame, read_frame
+from repro.runtime.protocol import (PROTOCOL_BINARY, PROTOCOL_JSON,
+                                    PROTOCOL_VERSION, OfferColumns,
+                                    encode_frame_parts, encode_offer_reply,
+                                    read_frame)
 from repro.telemetry.exposition import (CONTENT_TYPE_PROMETHEUS,
                                         TelemetryHTTPServer,
                                         render_prometheus)
@@ -40,9 +45,32 @@ __all__ = ["ClusterServer"]
 
 logger = logging.getLogger(__name__)
 
+_MAX_INTERN = 1 << 20
+"""Cap on interned task indexes per connection (same as the runtime)."""
+
 
 def _error(message: str, code: str = "bad-request") -> dict[str, Any]:
     return {"ok": False, "error": message, "code": code}
+
+
+class _ConnState:
+    """Per-connection negotiation + intern state at the routing tier.
+
+    ``shard`` caches each interned name's routing hash (stable for the
+    cluster's lifetime); ``gid`` caches its cluster-global task id, which
+    is only valid while the task is registered — ``epoch`` tracks the
+    coordinator's task-table version so gid resolution refreshes lazily
+    after any register/remove instead of per offer.
+    """
+
+    __slots__ = ("protocol", "names", "shard", "gid", "epoch")
+
+    def __init__(self) -> None:
+        self.protocol = PROTOCOL_JSON
+        self.names: list[str | None] = []
+        self.shard = np.empty(0, dtype=np.int64)
+        self.gid = np.empty(0, dtype=np.int64)
+        self.epoch = -1
 
 
 class ClusterServer:
@@ -183,25 +211,54 @@ class ClusterServer:
     # ------------------------------------------------------------------
     # Wire handling
 
+    @property
+    def max_protocol(self) -> int:
+        """Highest protocol version this router offers clients."""
+        return min(self.config.protocol, PROTOCOL_VERSION)
+
     async def _on_connection(self, reader: asyncio.StreamReader,
                              writer: asyncio.StreamWriter) -> None:
         task = asyncio.current_task()
         assert task is not None
         self._connections.add(task)
+        conn = _ConnState()
         try:
             while True:
                 try:
                     request = await read_frame(reader)
                 except ProtocolError as exc:
-                    writer.write(encode_frame(
+                    writer.writelines(encode_frame_parts(
                         _error(str(exc), code="protocol")))
                     await writer.drain()
                     break
                 if request is None:
                     break
                 self._frames += 1
-                reply = await self.handle_request(request)
-                writer.write(encode_frame(reply))
+                if isinstance(request, OfferColumns):
+                    if conn.protocol < PROTOCOL_BINARY:
+                        writer.writelines(encode_frame_parts(_error(
+                            "binary frames require a negotiated protocol "
+                            ">= 2 (send a 'hello' op first)",
+                            code="protocol")))
+                        await writer.drain()
+                        break
+                    writer.writelines(await self._offer_columns(conn,
+                                                                request))
+                    await writer.drain()
+                    continue
+                if not isinstance(request, dict):
+                    writer.writelines(encode_frame_parts(_error(
+                        "unexpected binary frame kind", code="protocol")))
+                    await writer.drain()
+                    break
+                op = request.get("op")
+                if op == "hello":
+                    reply = self._op_hello(conn, request)
+                elif op == "intern":
+                    reply = self._op_intern(conn, request)
+                else:
+                    reply = await self.handle_request(request)
+                writer.writelines(encode_frame_parts(reply))
                 await writer.drain()
         except (asyncio.CancelledError, ConnectionResetError,
                 BrokenPipeError):
@@ -213,6 +270,104 @@ class ClusterServer:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
+
+    # ------------------------------------------------------------------
+    # Connection-scoped ops (negotiation + interning)
+
+    def _op_hello(self, conn: _ConnState,
+                  request: dict[str, Any]) -> dict[str, Any]:
+        try:
+            peer_max = int(request.get("max_protocol", PROTOCOL_JSON))
+        except (TypeError, ValueError):
+            return _error("hello max_protocol must be an integer")
+        conn.protocol = max(PROTOCOL_JSON, min(peer_max, self.max_protocol))
+        return {"ok": True, "protocol": conn.protocol,
+                "server_protocol": self.max_protocol,
+                "max_batch": self.config.max_batch}
+
+    def _op_intern(self, conn: _ConnState,
+                   request: dict[str, Any]) -> dict[str, Any]:
+        entries = request.get("tasks")
+        if not isinstance(entries, list):
+            return _error("intern needs a 'tasks' list")
+        for entry in entries:
+            if (not isinstance(entry, (list, tuple)) or len(entry) != 2
+                    or isinstance(entry[0], bool)
+                    or not isinstance(entry[0], int)
+                    or not isinstance(entry[1], str)):
+                return _error("each intern entry must be [index, name]")
+            if not 0 <= entry[0] < _MAX_INTERN:
+                return _error(
+                    f"intern index {entry[0]} out of range "
+                    f"[0, {_MAX_INTERN})")
+        for idx, name in entries:
+            if idx >= len(conn.names):
+                conn.names.extend([None] * (idx + 1 - len(conn.names)))
+            conn.names[idx] = name
+        self._refresh_conn(conn, force=True)
+        return {"ok": True, "interned": len(entries),
+                "table_size": len(conn.names)}
+
+    def _refresh_conn(self, conn: _ConnState, force: bool = False) -> None:
+        """(Re)resolve interned names to routing shards and gids."""
+        coord = self.coordinator
+        if not force and conn.epoch == coord.task_epoch:
+            return
+        n = len(conn.names)
+        shard = np.full(n, -1, dtype=np.int64)
+        gid = np.full(n, -1, dtype=np.int64)
+        task_shard = coord.task_shard
+        gids = coord.gids
+        for i, name in enumerate(conn.names):
+            if name is None:
+                continue
+            sid = task_shard.get(name)
+            if sid is None:
+                continue
+            shard[i] = sid
+            gid[i] = gids.get(name, -1)
+        conn.shard = shard
+        conn.gid = gid
+        conn.epoch = coord.task_epoch
+
+    async def _offer_columns(self, conn: _ConnState,
+                             cols: OfferColumns) -> tuple[bytes, bytes]:
+        """Route one decoded binary batch; returns the reply frame parts."""
+        instrumented = self.registry.enabled
+        began = time.perf_counter() if instrumented else 0.0
+        if len(cols) > self.config.max_batch:
+            return encode_frame_parts(_error(
+                f"batch of {len(cols)} exceeds max_batch="
+                f"{self.config.max_batch}", code="batch-too-large"))
+        self._refresh_conn(conn)
+        idx = cols.task_idx.astype(np.int64)
+        known = idx < len(conn.names)
+        rejected = int(len(idx) - known.sum())
+        idx = idx[known]
+        steps = cols.steps[known]
+        values = cols.values[known]
+        gids = conn.gid[idx]
+        shards = conn.shard[idx]
+        registered = gids >= 0
+        rejected += int(len(gids) - registered.sum())
+        gids, shards = gids[registered], shards[registered]
+        steps, values = steps[registered], values[registered]
+        per_shard: dict[int, tuple[Any, Any, Any]] = {}
+        for sid in np.unique(shards).tolist():
+            sel = np.flatnonzero(shards == sid)
+            per_shard[int(sid)] = (gids[sel], steps[sel], values[sel])
+        accepted, shed, worker_rejected = \
+            await self.coordinator.submit_columns(per_shard)
+        rejected += worker_rejected
+        if shed:
+            self.trace.emit("shed", count=shed, batch=len(cols),
+                            accepted=accepted)
+        if instrumented:
+            self._offer_batch_size.observe(len(cols))
+            self._offer_latency.observe(time.perf_counter() - began)
+        return encode_offer_reply(
+            accepted, shed, rejected, backpressure=shed > 0,
+            retry_after_ms=self.config.shed_retry_ms if shed else 0)
 
     async def handle_request(self, request: dict[str, Any],
                              ) -> dict[str, Any]:
@@ -234,7 +389,8 @@ class ClusterServer:
     async def _op_ping(self, request: dict[str, Any]) -> dict[str, Any]:
         return {"ok": True, "shards": self.coordinator.n_shards,
                 "tasks": len(self.coordinator.task_shard),
-                "workers": len(self.coordinator.transports)}
+                "workers": len(self.coordinator.transports),
+                "protocol": self.max_protocol}
 
     async def _op_register_task(self, request: dict[str, Any],
                                 ) -> dict[str, Any]:
@@ -339,7 +495,7 @@ class ClusterServer:
         totals["shed"] += coord.router_shed
         totals["tasks"] = len(coord.task_shard)
         reply = {"ok": True, "shards": shards, "totals": totals,
-                 "frames": self._frames,
+                 "frames": self._frames, "protocol": self.max_protocol,
                  "uptime_s": time.monotonic() - self._started_monotonic,
                  "restored_tasks": coord.restored_tasks,
                  "cluster": {

@@ -32,7 +32,9 @@ import sys
 from typing import Any, Protocol
 
 from repro.exceptions import ClusterError, ProtocolError
-from repro.runtime.protocol import encode_frame, read_frame
+from repro.runtime.protocol import (OfferColumns, OfferReply,
+                                    encode_frame_parts, encode_shard_offer,
+                                    read_frame)
 
 from repro.cluster.hosting import WorkerHost
 
@@ -53,6 +55,11 @@ class ShardTransport(Protocol):
 
     async def request(self, payload: dict[str, Any]) -> dict[str, Any]:
         """One request/one reply; raises ClusterError when unreachable."""
+
+    async def request_columns(self, segments: list[Any],
+                              ) -> tuple[int, int, int]:
+        """Forward pre-routed ``(shard, task_idx, steps, values)``
+        segments on the binary path; returns (accepted, shed, rejected)."""
 
     async def close(self) -> None:
         """Graceful teardown (drains hosted shards where applicable)."""
@@ -78,6 +85,15 @@ class InProcTransport:
         if not self._alive:
             raise ClusterError(f"worker {self.worker_id} is down")
         return await self.host.handle(payload)
+
+    async def request_columns(self, segments: list[Any],
+                              ) -> tuple[int, int, int]:
+        """Columnar fan-out without any wire encode: arrays pass through."""
+        if not self._alive:
+            raise ClusterError(f"worker {self.worker_id} is down")
+        return self.host.handle_shard_offer(
+            [(sid, OfferColumns(idx, steps, values))
+             for sid, idx, steps, values in segments])
 
     async def close(self) -> None:
         if self._alive:
@@ -109,15 +125,15 @@ class _PooledSocketTransport:
                                    asyncio.StreamWriter]:
         raise NotImplementedError
 
-    async def request(self, payload: dict[str, Any]) -> dict[str, Any]:
-        if not self.alive:
-            raise ClusterError(f"worker {self.worker_id} is down")
+    async def _roundtrip(self, parts: tuple[bytes, bytes],
+                         what: str) -> Any:
+        """One framed request/reply over a pooled connection."""
         conn = await self._slots.get()
         try:
             if conn is None:
                 conn = await self._open()
             reader, writer = conn
-            writer.write(encode_frame(payload))
+            writer.writelines(parts)
             await writer.drain()
             reply = await read_frame(reader)
         except (OSError, ProtocolError, asyncio.IncompleteReadError) as exc:
@@ -129,13 +145,38 @@ class _PooledSocketTransport:
             self._slots.put_nowait(None)
             raise ClusterError(
                 f"worker {self.worker_id} unreachable during "
-                f"{payload.get('op')!r}: {exc}") from None
+                f"{what}: {exc}") from None
         self._slots.put_nowait(conn)
         if reply is None:
             raise ClusterError(
                 f"worker {self.worker_id} closed the connection during "
+                f"{what}")
+        return reply
+
+    async def request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        if not self.alive:
+            raise ClusterError(f"worker {self.worker_id} is down")
+        reply = await self._roundtrip(encode_frame_parts(payload),
+                                      repr(payload.get("op")))
+        if not isinstance(reply, dict):
+            raise ClusterError(
+                f"worker {self.worker_id} sent a binary reply to "
                 f"{payload.get('op')!r}")
         return reply
+
+    async def request_columns(self, segments: list[Any],
+                              ) -> tuple[int, int, int]:
+        """Forward ``(shard, task_idx, steps, values)`` segments as one
+        binary SHARD_OFFER frame; returns (accepted, shed, rejected)."""
+        if not self.alive:
+            raise ClusterError(f"worker {self.worker_id} is down")
+        reply = await self._roundtrip(encode_shard_offer(segments),
+                                      "shard_offer")
+        if isinstance(reply, OfferReply):
+            return reply.accepted, reply.shed, reply.rejected
+        raise ClusterError(
+            f"worker {self.worker_id} rejected a shard_offer frame: "
+            f"{reply.get('error') if isinstance(reply, dict) else reply}")
 
     async def _close_pool(self) -> None:
         self._closed = True

@@ -29,7 +29,8 @@ from typing import Any
 
 from repro.cluster.hosting import WorkerHost
 from repro.exceptions import ProtocolError, ReproError
-from repro.runtime.protocol import encode_frame, read_frame
+from repro.runtime.protocol import (ShardOffer, encode_frame_parts,
+                                    encode_offer_reply, read_frame)
 from repro.telemetry.registry import instrument_samplers
 
 __all__ = ["ClusterWorker", "main"]
@@ -75,21 +76,37 @@ class ClusterWorker:
                 try:
                     request = await read_frame(reader)
                 except ProtocolError as exc:
-                    writer.write(encode_frame(
+                    writer.writelines(encode_frame_parts(
                         {"ok": False, "error": str(exc), "code": "protocol"}))
                     await writer.drain()
                     break
                 if request is None:
                     break
+                if isinstance(request, ShardOffer):
+                    # Pre-routed columnar fan-out from the coordinator.
+                    # No negotiation dance worker-side: the coordinator
+                    # only sends binary to workers it spawned/configured.
+                    a, s, r = self.host.handle_shard_offer(request.segments)
+                    writer.writelines(encode_offer_reply(
+                        a, s, r, backpressure=s > 0, retry_after_ms=0))
+                    await writer.drain()
+                    continue
+                if not isinstance(request, dict):
+                    writer.writelines(encode_frame_parts(
+                        {"ok": False, "error": "unexpected binary frame "
+                         "kind", "code": "protocol"}))
+                    await writer.drain()
+                    break
                 if request.get("op") == "w_shutdown":
                     # ACK first, then begin teardown: the coordinator's
                     # close() wants a reply before waiting on the process.
-                    writer.write(encode_frame({"ok": True, "shutdown": True}))
+                    writer.writelines(encode_frame_parts(
+                        {"ok": True, "shutdown": True}))
                     await writer.drain()
                     self._shutdown.set()
                     continue
                 reply = await self.host.handle(request)
-                writer.write(encode_frame(reply))
+                writer.writelines(encode_frame_parts(reply))
                 await writer.drain()
         except (asyncio.CancelledError, ConnectionResetError,
                 BrokenPipeError):

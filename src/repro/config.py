@@ -86,7 +86,7 @@ class ExecutionConfig:
 _RUNTIME_KEYS = {"shards", "queue_depth", "max_batch", "host", "port",
                  "unix_socket", "checkpoint_path", "checkpoint_interval",
                  "shed_retry_ms", "http_port", "trace_capacity",
-                 "selfmon_interval"}
+                 "selfmon_interval", "protocol"}
 
 
 @dataclass(frozen=True, slots=True)
@@ -114,6 +114,10 @@ class RuntimeConfig:
         selfmon_interval: seconds between self-monitoring polls (the
             runtime's own gauges monitored as Volley tasks); ``None``
             (the default) disables self-monitoring.
+        protocol: highest wire protocol version the server negotiates
+            (``1`` = JSON only, ``2`` = JSON + binary offer frames; see
+            :mod:`repro.runtime.protocol`). Lowering it to ``1`` pins a
+            deployment to the pure-JSON wire format.
     """
 
     shards: int = 4
@@ -128,6 +132,7 @@ class RuntimeConfig:
     http_port: int | None = None
     trace_capacity: int = 4096
     selfmon_interval: float | None = None
+    protocol: int = 2
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -151,6 +156,10 @@ class RuntimeConfig:
         if self.selfmon_interval is not None and self.selfmon_interval <= 0:
             raise ConfigurationError(
                 f"selfmon_interval must be > 0, got {self.selfmon_interval}")
+        if self.protocol not in (1, 2):
+            raise ConfigurationError(
+                f"protocol must be 1 (JSON) or 2 (binary), got "
+                f"{self.protocol}")
 
     @classmethod
     def from_dict(cls, entry: Mapping[str, Any]) -> "RuntimeConfig":
@@ -161,7 +170,7 @@ class RuntimeConfig:
         _reject_unknown(dict(entry), _RUNTIME_KEYS, "runtime section")
         kwargs: dict[str, Any] = {}
         for key in ("shards", "queue_depth", "max_batch", "port",
-                    "shed_retry_ms", "trace_capacity"):
+                    "shed_retry_ms", "trace_capacity", "protocol"):
             if key in entry:
                 kwargs[key] = int(entry[key])
         if "host" in entry:
@@ -184,7 +193,7 @@ _CLUSTER_KEYS = {"workers", "shards", "backend", "worker_endpoints",
                  "buffer_depth", "heartbeat_interval", "heartbeat_misses",
                  "heartbeat_timeout", "connections_per_worker",
                  "checkpoint_path", "checkpoint_interval", "shed_retry_ms",
-                 "trace_capacity", "runtime_dir"}
+                 "trace_capacity", "runtime_dir", "protocol"}
 
 _CLUSTER_BACKENDS = ("inproc", "subprocess", "tcp")
 
@@ -229,6 +238,9 @@ class ClusterConfig:
         trace_capacity: coordinator decision-trace ring size.
         runtime_dir: directory for worker unix sockets and ready files
             (``subprocess`` backend); ``None`` uses a fresh temp dir.
+        protocol: highest wire protocol version the routing tier offers
+            clients (1 = JSON only, 2 = negotiated binary columnar
+            framing); the same framing rides the worker transports.
     """
 
     workers: int = 2
@@ -250,8 +262,13 @@ class ClusterConfig:
     shed_retry_ms: int = 50
     trace_capacity: int = 4096
     runtime_dir: pathlib.Path | None = None
+    protocol: int = 2
 
     def __post_init__(self) -> None:
+        if self.protocol not in (1, 2):
+            raise ConfigurationError(
+                f"protocol must be 1 (JSON) or 2 (binary), "
+                f"got {self.protocol!r}")
         if self.workers < 1:
             raise ConfigurationError(
                 f"workers must be >= 1, got {self.workers}")
@@ -307,7 +324,7 @@ class ClusterConfig:
         for key in ("workers", "shards", "port", "queue_depth", "max_batch",
                     "buffer_depth", "heartbeat_misses",
                     "connections_per_worker", "shed_retry_ms",
-                    "trace_capacity"):
+                    "trace_capacity", "protocol"):
             if key in entry and entry[key] is not None:
                 kwargs[key] = int(entry[key])
         for key in ("heartbeat_interval", "heartbeat_timeout",

@@ -27,6 +27,7 @@ from repro.core.likelihood import (cantelli_upper_bound,
                                    step_violation_bound)
 from repro.core.online_stats import OnlineStatistics, WindowedStatistics
 from repro.core.sampler import SamplingScheme
+from repro.core.soa import ColumnBatchResult, SoaSamplerEngine
 from repro.core.task import DistributedTaskSpec, TaskSpec
 from repro.core.windowed import (AggregateKind, WindowedTaskSpec,
                                  aggregate_trace, run_windowed_adaptive)
@@ -47,6 +48,8 @@ __all__ = [
     "RunAccuracy",
     "SamplingDecision",
     "SamplingScheme",
+    "ColumnBatchResult",
+    "SoaSamplerEngine",
     "TaskProfile",
     "TaskSpec",
     "TriggerRule",

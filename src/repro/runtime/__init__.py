@@ -36,19 +36,36 @@ Clients: :class:`~repro.runtime.client.RuntimeClient` (sync) and
 from repro.config import RuntimeConfig
 from repro.runtime.checkpoint import read_checkpoint, write_checkpoint
 from repro.runtime.client import AsyncRuntimeClient, RuntimeClient
-from repro.runtime.protocol import (MAX_FRAME, encode_frame, read_frame,
-                                    read_frame_blocking)
+from repro.runtime.protocol import (MAX_FRAME, PROTOCOL_BINARY,
+                                    PROTOCOL_JSON, PROTOCOL_VERSION,
+                                    OfferColumns, OfferReply, ShardOffer,
+                                    decode_binary, encode_frame,
+                                    encode_frame_parts,
+                                    encode_offer_columns,
+                                    encode_offer_reply, encode_shard_offer,
+                                    read_frame, read_frame_blocking)
 from repro.runtime.server import RuntimeServer
 from repro.runtime.shard import ShardWorker, shard_for
 
 __all__ = [
     "AsyncRuntimeClient",
     "MAX_FRAME",
+    "OfferColumns",
+    "OfferReply",
+    "PROTOCOL_BINARY",
+    "PROTOCOL_JSON",
+    "PROTOCOL_VERSION",
     "RuntimeClient",
     "RuntimeConfig",
     "RuntimeServer",
+    "ShardOffer",
     "ShardWorker",
+    "decode_binary",
     "encode_frame",
+    "encode_frame_parts",
+    "encode_offer_columns",
+    "encode_offer_reply",
+    "encode_shard_offer",
     "read_checkpoint",
     "read_frame",
     "read_frame_blocking",

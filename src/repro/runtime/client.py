@@ -20,12 +20,24 @@ import socket
 from typing import Any, Sequence
 
 from repro.exceptions import ProtocolError
-from repro.runtime.protocol import encode_frame, read_frame, \
-    read_frame_blocking
+from repro.runtime.protocol import (PROTOCOL_BINARY, PROTOCOL_JSON,
+                                    PROTOCOL_VERSION, OfferReply,
+                                    encode_frame_parts,
+                                    encode_offer_columns, read_frame,
+                                    read_frame_blocking)
 
 __all__ = ["AsyncRuntimeClient", "RuntimeClient"]
 
 Update = Sequence[Any]  # [task, step, value]
+
+
+def _offer_reply_error(reply: Any) -> ProtocolError:
+    if isinstance(reply, dict):
+        return ProtocolError(
+            f"binary offer failed: {reply.get('error', 'unknown error')} "
+            f"(code={reply.get('code', '?')})")
+    return ProtocolError(
+        f"unexpected reply to a binary offer: {type(reply).__name__}")
 
 
 def _check_reply(reply: dict[str, Any] | None, op: str) -> dict[str, Any]:
@@ -59,6 +71,13 @@ class RuntimeClient:
         self._timeout = timeout
         self._sock: socket.socket | None = None
         self._file: Any = None
+        self._protocol = PROTOCOL_JSON
+        self._intern: dict[str, int] = {}
+
+    @property
+    def protocol(self) -> int:
+        """The negotiated protocol version (1 until :meth:`negotiate`)."""
+        return self._protocol
 
     def connect(self) -> None:
         """Open the connection now (otherwise the first request does)."""
@@ -76,13 +95,19 @@ class RuntimeClient:
         self._file = sock.makefile("rb")
 
     def close(self) -> None:
-        """Close the connection (idempotent)."""
+        """Close the connection (idempotent).
+
+        Negotiation and the intern table are per-connection server state,
+        so both reset here; re-run :meth:`negotiate` after reconnecting.
+        """
         if self._file is not None:
             self._file.close()
             self._file = None
         if self._sock is not None:
             self._sock.close()
             self._sock = None
+        self._protocol = PROTOCOL_JSON
+        self._intern.clear()
 
     def __enter__(self) -> "RuntimeClient":
         self.connect()
@@ -91,11 +116,28 @@ class RuntimeClient:
     def __exit__(self, *exc: object) -> None:
         self.close()
 
+    def _send_parts(self, header: bytes, body: bytes) -> None:
+        """Writev-style send: header + body without concatenating them."""
+        assert self._sock is not None
+        if not hasattr(self._sock, "sendmsg"):  # e.g. Windows
+            self._sock.sendall(header + body)
+            return
+        sent = self._sock.sendmsg((header, body))
+        total = len(header) + len(body)
+        if sent >= total:
+            return
+        # Rare partial gather-send (tiny socket buffer): finish with
+        # plain sendall on whatever remains of each part.
+        if sent < len(header):
+            self._sock.sendall(header[sent:])
+            self._sock.sendall(body)
+        else:
+            self._sock.sendall(body[sent - len(header):])
+
     def request(self, payload: dict[str, Any]) -> dict[str, Any]:
         """Send one frame and return the raw reply dict."""
         self.connect()
-        assert self._sock is not None
-        self._sock.sendall(encode_frame(payload))
+        self._send_parts(*encode_frame_parts(payload))
         reply = read_frame_blocking(self._file)
         if reply is None:
             raise ProtocolError("server closed the connection")
@@ -103,6 +145,72 @@ class RuntimeClient:
 
     def _call(self, payload: dict[str, Any]) -> dict[str, Any]:
         return _check_reply(self.request(payload), str(payload.get("op")))
+
+    # -- binary protocol -------------------------------------------------
+
+    def negotiate(self, max_protocol: int = PROTOCOL_VERSION) -> int:
+        """Negotiate the connection's protocol; returns the agreed version.
+
+        A protocol-1 server has no ``hello`` op at all — its ``unknown-op``
+        error means "stay on JSON", not failure, so this never raises
+        against an old server.
+        """
+        reply = self.request({"op": "hello", "max_protocol": max_protocol})
+        if not reply.get("ok"):
+            if reply.get("code") == "unknown-op":
+                self._protocol = PROTOCOL_JSON
+                return self._protocol
+            raise ProtocolError(
+                f"'hello' failed: {reply.get('error', 'unknown error')} "
+                f"(code={reply.get('code', '?')})")
+        self._protocol = int(reply.get("protocol", PROTOCOL_JSON))
+        return self._protocol
+
+    def intern(self, names: Sequence[str]) -> list[int]:
+        """Intern task names for columnar offers; returns their indexes.
+
+        Indexes are assigned client-side (dense, in first-seen order) and
+        are stable for the life of the connection. Already-interned names
+        cost nothing; call :meth:`reintern` instead after registering
+        tasks that were interned *before* registration, so the server
+        re-resolves them onto engine rows.
+        """
+        entries = []
+        for name in names:
+            if name not in self._intern:
+                idx = len(self._intern)
+                self._intern[name] = idx
+                entries.append([idx, name])
+        if entries:
+            self._call({"op": "intern", "tasks": entries})
+        return [self._intern[n] for n in names]
+
+    def reintern(self) -> None:
+        """Re-send the whole intern table (re-resolves rows server-side)."""
+        if self._intern:
+            self._call({"op": "intern",
+                        "tasks": [[i, n] for n, i in self._intern.items()]})
+
+    def offer_columns(self, task_idx: Any, steps: Any,
+                      values: Any) -> OfferReply:
+        """Push one binary columnar batch; returns the decoded reply.
+
+        Requires a prior :meth:`negotiate` that agreed on protocol >= 2
+        and task indexes from :meth:`intern`. Backpressure is reported on
+        the reply (``reply.backpressure`` / ``reply.retry_after_ms``), not
+        raised, mirroring :meth:`offer_batch`.
+        """
+        if self._protocol < PROTOCOL_BINARY:
+            raise ProtocolError(
+                "binary offers need negotiate() to agree on protocol >= 2")
+        self.connect()
+        self._send_parts(*encode_offer_columns(task_idx, steps, values))
+        reply = read_frame_blocking(self._file)
+        if reply is None:
+            raise ProtocolError("server closed the connection")
+        if isinstance(reply, OfferReply):
+            return reply
+        raise _offer_reply_error(reply)
 
     # -- convenience ops -------------------------------------------------
 
@@ -196,6 +304,13 @@ class AsyncRuntimeClient:
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
         self._lock = asyncio.Lock()
+        self._protocol = PROTOCOL_JSON
+        self._intern: dict[str, int] = {}
+
+    @property
+    def protocol(self) -> int:
+        """The negotiated protocol version (1 until :meth:`negotiate`)."""
+        return self._protocol
 
     async def connect(self) -> None:
         if self._writer is not None:
@@ -216,6 +331,8 @@ class AsyncRuntimeClient:
                 pass
             self._writer = None
             self._reader = None
+        self._protocol = PROTOCOL_JSON
+        self._intern.clear()
 
     async def __aenter__(self) -> "AsyncRuntimeClient":
         await self.connect()
@@ -228,7 +345,7 @@ class AsyncRuntimeClient:
         async with self._lock:
             await self.connect()
             assert self._writer is not None and self._reader is not None
-            self._writer.write(encode_frame(payload))
+            self._writer.writelines(encode_frame_parts(payload))
             await self._writer.drain()
             reply = await read_frame(self._reader)
         if reply is None:
@@ -238,6 +355,69 @@ class AsyncRuntimeClient:
     async def _call(self, payload: dict[str, Any]) -> dict[str, Any]:
         return _check_reply(await self.request(payload),
                             str(payload.get("op")))
+
+    # -- binary protocol -------------------------------------------------
+
+    async def negotiate(self, max_protocol: int = PROTOCOL_VERSION) -> int:
+        """Negotiate the connection's protocol; returns the agreed version.
+
+        As with the sync client, a protocol-1 server's ``unknown-op`` reply
+        means "stay on JSON" rather than failure.
+        """
+        reply = await self.request({"op": "hello",
+                                    "max_protocol": max_protocol})
+        if not reply.get("ok"):
+            if reply.get("code") == "unknown-op":
+                self._protocol = PROTOCOL_JSON
+                return self._protocol
+            raise ProtocolError(
+                f"'hello' failed: {reply.get('error', 'unknown error')} "
+                f"(code={reply.get('code', '?')})")
+        self._protocol = int(reply.get("protocol", PROTOCOL_JSON))
+        return self._protocol
+
+    async def intern(self, names: Sequence[str]) -> list[int]:
+        """Intern task names for columnar offers; returns their indexes."""
+        entries = []
+        for name in names:
+            if name not in self._intern:
+                idx = len(self._intern)
+                self._intern[name] = idx
+                entries.append([idx, name])
+        if entries:
+            await self._call({"op": "intern", "tasks": entries})
+        return [self._intern[n] for n in names]
+
+    async def reintern(self) -> None:
+        """Re-send the whole intern table (re-resolves rows server-side)."""
+        if self._intern:
+            await self._call(
+                {"op": "intern",
+                 "tasks": [[i, n] for n, i in self._intern.items()]})
+
+    async def offer_columns(self, task_idx: Any, steps: Any,
+                            values: Any) -> OfferReply:
+        """Push one binary columnar batch; returns the decoded reply.
+
+        Same contract as the sync client: requires protocol >= 2 from
+        :meth:`negotiate`; backpressure rides on the reply, not an
+        exception.
+        """
+        if self._protocol < PROTOCOL_BINARY:
+            raise ProtocolError(
+                "binary offers need negotiate() to agree on protocol >= 2")
+        parts = encode_offer_columns(task_idx, steps, values)
+        async with self._lock:
+            await self.connect()
+            assert self._writer is not None and self._reader is not None
+            self._writer.writelines(parts)
+            await self._writer.drain()
+            reply = await read_frame(self._reader)
+        if reply is None:
+            raise ProtocolError("server closed the connection")
+        if isinstance(reply, OfferReply):
+            return reply
+        raise _offer_reply_error(reply)
 
     async def ping(self) -> dict[str, Any]:
         return await self._call({"op": "ping"})

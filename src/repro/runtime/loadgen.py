@@ -19,6 +19,18 @@ used by the CI cluster-smoke job). ``--migrate-under-load`` live-migrates
 one shard at the midpoint of the run and records whether the cutover was
 bit-identical (fingerprint match) and how many buffered offers replayed.
 
+Wire protocol: ``--protocol auto`` (default) negotiates per connection
+and rides the compact binary framing when the server agrees; ``json``
+pins the v1 row-of-rows path (the compatibility baseline), ``binary``
+requires protocol >= 2 and fails fast otherwise. ``--protocol-sweep``
+benchmarks both paths back to back and reports the binary/JSON
+throughput ratio plus the scalar-vs-SoA bit-equivalence block
+(:mod:`repro.experiments.bench_soa`) in one combined
+``BENCH_runtime.json`` (``--min-protocol-ratio`` turns the ratio into an
+exit code for CI). ``--profile`` wraps the self-hosted server's event
+loop in cProfile and drops a pstats summary of the server hot loop next
+to the benchmark JSON.
+
 The synthetic streams hover below the threshold with heavy noise, so the
 benchmark exercises both regimes: samplers that grow their intervals (the
 cheap early-return ingest path) and occasional violations (alert path).
@@ -54,7 +66,9 @@ from typing import Any
 import numpy as np
 
 from repro.config import ClusterConfig, RuntimeConfig
+from repro.exceptions import ProtocolError
 from repro.runtime.client import RuntimeClient
+from repro.runtime.protocol import PROTOCOL_BINARY, PROTOCOL_JSON
 from repro.runtime.server import RuntimeServer
 from repro.service import MonitoringService
 
@@ -128,12 +142,14 @@ def _server_side_report(before: dict[str, Any], after: dict[str, Any],
 class _SpawnedServer:
     """RuntimeServer on a background thread with its own event loop."""
 
-    def __init__(self, config: RuntimeConfig):
+    def __init__(self, config: RuntimeConfig, profile: bool = False):
         self._config = config
         self._ready = threading.Event()
         self._failure: BaseException | None = None
         self.server: RuntimeServer | None = None
         self.loop: asyncio.AbstractEventLoop | None = None
+        self.profiler: Any = None
+        self._profile = profile
         self._thread = threading.Thread(target=self._run, daemon=True,
                                         name="loadgen-server")
 
@@ -146,11 +162,22 @@ class _SpawnedServer:
             self._ready.set()
             await server.serve_forever()
 
+        profiler = None
+        if self._profile:
+            # cProfile is per-thread; enabled here it sees exactly the
+            # server's event loop — the decode/route/apply hot path.
+            import cProfile
+            profiler = cProfile.Profile()
+            profiler.enable()
         try:
             asyncio.run(amain())
         except BaseException as exc:  # surface startup failures to caller
             self._failure = exc
             self._ready.set()
+        finally:
+            if profiler is not None:
+                profiler.disable()
+                self.profiler = profiler
 
     def start(self) -> int:
         self._thread.start()
@@ -261,7 +288,8 @@ def _send_updates(client: RuntimeClient, names: list[str],
     """One connection's send loop over its partition of the tasks."""
     rng = np.random.default_rng(seed)
     mask = (1 << 16) - 1
-    values = rng.normal(80.0, 18.0, mask + 1)
+    values = rng.normal(getattr(args, "value_mean", 80.0),
+                        getattr(args, "value_std", 18.0), mask + 1)
     steps = [0] * len(names)
     latencies: list[float] = []
     offers = accepted = shed = rejected = 0
@@ -301,6 +329,78 @@ def _send_updates(client: RuntimeClient, names: list[str],
             "elapsed": time.perf_counter() - started}
 
 
+def _send_updates_binary(client: RuntimeClient, names: list[str],
+                         args: argparse.Namespace, rate: float,
+                         seed: int) -> dict[str, Any]:
+    """One connection's vectorised send loop on the binary path.
+
+    The caller has already negotiated protocol >= 2; this interns the
+    connection's task partition (post-registration, so the server resolves
+    every name onto an engine row) and then builds each batch as numpy
+    columns — no per-update Python lists, no JSON encode.
+    """
+    rng = np.random.default_rng(seed)
+    mask = (1 << 16) - 1
+    values = rng.normal(getattr(args, "value_mean", 80.0),
+                        getattr(args, "value_std", 18.0), mask + 1)
+    indexes = np.asarray(client.intern(names), dtype=np.uint32)
+    count = len(names)
+    lane = np.arange(args.batch, dtype=np.int64)
+    # Round-robin over a cyclic task order: element i of any batch is the
+    # (i // count)-th repeat of its task within that batch, which makes
+    # the per-task step columns a closed form instead of a Python loop.
+    occurrence = lane // count
+    full_cycles, remainder = divmod(args.batch, count)
+    steps = np.zeros(count, dtype=np.int64)
+    latencies: list[float] = []
+    offers = accepted = shed = rejected = 0
+    batch_interval = (args.batch / rate) if rate > 0 else 0.0
+    cursor = 0
+    value_cursor = 0
+    started = time.perf_counter()
+    deadline = started + args.duration
+    next_send = started
+    while True:
+        now = time.perf_counter()
+        if now >= deadline:
+            break
+        if batch_interval and now < next_send:
+            time.sleep(min(next_send - now, 0.005))
+            continue
+        positions = (cursor + lane) % count
+        sent = time.perf_counter()
+        reply = client.offer_columns(indexes[positions],
+                                     steps[positions] + occurrence,
+                                     values[(value_cursor + lane) & mask])
+        latencies.append(time.perf_counter() - sent)
+        offers += args.batch
+        accepted += reply.accepted
+        shed += reply.shed
+        rejected += reply.rejected
+        steps += full_cycles
+        if remainder:
+            steps[(cursor + np.arange(remainder)) % count] += 1
+        cursor = (cursor + args.batch) % count
+        value_cursor += args.batch
+        if batch_interval:
+            next_send += batch_interval
+    return {"offers": offers, "accepted": accepted, "shed": shed,
+            "rejected": rejected, "latencies": latencies,
+            "elapsed": time.perf_counter() - started}
+
+
+def _dump_profile(profiler: Any, path: pathlib.Path) -> None:
+    """Write a pstats text summary of the server hot loop."""
+    import io
+    import pstats
+
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(40)
+    stats.sort_stats("tottime").print_stats(25)
+    path.write_text(buffer.getvalue(), encoding="utf-8")
+
+
 def _run_once(args: argparse.Namespace,
               out: pathlib.Path | None) -> dict[str, Any]:
     """One benchmark run (single-process or cluster); returns the report."""
@@ -313,7 +413,8 @@ def _run_once(args: argparse.Namespace,
                 workers=cluster_workers,
                 shards=max(args.shards, cluster_workers),
                 backend=args.cluster_backend,
-                queue_depth=args.queue_depth, port=0)
+                queue_depth=args.queue_depth,
+                max_batch=max(8192, args.batch), port=0)
             cluster = _SpawnedCluster(config)
             port = cluster.start()
             host, unix = "127.0.0.1", None
@@ -321,9 +422,11 @@ def _run_once(args: argparse.Namespace,
             checkpoint = args.checkpoint
             config = RuntimeConfig(shards=args.shards,
                                    queue_depth=args.queue_depth,
+                                   max_batch=max(8192, args.batch),
                                    port=0, checkpoint_path=checkpoint,
                                    checkpoint_interval=3600.0)
-            spawned = _SpawnedServer(config)
+            spawned = _SpawnedServer(
+                config, profile=bool(getattr(args, "profile", False)))
             port = spawned.start()
             host, unix = "127.0.0.1", None
     elif args.unix is not None:
@@ -340,6 +443,25 @@ def _run_once(args: argparse.Namespace,
         client.register_task(name, _THRESHOLD,
                              error_allowance=args.error_allowance,
                              max_interval=args.max_interval)
+
+    protocol_choice = str(getattr(args, "protocol", "auto") or "auto")
+    negotiated = PROTOCOL_JSON
+    if protocol_choice != "json":
+        negotiated = client.negotiate()
+        if protocol_choice == "binary" and negotiated < PROTOCOL_BINARY:
+            client.close()
+            if spawned is not None:
+                spawned.stop()
+            if cluster is not None:
+                cluster.stop()
+            raise ProtocolError(
+                f"--protocol binary requested but the server only speaks "
+                f"protocol {negotiated}")
+    use_binary = negotiated >= PROTOCOL_BINARY
+    send = _send_updates_binary if use_binary else _send_updates
+    if getattr(args, "profile", False) and spawned is None:
+        print("[loadgen] note: --profile only instruments the "
+              "self-hosted single-process server; ignoring", flush=True)
 
     def _telemetry_metrics() -> dict[str, Any]:
         from repro.exceptions import ProtocolError
@@ -365,19 +487,23 @@ def _run_once(args: argparse.Namespace,
     partitions = [names[i::connections] for i in range(connections)]
     per_conn_rate = args.rate / connections if args.rate > 0 else 0.0
     if connections == 1:
-        results = [_send_updates(client, names, args, args.rate, args.seed)]
+        results = [send(client, names, args, args.rate, args.seed)]
     else:
         senders = []
         for i in range(connections):
             extra = RuntimeClient(host=host, port=port, unix_socket=unix)
             extra.connect()
+            if use_binary and extra.negotiate() < PROTOCOL_BINARY:
+                raise ProtocolError(
+                    "server downgraded a sender connection to JSON "
+                    "mid-benchmark")
             senders.append(extra)
         results: list[dict[str, Any] | None] = [None] * connections
         threads = []
         for i, (sender, part) in enumerate(zip(senders, partitions)):
             def run(i=i, sender=sender, part=part):
-                results[i] = _send_updates(sender, part, args,
-                                           per_conn_rate, args.seed + i)
+                results[i] = send(sender, part, args,
+                                  per_conn_rate, args.seed + i)
             thread = threading.Thread(target=run,
                                       name=f"loadgen-send-{i}")
             thread.start()
@@ -435,11 +561,21 @@ def _run_once(args: argparse.Namespace,
     client.close()
 
     checkpoint_roundtrip: bool | None = None
+    profile_path: str | None = None
     if spawned is not None:
         spawned.stop()  # graceful: drains queues, flushes final checkpoint
         if args.checkpoint is not None:
             checkpoint_roundtrip = _verify_checkpoint_roundtrip(
                 args.checkpoint, expected)
+        if spawned.profiler is not None:
+            target = pathlib.Path(args.out)
+            profile_file = target.with_name(
+                f"{target.stem}-{'binary' if use_binary else 'json'}"
+                f"-profile.txt")
+            _dump_profile(spawned.profiler, profile_file)
+            profile_path = str(profile_file)
+            print(f"[loadgen] server profile -> {profile_file}",
+                  flush=True)
     if cluster is not None:
         cluster.stop()
 
@@ -453,6 +589,7 @@ def _run_once(args: argparse.Namespace,
                      "backend": args.cluster_backend}
                     if cluster is not None else None),
         "connections": connections,
+        "protocol": negotiated,
         "batch": args.batch,
         "rate_target": args.rate,
         "duration_s": round(elapsed, 4),
@@ -474,6 +611,7 @@ def _run_once(args: argparse.Namespace,
             "max": round(1e3 * latencies[-1], 4) if latencies else 0.0,
         },
         "checkpoint_roundtrip": checkpoint_roundtrip,
+        "profile": profile_path,
         "server": server_side,
         "counters_consistent": counters_consistent,
         "migration": (dict(migration_holder)
@@ -485,6 +623,7 @@ def _run_once(args: argparse.Namespace,
 
     where = (f"{cluster_workers}-worker {args.cluster_backend} cluster"
              if cluster is not None else "server")
+    where += " [binary]" if use_binary else " [json]"
     lat = report["latency_ms"]
     print(f"[loadgen] {where}: {accepted} offers in {elapsed:.2f}s = "
           f"{report['offers_per_sec']} offers/s "
@@ -516,6 +655,68 @@ def _run_once(args: argparse.Namespace,
     return report
 
 
+def _run_protocol_sweep(args: argparse.Namespace,
+                        out: pathlib.Path) -> dict[str, Any]:
+    """JSON run, then binary run, then the combined comparison report.
+
+    The report carries both runs in full, the binary/JSON offers-per-sec
+    ratio (the number the CI floor gates on) and the scalar-vs-SoA
+    bit-equivalence block so one artifact answers both "how much faster"
+    and "still exactly the paper's sampler".
+    """
+    runs: dict[str, dict[str, Any]] = {}
+    for choice in ("json", "binary"):
+        sub = argparse.Namespace(**vars(args))
+        sub.protocol = choice
+        sub.protocol_sweep = False
+        sub.checkpoint = None
+        # With --profile both runs dump (the file is named per protocol),
+        # which makes the JSON-vs-binary hot-loop comparison one diff.
+        sub.profile = bool(getattr(args, "profile", False))
+        print(f"[loadgen] protocol sweep: {choice} run, "
+              f"{args.duration}s...", flush=True)
+        runs[choice] = _run_once(sub, None)
+    ratio = (runs["binary"]["offers_per_sec"]
+             / max(1, runs["json"]["offers_per_sec"]))
+
+    soa_points = int(getattr(args, "soa_points", 0) or 0)
+    soa_block: dict[str, Any] | None = None
+    if soa_points > 0:
+        from repro.experiments.bench_soa import equivalence_report
+        print(f"[loadgen] scalar-vs-SoA equivalence: {soa_points} points "
+              f"per estimator...", flush=True)
+        soa_block = equivalence_report(points=soa_points,
+                                       tasks=min(args.tasks, 1024),
+                                       seed=args.seed)
+
+    report = {
+        "mode": "protocol-sweep",
+        "protocol": runs["binary"]["protocol"],
+        "tasks": args.tasks,
+        "batch": args.batch,
+        "connections": max(1, int(getattr(args, "connections", 1) or 1)),
+        "duration_s_per_run": args.duration,
+        "json": runs["json"],
+        "binary": runs["binary"],
+        "offers_per_sec": runs["binary"]["offers_per_sec"],
+        "binary_vs_json": round(ratio, 3),
+        "soa_equivalence": soa_block,
+        "counters_consistent": all(
+            run["counters_consistent"] is not False
+            for run in runs.values()),
+    }
+    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    soa_text = ""
+    if soa_block is not None:
+        soa_text = (", soa=bit-identical" if soa_block["identical"]
+                    else ", soa=DIVERGED")
+    print(f"[loadgen] protocol sweep: json "
+          f"{runs['json']['offers_per_sec']}/s, binary "
+          f"{runs['binary']['offers_per_sec']}/s "
+          f"({report['binary_vs_json']}x{soa_text}); -> {out}", flush=True)
+    return report
+
+
 def run_loadgen(args: argparse.Namespace) -> dict[str, Any]:
     """Execute the benchmark; returns the report dict (also written out).
 
@@ -524,6 +725,8 @@ def run_loadgen(args: argparse.Namespace) -> dict[str, Any]:
     the single-worker run) instead of a single run's numbers.
     """
     out = pathlib.Path(args.out)
+    if getattr(args, "protocol_sweep", False):
+        return _run_protocol_sweep(args, out)
     sweep_spec = getattr(args, "cluster_sweep", None)
     if not sweep_spec:
         return _run_once(args, out)
@@ -600,8 +803,37 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--out", type=pathlib.Path,
                         default=pathlib.Path("BENCH_runtime.json"))
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--protocol", default="auto",
+                        choices=("auto", "json", "binary"),
+                        help="wire protocol: auto negotiates per "
+                             "connection (default), json pins the v1 "
+                             "baseline, binary requires protocol >= 2")
+    parser.add_argument("--protocol-sweep", action="store_true",
+                        help="benchmark the json and binary paths back "
+                             "to back and report the throughput ratio "
+                             "plus the scalar-vs-SoA equivalence block")
+    parser.add_argument("--min-protocol-ratio", type=float, default=None,
+                        help="(with --protocol-sweep) exit non-zero if "
+                             "binary offers/s is below this multiple of "
+                             "the json run's")
+    parser.add_argument("--soa-points", type=int, default=1_000_000,
+                        help="(with --protocol-sweep) stream length per "
+                             "estimator for the scalar-vs-SoA "
+                             "bit-equivalence check (0 disables)")
+    parser.add_argument("--profile", action="store_true",
+                        help="(self-hosted single-process) cProfile the "
+                             "server event loop and write a pstats "
+                             "summary next to --out")
     parser.add_argument("--error-allowance", type=float, default=0.01)
     parser.add_argument("--max-interval", type=int, default=10)
+    parser.add_argument("--value-mean", type=float, default=80.0,
+                        help="mean of the synthetic value stream "
+                             "(default 80; threshold is 100)")
+    parser.add_argument("--value-std", type=float, default=18.0,
+                        help="stddev of the synthetic value stream "
+                             "(default 18 = heavy noise, ~13%% violation "
+                             "rate; small values benchmark the calm "
+                             "rare-violation regime the paper assumes)")
     parser.add_argument("--min-throughput", type=float, default=None,
                         help="exit non-zero below this offers/sec floor")
     parser.add_argument("--cluster-workers", type=int, default=0,
@@ -645,6 +877,18 @@ def main(argv: list[str] | None = None) -> int:
             and report["offers_per_sec"] < args.min_throughput):
         print(f"[loadgen] FAIL: {report['offers_per_sec']} offers/s below "
               f"floor {args.min_throughput}", file=sys.stderr, flush=True)
+        return 1
+    if (args.min_protocol_ratio is not None
+            and report.get("binary_vs_json") is not None
+            and report["binary_vs_json"] < args.min_protocol_ratio):
+        print(f"[loadgen] FAIL: binary/json ratio "
+              f"{report['binary_vs_json']}x below floor "
+              f"{args.min_protocol_ratio}x", file=sys.stderr, flush=True)
+        return 1
+    soa_block = report.get("soa_equivalence")
+    if soa_block is not None and not soa_block.get("identical"):
+        print("[loadgen] FAIL: SoA engine diverged from the scalar "
+              "sampler", file=sys.stderr, flush=True)
         return 1
     migration = report.get("migration")
     if migration is not None and not (migration.get("ok")

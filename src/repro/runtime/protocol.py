@@ -1,15 +1,42 @@
-"""Length-prefixed JSON wire protocol for the ingestion runtime.
+"""Wire protocol for the ingestion runtime: JSON frames + binary columns.
 
-Frames are ``<4-byte big-endian length><UTF-8 JSON object>``. JSON keeps
-the protocol debuggable (``socat`` + a hexdump is a usable client) and the
-length prefix keeps parsing trivial and O(frame); binary encodings are a
-drop-in swap later because everything above this module only sees dicts.
+The baseline framing is ``<4-byte big-endian length><UTF-8 JSON object>``.
+JSON keeps the protocol debuggable (``socat`` + a hexdump is a usable
+client) and the length prefix keeps parsing trivial and O(frame).
+
+Protocol version 2 adds a *binary* frame class for the hot offer path.
+The top bit of the length header marks a binary body (``MAX_FRAME`` fits
+comfortably in 31 bits, so the bit is free and version-1 peers that only
+ever see JSON frames observe byte-identical wire traffic). Binary bodies
+are struct-packed little-endian column blocks that decode straight into
+numpy arrays — no per-offer Python objects on either side:
+
+``OFFER`` (kind 0x01)
+    ``<u8 kind><3 pad><u32 count>`` then ``count`` × ``<u4`` task index,
+    ``count`` × ``<i8`` step, ``count`` × ``<f8`` value. Task indexes
+    refer to a per-connection interning table built with the JSON
+    ``intern`` op, so names cross the wire once per connection.
+
+``OFFER_REPLY`` (kind 0x02)
+    ``<u8 kind><u8 flags><u16 pad><u32 accepted><u32 shed><u32 rejected>
+    <u32 retry_after_ms>``; flag bit 0 = backpressure.
+
+``SHARD_OFFER`` (kind 0x03)
+    Pre-routed fan-out for the cluster layer: ``<u8 kind><3 pad>
+    <u32 nsegs>`` then ``nsegs`` × ``<u4 shard><u4 count>`` followed by
+    the concatenated OFFER-style columns for all segments in order.
+
+Negotiation is in-band and backwards transparent: a client sends the
+JSON op ``hello`` announcing ``max_protocol``; a version-1 server answers
+``unknown-op`` and the client simply stays on JSON. All control ops stay
+JSON at every version — binary is only for the offer fast path.
 
 Requests are ``{"op": <name>, ...}``; replies are ``{"ok": true, ...}`` or
 ``{"ok": false, "error": <message>, "code": <machine-readable>}``. The
 module offers both asyncio (:func:`read_frame`) and blocking
 (:func:`read_frame_blocking`) readers so the sync client shares the exact
-framing code path with the server.
+framing code path with the server, including the chaos-testing
+``fault_hook`` seam.
 """
 
 from __future__ import annotations
@@ -17,20 +44,110 @@ from __future__ import annotations
 import asyncio
 import json
 import struct
-from typing import Any, BinaryIO
+from typing import Any, BinaryIO, Sequence
+
+import numpy as np
 
 from repro.exceptions import ProtocolError
 
-__all__ = ["MAX_FRAME", "encode_frame", "read_frame", "read_frame_blocking"]
+__all__ = [
+    "MAX_FRAME",
+    "PROTOCOL_JSON",
+    "PROTOCOL_BINARY",
+    "PROTOCOL_VERSION",
+    "OfferColumns",
+    "OfferReply",
+    "ShardOffer",
+    "encode_frame",
+    "encode_frame_parts",
+    "encode_offer_columns",
+    "encode_offer_reply",
+    "encode_shard_offer",
+    "read_frame",
+    "read_frame_blocking",
+]
 
 _HEADER = struct.Struct(">I")
 
 MAX_FRAME = 16 * 1024 * 1024
 """Upper bound on frame body size; larger frames are a protocol error."""
 
+PROTOCOL_JSON = 1
+"""Protocol version 1: JSON frames only."""
 
-def encode_frame(payload: dict[str, Any]) -> bytes:
-    """Serialise one message to its wire form (header + JSON body)."""
+PROTOCOL_BINARY = 2
+"""Protocol version 2: JSON control plane + binary offer frames."""
+
+PROTOCOL_VERSION = PROTOCOL_BINARY
+"""Highest protocol version this build speaks."""
+
+_BINARY_FLAG = 0x8000_0000
+_LENGTH_MASK = 0x7FFF_FFFF
+
+KIND_OFFER = 0x01
+KIND_OFFER_REPLY = 0x02
+KIND_SHARD_OFFER = 0x03
+
+_OFFER_HEAD = struct.Struct("<BxxxI")          # kind, pad, count
+_REPLY_STRUCT = struct.Struct("<BBxxIIII")     # kind, flags, a, s, r, retry
+_SEG_STRUCT = struct.Struct("<II")             # shard id, count
+
+_FLAG_BACKPRESSURE = 0x01
+
+_U4 = np.dtype("<u4")
+_I8 = np.dtype("<i8")
+_F8 = np.dtype("<f8")
+
+
+class OfferColumns:
+    """Decoded binary offer batch: parallel columns, one row per offer."""
+
+    __slots__ = ("task_idx", "steps", "values")
+
+    def __init__(self, task_idx: np.ndarray, steps: np.ndarray,
+                 values: np.ndarray) -> None:
+        self.task_idx = task_idx
+        self.steps = steps
+        self.values = values
+
+    def __len__(self) -> int:
+        return len(self.task_idx)
+
+
+class OfferReply:
+    """Decoded binary offer reply (counts + backpressure signal)."""
+
+    __slots__ = ("accepted", "shed", "rejected", "backpressure",
+                 "retry_after_ms")
+
+    def __init__(self, accepted: int, shed: int, rejected: int,
+                 backpressure: bool, retry_after_ms: int) -> None:
+        self.accepted = accepted
+        self.shed = shed
+        self.rejected = rejected
+        self.backpressure = backpressure
+        self.retry_after_ms = retry_after_ms
+
+
+class ShardOffer:
+    """Decoded pre-routed offer fan-out: ``(shard, columns)`` segments."""
+
+    __slots__ = ("segments",)
+
+    def __init__(self, segments: list[tuple[int, OfferColumns]]) -> None:
+        self.segments = segments
+
+    def __len__(self) -> int:
+        return sum(len(cols) for _, cols in self.segments)
+
+
+def encode_frame_parts(payload: dict[str, Any]) -> tuple[bytes, bytes]:
+    """Serialise one JSON message as a writev-ready ``(header, body)`` pair.
+
+    Avoids the header+body concatenation copy of :func:`encode_frame` on
+    the send path — pass both parts to ``writer.writelines`` /
+    ``socket.sendmsg`` instead of joining them.
+    """
     if not isinstance(payload, dict):
         raise ProtocolError(f"frame payload must be a dict, got "
                             f"{type(payload).__name__}")
@@ -38,7 +155,120 @@ def encode_frame(payload: dict[str, Any]) -> bytes:
     if len(body) > MAX_FRAME:
         raise ProtocolError(
             f"frame of {len(body)} bytes exceeds MAX_FRAME={MAX_FRAME}")
-    return _HEADER.pack(len(body)) + body
+    return _HEADER.pack(len(body)), body
+
+
+def encode_frame(payload: dict[str, Any]) -> bytes:
+    """Serialise one message to its contiguous wire form (header + body)."""
+    header, body = encode_frame_parts(payload)
+    return header + body
+
+
+def _binary_parts(body: bytes) -> tuple[bytes, bytes]:
+    if len(body) > MAX_FRAME:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds MAX_FRAME={MAX_FRAME}")
+    return _HEADER.pack(len(body) | _BINARY_FLAG), body
+
+
+def _as_column(data: Any, dtype: np.dtype, name: str) -> np.ndarray:
+    arr = np.ascontiguousarray(data, dtype=dtype)
+    if arr.ndim != 1:
+        raise ProtocolError(f"{name} column must be one-dimensional")
+    return arr
+
+
+def encode_offer_columns(task_idx: Any, steps: Any,
+                         values: Any) -> tuple[bytes, bytes]:
+    """Encode an offer batch as a binary ``(header, body)`` frame pair."""
+    idx = _as_column(task_idx, _U4, "task_idx")
+    stp = _as_column(steps, _I8, "steps")
+    val = _as_column(values, _F8, "values")
+    if not (len(idx) == len(stp) == len(val)):
+        raise ProtocolError("offer columns must share one length")
+    body = b"".join((_OFFER_HEAD.pack(KIND_OFFER, len(idx)),
+                     idx.tobytes(), stp.tobytes(), val.tobytes()))
+    return _binary_parts(body)
+
+
+def encode_offer_reply(accepted: int, shed: int, rejected: int,
+                       backpressure: bool,
+                       retry_after_ms: int) -> tuple[bytes, bytes]:
+    """Encode a binary reply to a binary offer batch."""
+    flags = _FLAG_BACKPRESSURE if backpressure else 0
+    body = _REPLY_STRUCT.pack(KIND_OFFER_REPLY, flags, accepted, shed,
+                              rejected, max(0, int(retry_after_ms)))
+    return _binary_parts(body)
+
+
+def encode_shard_offer(
+        segments: Sequence[tuple[int, Any, Any, Any]]) -> tuple[bytes, bytes]:
+    """Encode pre-routed ``(shard, task_idx, steps, values)`` segments."""
+    parts = [_OFFER_HEAD.pack(KIND_SHARD_OFFER, len(segments))]
+    columns: list[bytes] = []
+    for shard, task_idx, steps, values in segments:
+        idx = _as_column(task_idx, _U4, "task_idx")
+        stp = _as_column(steps, _I8, "steps")
+        val = _as_column(values, _F8, "values")
+        if not (len(idx) == len(stp) == len(val)):
+            raise ProtocolError("offer columns must share one length")
+        parts.append(_SEG_STRUCT.pack(shard, len(idx)))
+        columns.extend((idx.tobytes(), stp.tobytes(), val.tobytes()))
+    body = b"".join(parts + columns)
+    return _binary_parts(body)
+
+
+def _decode_columns(body: bytes, offset: int,
+                    count: int) -> tuple[OfferColumns, int]:
+    need = offset + count * (4 + 8 + 8)
+    if len(body) < need:
+        raise ProtocolError("binary offer frame truncated")
+    idx = np.frombuffer(body, dtype=_U4, count=count, offset=offset)
+    offset += count * 4
+    stp = np.frombuffer(body, dtype=_I8, count=count, offset=offset)
+    offset += count * 8
+    val = np.frombuffer(body, dtype=_F8, count=count, offset=offset)
+    offset += count * 8
+    return OfferColumns(idx, stp, val), offset
+
+
+def decode_binary(body: bytes) -> OfferColumns | OfferReply | ShardOffer:
+    """Decode a binary frame body; raises ProtocolError on malformed input."""
+    if not body:
+        raise ProtocolError("empty binary frame")
+    kind = body[0]
+    if kind == KIND_OFFER:
+        if len(body) < _OFFER_HEAD.size:
+            raise ProtocolError("binary offer frame truncated")
+        _, count = _OFFER_HEAD.unpack_from(body)
+        cols, end = _decode_columns(body, _OFFER_HEAD.size, count)
+        if end != len(body):
+            raise ProtocolError("binary offer frame has trailing bytes")
+        return cols
+    if kind == KIND_OFFER_REPLY:
+        if len(body) != _REPLY_STRUCT.size:
+            raise ProtocolError("binary reply frame has wrong size")
+        _, flags, accepted, shed, rejected, retry = _REPLY_STRUCT.unpack(body)
+        return OfferReply(accepted, shed, rejected,
+                          bool(flags & _FLAG_BACKPRESSURE), retry)
+    if kind == KIND_SHARD_OFFER:
+        if len(body) < _OFFER_HEAD.size:
+            raise ProtocolError("binary shard frame truncated")
+        _, nsegs = _OFFER_HEAD.unpack_from(body)
+        offset = _OFFER_HEAD.size
+        if len(body) < offset + nsegs * _SEG_STRUCT.size:
+            raise ProtocolError("binary shard frame truncated")
+        heads = [_SEG_STRUCT.unpack_from(body, offset + i * _SEG_STRUCT.size)
+                 for i in range(nsegs)]
+        offset += nsegs * _SEG_STRUCT.size
+        segments: list[tuple[int, OfferColumns]] = []
+        for shard, count in heads:
+            cols, offset = _decode_columns(body, offset, count)
+            segments.append((shard, cols))
+        if offset != len(body):
+            raise ProtocolError("binary shard frame has trailing bytes")
+        return ShardOffer(segments)
+    raise ProtocolError(f"unknown binary frame kind 0x{kind:02x}")
 
 
 def _decode_body(body: bytes) -> dict[str, Any]:
@@ -53,18 +283,37 @@ def _decode_body(body: bytes) -> dict[str, Any]:
     return payload
 
 
-def _check_length(length: int) -> None:
+def _split_header(raw: int) -> tuple[int, bool]:
+    length = raw & _LENGTH_MASK
     if length > MAX_FRAME:
         raise ProtocolError(
             f"peer announced a {length}-byte frame; limit is {MAX_FRAME}")
+    return length, bool(raw & _BINARY_FLAG)
+
+
+def _finish_body(body: bytes, length: int, binary: bool,
+                 fault_hook: Any) -> Any:
+    if fault_hook is not None and fault_hook.enabled:
+        mutated = fault_hook.frame_body(body)
+        if mutated is None:
+            return None
+        if len(mutated) < length:
+            raise ProtocolError("connection closed mid-frame") from None
+        body = mutated
+    if binary:
+        return decode_binary(body)
+    return _decode_body(body)
 
 
 async def read_frame(reader: asyncio.StreamReader,
-                     fault_hook: Any = None) -> dict[str, Any] | None:
+                     fault_hook: Any = None) -> Any:
     """Read one frame; ``None`` on clean EOF (peer closed between frames).
 
-    Raises :class:`~repro.exceptions.ProtocolError` on truncation mid-frame,
-    oversized frames, or non-object bodies.
+    Returns a ``dict`` for JSON frames or an :class:`OfferColumns` /
+    :class:`OfferReply` / :class:`ShardOffer` for binary frames (which
+    only arrive after the peer negotiated protocol ≥ 2). Raises
+    :class:`~repro.exceptions.ProtocolError` on truncation mid-frame,
+    oversized frames, or malformed bodies.
 
     Args:
         reader: the connection's stream reader.
@@ -80,32 +329,29 @@ async def read_frame(reader: asyncio.StreamReader,
         if exc.partial:
             raise ProtocolError("connection closed mid-header") from None
         return None
-    (length,) = _HEADER.unpack(header)
-    _check_length(length)
+    (raw,) = _HEADER.unpack(header)
+    length, binary = _split_header(raw)
     try:
         body = await reader.readexactly(length)
     except asyncio.IncompleteReadError:
         raise ProtocolError("connection closed mid-frame") from None
-    if fault_hook is not None and fault_hook.enabled:
-        mutated = fault_hook.frame_body(body)
-        if mutated is None:
-            return None
-        if len(mutated) < length:
-            raise ProtocolError("connection closed mid-frame") from None
-        body = mutated
-    return _decode_body(body)
+    return _finish_body(body, length, binary, fault_hook)
 
 
-def read_frame_blocking(stream: BinaryIO) -> dict[str, Any] | None:
-    """Blocking twin of :func:`read_frame` over a file-like byte stream."""
+def read_frame_blocking(stream: BinaryIO, fault_hook: Any = None) -> Any:
+    """Blocking twin of :func:`read_frame` over a file-like byte stream.
+
+    Shares the async reader's semantics, including the ``fault_hook``
+    chaos seam, so testkit plans cover the sync client path too.
+    """
     header = _read_exactly(stream, _HEADER.size, allow_eof=True)
     if header is None:
         return None
-    (length,) = _HEADER.unpack(header)
-    _check_length(length)
+    (raw,) = _HEADER.unpack(header)
+    length, binary = _split_header(raw)
     body = _read_exactly(stream, length, allow_eof=False)
     assert body is not None
-    return _decode_body(body)
+    return _finish_body(body, length, binary, fault_hook)
 
 
 def _read_exactly(stream: BinaryIO, n: int,

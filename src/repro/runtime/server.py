@@ -37,14 +37,20 @@ import sys
 import time
 from typing import Any
 
+import numpy as np
+
 from repro.config import RuntimeConfig, task_from_config
 from repro.core.adaptation import AdaptationConfig
 from repro.core.windowed import AggregateKind
 from repro.exceptions import (CheckpointError, ConfigurationError,
                               ProtocolError, ReproError)
 from repro.runtime.checkpoint import read_checkpoint, write_checkpoint
-from repro.runtime.protocol import encode_frame, read_frame
-from repro.runtime.shard import ShardWorker, restore_counters, shard_for
+from repro.runtime.protocol import (PROTOCOL_BINARY, PROTOCOL_JSON,
+                                    PROTOCOL_VERSION, OfferColumns,
+                                    encode_frame, encode_frame_parts,
+                                    encode_offer_reply, read_frame)
+from repro.runtime.shard import (ColumnBatch, ShardWorker, restore_counters,
+                                 shard_for)
 from repro.service import MonitoringService
 from repro.telemetry.exposition import (CONTENT_TYPE_PROMETHEUS,
                                         TelemetryHTTPServer,
@@ -62,6 +68,41 @@ logger = logging.getLogger(__name__)
 
 def _error(message: str, code: str = "bad-request") -> dict[str, Any]:
     return {"ok": False, "error": message, "code": code}
+
+
+_MAX_INTERN = 1 << 20  # hard cap on per-connection intern table size
+
+
+class _InternNames:
+    """Lazy position → task-name view for the columnar fallback path.
+
+    ``offer_columns`` touches names only for the (rare) fallback
+    positions, so the hot path never materialises a per-offer name list.
+    """
+
+    __slots__ = ("table", "idx")
+
+    def __init__(self, table: list[str | None], idx: np.ndarray):
+        self.table = table
+        self.idx = idx
+
+    def __getitem__(self, pos: int) -> str | None:
+        i = int(self.idx[pos])
+        return self.table[i] if 0 <= i < len(self.table) else None
+
+
+class _ConnState:
+    """Per-connection wire state: negotiated version + intern table."""
+
+    __slots__ = ("protocol", "names", "shard", "row")
+
+    def __init__(self) -> None:
+        self.protocol = PROTOCOL_JSON
+        self.names: list[str | None] = []
+        # idx → shard id (-1 = unknown name slot) and SoA engine row
+        # (-1 = resolve by name), rebuilt as arrays after each intern op.
+        self.shard = np.empty(0, dtype=np.int64)
+        self.row = np.empty(0, dtype=np.int64)
 
 
 class RuntimeServer:
@@ -103,8 +144,13 @@ class RuntimeServer:
         self.registry = MetricsRegistry() if registry is None else registry
         self.trace = (DecisionTrace(self.config.trace_capacity)
                       if trace is None else trace)
+        # Protocol ≥ 2 servers back eligible tasks with the SoA engine so
+        # binary offer columns apply without per-offer Python objects; a
+        # protocol-1 deployment keeps the historical scalar-only services.
+        self._soa_enabled = self.config.protocol >= PROTOCOL_BINARY
         self._workers = [
-            ShardWorker(i, MonitoringService(self._adaptation),
+            ShardWorker(i, MonitoringService(self._adaptation,
+                                             soa=self._soa_enabled),
                         self.config.queue_depth, fault_hook=fault_hook)
             for i in range(self.config.shards)
         ]
@@ -323,7 +369,8 @@ class RuntimeServer:
         for worker, snapshot in zip(self._workers, snapshots):
             hook = self._alert_hook(worker)
             worker.service = MonitoringService.restore(
-                snapshot, on_alert=lambda name, alert, _h=hook: _h(alert))
+                snapshot, on_alert=lambda name, alert, _h=hook: _h(alert),
+                soa=self._soa_enabled)
             self._restored_tasks += len(worker.service.task_names)
         self._task_shard = {str(k): int(v) for k, v in
                             state.get("task_shard", {}).items()}
@@ -506,27 +553,54 @@ class RuntimeServer:
         task = asyncio.current_task()
         assert task is not None
         self._connections.add(task)
+        conn = _ConnState()
         try:
             hook = self.fault_hook
             while True:
                 try:
                     request = await read_frame(reader, fault_hook=hook)
                 except ProtocolError as exc:
-                    writer.write(encode_frame(
+                    writer.writelines(encode_frame_parts(
                         _error(str(exc), code="protocol")))
                     await writer.drain()
                     break
                 if request is None:
                     break
                 self._frames += 1
-                reply = self.handle_request(request)
-                if (hook.enabled and request.get("op") == "offer_batch"
-                        and hook.duplicate_frame(request)):
-                    # Duplicated delivery: the frame is dispatched twice
-                    # but only the primary reply goes back on the wire —
-                    # exactly what a client retrying a lost ACK produces.
-                    hook.note_duplicate_reply(self.handle_request(request))
-                writer.write(encode_frame(reply))
+                if isinstance(request, OfferColumns):
+                    if conn.protocol < PROTOCOL_BINARY:
+                        writer.writelines(encode_frame_parts(_error(
+                            "binary frames require a negotiated "
+                            "protocol >= 2 (send a 'hello' op first)",
+                            code="protocol")))
+                        await writer.drain()
+                        break
+                    writer.writelines(self._offer_columns(conn, request))
+                    await writer.drain()
+                    continue
+                if not isinstance(request, dict):
+                    # Decoded binary frame of a kind the ingest server
+                    # has no business receiving (reply / shard fan-out).
+                    writer.writelines(encode_frame_parts(_error(
+                        "unexpected binary frame kind", code="protocol")))
+                    await writer.drain()
+                    break
+                op = request.get("op")
+                if op == "hello":
+                    reply = self._op_hello(conn, request)
+                elif op == "intern":
+                    reply = self._op_intern(conn, request)
+                else:
+                    reply = self.handle_request(request)
+                    if (hook.enabled and op == "offer_batch"
+                            and hook.duplicate_frame(request)):
+                        # Duplicated delivery: the frame is dispatched
+                        # twice but only the primary reply goes back on
+                        # the wire — exactly what a client retrying a
+                        # lost ACK produces.
+                        hook.note_duplicate_reply(
+                            self.handle_request(request))
+                writer.writelines(encode_frame_parts(reply))
                 await writer.drain()
         except (asyncio.CancelledError, ConnectionResetError,
                 BrokenPipeError):
@@ -562,7 +636,8 @@ class RuntimeServer:
 
     def _op_ping(self, request: dict[str, Any]) -> dict[str, Any]:
         return {"ok": True, "shards": self.config.shards,
-                "tasks": len(self._task_shard)}
+                "tasks": len(self._task_shard),
+                "protocol": self.max_protocol}
 
     def _op_register_task(self, request: dict[str, Any]) -> dict[str, Any]:
         entry = request.get("task")
@@ -656,25 +731,159 @@ class RuntimeServer:
             self._offer_latency.observe(time.perf_counter() - began)
         return reply
 
+    # -- binary protocol (negotiation, interning, columnar offers) ------
+
+    @property
+    def max_protocol(self) -> int:
+        """Highest wire protocol version this server negotiates."""
+        return min(self.config.protocol, PROTOCOL_VERSION)
+
+    def _op_hello(self, conn: _ConnState,
+                  request: dict[str, Any]) -> dict[str, Any]:
+        """Version negotiation: both sides meet at the lower maximum.
+
+        A protocol-1 server has no ``hello`` op at all — clients treat
+        its ``unknown-op`` error as "stay on JSON", which is what makes
+        the upgrade transparent in both directions.
+        """
+        try:
+            peer_max = int(request.get("max_protocol", PROTOCOL_JSON))
+        except (TypeError, ValueError):
+            return _error("hello needs an integer 'max_protocol'")
+        conn.protocol = max(PROTOCOL_JSON, min(peer_max, self.max_protocol))
+        return {"ok": True, "protocol": conn.protocol,
+                "server_protocol": self.max_protocol,
+                "max_batch": self.config.max_batch}
+
+    def _op_intern(self, conn: _ConnState,
+                   request: dict[str, Any]) -> dict[str, Any]:
+        """Install ``[index, name]`` pairs in the connection's table.
+
+        Indexes are caller-assigned (so the client's own numbering rides
+        the wire), may be re-interned to repoint a slot, and resolve to
+        ``(shard, SoA row)`` eagerly — shard assignment is a stable hash
+        so it can never go stale, and a stale row degrades to the
+        always-correct by-name fallback. Names interned before their task
+        is registered stay on the fallback path until re-interned.
+        """
+        entries = request.get("tasks")
+        if not isinstance(entries, list):
+            return _error("intern needs a 'tasks' list of [index, name]")
+        for entry in entries:
+            if (not isinstance(entry, (list, tuple)) or len(entry) != 2
+                    or isinstance(entry[0], bool)
+                    or not isinstance(entry[0], int)):
+                return _error("each intern entry must be [index, name]")
+            idx, name = int(entry[0]), str(entry[1])
+            if not 0 <= idx < _MAX_INTERN:
+                return _error(f"intern index {idx} out of range "
+                              f"[0, {_MAX_INTERN})")
+            if idx >= len(conn.names):
+                conn.names.extend([None] * (idx + 1 - len(conn.names)))
+            conn.names[idx] = name
+        shards = self.config.shards
+        shard = np.empty(len(conn.names), dtype=np.int64)
+        row = np.empty(len(conn.names), dtype=np.int64)
+        for i, name in enumerate(conn.names):
+            if name is None:
+                shard[i] = -1
+                row[i] = -1
+                continue
+            shard[i] = shard_for(name, shards)
+            service = self._workers[shard[i]].service
+            try:
+                row[i] = service.soa_row_for(name)
+            except ConfigurationError:
+                row[i] = -1
+        conn.shard = shard
+        conn.row = row
+        return {"ok": True, "interned": len(entries),
+                "table_size": len(conn.names)}
+
+    def _offer_columns(self, conn: _ConnState,
+                       cols: OfferColumns) -> tuple[bytes, bytes]:
+        """Apply a decoded binary offer batch; returns the reply frame.
+
+        The columnar twin of :meth:`_op_offer_batch`: same routing,
+        backpressure and counter semantics, but the offers stay numpy
+        columns from the wire to the shard queues.
+        """
+        instrumented = self.registry.enabled
+        began = time.perf_counter() if instrumented else 0.0
+        count = len(cols)
+        if count > self.config.max_batch:
+            return encode_frame_parts(_error(
+                f"batch of {count} exceeds max_batch="
+                f"{self.config.max_batch}", code="batch-too-large"))
+        idx = cols.task_idx.astype(np.int64)
+        steps = cols.steps
+        values = cols.values
+        valid = idx < len(conn.names)
+        rejected = 0
+        if not valid.all():
+            keep = np.flatnonzero(valid)
+            rejected = count - len(keep)
+            idx = idx[keep]
+            steps = steps[keep]
+            values = values[keep]
+        shards = conn.shard[idx] if len(idx) else conn.shard[:0]
+        unknown = shards < 0
+        if unknown.any():
+            keep = np.flatnonzero(~unknown)
+            rejected += int(unknown.sum())
+            idx = idx[keep]
+            steps = steps[keep]
+            values = values[keep]
+            shards = shards[keep]
+        accepted = 0
+        shed = 0
+        hook = self.fault_hook
+        for shard in np.unique(shards).tolist():
+            sel = np.flatnonzero(shards == shard)
+            sub_idx = idx[sel]
+            batch = ColumnBatch(rows=conn.row[sub_idx],
+                                steps=steps[sel], values=values[sel],
+                                names=_InternNames(conn.names, sub_idx))
+            worker = self._workers[shard]
+            if hook.enabled and hook.force_shed(shard):
+                worker.shed += len(batch)
+                shed += len(batch)
+            elif worker.try_enqueue_columns(batch):
+                accepted += len(batch)
+            else:
+                shed += len(batch)
+        backpressure = shed > 0
+        if backpressure:
+            self.trace.emit("shed", count=shed, batch=count,
+                            accepted=accepted)
+        if instrumented:
+            self._offer_batch_size.observe(count)
+            self._offer_latency.observe(time.perf_counter() - began)
+        return encode_offer_reply(accepted, shed, rejected, backpressure,
+                                  self.config.shed_retry_ms
+                                  if backpressure else 0)
+
     def _op_due(self, request: dict[str, Any]) -> dict[str, Any]:
         name = str(request.get("task", ""))
         step = int(request.get("step", 0))
-        worker, state = self._find_task(name)
-        return {"ok": True, "due": step >= state.next_due,
-                "next_due": state.next_due, "shard": worker.shard_id}
+        worker = self.worker_for(name)
+        next_due = worker.service.next_due(name)
+        return {"ok": True, "due": step >= next_due,
+                "next_due": next_due, "shard": worker.shard_id}
 
     def _op_task_info(self, request: dict[str, Any]) -> dict[str, Any]:
         name = str(request.get("task", ""))
         worker, state = self._find_task(name)
+        service = worker.service
         return {
             "ok": True,
             "task": name,
             "shard": worker.shard_id,
-            "samples_taken": state.samples_taken,
+            "samples_taken": service.samples_taken(name),
             "alerts": len(state.alerts),
-            "interval": state.sampler.interval,
-            "next_due": state.next_due,
-            "observations": state.sampler.observations,
+            "interval": service.interval(name),
+            "next_due": service.next_due(name),
+            "observations": service.observations(name),
         }
 
     def _op_alerts(self, request: dict[str, Any]) -> dict[str, Any]:
@@ -701,6 +910,7 @@ class RuntimeServer:
         totals["tasks"] = len(self._task_shard)
         reply = {"ok": True, "shards": shards, "totals": totals,
                  "frames": self._frames,
+                 "protocol": self.max_protocol,
                  "uptime_s": time.monotonic() - self._started_monotonic,
                  "restored_tasks": self._restored_tasks}
         if self.config.checkpoint_path is not None:
@@ -780,6 +990,10 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--selfmon-interval", type=float, default=None,
                         help="seconds between self-monitoring polls "
                              "(omitted = disabled)")
+    parser.add_argument("--protocol", type=int, choices=(1, 2),
+                        default=None,
+                        help="highest wire protocol version to negotiate "
+                             "(1 = JSON only, 2 = JSON + binary offers)")
     parser.add_argument("--ready-file", type=pathlib.Path, default=None,
                         help="write {port, unix, http_port, pid} JSON "
                              "once listening")
@@ -795,7 +1009,8 @@ def _runtime_config(args: argparse.Namespace,
                      ("max_batch", "max_batch"),
                      ("checkpoint_interval", "checkpoint_interval"),
                      ("http_port", "http_port"),
-                     ("selfmon_interval", "selfmon_interval")):
+                     ("selfmon_interval", "selfmon_interval"),
+                     ("protocol", "protocol")):
         value = getattr(args, arg)
         if value is not None:
             overrides[key] = value
@@ -808,7 +1023,7 @@ def _runtime_config(args: argparse.Namespace,
     merged = {key: getattr(base, key) for key in (
         "shards", "queue_depth", "max_batch", "host", "port", "unix_socket",
         "checkpoint_path", "checkpoint_interval", "shed_retry_ms",
-        "http_port", "trace_capacity", "selfmon_interval")}
+        "http_port", "trace_capacity", "selfmon_interval", "protocol")}
     merged.update(overrides)
     return RuntimeConfig(**merged)
 

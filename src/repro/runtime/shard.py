@@ -18,18 +18,39 @@ from __future__ import annotations
 
 import asyncio
 import logging
+from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
+
+import numpy as np
 
 from repro.cluster.routing import route
 from repro.exceptions import ConfigurationError
 from repro.service import MonitoringService
 from repro.testkit.faults import FaultHook, NOOP_HOOK
 
-__all__ = ["ShardWorker", "restore_counters", "shard_for"]
+__all__ = ["ColumnBatch", "ShardWorker", "restore_counters", "shard_for"]
 
 logger = logging.getLogger(__name__)
 
 Update = Sequence[Any]  # [task_name, step, value]
+
+
+@dataclass
+class ColumnBatch:
+    """A decoded binary offer batch, pre-resolved to engine rows.
+
+    ``rows`` holds SoA engine row ids (``-1`` = resolve by name instead);
+    ``names`` is parallel to the columns and only consulted for fallback
+    positions, so the hot path never materialises per-offer tuples.
+    """
+
+    rows: np.ndarray
+    steps: np.ndarray
+    values: np.ndarray
+    names: Sequence[str | None] | None = None
+
+    def __len__(self) -> int:
+        return len(self.rows)
 
 
 def shard_for(name: str, shards: int) -> int:
@@ -115,6 +136,16 @@ class ShardWorker:
         self.offered += len(updates)
         return True
 
+    def try_enqueue_columns(self, batch: ColumnBatch) -> bool:
+        """Columnar twin of :meth:`try_enqueue` (same backpressure)."""
+        try:
+            self._queue.put_nowait(batch)
+        except asyncio.QueueFull:
+            self.shed += len(batch)
+            return False
+        self.offered += len(batch)
+        return True
+
     def apply(self, updates: list[Update]) -> None:
         """Apply a batch synchronously (the drain loop's work unit).
 
@@ -152,6 +183,28 @@ class ShardWorker:
                 if interval_hist is not None:
                     interval_hist.observe(interval)
 
+    def apply_columns(self, batch: ColumnBatch) -> None:
+        """Apply a decoded columnar batch (the binary-path work unit).
+
+        Drives the service through
+        :meth:`~repro.service.MonitoringService.offer_columns` — one
+        vectorised engine pass plus by-name fallback for stale rows — and
+        folds the whole batch's telemetry into count-weighted histogram
+        updates instead of one ``observe`` per consumed offer.
+        """
+        if self.fault_hook.enabled:
+            self.fault_hook.before_apply(self.shard_id, len(batch))
+        applied, consumed, rejected, intervals = self.service.offer_columns(
+            batch.rows, batch.steps, batch.values, batch.names)
+        self.applied += applied
+        self.consumed += consumed
+        self.rejected += rejected
+        interval_hist = self.interval_hist
+        if interval_hist is not None and len(intervals):
+            distinct, counts = np.unique(intervals, return_counts=True)
+            for value, count in zip(distinct.tolist(), counts.tolist()):
+                interval_hist.observe_repeat(value, count)
+
     def start(self) -> None:
         """Start the drain loop on the running event loop."""
         if self._runner is None:
@@ -162,7 +215,10 @@ class ShardWorker:
         while True:
             updates = await self._queue.get()
             try:
-                self.apply(updates)
+                if type(updates) is ColumnBatch:
+                    self.apply_columns(updates)
+                else:
+                    self.apply(updates)
             except Exception:
                 # The drain loop is the shard's only consumer: if it dies,
                 # acknowledged batches pile up unapplied and shutdown's

@@ -31,7 +31,9 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field, fields as dataclass_fields
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
+
+import numpy as np
 
 from repro.core.adaptation import (AdaptationConfig, SamplingDecision,
                                    ViolationLikelihoodSampler)
@@ -64,11 +66,17 @@ class TaskState:
         suspend_interval: idle interval while the trigger is cold.
         window / window_kind: aggregation settings (window 1 = instant).
         on_alert: callback invoked on every alert.
+        soa_row: row index in the service's SoA engine, or ``-1`` when the
+            task is driven by its scalar sampler. While ``>= 0`` the
+            engine columns are authoritative for sampler state, schedule
+            position and last-offered value; the scalar fields here are
+            synced back on snapshot/eviction.
     """
 
     name: str
     task: TaskSpec
     sampler: ViolationLikelihoodSampler
+    soa_row: int = -1
     next_due: int = 0
     samples_taken: int = 0
     alerts: list[Alert] = field(default_factory=list)
@@ -213,10 +221,75 @@ class MonitoringService:
     _trace = None
     _trace_shard: int | str | None = None
 
-    def __init__(self, config: AdaptationConfig | None = None):
+    def __init__(self, config: AdaptationConfig | None = None,
+                 soa: bool = False):
         self._config = config or AdaptationConfig()
         self._tasks: dict[str, TaskState] = {}
         self._last_seen: dict[str, float] = {}
+        self._soa = None
+        self._soa_rows: dict[int, TaskState] = {}
+        if soa:
+            from repro.core.soa import SoaSamplerEngine
+            self._soa = SoaSamplerEngine()
+
+    # -- SoA engine plumbing (DESIGN.md S31) ----------------------------
+    #
+    # With ``soa=True`` eligible tasks (window == 1, no trigger wiring)
+    # are backed by rows of a shared :class:`~repro.core.soa
+    # .SoaSamplerEngine` instead of per-offer scalar stepping. The engine
+    # columns are then authoritative; tasks that gain trigger wiring are
+    # *evicted* back to their scalar sampler via the state_dict
+    # round-trip, so behaviour — and snapshots — are identical either way.
+
+    def _soa_eligible(self, state: TaskState) -> bool:
+        if self._soa is None or state.window > 1:
+            return False
+        if state.trigger_task is not None:
+            return False
+        return all(other.trigger_task != state.name
+                   for other in self._tasks.values())
+
+    def _adopt_soa(self, state: TaskState,
+                   config: AdaptationConfig) -> None:
+        engine = self._soa
+        assert engine is not None
+        row = engine.add_task(state.task, config)
+        engine.load_row_state(row, state.sampler.state_dict())
+        engine.next_due[row] = state.next_due
+        engine.samples_taken[row] = state.samples_taken
+        last = self._last_seen.get(state.name)
+        if last is not None:
+            engine.last_offered[row] = last
+            engine.has_offered[row] = True
+        state.soa_row = row
+        self._soa_rows[row] = state
+
+    def _sync_soa(self, state: TaskState) -> None:
+        """Copy a row's authoritative state back onto the scalar fields."""
+        engine = self._soa
+        row = state.soa_row
+        state.sampler.load_state_dict(engine.row_state_dict(row))
+        state.next_due = int(engine.next_due[row])
+        state.samples_taken = int(engine.samples_taken[row])
+        if engine.has_offered[row]:
+            self._last_seen[state.name] = float(engine.last_offered[row])
+
+    def _evict_soa(self, state: TaskState) -> None:
+        if state.soa_row < 0:
+            return
+        self._sync_soa(state)
+        self._soa.deactivate(state.soa_row)
+        self._soa_rows.pop(state.soa_row, None)
+        state.soa_row = -1
+
+    @property
+    def soa_engine(self):
+        """The service's SoA engine, or ``None`` (scalar-only service)."""
+        return self._soa
+
+    def soa_row_for(self, name: str) -> int:
+        """The task's engine row, or ``-1`` when scalar-driven."""
+        return self._state(name).soa_row
 
     def attach_telemetry(self, trace: Any,
                          shard: int | str | None = None) -> None:
@@ -257,10 +330,13 @@ class MonitoringService:
         if window < 1:
             raise ConfigurationError(f"window must be >= 1, got {window}")
         sampler = ViolationLikelihoodSampler(task, config or self._config)
-        self._tasks[name] = TaskState(name=name, task=task,
-                                      sampler=sampler, window=window,
-                                      window_kind=window_kind,
-                                      on_alert=on_alert)
+        state = TaskState(name=name, task=task,
+                          sampler=sampler, window=window,
+                          window_kind=window_kind,
+                          on_alert=on_alert)
+        self._tasks[name] = state
+        if self._soa_eligible(state):
+            self._adopt_soa(state, config or self._config)
 
     def remove_task(self, name: str) -> None:
         """Unregister a task (live-runtime tenant churn).
@@ -274,7 +350,11 @@ class MonitoringService:
         Raises :class:`~repro.exceptions.ConfigurationError` when the task
         is unknown.
         """
-        self._state(name)  # must exist
+        state = self._state(name)  # must exist
+        if state.soa_row >= 0:
+            self._soa.deactivate(state.soa_row)
+            self._soa_rows.pop(state.soa_row, None)
+            state.soa_row = -1
         del self._tasks[name]
         self._last_seen.pop(name, None)
         for other in self._tasks.values():
@@ -292,10 +372,14 @@ class MonitoringService:
         a :class:`repro.core.correlation.TriggerRule`).
         """
         state = self._state(target)
-        self._state(trigger)  # must exist
+        trigger_state = self._state(trigger)  # must exist
         if suspend_interval < 1:
             raise ConfigurationError(
                 f"suspend_interval must be >= 1, got {suspend_interval}")
+        # Trigger wiring needs the scalar path's last-seen gating on both
+        # ends — evict either side from the SoA engine first.
+        self._evict_soa(state)
+        self._evict_soa(trigger_state)
         state.trigger_task = trigger
         state.trigger_level = elevation_level
         state.suspend_interval = suspend_interval
@@ -312,11 +396,17 @@ class MonitoringService:
         Callers may skip the (expensive) collection work whenever this is
         False — that skipping *is* the saving.
         """
-        return step >= self._state(name).next_due
+        state = self._state(name)
+        if state.soa_row >= 0:
+            return step >= int(self._soa.next_due[state.soa_row])
+        return step >= state.next_due
 
     def next_due(self, name: str) -> int:
         """Grid step of the task's next wanted sample."""
-        return self._state(name).next_due
+        state = self._state(name)
+        if state.soa_row >= 0:
+            return int(self._soa.next_due[state.soa_row])
+        return state.next_due
 
     def offer(self, name: str, value: float, step: int,
               ) -> SamplingDecision | None:
@@ -329,6 +419,17 @@ class MonitoringService:
         Alerts fire synchronously through the task's callback.
         """
         state = self._state(name)
+        if state.soa_row >= 0:
+            interval = self._offer_soa(state, value, step)
+            if interval is None:
+                return None
+            engine = self._soa
+            flags = int(engine.last_flags[state.soa_row])
+            return SamplingDecision(
+                next_interval=interval,
+                misdetection_bound=float(engine.last_beta[state.soa_row]),
+                grew=bool(flags & 1), reset=bool(flags & 2),
+                violation=bool(flags & 4))
         self._last_seen[name] = value
         if step < state.next_due:
             return None
@@ -380,6 +481,8 @@ class MonitoringService:
         due. This is the runtime shard drain loop's data path.
         """
         state = self._state(name)
+        if state.soa_row >= 0:
+            return self._offer_soa(state, value, step)
         self._last_seen[name] = value
         if step < state.next_due:
             return None
@@ -420,17 +523,163 @@ class MonitoringService:
                            threshold=state.task.threshold)
         return raw_interval
 
+    def _offer_soa(self, state: TaskState, value: float,
+                   step: int) -> int | None:
+        """SoA-row twin of :meth:`offer_fast` (identical behaviour)."""
+        engine = self._soa
+        row = state.soa_row
+        engine.last_offered[row] = value
+        engine.has_offered[row] = True
+        if step < engine.next_due[row]:
+            return None
+        interval = engine.observe_one(row, value, step)
+        engine.samples_taken[row] += 1
+        # No trigger gating by construction (trigger wiring evicts).
+        engine.next_due[row] = step + max(1, interval)
+        self._soa_events(state, step, value, interval,
+                         int(engine.last_flags[row]),
+                         float(engine.last_beta[row]))
+        return interval
+
+    def _soa_events(self, state: TaskState, step: int, monitored: float,
+                    interval: int, flags: int, beta: float) -> None:
+        """Alert + trace fan-out for one consumed SoA offer."""
+        if flags & 4:
+            alert = Alert(time_index=step, value=monitored,
+                          threshold=state.task.threshold)
+            state.alerts.append(alert)
+            if state.on_alert is not None:
+                state.on_alert(alert)
+        trace = self._trace
+        if trace is not None:
+            if flags & 3:
+                trace.emit("interval_adapted", task=state.name,
+                           shard=self._trace_shard, step=step,
+                           interval=interval, grew=bool(flags & 1),
+                           reset=bool(flags & 2), beta=beta)
+            if flags & 4:
+                trace.emit("violation", task=state.name,
+                           shard=self._trace_shard, step=step,
+                           value=monitored,
+                           threshold=state.task.threshold)
+
+    def offer_columns(self, rows: Any, steps: Any, values: Any,
+                      names: Sequence[str | None] | None = None,
+                      ) -> tuple[int, int, int, np.ndarray]:
+        """Apply a decoded columnar offer batch (the binary hot path).
+
+        ``rows`` are engine row ids (``-1`` = not engine-managed); rows
+        that are negative or no longer active fall back to the scalar
+        by-name path through ``names`` (parallel to the columns), which is
+        always correct — an unknown or missing name counts as rejected,
+        mirroring the per-offer error contract of :meth:`offer_fast`.
+
+        Returns ``(applied, consumed, rejected, consumed_intervals)``;
+        ``applied`` includes not-due offers, ``consumed_intervals`` holds
+        one post-adaptation interval per consumed offer (for telemetry
+        histograms).
+        """
+        engine = self._soa
+        if engine is None:
+            raise ConfigurationError(
+                "offer_columns requires an SoA-enabled service")
+        rows = np.asarray(rows, dtype=np.int64)
+        steps = np.asarray(steps, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        neg_pos = np.flatnonzero(rows < 0)
+        if len(neg_pos):
+            keep = np.flatnonzero(rows >= 0)
+            res = engine.run_columns(rows[keep], steps[keep], values[keep])
+            # Ascending merge keeps per-task arrival order on the
+            # fallback path.
+            fb_positions = np.sort(np.concatenate(
+                [neg_pos, keep[res.fallback]]))
+        else:
+            res = engine.run_columns(rows, steps, values)
+            fb_positions = res.fallback
+        applied, consumed = res.applied, res.consumed
+        rejected = res.rejected
+        fb_intervals: list[int] = []
+        for pos in fb_positions.tolist():
+            name = None if names is None else names[pos]
+            if name is None:
+                rejected += 1
+                continue
+            try:
+                interval = self.offer_fast(name, float(values[pos]),
+                                           int(steps[pos]))
+            except (ConfigurationError, ValueError, TypeError):
+                rejected += 1
+                continue
+            applied += 1
+            if interval is not None:
+                consumed += 1
+                fb_intervals.append(interval)
+        if len(res.viol_rows):
+            soa_rows = self._soa_rows
+            for row, step, value in zip(res.viol_rows.tolist(),
+                                        res.viol_steps.tolist(),
+                                        res.viol_values.tolist()):
+                state = soa_rows.get(row)
+                if state is None:
+                    continue
+                alert = Alert(time_index=step, value=value,
+                              threshold=state.task.threshold)
+                state.alerts.append(alert)
+                if state.on_alert is not None:
+                    state.on_alert(alert)
+        trace = self._trace
+        if trace is not None:
+            for i in range(len(res.adapt_rows)):
+                state = self._soa_rows.get(int(res.adapt_rows[i]))
+                if state is None:
+                    continue
+                flags = int(res.adapt_flags[i])
+                trace.emit("interval_adapted", task=state.name,
+                           shard=self._trace_shard,
+                           step=int(res.adapt_steps[i]),
+                           interval=int(res.adapt_intervals[i]),
+                           grew=bool(flags & 1), reset=bool(flags & 2),
+                           beta=float(res.adapt_betas[i]))
+            for i in range(len(res.viol_rows)):
+                state = self._soa_rows.get(int(res.viol_rows[i]))
+                if state is None:
+                    continue
+                trace.emit("violation", task=state.name,
+                           shard=self._trace_shard,
+                           step=int(res.viol_steps[i]),
+                           value=float(res.viol_values[i]),
+                           threshold=state.task.threshold)
+        intervals = res.consumed_intervals
+        if fb_intervals:
+            intervals = np.concatenate(
+                [intervals, np.asarray(fb_intervals, dtype=np.int64)])
+        return applied, consumed, rejected, intervals
+
     def alerts(self, name: str) -> list[Alert]:
         """Alerts raised by a task so far (chronological)."""
         return list(self._state(name).alerts)
 
     def samples_taken(self, name: str) -> int:
         """Sampling operations consumed by a task so far."""
-        return self._state(name).samples_taken
+        state = self._state(name)
+        if state.soa_row >= 0:
+            return int(self._soa.samples_taken[state.soa_row])
+        return state.samples_taken
 
     def interval(self, name: str) -> int:
         """A task's current sampling interval (in default intervals)."""
-        return self._state(name).sampler.interval
+        state = self._state(name)
+        if state.soa_row >= 0:
+            return int(self._soa.interval[state.soa_row])
+        return state.sampler.interval
+
+    def observations(self, name: str) -> int:
+        """Values offered while the task was due (sampler observations)."""
+        state = self._state(name)
+        if state.soa_row >= 0:
+            return int(self._soa.observations[state.soa_row])
+        return state.sampler.observations
 
     def snapshot(self) -> dict[str, Any]:
         """Serialise the full service state to a JSON-able dict.
@@ -440,7 +689,13 @@ class MonitoringService:
         patience streak), alert history, trigger wiring, window buffers and
         the trigger last-seen map — everything :meth:`restore` needs to
         resume with identical behaviour. Alert callbacks are not captured.
+
+        SoA-backed tasks are synced back to their scalar fields first, so
+        the snapshot format — and its fingerprint — is identical whether
+        the service ran columnar or scalar.
         """
+        for state in self._soa_rows.values():
+            self._sync_soa(state)
         return {
             "version": SNAPSHOT_VERSION,
             "adaptation": _adaptation_to_dict(self._config),
@@ -451,7 +706,7 @@ class MonitoringService:
     @classmethod
     def restore(cls, snapshot: dict[str, Any],
                 on_alert: Callable[[str, Alert], None] | None = None,
-                ) -> "MonitoringService":
+                soa: bool = False) -> "MonitoringService":
         """Rebuild a service from a :meth:`snapshot` dict.
 
         Args:
@@ -459,6 +714,9 @@ class MonitoringService:
             on_alert: optional ``(task_name, alert)`` callback attached to
                 every restored task (callbacks cannot be serialised, so
                 they are re-wired here).
+            soa: adopt eligible restored tasks into an SoA engine
+                (columnar hot path); snapshots carry no trace of the flag,
+                so any snapshot restores either way.
 
         A restored service produces the same decision/alert stream as one
         that was never interrupted, given the same subsequent offers.
@@ -468,7 +726,8 @@ class MonitoringService:
             raise ConfigurationError(
                 f"unsupported snapshot version {version!r}; "
                 f"expected {SNAPSHOT_VERSION}")
-        service = cls(_adaptation_from_dict(snapshot["adaptation"]))
+        service = cls(_adaptation_from_dict(snapshot["adaptation"]),
+                      soa=soa)
         for entry in snapshot.get("tasks", []):
             name = str(entry["name"])
             callback: AlertCallback | None = None
@@ -488,4 +747,8 @@ class MonitoringService:
                     f"trigger {state.trigger_task!r}")
         service._last_seen = {str(k): float(v) for k, v in
                               snapshot.get("last_seen", {}).items()}
+        if service._soa is not None:
+            for state in service._tasks.values():
+                if service._soa_eligible(state):
+                    service._adopt_soa(state, state.sampler.config)
         return service

@@ -102,6 +102,15 @@ class HistogramInstrument:
     def observe(self, value: float) -> None:
         self.sketch.record(value)
 
+    def observe_repeat(self, value: float, count: int) -> None:
+        """Record ``value`` ``count`` times in one bucket update.
+
+        The columnar apply path aggregates a whole batch's intervals with
+        ``np.unique`` and records each distinct value once — identical
+        sketch state to ``count`` individual :meth:`observe` calls.
+        """
+        self.sketch.record(value, count)
+
     def get(self) -> dict[str, Any]:
         """Summary view used by snapshots (count/sum/min/max/quantiles)."""
         sketch = self.sketch
@@ -293,6 +302,9 @@ class _NullInstrument:
         pass
 
     def observe(self, value: float) -> None:
+        pass
+
+    def observe_repeat(self, value: float, count: int) -> None:
         pass
 
     def labels(self, *values: Any, fn: Any = None) -> "_NullInstrument":

@@ -368,11 +368,17 @@ class PlanFaultHook(FaultHook):
         if action == FRAME_CORRUPT:
             self.injected["frames_corrupted"] += 1
             mutated = self.plan.corrupt_bytes(body, index, "frame")
-            # A one-byte flip inside a JSON string could, rarely, still
-            # decode — the server would then apply garbage and diverge
-            # from the scenario driver's shadow reference. Guarantee the
-            # corruption is *detectably* malformed: 0xff is never valid
-            # UTF-8, so decoding always fails.
+            # A one-byte flip could, rarely, leave the body decodable —
+            # a flip inside a JSON string may still parse, and a flip in
+            # a binary column is *always* a structurally valid frame —
+            # the server would then apply garbage and diverge from the
+            # scenario driver's shadow reference. Guarantee the
+            # corruption is *detectably* malformed. Binary bodies (the
+            # first byte is a frame kind, never JSON's ``{``) get their
+            # kind byte forced to 0xff, an unknown kind; JSON bodies that
+            # still parse get a leading 0xff, never valid UTF-8.
+            if body[:1] != b"{":
+                return b"\xff" + mutated[1:]
             try:
                 json.loads(mutated)
             except (ValueError, UnicodeDecodeError):

@@ -1,0 +1,123 @@
+"""Binary offer path through the cluster front door.
+
+The cluster server negotiates the same protocol as the single-process
+runtime, routes decoded columns to workers, and must land on exactly the
+state a JSON drive of the same stream produces — the S31 equivalence
+contract does not stop at the routing tier.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+from cluster_utils import run_cluster
+
+from repro.runtime.client import AsyncRuntimeClient
+from repro.runtime.protocol import PROTOCOL_BINARY
+
+TASKS = 8
+STEPS = 60
+
+
+def _values() -> np.ndarray:
+    rng = np.random.default_rng(17)
+    return rng.normal(86.0, 13.0, (STEPS, TASKS))
+
+
+async def _drive(server, binary: bool) -> dict:
+    names = [f"clu-{i:02d}" for i in range(TASKS)]
+    values = _values()
+    client = AsyncRuntimeClient(port=server.tcp_port)
+    try:
+        for name in names:
+            reply = await client.register_task(
+                name, 100.0, error_allowance=0.02, max_interval=8)
+            assert reply["ok"], reply
+        if binary:
+            assert await client.negotiate() == PROTOCOL_BINARY
+            idx = np.asarray(await client.intern(names), dtype=np.uint32)
+            for step in range(STEPS):
+                steps = np.full(TASKS, step, dtype=np.int64)
+                reply = await client.offer_columns(idx, steps, values[step])
+                assert reply.rejected == 0
+        else:
+            for step in range(STEPS):
+                batch = [[name, step, float(values[step][i])]
+                         for i, name in enumerate(names)]
+                reply = await client.offer_batch(batch)
+                assert reply.get("rejected", 0) == 0
+        deadline = asyncio.get_running_loop().time() + 15
+        while True:
+            stats = await client.stats()
+            if stats["totals"]["applied"] >= STEPS * TASKS:
+                break
+            assert asyncio.get_running_loop().time() < deadline, stats
+            await asyncio.sleep(0.01)
+        infos = {name: await client.task_info(name) for name in names}
+        alerts = {name: await client.alerts(name) for name in names}
+        return {"totals": stats["totals"], "infos": infos,
+                "alerts": alerts}
+    finally:
+        await client.close()
+
+
+class TestClusterBinary:
+    def test_negotiate_intern_offer_columns_end_to_end(self):
+        async def scenario(server):
+            return await _drive(server, binary=True)
+
+        observed = run_cluster(scenario, workers=2)
+        assert observed["totals"]["applied"] == STEPS * TASKS
+        assert observed["totals"]["rejected"] == 0
+        assert sum(len(v) for v in observed["alerts"].values()) > 0
+
+    def test_binary_drive_matches_json_drive(self):
+        def run(binary):
+            return run_cluster(lambda server: _drive(server, binary),
+                               workers=2)
+
+        json_side = run(False)
+        bin_side = run(True)
+        assert bin_side["totals"]["applied"] \
+            == json_side["totals"]["applied"]
+        assert bin_side["totals"]["consumed"] \
+            == json_side["totals"]["consumed"]
+        assert bin_side["totals"]["alerts"] == json_side["totals"]["alerts"]
+        assert bin_side["alerts"] == json_side["alerts"]
+        for name, info in json_side["infos"].items():
+            for key in ("samples_taken", "interval", "next_due",
+                        "observations"):
+                assert bin_side["infos"][name][key] == info[key], \
+                    (name, key)
+
+    def test_unregistered_interned_name_rejected_in_ack(self):
+        # The routing tier resolves gids at the front door, so a name
+        # with no registered task is rejected in the reply itself (the
+        # single-process runtime defers the same rejection to the shard).
+        async def scenario(server):
+            client = AsyncRuntimeClient(port=server.tcp_port)
+            try:
+                await client.register_task("real", 100.0,
+                                           error_allowance=0.05)
+                await client.negotiate()
+                await client.intern(["real", "phantom"])
+                reply = await client.offer_columns([0, 1], [0, 0],
+                                                   [50.0, 50.0])
+                deadline = asyncio.get_running_loop().time() + 15
+                while True:
+                    totals = (await client.stats())["totals"]
+                    if totals["applied"] >= 1:
+                        break
+                    assert asyncio.get_running_loop().time() < deadline
+                    await asyncio.sleep(0.01)
+                info = await client.task_info("real")
+                return reply, totals, info
+            finally:
+                await client.close()
+
+        reply, totals, info = run_cluster(scenario, workers=2)
+        assert reply.accepted == 1
+        assert reply.rejected == 1
+        assert totals["applied"] == 1
+        assert info["samples_taken"] == 1

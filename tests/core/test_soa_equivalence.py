@@ -1,0 +1,177 @@
+"""Bit-equivalence of the SoA sampler engine against the scalar sampler.
+
+Formalises the DESIGN.md S31 contract at test scale: a service running
+columnar (``soa=True``, :meth:`MonitoringService.offer_columns`) must end
+in exactly the state — snapshots, alert logs, counters — of a service
+stepping the same stream through the scalar
+:class:`ViolationLikelihoodSampler` path. The 1M+-point version of the
+same check is ``python -m repro.experiments.bench_soa`` (CI gate).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.adaptation import AdaptationConfig
+from repro.core.task import TaskSpec
+from repro.exceptions import ConfigurationError
+from repro.experiments.bench_soa import (ESTIMATORS, _alert_log,
+                                         _task_counters, run_equivalence)
+from repro.service import MonitoringService
+
+POINTS = 24_000
+TASKS = 64
+
+
+class TestStreamEquivalence:
+    @pytest.mark.parametrize("estimator", ESTIMATORS)
+    def test_round_robin_stream_is_bit_identical(self, estimator):
+        result = run_equivalence(POINTS, TASKS, estimator, batch=1024)
+        assert result["snapshots_equal"], estimator
+        assert result["alerts_equal"], estimator
+        assert result["counters_equal"], estimator
+        assert result["identical"]
+        # The stream must actually exercise alerting for the check to
+        # mean anything.
+        assert result["alerts"] > 0
+
+    @pytest.mark.parametrize("estimator", ESTIMATORS)
+    def test_uneven_batches_do_not_change_state(self, estimator):
+        # Batch boundaries are an implementation detail: odd-sized
+        # batches land on the same final state as the reference split.
+        even = run_equivalence(6_000, 16, estimator, batch=512)
+        odd = run_equivalence(6_000, 16, estimator, batch=777)
+        assert even["identical"] and odd["identical"]
+        assert even["alerts"] == odd["alerts"]
+
+
+def _service(estimator="chebyshev", soa=False, tasks=4):
+    service = MonitoringService(AdaptationConfig(estimator=estimator),
+                                soa=soa)
+    for i in range(tasks):
+        name = f"mix-{i}"
+        service.add_task(name, TaskSpec(threshold=100.0,
+                                        error_allowance=0.02,
+                                        max_interval=8, name=name))
+    return service
+
+
+class TestMixedPaths:
+    def test_interleaved_offer_fast_and_offer_columns(self):
+        # One service fed through both entry points must match a scalar
+        # service fed the identical stream: offer_fast on an SoA-backed
+        # task routes into the engine row, so the two are one state.
+        rng = np.random.default_rng(11)
+        values = rng.normal(85.0, 12.0, 400)
+        scalar = _service(soa=False)
+        mixed = _service(soa=True)
+        rows = np.asarray([mixed.soa_row_for(f"mix-{i}")
+                           for i in range(4)], dtype=np.int64)
+        assert (rows >= 0).all()
+        for lo in range(0, 400, 40):
+            chunk = values[lo:lo + 40]
+            step0 = lo // 4
+            for j, value in enumerate(chunk[:20].tolist()):
+                scalar.offer_fast(f"mix-{j % 4}", value, step0 + j // 4)
+                mixed.offer_fast(f"mix-{j % 4}", value, step0 + j // 4)
+            tail = chunk[20:]
+            positions = np.arange(20, 40, dtype=np.int64)
+            steps = step0 + positions // 4
+            for j, value in enumerate(tail.tolist()):
+                scalar.offer_fast(f"mix-{(20 + j) % 4}", value,
+                                  int(steps[j]))
+            applied, _, rejected, _ = mixed.offer_columns(
+                rows[positions % 4], steps, tail, names=None)
+            assert applied == 20 and rejected == 0
+        assert scalar.snapshot() == mixed.snapshot()
+        assert _alert_log(scalar) == _alert_log(mixed)
+        assert _task_counters(scalar) == _task_counters(mixed)
+
+    def test_offer_columns_requires_soa_service(self):
+        with pytest.raises(ConfigurationError, match="SoA"):
+            _service(soa=False).offer_columns([0], [0], [1.0])
+
+    def test_negative_rows_fall_back_by_name(self):
+        service = _service(soa=True)
+        applied, _, rejected, _ = service.offer_columns(
+            [-1, -1], [0, 0], [50.0, 60.0],
+            names=["mix-0", "no-such-task"])
+        assert applied == 1
+        assert rejected == 1
+        assert service.observations("mix-0") == 1
+
+
+class TestSnapshotRoundTrip:
+    @pytest.mark.parametrize("estimator", ESTIMATORS)
+    def test_snapshot_restore_continuation_stays_identical(self, estimator):
+        # Run half the stream, snapshot the SoA service, restore it both
+        # ways, finish the stream on all three — every continuation must
+        # land on the same final state. This is the "checkpoints stay
+        # v2-compatible" half of the S31 contract.
+        rng = np.random.default_rng(23)
+        values = rng.normal(82.0, 15.0, 2_000)
+        tasks = 8
+        scalar = _service(estimator, soa=False, tasks=tasks)
+        vector = _service(estimator, soa=True, tasks=tasks)
+
+        def drive(service, lo, hi, columnar):
+            if columnar:
+                rows = np.asarray(
+                    [service.soa_row_for(f"mix-{i}") for i in range(tasks)],
+                    dtype=np.int64)
+                positions = np.arange(lo, hi, dtype=np.int64)
+                service.offer_columns(rows[positions % tasks],
+                                      positions // tasks,
+                                      values[lo:hi], names=None)
+            else:
+                for i, value in enumerate(values[lo:hi].tolist(), lo):
+                    service.offer_fast(f"mix-{i % tasks}", value, i // tasks)
+
+        drive(scalar, 0, 1_000, columnar=False)
+        drive(vector, 0, 1_000, columnar=True)
+        snap = vector.snapshot()
+        assert snap == scalar.snapshot()
+
+        restored_soa = MonitoringService.restore(snap, soa=True)
+        restored_scalar = MonitoringService.restore(snap, soa=False)
+        drive(scalar, 1_000, 2_000, columnar=False)
+        drive(vector, 1_000, 2_000, columnar=True)
+        drive(restored_soa, 1_000, 2_000, columnar=True)
+        drive(restored_scalar, 1_000, 2_000, columnar=False)
+
+        final = scalar.snapshot()
+        assert vector.snapshot() == final
+        assert restored_soa.snapshot() == final
+        assert restored_scalar.snapshot() == final
+        assert (_task_counters(restored_soa)
+                == _task_counters(restored_scalar)
+                == _task_counters(scalar))
+
+
+class TestEligibility:
+    def test_trigger_wiring_evicts_rows_and_stays_equivalent(self):
+        # add_trigger pulls both ends out of the engine; behaviour after
+        # eviction must still match a never-SoA service.
+        rng = np.random.default_rng(5)
+        values = rng.normal(90.0, 10.0, 240)
+        scalar = _service(soa=False)
+        vector = _service(soa=True)
+        assert vector.soa_row_for("mix-0") >= 0
+        for service in (scalar, vector):
+            service.add_trigger("mix-0", "mix-1", elevation_level=2.0)
+        assert vector.soa_row_for("mix-0") == -1
+        assert vector.soa_row_for("mix-1") == -1
+        assert vector.soa_row_for("mix-2") >= 0
+        for i, value in enumerate(values.tolist()):
+            scalar.offer_fast(f"mix-{i % 4}", value, i // 4)
+            vector.offer_fast(f"mix-{i % 4}", value, i // 4)
+        assert scalar.snapshot() == vector.snapshot()
+        assert _alert_log(scalar) == _alert_log(vector)
+
+    def test_windowed_task_never_adopted(self):
+        service = MonitoringService(AdaptationConfig(), soa=True)
+        service.add_task("win", TaskSpec(threshold=100.0,
+                                         error_allowance=0.05, name="win"),
+                         window=3)
+        assert service.soa_row_for("win") == -1

@@ -1,0 +1,205 @@
+"""Edge-case tests for the binary frame class of the wire protocol.
+
+Covers the codec itself (both readers, both directions): frame-size
+boundaries at/over MAX_FRAME, zero-length batches, malformed binary
+bodies, and the header-bit discrimination between JSON and binary
+frames. The end-to-end negotiation matrix lives in
+``test_runtime_binary.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import struct
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.runtime.protocol import (MAX_FRAME, OfferColumns, OfferReply,
+                                    ShardOffer, decode_binary,
+                                    encode_frame_parts,
+                                    encode_offer_columns,
+                                    encode_offer_reply, encode_shard_offer,
+                                    read_frame, read_frame_blocking)
+
+_HEADER = struct.Struct(">I")
+_BINARY_FLAG = 0x8000_0000
+
+
+def read_async(data: bytes):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_frame(reader)
+
+    return asyncio.run(go())
+
+
+def read_blocking(data: bytes):
+    return read_frame_blocking(io.BytesIO(data))
+
+
+READERS = [read_async, read_blocking]
+
+
+class TestOfferCodec:
+    @pytest.mark.parametrize("read", READERS)
+    def test_offer_roundtrip_both_readers(self, read):
+        header, body = encode_offer_columns(
+            [3, 1, 4, 1], [10, 11, 12, 13], [1.5, -2.0, 0.0, 99.75])
+        decoded = read(header + body)
+        assert isinstance(decoded, OfferColumns)
+        assert len(decoded) == 4
+        np.testing.assert_array_equal(decoded.task_idx, [3, 1, 4, 1])
+        np.testing.assert_array_equal(decoded.steps, [10, 11, 12, 13])
+        np.testing.assert_array_equal(decoded.values,
+                                      [1.5, -2.0, 0.0, 99.75])
+
+    @pytest.mark.parametrize("read", READERS)
+    def test_zero_length_batch_roundtrips(self, read):
+        header, body = encode_offer_columns([], [], [])
+        decoded = read(header + body)
+        assert isinstance(decoded, OfferColumns)
+        assert len(decoded) == 0
+        assert decoded.task_idx.dtype == np.dtype("<u4")
+        assert decoded.steps.dtype == np.dtype("<i8")
+        assert decoded.values.dtype == np.dtype("<f8")
+
+    def test_header_bit_discriminates_binary_from_json(self):
+        bin_header, _ = encode_offer_columns([1], [2], [3.0])
+        json_header, _ = encode_frame_parts({"op": "ping"})
+        (raw_bin,) = _HEADER.unpack(bin_header)
+        (raw_json,) = _HEADER.unpack(json_header)
+        assert raw_bin & _BINARY_FLAG
+        assert not raw_json & _BINARY_FLAG
+
+    def test_mismatched_column_lengths_rejected(self):
+        with pytest.raises(ProtocolError, match="share one length"):
+            encode_offer_columns([1, 2], [3], [4.0])
+
+    def test_two_dimensional_column_rejected(self):
+        with pytest.raises(ProtocolError, match="one-dimensional"):
+            encode_offer_columns([[1], [2]], [[3], [4]], [[5.0], [6.0]])
+
+
+class TestReplyCodec:
+    @pytest.mark.parametrize("read", READERS)
+    def test_reply_roundtrip(self, read):
+        header, body = encode_offer_reply(100, 7, 3, backpressure=True,
+                                          retry_after_ms=250)
+        decoded = read(header + body)
+        assert isinstance(decoded, OfferReply)
+        assert decoded.accepted == 100
+        assert decoded.shed == 7
+        assert decoded.rejected == 3
+        assert decoded.backpressure is True
+        assert decoded.retry_after_ms == 250
+
+    def test_negative_retry_clamped_to_zero(self):
+        _, body = encode_offer_reply(1, 0, 0, backpressure=False,
+                                     retry_after_ms=-5)
+        decoded = decode_binary(body)
+        assert decoded.retry_after_ms == 0
+        assert decoded.backpressure is False
+
+    def test_wrong_size_reply_body_rejected(self):
+        _, body = encode_offer_reply(1, 0, 0, backpressure=False,
+                                     retry_after_ms=0)
+        with pytest.raises(ProtocolError, match="wrong size"):
+            decode_binary(body + b"\x00")
+
+
+class TestShardOfferCodec:
+    @pytest.mark.parametrize("read", READERS)
+    def test_multi_segment_roundtrip(self, read):
+        header, body = encode_shard_offer([
+            (2, [7, 8], [1, 2], [0.5, 0.25]),
+            (0, [9], [3], [-1.0]),
+            (5, [], [], []),
+        ])
+        decoded = read(header + body)
+        assert isinstance(decoded, ShardOffer)
+        assert len(decoded) == 3
+        shards = [shard for shard, _ in decoded.segments]
+        assert shards == [2, 0, 5]
+        first = decoded.segments[0][1]
+        np.testing.assert_array_equal(first.task_idx, [7, 8])
+        np.testing.assert_array_equal(first.values, [0.5, 0.25])
+        assert len(decoded.segments[2][1]) == 0
+
+    def test_truncated_segment_columns_rejected(self):
+        _, body = encode_shard_offer([(1, [7, 8], [1, 2], [0.5, 0.25])])
+        with pytest.raises(ProtocolError, match="truncated"):
+            decode_binary(body[:-4])
+
+    def test_trailing_bytes_rejected(self):
+        _, body = encode_shard_offer([(1, [7], [1], [0.5])])
+        with pytest.raises(ProtocolError, match="trailing"):
+            decode_binary(body + b"\x00" * 8)
+
+
+class TestMalformedBinary:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown binary frame"):
+            decode_binary(bytes([0x7F]) + b"\x00" * 7)
+
+    def test_empty_binary_body_rejected(self):
+        with pytest.raises(ProtocolError, match="empty"):
+            decode_binary(b"")
+
+    def test_offer_count_exceeding_body_rejected(self):
+        header, body = encode_offer_columns([1], [2], [3.0])
+        # Inflate the count field without providing the columns.
+        forged = body[:4] + struct.pack("<I", 1000) + body[8:]
+        with pytest.raises(ProtocolError, match="truncated"):
+            decode_binary(forged)
+
+    @pytest.mark.parametrize("read", READERS)
+    def test_binary_flag_on_json_body_fails_decode(self, read):
+        # A peer that sets the binary bit on a JSON body produced a frame
+        # whose first byte ('{') is no known kind — a protocol error, not
+        # a silent JSON parse.
+        _, body = encode_frame_parts({"op": "ping"})
+        data = _HEADER.pack(len(body) | _BINARY_FLAG) + body
+        with pytest.raises(ProtocolError, match="unknown binary frame"):
+            read(data)
+
+
+class TestFrameSizeBoundary:
+    @pytest.mark.parametrize("read", READERS)
+    def test_json_body_at_max_frame_is_accepted(self, read):
+        filler = "x" * (MAX_FRAME - len('{"k":""}'))
+        body = ('{"k":"%s"}' % filler).encode()
+        assert len(body) == MAX_FRAME
+        decoded = read(_HEADER.pack(len(body)) + body)
+        assert decoded["k"] == filler
+
+    @pytest.mark.parametrize("read", READERS)
+    def test_announced_length_one_over_max_frame_rejected(self, read):
+        with pytest.raises(ProtocolError, match="limit"):
+            read(_HEADER.pack(MAX_FRAME + 1) + b"\x00")
+
+    @pytest.mark.parametrize("read", READERS)
+    def test_binary_length_one_over_max_frame_rejected(self, read):
+        with pytest.raises(ProtocolError, match="limit"):
+            read(_HEADER.pack((MAX_FRAME + 1) | _BINARY_FLAG) + b"\x00")
+
+    def test_encode_offer_over_max_frame_rejected(self):
+        # 20 bytes per row: the boundary row count just fits, one more
+        # overflows MAX_FRAME and must be refused at encode time.
+        rows_fit = (MAX_FRAME - 8) // 20
+        count = rows_fit + 1
+        idx = np.zeros(count, dtype=np.uint32)
+        steps = np.zeros(count, dtype=np.int64)
+        values = np.zeros(count, dtype=np.float64)
+        with pytest.raises(ProtocolError, match="exceeds MAX_FRAME"):
+            encode_offer_columns(idx, steps, values)
+        header, body = encode_offer_columns(idx[1:], steps[1:], values[1:])
+        assert len(body) <= MAX_FRAME
+
+    def test_encode_json_over_max_frame_rejected(self):
+        with pytest.raises(ProtocolError, match="exceeds MAX_FRAME"):
+            encode_frame_parts({"k": "x" * MAX_FRAME})

@@ -42,3 +42,45 @@ def test_min_throughput_floor_fails_closed(tmp_path):
                "--shards", "1", "--out", str(out),
                "--min-throughput", "1e12"])
     assert rc == 1
+
+def test_forced_json_protocol_still_reports(tmp_path):
+    out = tmp_path / "bench.json"
+    rc = main(["--tasks", "4", "--duration", "0.3", "--batch", "32",
+               "--shards", "1", "--seed", "3", "--protocol", "json",
+               "--out", str(out)])
+    assert rc == 0
+    report = json.loads(out.read_text())
+    assert report["protocol"] == 1
+    assert report["offers"] > 0
+
+
+def test_binary_protocol_negotiates_and_profiles(tmp_path):
+    out = tmp_path / "bench.json"
+    rc = main(["--tasks", "8", "--duration", "0.4", "--batch", "256",
+               "--shards", "2", "--seed", "3", "--protocol", "binary",
+               "--profile", "--out", str(out)])
+    assert rc == 0
+    report = json.loads(out.read_text())
+    assert report["protocol"] == 2
+    assert report["offers"] > 0
+    assert report["applied"] == report["accepted"]
+    assert report["counters_consistent"] is True
+    # --profile dumped the server hot-loop stats next to the report.
+    profile = report["profile"]
+    assert profile is not None
+    text = (tmp_path / profile.split("/")[-1]).read_text()
+    assert "cumulative" in text
+
+
+def test_protocol_sweep_reports_ratio_and_equivalence(tmp_path):
+    out = tmp_path / "bench.json"
+    rc = main(["--tasks", "8", "--duration", "0.3", "--batch", "256",
+               "--shards", "2", "--seed", "3", "--protocol-sweep",
+               "--soa-points", "6000", "--out", str(out)])
+    assert rc == 0
+    report = json.loads(out.read_text())
+    assert report["mode"] == "protocol-sweep"
+    assert report["json"]["protocol"] == 1
+    assert report["binary"]["protocol"] == 2
+    assert report["binary_vs_json"] > 0
+    assert report["soa_equivalence"]["identical"] is True

@@ -82,6 +82,9 @@ IGNORED = {
     # cluster config keys, placement fields and the worker-op prefix,
     # not module attributes
     "worker_endpoints", "worker_id", "shard_id", "w_",
+    # binary-protocol / SoA-engine methods, not module attributes
+    "offer_columns", "soa_row_for", "run_columns", "observe_one",
+    "row_state_dict", "load_row_state", "state_dict",
 }
 
 

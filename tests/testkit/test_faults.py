@@ -209,3 +209,91 @@ class TestHooks:
             fates.append(hook.frame_body(b"x") is None)
         assert fates == [plan.frame_fault(i) == FRAME_DROP
                          for i in range(20)]
+
+
+class TestBlockingReaderSeam:
+    """The sync reader honours the same fault_hook seam as the async one.
+
+    ``read_frame_blocking`` is what the thread-based client and the
+    subprocess worker transport use; chaos plans must bite there exactly
+    as they do on the event-loop path.
+    """
+
+    @staticmethod
+    def _frame(payload=None) -> bytes:
+        from repro.runtime.protocol import (encode_frame_parts,
+                                            encode_offer_columns)
+        if payload is None:
+            header, body = encode_offer_columns([1, 2], [0, 0], [3.0, 4.0])
+        else:
+            header, body = encode_frame_parts(payload)
+        return header + body
+
+    @staticmethod
+    def _read(data: bytes, hook):
+        import io
+
+        from repro.runtime.protocol import read_frame_blocking
+        return read_frame_blocking(io.BytesIO(data), fault_hook=hook)
+
+    def test_dropped_frame_reads_as_clean_eof(self):
+        hook = PlanFaultHook(FaultPlan(7, FaultSpec(
+            drop_connection_rate=1.0)))
+        assert self._read(self._frame({"op": "ping"}), hook) is None
+        assert hook.injected["frames_dropped"] == 1
+
+    def test_truncated_frame_raises_mid_frame_error(self):
+        from repro.exceptions import ProtocolError
+        hook = PlanFaultHook(FaultPlan(7, FaultSpec(
+            truncate_frame_rate=1.0)))
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            self._read(self._frame({"op": "ping"}), hook)
+        assert hook.injected["frames_truncated"] == 1
+
+    def test_corrupted_json_frame_fails_decode(self):
+        from repro.exceptions import ProtocolError
+        hook = PlanFaultHook(FaultPlan(7, FaultSpec(
+            corrupt_frame_rate=1.0)))
+        with pytest.raises(ProtocolError):
+            self._read(self._frame({"op": "ping"}), hook)
+        assert hook.injected["frames_corrupted"] == 1
+
+    def test_corrupted_binary_frame_fails_decode(self):
+        # Corruption keeps the length but scrambles the body: a binary
+        # frame must then fail structural decode, never apply garbage.
+        from repro.exceptions import ProtocolError
+        hook = PlanFaultHook(FaultPlan(3, FaultSpec(
+            corrupt_frame_rate=1.0)))
+        with pytest.raises(ProtocolError):
+            self._read(self._frame(), hook)
+
+    def test_sync_and_async_readers_share_the_schedule(self):
+        # Same plan, same frame sequence: the fate of frame i is
+        # identical through both readers.
+        import asyncio
+        import io
+
+        from repro.runtime.protocol import read_frame, read_frame_blocking
+        frames = [self._frame({"op": "ping", "i": i}) for i in range(12)]
+
+        def fate_sync():
+            hook = PlanFaultHook(FaultPlan(11, FaultSpec(
+                drop_connection_rate=0.4)))
+            return [read_frame_blocking(io.BytesIO(f), fault_hook=hook)
+                    is None for f in frames]
+
+        def fate_async():
+            hook = PlanFaultHook(FaultPlan(11, FaultSpec(
+                drop_connection_rate=0.4)))
+
+            async def one(data):
+                reader = asyncio.StreamReader()
+                reader.feed_data(data)
+                reader.feed_eof()
+                return await read_frame(reader, fault_hook=hook)
+
+            return [asyncio.run(one(f)) is None for f in frames]
+
+        fates = fate_sync()
+        assert fates == fate_async()
+        assert any(fates) and not all(fates)

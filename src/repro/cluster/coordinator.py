@@ -524,9 +524,11 @@ class Coordinator:
         self.catalog[spec.name] = dict(entry)
         self._assign_gid(spec.name)
         self.task_epoch += 1
+        task_type = str(reply.get("type", "value"))
         self.trace.emit("task_registered", task=spec.name, shard=sid,
-                        threshold=spec.threshold)
-        return {"ok": True, "task": spec.name, "shard": sid}
+                        threshold=spec.threshold, type=task_type)
+        return {"ok": True, "task": spec.name, "shard": sid,
+                "type": task_type}
 
     async def remove_task(self, name: str) -> dict[str, Any]:
         sid = self.task_shard.get(name)

@@ -33,9 +33,8 @@ from typing import Any, Sequence
 
 import numpy as np
 
-from repro.config import task_from_config
+from repro.config import register_task_from_config
 from repro.core.adaptation import AdaptationConfig
-from repro.core.windowed import AggregateKind
 from repro.exceptions import ConfigurationError, ReproError
 from repro.runtime.checkpoint import state_fingerprint
 from repro.runtime.shard import ColumnBatch, ShardWorker, restore_counters
@@ -426,17 +425,14 @@ class WorkerHost:
         if not isinstance(entry, dict):
             return _error("w_register_task needs a 'task' dict")
         worker = self._shard(int(request.get("shard", -1)))
-        spec = task_from_config(dict(entry),
-                                dict(request.get("defaults") or {}))
-        window = int(entry.get("window", 1))
-        kind = AggregateKind(str(entry.get("aggregate", "mean")))
-        worker.service.add_task(spec.name, spec,
-                                on_alert=self._alert_hook(worker),
-                                window=window, window_kind=kind,
-                                config=self.adaptation)
+        spec = register_task_from_config(
+            worker.service, dict(entry),
+            dict(request.get("defaults") or {}),
+            on_alert=self._alert_hook(worker), config=self.adaptation)
         # The new task's name may already be cached as row -1.
         self._gid_rows.pop(worker.shard_id, None)
-        return {"ok": True, "task": spec.name, "shard": worker.shard_id}
+        return {"ok": True, "task": spec.name, "shard": worker.shard_id,
+                "type": worker.service.task_type(spec.name)}
 
     def _op_remove_task(self, request: dict[str, Any]) -> dict[str, Any]:
         worker = self._shard(int(request.get("shard", -1)))
@@ -478,6 +474,8 @@ class WorkerHost:
             "interval": service.interval(name),
             "next_due": service.next_due(name),
             "observations": service.observations(name),
+            "type": service.task_type(name),
+            "estimate": service.task_estimate(name),
         }
 
     def _op_alerts(self, request: dict[str, Any]) -> dict[str, Any]:

@@ -32,14 +32,18 @@ from dataclasses import dataclass
 from typing import Any, Mapping
 
 from repro.core.adaptation import AdaptationConfig
+from repro.core.substrates import (DEFAULT_ENTROPY_WINDOW,
+                                   DEFAULT_SKETCH_WINDOW, TASK_TYPES)
 from repro.core.task import TaskSpec
 from repro.core.windowed import AggregateKind
 from repro.exceptions import ConfigurationError
 from repro.service import MonitoringService
+from repro.telemetry.histogram import DEFAULT_RELATIVE_ERROR
 from repro.types import ThresholdDirection
 
 __all__ = ["ClusterConfig", "ExecutionConfig", "RuntimeConfig",
-           "service_from_config", "task_from_config"]
+           "register_task_from_config", "service_from_config",
+           "task_from_config"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -346,7 +350,11 @@ class ClusterConfig:
 
 
 _TASK_KEYS = {"name", "threshold", "error_allowance", "default_interval",
-              "max_interval", "direction", "window", "aggregate"}
+              "max_interval", "direction", "window", "aggregate",
+              "type", "quantile", "sketch_window", "relative_error",
+              "entropy_window", "bin_width"}
+_QUANTILE_KEYS = {"quantile", "sketch_window", "relative_error"}
+_ENTROPY_KEYS = {"entropy_window", "bin_width"}
 _TRIGGER_KEYS = {"target", "trigger", "elevation_level",
                  "suspend_interval"}
 _TOP_KEYS = {"defaults", "tasks", "triggers"}
@@ -380,9 +388,42 @@ def _aggregate(raw: str) -> AggregateKind:
             f"{[k.value for k in AggregateKind]}, got {raw!r}") from None
 
 
+def _task_kind(entry: dict[str, Any]) -> str:
+    """Validate and return a task entry's ``type`` with its key usage."""
+    where = f"task {entry.get('name', '?')!r}"
+    kind = str(entry.get("type", "value"))
+    if kind not in TASK_TYPES:
+        raise ConfigurationError(
+            f"unknown task type {kind!r} in {where} "
+            f"(expected one of {TASK_TYPES})")
+    misplaced: set[str] = set()
+    if kind != "quantile":
+        misplaced |= _QUANTILE_KEYS & set(entry)
+    if kind != "entropy":
+        misplaced |= _ENTROPY_KEYS & set(entry)
+    if misplaced:
+        raise ConfigurationError(
+            f"key(s) {sorted(misplaced)} in {where} do not apply to "
+            f"type {kind!r}")
+    if kind == "quantile" and "quantile" not in entry:
+        raise ConfigurationError(f"quantile task {where} needs 'quantile'")
+    if kind != "value" and ({"window", "aggregate"} & set(entry)):
+        raise ConfigurationError(
+            f"window/aggregate in {where} apply to value tasks only; "
+            f"{kind} tasks window via "
+            f"{'sketch_window' if kind == 'quantile' else 'entropy_window'}")
+    return kind
+
+
 def task_from_config(entry: dict[str, Any],
                      defaults: dict[str, Any] | None = None) -> TaskSpec:
     """Build one :class:`TaskSpec` from a config entry.
+
+    For ``type: quantile`` / ``type: entropy`` entries the returned spec
+    carries the entry's *raw* threshold and is metadata (routing, trace
+    annotations); the service derives the sampler-facing spec at
+    registration — use :func:`register_task_from_config` to actually
+    register any entry type.
 
     Args:
         entry: task dict; requires ``name`` and ``threshold``; other keys
@@ -392,6 +433,7 @@ def task_from_config(entry: dict[str, Any],
     if not isinstance(entry, dict):
         raise ConfigurationError(f"task entry must be a dict, got {entry!r}")
     _reject_unknown(entry, _TASK_KEYS, f"task {entry.get('name', '?')!r}")
+    _task_kind(entry)
     defaults = defaults or {}
     for key in ("name", "threshold"):
         if key not in entry:
@@ -408,6 +450,64 @@ def task_from_config(entry: dict[str, Any],
         direction=_direction(str(pick("direction", "upper"))),
         name=str(entry["name"]),
     )
+
+
+def register_task_from_config(service: MonitoringService,
+                              entry: dict[str, Any],
+                              defaults: dict[str, Any] | None = None,
+                              *, on_alert: Any = None,
+                              config: AdaptationConfig | None = None,
+                              ) -> TaskSpec:
+    """Parse one task config entry and register it on ``service``.
+
+    The single dispatch point for all task types — the in-process
+    service builder, the runtime server's ``register_task`` op and the
+    cluster shard host all register through here, so a config entry
+    means the same thing on every deployment surface. Returns the
+    (raw-threshold) spec, whose name/threshold the callers use for
+    routing and trace annotations.
+
+    Entropy entries that specify no ``direction`` (neither inline nor in
+    ``defaults``) register as drop-below tasks — the natural polarity of
+    an entropy-collapse predicate.
+    """
+    spec = task_from_config(entry, defaults)
+    kind = _task_kind(entry)
+    if kind == "value":
+        window = int(entry.get("window", 1))
+        aggregate = _aggregate(str(entry.get("aggregate", "mean")))
+        service.add_task(spec.name, spec, on_alert=on_alert,
+                         window=window, window_kind=aggregate,
+                         config=config)
+        return spec
+    if kind == "quantile":
+        service.add_quantile_task(
+            spec.name, threshold=spec.threshold,
+            quantile=float(entry["quantile"]),
+            error_allowance=spec.error_allowance,
+            default_interval=spec.default_interval,
+            max_interval=spec.max_interval,
+            direction=spec.direction,
+            sketch_window=int(entry.get("sketch_window",
+                                        DEFAULT_SKETCH_WINDOW)),
+            relative_error=float(entry.get("relative_error",
+                                           DEFAULT_RELATIVE_ERROR)),
+            on_alert=on_alert, config=config)
+        return spec
+    direction = spec.direction
+    if "direction" not in entry and "direction" not in (defaults or {}):
+        direction = ThresholdDirection.LOWER
+    service.add_entropy_task(
+        spec.name, threshold=spec.threshold,
+        error_allowance=spec.error_allowance,
+        default_interval=spec.default_interval,
+        max_interval=spec.max_interval,
+        direction=direction,
+        entropy_window=int(entry.get("entropy_window",
+                                     DEFAULT_ENTROPY_WINDOW)),
+        bin_width=float(entry.get("bin_width", 1.0)),
+        on_alert=on_alert, config=config)
+    return spec
 
 
 def service_from_config(config: dict[str, Any],
@@ -432,10 +532,7 @@ def service_from_config(config: dict[str, Any],
 
     service = MonitoringService(adaptation)
     for entry in tasks:
-        spec = task_from_config(entry, defaults)
-        window = int(entry.get("window", 1))
-        kind = _aggregate(str(entry.get("aggregate", "mean")))
-        service.add_task(spec.name, spec, window=window, window_kind=kind)
+        register_task_from_config(service, entry, defaults)
 
     for trigger in config.get("triggers", []):
         if not isinstance(trigger, dict):

@@ -39,9 +39,9 @@ from typing import Any
 
 import numpy as np
 
-from repro.config import RuntimeConfig, task_from_config
+from repro.config import RuntimeConfig, register_task_from_config
 from repro.core.adaptation import AdaptationConfig
-from repro.core.windowed import AggregateKind
+from repro.core.substrates import TASK_TYPES
 from repro.exceptions import (CheckpointError, ConfigurationError,
                               ProtocolError, ReproError)
 from repro.runtime.checkpoint import read_checkpoint, write_checkpoint
@@ -233,6 +233,13 @@ class RuntimeServer:
         registry.gauge("volley_tasks",
                        "Monitoring tasks registered",
                        fn=lambda: float(len(self._task_shard)))
+        by_type = registry.gauge("volley_tasks_by_type",
+                                 "Monitoring tasks registered, per task "
+                                 "type", labels=("type",))
+        for kind in TASK_TYPES:
+            by_type.labels(kind, fn=lambda k=kind: float(sum(
+                w.service.task_type_counts().get(k, 0)
+                for w in self._workers)))
         registry.gauge("volley_uptime_seconds",
                        "Seconds since the server started",
                        fn=lambda: (time.monotonic() - self._started_monotonic
@@ -398,18 +405,18 @@ class RuntimeServer:
                 raise ConfigurationError(str(reply.get("error")))
 
     def _register_task(self, entry: dict[str, Any]) -> dict[str, Any]:
-        spec = task_from_config(entry, self._defaults)
-        window = int(entry.get("window", 1))
-        kind = AggregateKind(str(entry.get("aggregate", "mean")))
-        worker = self.worker_for(spec.name)
-        worker.service.add_task(spec.name, spec,
-                                on_alert=self._alert_hook(worker),
-                                window=window, window_kind=kind,
-                                config=self._adaptation)
+        name = str(entry.get("name", ""))
+        worker = self.worker_for(name)
+        spec = register_task_from_config(worker.service, entry,
+                                         self._defaults,
+                                         on_alert=self._alert_hook(worker),
+                                         config=self._adaptation)
         self._task_shard[spec.name] = worker.shard_id
         self.trace.emit("task_registered", task=spec.name,
-                        shard=worker.shard_id, threshold=spec.threshold)
-        return {"ok": True, "task": spec.name, "shard": worker.shard_id}
+                        shard=worker.shard_id, threshold=spec.threshold,
+                        type=worker.service.task_type(spec.name))
+        return {"ok": True, "task": spec.name, "shard": worker.shard_id,
+                "type": worker.service.task_type(spec.name)}
 
     async def shutdown(self) -> None:
         """Graceful stop: quiesce, drain every shard, flush a checkpoint."""
@@ -884,6 +891,8 @@ class RuntimeServer:
             "interval": service.interval(name),
             "next_due": service.next_due(name),
             "observations": service.observations(name),
+            "type": service.task_type(name),
+            "estimate": service.task_estimate(name),
         }
 
     def _op_alerts(self, request: dict[str, Any]) -> dict[str, Any]:

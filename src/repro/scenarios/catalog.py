@@ -1,6 +1,6 @@
 """Canned incident scenarios (the shipped timeline catalogue).
 
-Five multi-phase incidents over the paper's three workload domains,
+Six multi-phase incidents over the paper's three workload domains,
 styled after the staged DDoS exercise timelines: each is a pure
 :class:`~repro.scenarios.timeline.Timeline` value, so ``(seed, name)``
 fully reproduces its run. Fleet sizes sum to a few thousand tasks at
@@ -15,9 +15,15 @@ full scale; ``Timeline.scaled`` produces the reduced CI variants.
   group, then a rolling cascade (staggered onsets) into saturation.
 * ``diurnal-baseline`` — quiet network fleet, no declared incidents:
   the false-alarm/cost baseline and the golden-file scenario.
-* ``entropy-flood`` — flow-entropy fleet with a *lower* threshold; a
-  SYN flood of near-identical packets collapses entropy (the signature
-  from the distributed entropy-monitoring literature).
+* ``entropy-flood`` — windowed-entropy tasks (``task_type="entropy"``)
+  with a *lower* threshold; a SYN flood of near-identical packets
+  collapses the stream's dispersion and the substrate's entropy drains
+  below the healthy band (the signature from the distributed
+  entropy-monitoring literature).
+* ``p99-regression`` — sketch-backed quantile tasks
+  (``task_type="quantile"``): a bad deploy pushes p99 latency over its
+  SLO while the median barely moves, so only the exceedance-rate
+  predicate sees it.
 """
 
 from __future__ import annotations
@@ -159,33 +165,72 @@ def _diurnal_baseline() -> Timeline:
 def _entropy_flood() -> Timeline:
     return Timeline(
         name="entropy-flood",
-        description="SYN flood of near-identical packets collapsing flow "
-                    "entropy below a lower threshold",
+        description="SYN flood of near-identical packets collapsing "
+                    "windowed source entropy below a lower threshold",
         tasks=320,
-        base=WorkloadLayer("ar1", {"mean": 12.0, "phi": 0.9,
-                                   "sigma": 0.3}),
+        # Source-address dispersion stream: healthy traffic spreads over
+        # many 16-wide bins, so windowed entropy sits around 4 bits.
+        base=WorkloadLayer("ar1", {"mean": 128.0, "phi": 0.6,
+                                   "sigma": 40.0}),
         phases=(
             Phase("normal", 90),
-            # The flood's packets are near-identical, so source-address
-            # entropy collapses far below the healthy band.
-            Phase("flood-onset", 80, overlays=(
-                Overlay("entropy_shift", peak=6.0, start=0, length=70,
-                        ramp_steps=8, coverage=0.4, jitter=0.05,
-                        floor=0.5),),
-                  truth=(TruthWindow(start=2, length=66, coverage=0.4),)),
-            # Scrubbing brings entropy back up through the threshold.
-            Phase("scrubbing", 50, overlays=(
-                Overlay("entropy_shift", peak=3.0, start=0, length=20,
-                        ramp_steps=2, coverage=0.4, jitter=0.05,
-                        floor=0.5),)),
-            Phase("aftermath", 80),
+            # The flood's packets are near-identical: the stream
+            # collapses onto a handful of bins and the entropy substrate
+            # drains toward zero as its window turns over.
+            Phase("flood-onset", 110, overlays=(
+                Overlay("scale", peak=0.04, start=0, length=60,
+                        coverage=0.4, jitter=0.05),),
+                  truth=(TruthWindow(start=20, length=88, coverage=0.4),)),
+            # Scrubbing restores source diversity; the entropy window
+            # refills with spread-out symbols and climbs back up.
+            Phase("scrubbing", 50),
+            Phase("aftermath", 70),
         ),
-        threshold=ThresholdSpec("absolute", 9.0),
+        threshold=ThresholdSpec("absolute", 2.0),
         err=0.05,
         default_interval=15.0,
-        max_interval=10,
+        max_interval=8,
         direction="lower",
         adaptation=dict(_ADAPT),
+        task_type="entropy",
+        task_params={"entropy_window": 48, "bin_width": 16.0},
+    )
+
+
+def _p99_regression() -> Timeline:
+    return Timeline(
+        name="p99-regression",
+        description="Tail-latency regression: a bad deploy pushes p99 "
+                    "over its SLO while the median barely moves",
+        tasks=384,
+        # Latency stream: mean ~40 ms, stationary sd ~6.9 ms, so the
+        # 80 ms SLO sits ~5.8 sigma out — calm tail mass is zero and
+        # every threshold crossing is incident-caused.
+        base=WorkloadLayer("ar1", {"mean": 40.0, "phi": 0.9,
+                                   "sigma": 3.0}),
+        phases=(
+            Phase("steady", 80),
+            # Canary drift: a small group runs hotter but stays clear of
+            # the SLO, so the p99 predicate must not fire.
+            Phase("canary", 40, overlays=(
+                Overlay("ramp", peak=20.0, coverage=0.1, jitter=0.05),)),
+            # Full rollout: half the fleet's latency jumps ~70 ms; the
+            # exceedance rate blows through 1 - q at the onset and stays
+            # elevated until the rotating sketch evicts the incident
+            # (up to two sketch epochs past the overlay end).
+            Phase("regression", 170, overlays=(
+                Overlay("spike", peak=70.0, start=0, length=60,
+                        ramp_steps=6, coverage=0.5, jitter=0.05),),
+                  truth=(TruthWindow(start=4, length=160, coverage=0.5),)),
+            Phase("rollback", 70),
+        ),
+        threshold=ThresholdSpec("absolute", 80.0),
+        err=0.05,
+        default_interval=5.0,
+        max_interval=8,
+        adaptation=dict(_ADAPT),
+        task_type="quantile",
+        task_params={"quantile": 0.99, "sketch_window": 64},
     )
 
 
@@ -195,6 +240,7 @@ CANNED = {
     "diurnal-baseline": _diurnal_baseline,
     "entropy-flood": _entropy_flood,
     "flash-crowd": _flash_crowd,
+    "p99-regression": _p99_regression,
 }
 """Canonical scenario name -> timeline factory."""
 

@@ -17,7 +17,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.accuracy import truth_alert_indices
+from repro.core.substrates import (DEFAULT_ENTROPY_WINDOW,
+                                   DEFAULT_SKETCH_WINDOW, EntropyEstimator,
+                                   QuantileEstimator)
 from repro.exceptions import ConfigurationError
+from repro.telemetry.histogram import DEFAULT_RELATIVE_ERROR
 from repro.scenarios.timeline import Overlay, PhaseSpan, Timeline
 from repro.workloads.base import substream
 from repro.workloads.synthetic import (AR1Generator, DiurnalGenerator,
@@ -50,7 +54,7 @@ class CompiledScenario:
     """A timeline lowered onto the grid, ready to replay and score."""
 
     __slots__ = ("timeline", "seed", "values", "thresholds", "spans",
-                 "windows", "task_names")
+                 "windows", "task_names", "_monitored")
 
     def __init__(self, timeline: Timeline, seed: int, values: np.ndarray,
                  thresholds: np.ndarray, spans: tuple[PhaseSpan, ...],
@@ -63,6 +67,7 @@ class CompiledScenario:
         self.windows = windows
         self.task_names = [f"{timeline.name}-{i:05d}"
                            for i in range(timeline.tasks)]
+        self._monitored: dict[int, np.ndarray] = {}
 
     @property
     def n_steps(self) -> int:
@@ -72,10 +77,47 @@ class CompiledScenario:
     def n_tasks(self) -> int:
         return int(self.values.shape[1])
 
+    def sampler_threshold(self, task: int) -> float:
+        """The threshold on the *monitored* statistic for ``task``.
+
+        For value and entropy timelines this is the compiled per-task
+        threshold itself. For quantile timelines the monitored statistic
+        is the exceedance rate ``P(X > T)`` and the predicate
+        ``p_q(X) > T`` becomes ``exceedance > 1 - q`` — the derived
+        Bernoulli threshold the sampler actually watches.
+        """
+        if self.timeline.task_type == "quantile":
+            return 1.0 - float(self.timeline.task_params["quantile"])
+        return float(self.thresholds[task])
+
+    def monitored_column(self, task: int) -> np.ndarray:
+        """Full-resolution monitored statistic for ``task`` (cached).
+
+        For value timelines this is the raw stream. For typed timelines
+        the column is produced by the *same* substrate the service runs —
+        updates are pushed at every grid step in replay, so a full-rate
+        substrate pass here is the exact ground-truth twin of the live
+        task's internal state.
+        """
+        if self.timeline.task_type == "value":
+            return self.values[:, task]
+        cached = self._monitored.get(task)
+        if cached is None:
+            cached = _substrate_column(self.timeline,
+                                       self.values[:, task],
+                                       float(self.thresholds[task]))
+            self._monitored[task] = cached
+        return cached
+
     def truth_indices(self, task: int) -> np.ndarray:
-        """Grid points where ``task`` violates its threshold (sorted)."""
-        return truth_alert_indices(self.values[:, task],
-                                   float(self.thresholds[task]),
+        """Grid points where ``task`` violates its threshold (sorted).
+
+        Truth is defined on the monitored statistic: raw values for
+        value timelines, the substrate-derived exceedance/entropy trace
+        (against the derived sampler threshold) for typed ones.
+        """
+        return truth_alert_indices(self.monitored_column(task),
+                                   self.sampler_threshold(task),
                                    self.timeline.direction_enum)
 
     def windows_for(self, task: int) -> list[tuple[int, int]]:
@@ -132,6 +174,31 @@ def compile_timeline(timeline: Timeline, seed: int) -> CompiledScenario:
 
     return CompiledScenario(timeline, seed, values, thresholds, spans,
                             tuple(windows))
+
+
+def _substrate_column(timeline: Timeline, values: np.ndarray,
+                      threshold: float) -> np.ndarray:
+    """Run a task-type substrate over one full-resolution column."""
+    params = timeline.task_params
+    n = len(values)
+    out = np.empty(n, dtype=float)
+    if timeline.task_type == "quantile":
+        est = QuantileEstimator(
+            float(params["quantile"]),
+            window=int(params.get("sketch_window", DEFAULT_SKETCH_WINDOW)),
+            relative_error=float(params.get("relative_error",
+                                            DEFAULT_RELATIVE_ERROR)))
+        for i in range(n):
+            est.update(float(values[i]))
+            out[i] = est.exceedance(threshold)
+        return out
+    est = EntropyEstimator(
+        window=int(params.get("entropy_window", DEFAULT_ENTROPY_WINDOW)),
+        bin_width=float(params.get("bin_width", 1.0)))
+    for i in range(n):
+        est.update(float(values[i]))
+        out[i] = est.entropy()
+    return out
 
 
 def _base_column(timeline: Timeline, task: int, n_steps: int,

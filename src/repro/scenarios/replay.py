@@ -167,6 +167,14 @@ async def _replay(compiled: CompiledScenario, shards: int,
             kind = str(event.get("kind", "?"))
             trace_events[kind] = trace_events.get(kind, 0) + 1
 
+    # Typed timelines register through the same declarative config keys
+    # the wire schema exposes; the server derives the sampler-facing
+    # spec (e.g. the 1 - q exceedance threshold) at registration.
+    typed_keys: dict[str, Any] = {}
+    if timeline.task_type != "value":
+        typed_keys["type"] = timeline.task_type
+        typed_keys.update(timeline.task_params)
+
     try:
         for t, name in enumerate(compiled.task_names):
             await client.register_task(
@@ -174,7 +182,8 @@ async def _replay(compiled: CompiledScenario, shards: int,
                 error_allowance=timeline.err,
                 default_interval=timeline.default_interval,
                 max_interval=timeline.max_interval,
-                direction=timeline.direction)
+                direction=timeline.direction,
+                **typed_keys)
 
         skewed = (plan is not None and fault_spec is not None
                   and fault_spec.clock_skew_rate > 0.0
@@ -286,14 +295,25 @@ def simulate_replay(compiled: CompiledScenario,
 
     service = MonitoringService(_adaptation(timeline.adaptation))
     direction = timeline.direction_enum
+    params = timeline.task_params
     for t, name in enumerate(compiled.task_names):
-        service.add_task(name, TaskSpec(
-            threshold=float(compiled.thresholds[t]),
-            error_allowance=timeline.err,
-            default_interval=timeline.default_interval,
-            max_interval=timeline.max_interval,
-            direction=direction,
-            name=name))
+        common = dict(error_allowance=timeline.err,
+                      default_interval=timeline.default_interval,
+                      max_interval=timeline.max_interval,
+                      direction=direction)
+        if timeline.task_type == "quantile":
+            service.add_quantile_task(
+                name, threshold=float(compiled.thresholds[t]),
+                quantile=float(params["quantile"]),
+                **_substrate_kwargs(params, "quantile"), **common)
+        elif timeline.task_type == "entropy":
+            service.add_entropy_task(
+                name, threshold=float(compiled.thresholds[t]),
+                **_substrate_kwargs(params, "entropy"), **common)
+        else:
+            service.add_task(name, TaskSpec(
+                threshold=float(compiled.thresholds[t]),
+                name=name, **common))
     values = compiled.values
     names = compiled.task_names
     for step in range(n_steps):
@@ -310,6 +330,13 @@ def simulate_replay(compiled: CompiledScenario,
         alert_steps=alert_steps,
         counters=_sim_counters(n_steps, n_tasks, sum(samples),
                                sum(len(a) for a in alert_steps)))
+
+
+def _substrate_kwargs(params: dict[str, Any], kind: str) -> dict[str, Any]:
+    """Optional substrate kwargs present in a timeline's task_params."""
+    wanted = (("sketch_window", "relative_error") if kind == "quantile"
+              else ("entropy_window", "bin_width"))
+    return {key: params[key] for key in wanted if key in params}
 
 
 def _sim_counters(n_steps: int, n_tasks: int, consumed: int,

@@ -112,19 +112,26 @@ def score_scenario(compiled: CompiledScenario,
     mean_delay = (float(np.mean(delays_sorted)) if delays_sorted else 0.0)
     passed = bool(within_err and windows_missed == 0)
 
+    config: dict[str, Any] = {
+        "err": _round(timeline.err),
+        "default_interval": _round(timeline.default_interval),
+        "max_interval": timeline.max_interval,
+        "direction": timeline.direction,
+        "threshold": timeline.threshold.to_dict(),
+    }
+    # Typed keys appear only for non-value timelines so value-scenario
+    # reports (and the golden-file pin) stay byte-identical.
+    if timeline.task_type != "value":
+        config["task_type"] = timeline.task_type
+        config["task_params"] = dict(timeline.task_params)
+
     return {
         "scenario": timeline.name,
         "seed": compiled.seed,
         "mode": result.mode,
         "fleet": {"tasks": n_tasks, "steps": n_steps,
                   "grid_points": grid_points},
-        "config": {
-            "err": _round(timeline.err),
-            "default_interval": _round(timeline.default_interval),
-            "max_interval": timeline.max_interval,
-            "direction": timeline.direction,
-            "threshold": timeline.threshold.to_dict(),
-        },
+        "config": config,
         "phases": [{"name": s.name, "start": s.start, "end": s.end}
                    for s in compiled.spans],
         "truth": {

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields as dataclass_fields
 from typing import Any, Mapping
 
+from repro.core.substrates import TASK_TYPES
 from repro.exceptions import ConfigurationError
 from repro.types import ThresholdDirection
 
@@ -282,6 +283,17 @@ class Timeline:
         direction: ``"upper"`` or ``"lower"`` violation side.
         adaptation: optional overrides for
             :class:`~repro.core.adaptation.AdaptationConfig` fields.
+        task_type: what each fleet task monitors — ``"value"`` (the
+            scalar stream itself), ``"quantile"`` (a sketch-backed
+            ``p_q(X) > T`` predicate) or ``"entropy"`` (windowed
+            empirical entropy of the stream). The threshold spec applies
+            to the *task-type* statistic: a raw-value threshold for
+            quantile tasks (the sketch's tail boundary), an entropy
+            level in bits for entropy tasks.
+        task_params: substrate parameters for non-value task types
+            (``quantile``/``sketch_window``/``relative_error`` or
+            ``entropy_window``/``bin_width``), the same knobs the config
+            schema exposes.
     """
 
     name: str
@@ -295,6 +307,8 @@ class Timeline:
     max_interval: int = 10
     direction: str = "upper"
     adaptation: dict[str, Any] = field(default_factory=dict)
+    task_type: str = "value"
+    task_params: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         _require(bool(self.name), "timeline name must be non-empty")
@@ -315,6 +329,23 @@ class Timeline:
                  f"direction must be 'upper' or 'lower', "
                  f"got {self.direction!r}")
         object.__setattr__(self, "adaptation", dict(self.adaptation))
+        _require(self.task_type in TASK_TYPES,
+                 f"task_type must be one of {TASK_TYPES}, "
+                 f"got {self.task_type!r}")
+        object.__setattr__(self, "task_params", dict(self.task_params))
+        allowed = {"value": set(),
+                   "quantile": {"quantile", "sketch_window",
+                                "relative_error"},
+                   "entropy": {"entropy_window", "bin_width"}}[
+                       self.task_type]
+        unknown = set(self.task_params) - allowed
+        _require(not unknown,
+                 f"task_params key(s) {sorted(unknown)} do not apply to "
+                 f"task_type {self.task_type!r}")
+        _require(self.task_type != "quantile"
+                 or "quantile" in self.task_params,
+                 f"timeline {self.name!r}: quantile task_type needs a "
+                 f"'quantile' param")
 
     # -- derived geometry ------------------------------------------------
 
@@ -350,7 +381,7 @@ class Timeline:
     # -- serialisation ---------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        entry = {
             "name": self.name,
             "description": self.description,
             "tasks": self.tasks,
@@ -363,6 +394,12 @@ class Timeline:
             "direction": self.direction,
             "adaptation": dict(self.adaptation),
         }
+        # Typed keys are emitted only for non-value timelines so existing
+        # value-timeline serialisations stay byte-identical (golden pins).
+        if self.task_type != "value":
+            entry["task_type"] = self.task_type
+            entry["task_params"] = dict(self.task_params)
+        return entry
 
     @classmethod
     def from_dict(cls, entry: Mapping[str, Any]) -> "Timeline":
@@ -378,6 +415,8 @@ class Timeline:
             max_interval=int(entry.get("max_interval", 10)),
             direction=str(entry.get("direction", "upper")),
             adaptation=dict(entry.get("adaptation", {})),
+            task_type=str(entry.get("task_type", "value")),
+            task_params=dict(entry.get("task_params", {})),
         )
 
     # -- derived timelines -----------------------------------------------
@@ -418,12 +457,22 @@ class Timeline:
             phases.append(Phase(name=ph.name, duration=duration,
                                 overlays=tuple(overlays),
                                 truth=tuple(truth)))
+        task_params = dict(self.task_params)
+        # Substrate windows are horizon-denominated state: shrink them
+        # with the grid so CI-scale runs keep the same relative recency.
+        if "sketch_window" in task_params:
+            task_params["sketch_window"] = max(
+                8, round(task_params["sketch_window"] * horizon))
+        if "entropy_window" in task_params:
+            task_params["entropy_window"] = max(
+                4, round(task_params["entropy_window"] * horizon))
         return Timeline(
             name=self.name, description=self.description, tasks=tasks,
             base=self.base, phases=tuple(phases), threshold=self.threshold,
             err=self.err, default_interval=self.default_interval,
             max_interval=self.max_interval, direction=self.direction,
-            adaptation=dict(self.adaptation))
+            adaptation=dict(self.adaptation),
+            task_type=self.task_type, task_params=task_params)
 
 
 def _fit_segment(start: int, length: int | None, spread: int,

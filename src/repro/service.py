@@ -5,7 +5,10 @@ The experiment runners consume precomputed traces; a deployment consumes
 downstream user wires into their collection pipeline:
 
 * register tasks (instantaneous or windowed-aggregate, upper or lower
-  thresholds, optionally guarded by a correlation trigger);
+  thresholds, optionally guarded by a correlation trigger — plus the
+  sketch-backed quantile-threshold and streaming-entropy types, see
+  :meth:`MonitoringService.add_quantile_task` /
+  :meth:`MonitoringService.add_entropy_task`);
 * push every collected value with :meth:`offer` — the service tells the
   caller whether the value was *consumed* as a scheduled sample and when
   the task wants its next sample, so callers can skip collection work for
@@ -37,8 +40,12 @@ import numpy as np
 
 from repro.core.adaptation import (AdaptationConfig, SamplingDecision,
                                    ViolationLikelihoodSampler)
+from repro.core.substrates import (DEFAULT_ENTROPY_WINDOW,
+                                   DEFAULT_SKETCH_WINDOW, EntropyEstimator,
+                                   QuantileEstimator)
 from repro.core.task import TaskSpec
 from repro.core.windowed import AggregateKind
+from repro.telemetry.histogram import DEFAULT_RELATIVE_ERROR
 from repro.exceptions import ConfigurationError
 from repro.types import Alert, ThresholdDirection
 
@@ -71,6 +78,15 @@ class TaskState:
             engine columns are authoritative for sampler state, schedule
             position and last-offered value; the scalar fields here are
             synced back on snapshot/eviction.
+        task_type: ``"value"`` (scalar, the default), ``"quantile"`` or
+            ``"entropy"``. Non-value tasks carry a ``substrate`` whose
+            derived statistic — exceedance rate / windowed entropy — is
+            what the sampler watches; they stay on the scalar path (the
+            SoA engine never adopts them).
+        value_threshold: quantile tasks only — the raw value threshold
+            ``T`` of ``p_q(X) > T``; the sampler's spec threshold is the
+            derived exceedance bound ``1 - q``.
+        substrate: the per-task sketch/estimator state, or ``None``.
     """
 
     name: str
@@ -86,6 +102,9 @@ class TaskState:
     window: int = 1
     window_kind: AggregateKind = AggregateKind.MEAN
     on_alert: AlertCallback | None = None
+    task_type: str = "value"
+    value_threshold: float = 0.0
+    substrate: Any = None
     _window_values: deque[tuple[int, float]] = field(default_factory=deque)
     _window_sum: float = 0.0
 
@@ -115,6 +134,42 @@ class TaskState:
             return max(v for _, v in buf)
         return min(v for _, v in buf)
 
+    def absorb(self, value: float) -> None:
+        """Feed one offered value into a non-value task's substrate.
+
+        Sketch/entropy substrates absorb *every* offered value, due or
+        not: in the push model updates arrive regardless, and what the
+        schedule gates is the (costed) evaluation of the derived
+        statistic. This keeps the substrate's state equal to a
+        full-resolution reference's, so the sampler's mis-detection
+        story reduces to the scalar case on the derived stream.
+        """
+        self.substrate.update(value)
+
+    def monitored(self, step: int, value: float) -> float:
+        """The sampler-facing statistic for one consumed offer."""
+        if self.task_type == "value":
+            return self.aggregate(step, value)
+        if self.task_type == "quantile":
+            return self.substrate.exceedance(self.value_threshold)
+        return self.substrate.entropy()
+
+    def make_alert(self, step: int, monitored: float) -> Alert:
+        """The alert for a violation at ``step``.
+
+        Value and entropy tasks report the monitored statistic against
+        the spec threshold. Quantile tasks alert in the *value* frame —
+        the estimated ``p_q`` against the raw threshold ``T`` — because
+        that is the predicate the operator registered; the exceedance
+        rate the sampler watches is an internal derivation.
+        """
+        if self.task_type == "quantile":
+            return Alert(time_index=step,
+                         value=self.substrate.quantile_value(),
+                         threshold=self.value_threshold)
+        return Alert(time_index=step, value=monitored,
+                     threshold=self.task.threshold)
+
     def state_dict(self) -> dict[str, Any]:
         """The task's full mutable + declarative state, JSON-able.
 
@@ -124,7 +179,7 @@ class TaskState:
         The ``on_alert`` callback is *not* serialisable — restoring callers
         re-attach their own.
         """
-        return {
+        state: dict[str, Any] = {
             "name": self.name,
             "spec": _spec_to_dict(self.task),
             "adaptation": _adaptation_to_dict(self.sampler.config),
@@ -145,6 +200,13 @@ class TaskState:
             "window_sum": self._window_sum,
             "sampler": self.sampler.state_dict(),
         }
+        if self.task_type != "value":
+            # Typed-task keys are emitted only when present so value-task
+            # snapshots stay byte-identical to every earlier release.
+            state["type"] = self.task_type
+            state["value_threshold"] = self.value_threshold
+            state["substrate"] = self.substrate.state_dict()
+        return state
 
     @classmethod
     def from_state_dict(cls, state: dict[str, Any],
@@ -154,10 +216,23 @@ class TaskState:
         config = _adaptation_from_dict(state["adaptation"])
         sampler = ViolationLikelihoodSampler(spec, config)
         sampler.load_state_dict(state["sampler"])
+        task_type = str(state.get("type", "value"))
+        substrate: Any = None
+        if task_type == "quantile":
+            substrate = QuantileEstimator.from_state_dict(state["substrate"])
+        elif task_type == "entropy":
+            substrate = EntropyEstimator.from_state_dict(state["substrate"])
+        elif task_type != "value":
+            raise ConfigurationError(
+                f"unknown task type {task_type!r} in snapshot entry "
+                f"{state.get('name')!r}")
         task_state = cls(
             name=str(state["name"]),
             task=spec,
             sampler=sampler,
+            task_type=task_type,
+            value_threshold=float(state.get("value_threshold", 0.0)),
+            substrate=substrate,
             next_due=int(state["next_due"]),
             samples_taken=int(state["samples_taken"]),
             alerts=[Alert(time_index=int(t), value=float(v),
@@ -243,6 +318,10 @@ class MonitoringService:
 
     def _soa_eligible(self, state: TaskState) -> bool:
         if self._soa is None or state.window > 1:
+            return False
+        if state.task_type != "value":
+            # Sketch/entropy tasks carry non-columnar substrate state;
+            # they always run the scalar path.
             return False
         if state.trigger_task is not None:
             return False
@@ -338,6 +417,103 @@ class MonitoringService:
         if self._soa_eligible(state):
             self._adopt_soa(state, config or self._config)
 
+    def add_quantile_task(self, name: str, *, threshold: float,
+                          quantile: float,
+                          error_allowance: float = 0.01,
+                          default_interval: float = 1.0,
+                          max_interval: int = 10,
+                          direction: ThresholdDirection =
+                          ThresholdDirection.UPPER,
+                          sketch_window: int = DEFAULT_SKETCH_WINDOW,
+                          relative_error: float = DEFAULT_RELATIVE_ERROR,
+                          on_alert: AlertCallback | None = None,
+                          config: AdaptationConfig | None = None) -> None:
+        """Register a quantile-threshold task ``p_q(X) > threshold``.
+
+        The sampler never sees raw values. Its monitored statistic is
+        the substrate's windowed *exceedance rate* ``P(X > threshold)``,
+        compared against the derived threshold ``1 - quantile`` —
+        ``p_q(X) > T`` holds exactly when more than ``1 - q`` of the
+        window sits above ``T``. The indicator ``1{x > T}`` is a
+        Bernoulli stream, so the rate's delta statistics feed the
+        Cantelli/Gaussian violation-likelihood kernels and the AIMD
+        interval adaptation unchanged. ``direction="lower"`` flips the
+        predicate to ``p_q(X) < threshold`` (exceedance below
+        ``1 - q``).
+
+        Every offered value updates the sketch (O(1)); the schedule
+        gates the derived-statistic evaluation and alerting. Alerts
+        report the estimated quantile against ``threshold`` — the
+        predicate the caller registered — not the internal rate.
+
+        Args:
+            name: unique identifier.
+            threshold: raw value threshold ``T``.
+            quantile: tracked ``q`` in (0, 1), e.g. 0.99 for p99.
+            sketch_window: observations per sketch epoch (queries span
+                one sealed epoch plus the current one).
+            relative_error: sketch accuracy ``alpha``.
+            (remaining args as :meth:`add_task`.)
+        """
+        if name in self._tasks:
+            raise ConfigurationError(f"task {name!r} already registered")
+        substrate = QuantileEstimator(quantile=quantile,
+                                      window=sketch_window,
+                                      relative_error=relative_error)
+        spec = TaskSpec(threshold=1.0 - substrate.quantile,
+                        error_allowance=error_allowance,
+                        default_interval=default_interval,
+                        max_interval=max_interval,
+                        direction=direction, name=name)
+        sampler = ViolationLikelihoodSampler(spec, config or self._config)
+        self._tasks[name] = TaskState(
+            name=name, task=spec, sampler=sampler, on_alert=on_alert,
+            task_type="quantile", value_threshold=float(threshold),
+            substrate=substrate)
+
+    def add_entropy_task(self, name: str, *, threshold: float,
+                         error_allowance: float = 0.01,
+                         default_interval: float = 1.0,
+                         max_interval: int = 10,
+                         direction: ThresholdDirection =
+                         ThresholdDirection.LOWER,
+                         entropy_window: int = DEFAULT_ENTROPY_WINDOW,
+                         bin_width: float = 1.0,
+                         on_alert: AlertCallback | None = None,
+                         config: AdaptationConfig | None = None) -> None:
+        """Register a streaming-entropy task (default: drop-below).
+
+        The monitored statistic is the windowed empirical entropy (bits)
+        of the offered values binned at ``bin_width`` — a smooth scalar
+        stream, so the violation-likelihood machinery applies to it
+        directly. The default ``direction="lower"`` alerts when entropy
+        collapses below ``threshold`` (the SYN-flood signature of the
+        distributed entropy-monitoring literature).
+
+        Every offered value updates the window; the schedule gates the
+        entropy evaluation and alerting.
+
+        Args:
+            name: unique identifier.
+            threshold: entropy threshold in bits.
+            entropy_window: sliding-window length in observations.
+            bin_width: symbolisation bin width for the offered values.
+            (remaining args as :meth:`add_task`.)
+        """
+        if name in self._tasks:
+            raise ConfigurationError(f"task {name!r} already registered")
+        substrate = EntropyEstimator(window=entropy_window,
+                                     bin_width=bin_width)
+        spec = TaskSpec(threshold=float(threshold),
+                        error_allowance=error_allowance,
+                        default_interval=default_interval,
+                        max_interval=max_interval,
+                        direction=direction, name=name)
+        sampler = ViolationLikelihoodSampler(spec, config or self._config)
+        self._tasks[name] = TaskState(
+            name=name, task=spec, sampler=sampler, on_alert=on_alert,
+            task_type="entropy", substrate=substrate)
+
     def remove_task(self, name: str) -> None:
         """Unregister a task (live-runtime tenant churn).
 
@@ -431,10 +607,12 @@ class MonitoringService:
                 grew=bool(flags & 1), reset=bool(flags & 2),
                 violation=bool(flags & 4))
         self._last_seen[name] = value
+        if state.task_type != "value":
+            state.absorb(value)
         if step < state.next_due:
             return None
 
-        monitored = state.aggregate(step, value)
+        monitored = state.monitored(step, value)
         decision = state.sampler.observe(monitored, step)
         state.samples_taken += 1
 
@@ -446,9 +624,9 @@ class MonitoringService:
                 interval = max(interval, state.suspend_interval)
         state.next_due = step + max(1, interval)
 
+        alert = None
         if decision.violation:
-            alert = Alert(time_index=step, value=monitored,
-                          threshold=state.task.threshold)
+            alert = state.make_alert(step, monitored)
             state.alerts.append(alert)
             if state.on_alert is not None:
                 state.on_alert(alert)
@@ -460,11 +638,11 @@ class MonitoringService:
                            interval=decision.next_interval,
                            grew=decision.grew, reset=decision.reset,
                            beta=decision.misdetection_bound)
-            if decision.violation:
+            if alert is not None:
                 trace.emit("violation", task=name,
                            shard=self._trace_shard, step=step,
-                           value=monitored,
-                           threshold=state.task.threshold)
+                           value=alert.value,
+                           threshold=alert.threshold)
         return decision
 
     def offer_fast(self, name: str, value: float, step: int) -> int | None:
@@ -484,10 +662,12 @@ class MonitoringService:
         if state.soa_row >= 0:
             return self._offer_soa(state, value, step)
         self._last_seen[name] = value
+        if state.task_type != "value":
+            state.absorb(value)
         if step < state.next_due:
             return None
 
-        monitored = state.aggregate(step, value)
+        monitored = state.monitored(step, value)
         sampler = state.sampler
         raw_interval = sampler.observe_fast(monitored, step)
         state.samples_taken += 1
@@ -500,10 +680,9 @@ class MonitoringService:
                 interval = max(interval, state.suspend_interval)
         state.next_due = step + max(1, interval)
 
-        violation = sampler.last_violation
-        if violation:
-            alert = Alert(time_index=step, value=monitored,
-                          threshold=state.task.threshold)
+        alert = None
+        if sampler.last_violation:
+            alert = state.make_alert(step, monitored)
             state.alerts.append(alert)
             if state.on_alert is not None:
                 state.on_alert(alert)
@@ -516,11 +695,11 @@ class MonitoringService:
                            shard=self._trace_shard, step=step,
                            interval=raw_interval, grew=grew, reset=reset,
                            beta=sampler.last_misdetection_bound)
-            if violation:
+            if alert is not None:
                 trace.emit("violation", task=name,
                            shard=self._trace_shard, step=step,
-                           value=monitored,
-                           threshold=state.task.threshold)
+                           value=alert.value,
+                           threshold=alert.threshold)
         return raw_interval
 
     def _offer_soa(self, state: TaskState, value: float,
@@ -680,6 +859,33 @@ class MonitoringService:
         if state.soa_row >= 0:
             return int(self._soa.observations[state.soa_row])
         return state.sampler.observations
+
+    def task_type(self, name: str) -> str:
+        """A task's type: ``"value"``, ``"quantile"`` or ``"entropy"``."""
+        return self._state(name).task_type
+
+    def task_estimate(self, name: str) -> float | None:
+        """The current substrate estimate behind a typed task.
+
+        Quantile tasks report the estimated ``p_q`` (value frame),
+        entropy tasks the windowed entropy in bits; ``None`` for scalar
+        tasks — exported through the runtime's ``task_info`` op so
+        operators can see what the predicate currently evaluates to
+        without waiting for an alert.
+        """
+        state = self._state(name)
+        if state.task_type == "quantile":
+            return float(state.substrate.quantile_value())
+        if state.task_type == "entropy":
+            return float(state.substrate.entropy())
+        return None
+
+    def task_type_counts(self) -> dict[str, int]:
+        """Registered tasks per task type (telemetry gauge fodder)."""
+        counts: dict[str, int] = {}
+        for state in self._tasks.values():
+            counts[state.task_type] = counts.get(state.task_type, 0) + 1
+        return counts
 
     def snapshot(self) -> dict[str, Any]:
         """Serialise the full service state to a JSON-able dict.

@@ -150,12 +150,20 @@ class LogHistogram:
         Uses the lower-rank convention ``rank = floor(q * (count - 1))``
         (the same convention the property suite's reference uses), so the
         estimate is within ``relative_error`` of the true sample value at
-        that rank whenever its magnitude is at least ``min_value``.
+        that rank whenever its magnitude is at least ``min_value``. The
+        extremes are special-cased: ``q = 0.0`` and ``q = 1.0`` return
+        the exact tracked min/max rather than a bucket midpoint — the
+        sketch knows those two order statistics precisely, so there is
+        no reason to pay the relative error on them.
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         if self.count == 0:
             return 0.0
+        if q == 0.0:
+            return self._min
+        if q == 1.0:
+            return self._max
         rank = int(q * (self.count - 1))
         remaining = rank + 1
         # Walk negatives from most negative (largest magnitude) upward.
@@ -175,6 +183,30 @@ class LogHistogram:
     def quantiles(self, qs: Iterable[float]) -> dict[str, float]:
         """Several quantiles keyed by their (stringified) ``q``."""
         return {f"{q:g}": self.quantile(q) for q in qs}
+
+    def tail_count(self, threshold: float) -> int:
+        """Observations recorded above ``threshold`` (bucket resolution).
+
+        A bucket counts toward the tail when its midpoint exceeds the
+        threshold — the same midpoint convention :meth:`quantile` uses,
+        so the answer is exact up to values within ``relative_error`` of
+        the threshold itself. O(distinct buckets), integer arithmetic
+        only: two sketches' tail counts add without any float drift,
+        which is what lets the quantile task substrate query its rotating
+        sketch pair without materialising a merge.
+        """
+        threshold = float(threshold)
+        tail = 0
+        for key, n in self._pos.items():
+            if self._bucket_value(key) > threshold:
+                tail += n
+        if threshold < 0.0:
+            # The zero bucket holds |v| <= min_value, reported as 0.0.
+            tail += self.zero_count
+            for key, n in self._neg.items():
+                if -self._bucket_value(key) > threshold:
+                    tail += n
+        return tail
 
     # ------------------------------------------------------------------
     # Serialisation (wire snapshots, checkpoint-adjacent tooling)

@@ -24,13 +24,13 @@ import asyncio
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.core.task import TaskSpec
-from repro.service import MonitoringService
 from repro.telemetry.registry import MetricsRegistry, NULL_REGISTRY
 from repro.telemetry.trace import NULL_TRACE
 from repro.types import Alert
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
     from repro.runtime.server import RuntimeServer
+    from repro.service import MonitoringService
 
 __all__ = ["SELF_SHARD", "SelfMonitor"]
 
@@ -66,6 +66,11 @@ class SelfMonitor:
                  checkpoint_age_factor: float = 3.0,
                  error_allowance: float = 0.05,
                  max_interval: int = 30):
+        # Imported here, not at module scope: repro.service pulls in the
+        # sketch substrates, which live on top of repro.telemetry — a
+        # top-level import would close that cycle.
+        from repro.service import MonitoringService
+
         self._server = server
         self._trace = trace
         self.service = MonitoringService()

@@ -21,10 +21,11 @@ from repro.testkit.faults import (FaultHook, FaultPlan, FaultSpec,
                                   InjectedFault, NOOP_HOOK, PlanFaultHook,
                                   stable_uniform)
 from repro.testkit.invariants import (ConservationCheckedPolicy,
-                                      InvariantResult,
+                                      InvariantResult, LeakySketch,
                                       check_allowance_conservation,
                                       check_misdetection_bound,
                                       check_no_acked_loss,
+                                      check_quantile_misdetection,
                                       check_restore_bit_identical,
                                       snapshot_fingerprint)
 
@@ -35,11 +36,13 @@ __all__ = [
     "FaultSpec",
     "InjectedFault",
     "InvariantResult",
+    "LeakySketch",
     "NOOP_HOOK",
     "PlanFaultHook",
     "check_allowance_conservation",
     "check_misdetection_bound",
     "check_no_acked_loss",
+    "check_quantile_misdetection",
     "check_restore_bit_identical",
     "snapshot_fingerprint",
     "stable_uniform",

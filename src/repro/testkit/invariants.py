@@ -30,18 +30,22 @@ import numpy as np
 
 from repro.core.adaptation import AdaptationConfig, CoordinationStats
 from repro.core.coordination import AllocationPolicy, AllocationUpdate
+from repro.core.substrates import QuantileEstimator
 from repro.core.task import TaskSpec
 from repro.experiments.runner import run_adaptive
 from repro.runtime.checkpoint import state_fingerprint
 from repro.service import MonitoringService
+from repro.telemetry.histogram import DEFAULT_RELATIVE_ERROR, LogHistogram
 from repro.testkit.faults import stable_uniform
 
 __all__ = [
     "InvariantResult",
     "ConservationCheckedPolicy",
+    "LeakySketch",
     "check_allowance_conservation",
     "check_misdetection_bound",
     "check_no_acked_loss",
+    "check_quantile_misdetection",
     "check_restore_bit_identical",
     "snapshot_fingerprint",
 ]
@@ -285,6 +289,158 @@ def check_misdetection_bound(*, seed: int, err: float = 0.05,
             "detected_alerts": detected_total,
             "misdetection_rate": rate,
             "sampling_ratio": samples_total / steps_total,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# 2b. Quantile-task mis-detection (sketch substrate, full service path)
+
+
+class LeakySketch(LogHistogram):
+    """Planted mutant sketch: silently drops the tail into the zero bucket.
+
+    Values above ``drop_above`` are counted (``count``/``total``/min/max
+    all move, so the sketch looks healthy to casual inspection) but land
+    in the exact-zero bucket instead of their log bucket. The tail mass —
+    precisely where a quantile task's violation evidence lives — is
+    starved, the exceedance statistic stays near zero through incidents,
+    and :func:`check_quantile_misdetection` must fail. Planted through
+    :meth:`~repro.core.substrates.QuantileEstimator.plant_sketch_factory`
+    so the whole service path runs on the broken substrate.
+    """
+
+    def __init__(self, drop_above: float,
+                 relative_error: float = DEFAULT_RELATIVE_ERROR):
+        super().__init__(relative_error=relative_error)
+        self.drop_above = float(drop_above)
+
+    def record(self, value: float, count: int = 1) -> None:
+        value = float(value)
+        if value > self.drop_above:
+            if count < 1:
+                raise ValueError(f"count must be >= 1, got {count}")
+            self.count += count
+            self.total += value * count
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+            self.zero_count += count  # the silent leak
+            return
+        super().record(value, count)
+
+
+def _tail_trace(seed: int, stream: int, horizon: int,
+                scale: float) -> np.ndarray:
+    """A heavy-tail latency stream with tail-regression episodes.
+
+    Lognormal base (calm p99 ~= 1.79 * scale) with multiplicative
+    episodes that push the whole distribution — and hence the tail —
+    up by ~1.8x with short ramps on both edges: the canonical
+    bad-deploy shape where the p99 predicate fires but a mean-based
+    one barely moves.
+    """
+    rng = np.random.default_rng(seed * 20_011 + stream)
+    values = scale * rng.lognormal(0.0, 0.25, horizon)
+    episodes = max(1, horizon // 1500)
+    for b in range(episodes):
+        start = int((b + 0.55) * horizon / (episodes + 1))
+        length = 160
+        stop = min(start + length, horizon)
+        ramp = np.linspace(1.0, 1.8, 24)
+        shape = np.concatenate([
+            ramp, np.full(max(0, (stop - start) - 2 * ramp.size), 1.8),
+            ramp[::-1]])[:stop - start]
+        values[start:stop] *= shape
+    return values
+
+
+def check_quantile_misdetection(*, seed: int, err: float = 0.05,
+                                streams: int = 4, horizon: int = 4000,
+                                quantile: float = 0.99,
+                                sketch_window: int = 64,
+                                max_interval: int = 10,
+                                sketch_factory: Any = None,
+                                ) -> InvariantResult:
+    """Quantile-task mis-detection through the full service path <= err.
+
+    Drives :meth:`~repro.service.MonitoringService.add_quantile_task`
+    over seeded heavy-tail streams with planted tail regressions. Ground
+    truth comes from a *healthy* full-resolution
+    :class:`~repro.core.substrates.QuantileEstimator` twin (the same
+    construction the scenario compiler uses), so a broken sketch planted
+    via ``sketch_factory`` diverges from truth instead of redefining it
+    — which is exactly how the :class:`LeakySketch` mutant is caught.
+
+    Args:
+        seed: drives the trace generator.
+        err: the error allowance under test.
+        streams: independent traces to aggregate over.
+        horizon: trace length in grid steps.
+        quantile: the tracked quantile ``q``.
+        sketch_window: substrate epoch length (sketch rotation).
+        max_interval: the task's maximum sampling interval.
+        sketch_factory: optional zero-arg sketch constructor planted into
+            the *live* task's estimator (truth keeps the healthy sketch).
+    """
+    threshold = 90.0  # calm p99 ~= 71.7, episode p99 ~= 129
+    scale = 40.0
+    derived = 1.0 - quantile
+    truth_total = 0
+    detected_total = 0
+    samples_total = 0
+    steps_total = 0
+    for s in range(streams):
+        trace = _tail_trace(seed, s, horizon, scale)
+        reference = QuantileEstimator(quantile, window=sketch_window)
+        truth_steps = []
+        for i, value in enumerate(trace):
+            reference.update(float(value))
+            if reference.exceedance(threshold) > derived:
+                truth_steps.append(i)
+        service = MonitoringService(AdaptationConfig())
+        name = f"tail-{s}"
+        service.add_quantile_task(name, threshold=threshold,
+                                  quantile=quantile, error_allowance=err,
+                                  max_interval=max_interval,
+                                  sketch_window=sketch_window)
+        if sketch_factory is not None:
+            service._state(name).substrate.plant_sketch_factory(
+                sketch_factory)
+        for i, value in enumerate(trace):
+            service.offer_fast(name, float(value), i)
+        alert_steps = {a.time_index for a in service.alerts(name)}
+        truth_total += len(truth_steps)
+        detected_total += sum(1 for i in truth_steps if i in alert_steps)
+        samples_total += service.samples_taken(name)
+        steps_total += horizon
+    rate = (0.0 if truth_total == 0
+            else 1.0 - detected_total / truth_total)
+    passed = truth_total > 0 and rate <= err
+    if truth_total == 0:
+        detail = "trace generator produced no truth alerts (bad setup)"
+    elif passed:
+        detail = (f"quantile mis-detection {rate:.4f} <= err {err} "
+                  f"({detected_total}/{truth_total} points detected)")
+    else:
+        detail = (f"quantile mis-detection {rate:.4f} exceeds err {err} "
+                  f"({detected_total}/{truth_total} points detected)")
+    return InvariantResult(
+        name="quantile_misdetection_bound",
+        passed=passed,
+        detail=detail,
+        metrics={
+            "err": err,
+            "quantile": quantile,
+            "streams": streams,
+            "horizon": horizon,
+            "sketch_window": sketch_window,
+            "truth_points": truth_total,
+            "detected_points": detected_total,
+            "misdetection_rate": rate,
+            "sampling_ratio": samples_total / steps_total,
+            "planted_sketch": sketch_factory is not None,
         },
     )
 

@@ -1,0 +1,102 @@
+"""Typed tasks through the cluster routing tier.
+
+Quantile/entropy registration goes over the coordinator's JSON control
+path and must behave wire-identically to the single-process runtime:
+same reply shape (including the ``type`` field), same alerts, same
+``task_info`` — the cluster forwards typed config entries verbatim to
+whichever worker owns the shard.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from cluster_utils import run_cluster
+
+from repro.config import RuntimeConfig
+from repro.runtime.client import AsyncRuntimeClient
+from repro.runtime.server import RuntimeServer
+
+SHARDS = 4
+
+TYPED_TASKS = [
+    {"name": "p99", "threshold": 80.0, "type": "quantile",
+     "quantile": 0.9, "sketch_window": 32, "error_allowance": 0.01,
+     "max_interval": 6},
+    {"name": "flow-entropy", "threshold": 1.5, "type": "entropy",
+     "entropy_window": 16, "bin_width": 1.0, "direction": "lower",
+     "error_allowance": 0.01, "max_interval": 6},
+]
+
+
+def _schedule() -> list[list]:
+    updates = []
+    for step in range(120):
+        # Latency: calm at 40 ms, regression to 200 ms from step 60.
+        updates.append(["p99", step, 40.0 if step < 60 else 200.0])
+        # Source symbols: diverse, then a flood of one symbol.
+        updates.append(["flow-entropy", step,
+                        float(step % 16) if step < 60 else 7.0])
+    return updates
+
+
+async def _drive(client, drain) -> dict:
+    registered = {}
+    for task in TYPED_TASKS:
+        reply = await client.register_task(**task)
+        assert reply["ok"], reply
+        registered[task["name"]] = reply["type"]
+    for chunk_start in range(0, 240, 48):
+        schedule = _schedule()[chunk_start:chunk_start + 48]
+        reply = await client.offer_batch(schedule)
+        assert reply["rejected"] == 0
+    await drain()
+    return {
+        "types": registered,
+        "info": {t["name"]: await client.task_info(t["name"])
+                 for t in TYPED_TASKS},
+        "alerts": {t["name"]: await client.alerts(t["name"])
+                   for t in TYPED_TASKS},
+    }
+
+
+class TestClusterTypedParity:
+    def test_typed_tasks_match_single_process_runtime(self):
+        async def cluster_scenario(cluster):
+            client = AsyncRuntimeClient(port=cluster.tcp_port)
+            try:
+                return await _drive(client, cluster.drain)
+            finally:
+                await client.close()
+
+        async def runtime_scenario():
+            server = RuntimeServer(RuntimeConfig(port=0, shards=SHARDS))
+            await server.start()
+            client = AsyncRuntimeClient(port=server.tcp_port)
+
+            async def drain():
+                for worker in server._workers:
+                    await worker.drain()
+
+            try:
+                return await _drive(client, drain)
+            finally:
+                await client.close()
+                await server.shutdown()
+
+        observed = run_cluster(cluster_scenario, shards=SHARDS)
+        expected = asyncio.run(runtime_scenario())
+
+        assert observed["types"] == {"p99": "quantile",
+                                     "flow-entropy": "entropy"}
+        assert observed["types"] == expected["types"]
+        assert observed["alerts"] == expected["alerts"]
+        for name in observed["info"]:
+            obs, exp = observed["info"][name], expected["info"][name]
+            for key in ("type", "estimate", "samples_taken", "interval",
+                        "next_due", "alerts"):
+                assert obs[key] == exp[key], (name, key)
+        # Both predicates actually fired on their incident halves.
+        assert any(step >= 60 for step, *_ in observed["alerts"]["p99"])
+        assert any(step >= 60
+                   for step, *_ in observed["alerts"]["flow-entropy"])

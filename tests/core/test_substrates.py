@@ -1,0 +1,196 @@
+"""Unit tests for the sketch-backed task-type substrates.
+
+Covers construction validation, epoch rotation, exceedance/entropy
+arithmetic against exact references, the checkpoint contract
+(``state_dict`` -> ``from_state_dict`` answers every query
+bit-identically) and the testkit sketch-factory seam.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.substrates import (DEFAULT_ENTROPY_WINDOW,
+                                   DEFAULT_SKETCH_WINDOW, EntropyEstimator,
+                                   QuantileEstimator, TASK_TYPES)
+from repro.exceptions import ConfigurationError
+from repro.telemetry.histogram import LogHistogram
+
+
+class TestTaskTypes:
+    def test_catalogue(self):
+        assert TASK_TYPES == ("value", "quantile", "entropy")
+        assert DEFAULT_SKETCH_WINDOW >= 1
+        assert DEFAULT_ENTROPY_WINDOW >= 2
+
+
+class TestQuantileEstimatorConstruction:
+    @pytest.mark.parametrize("q", [0.0, 1.0, -0.1, 1.5])
+    def test_quantile_must_be_open_interval(self, q):
+        with pytest.raises(ConfigurationError):
+            QuantileEstimator(q)
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            QuantileEstimator(0.99, window=0)
+
+    def test_defaults(self):
+        est = QuantileEstimator(0.99)
+        assert est.window == DEFAULT_SKETCH_WINDOW
+        assert est.count == 0
+        assert est.exceedance(10.0) == 0.0
+
+
+class TestQuantileEstimatorRotation:
+    def test_epoch_rotation_bounds_the_window(self):
+        est = QuantileEstimator(0.9, window=10)
+        for i in range(35):
+            est.update(float(i))
+        # Queries span sealed + current: between window and 2*window.
+        assert 10 <= est.count <= 20
+        assert est.count == 15  # 3 full epochs sealed/discarded + 5
+
+    def test_old_epochs_are_forgotten(self):
+        est = QuantileEstimator(0.9, window=5)
+        for _ in range(10):
+            est.update(1000.0)
+        # Two full epochs of regime change push the old tail out.
+        for _ in range(10):
+            est.update(1.0)
+        assert est.exceedance(500.0) == 0.0
+
+    def test_exceedance_matches_exact_fraction(self):
+        # Values far from the threshold: sketch bucket resolution can
+        # never blur which side they fall on.
+        est = QuantileEstimator(0.9, window=100)
+        for v in [10.0] * 70 + [200.0] * 30:
+            est.update(v)
+        assert est.exceedance(100.0) == pytest.approx(0.3)
+
+    def test_exceedance_sums_sealed_and_current(self):
+        est = QuantileEstimator(0.9, window=4)
+        for v in (200.0, 200.0, 1.0, 1.0):   # sealed epoch: 2/4 above
+            est.update(v)
+        est.update(200.0)                    # current epoch: 1/1 above
+        assert est.exceedance(100.0) == pytest.approx(3.0 / 5.0)
+
+    def test_quantile_value_tracks_the_tail(self):
+        rng = np.random.default_rng(7)
+        values = rng.lognormal(3.0, 0.5, 200)
+        est = QuantileEstimator(0.99, window=200)
+        for v in values:
+            est.update(float(v))
+        exact = float(np.sort(values)[int(0.99 * (len(values) - 1))])
+        assert est.quantile_value() == pytest.approx(exact, rel=0.03)
+
+
+class TestQuantileEstimatorCheckpoint:
+    def test_state_roundtrips_bit_identically(self):
+        rng = np.random.default_rng(11)
+        est = QuantileEstimator(0.95, window=16)
+        for v in rng.lognormal(2.0, 0.4, 40):
+            est.update(float(v))
+        state = json.loads(json.dumps(est.state_dict()))
+        clone = QuantileEstimator.from_state_dict(state)
+        assert clone.state_dict() == est.state_dict()
+        for v in rng.lognormal(2.0, 0.4, 40):
+            est.update(float(v))
+            clone.update(float(v))
+            assert clone.exceedance(9.0) == est.exceedance(9.0)
+            assert clone.quantile_value() == est.quantile_value()
+        assert clone.state_dict() == est.state_dict()
+
+    def test_planted_factory_resets_and_sticks(self):
+        est = QuantileEstimator(0.9, window=4)
+        for _ in range(6):
+            est.update(500.0)
+        built = []
+
+        def factory():
+            sketch = LogHistogram()
+            built.append(sketch)
+            return sketch
+
+        est.plant_sketch_factory(factory)
+        assert est.count == 0  # planting resets the window
+        for _ in range(9):
+            est.update(500.0)
+        # Initial sketch + two rotations, all from the planted factory.
+        assert len(built) == 3
+
+
+class TestEntropyEstimatorConstruction:
+    def test_window_must_be_at_least_two(self):
+        with pytest.raises(ConfigurationError):
+            EntropyEstimator(window=1)
+
+    @pytest.mark.parametrize("width", [0.0, -1.0])
+    def test_bin_width_must_be_positive(self, width):
+        with pytest.raises(ConfigurationError):
+            EntropyEstimator(bin_width=width)
+
+    def test_empty_entropy_is_zero(self):
+        assert EntropyEstimator().entropy() == 0.0
+
+
+class TestEntropyEstimatorArithmetic:
+    def test_uniform_symbols_hit_log2_k(self):
+        est = EntropyEstimator(window=16, bin_width=1.0)
+        for i in range(16):
+            est.update(float(i % 4))
+        assert est.entropy() == pytest.approx(2.0)
+
+    def test_constant_stream_has_zero_entropy(self):
+        est = EntropyEstimator(window=8, bin_width=1.0)
+        for _ in range(20):
+            est.update(3.25)
+        assert est.entropy() == pytest.approx(0.0, abs=1e-12)
+
+    def test_binning_floors_to_bin_width(self):
+        est = EntropyEstimator(window=4, bin_width=10.0)
+        for v in (1.0, 9.9, 12.0, 19.0):  # bins 0, 0, 1, 1
+            est.update(v)
+        assert est.entropy() == pytest.approx(1.0)
+
+    def test_window_evicts_oldest(self):
+        est = EntropyEstimator(window=4, bin_width=1.0)
+        for v in (0.0, 1.0, 2.0, 3.0):
+            est.update(v)
+        assert est.entropy() == pytest.approx(2.0)
+        for _ in range(4):
+            est.update(7.0)  # collapse: the diverse prefix evicted
+        assert est.count == 4
+        assert est.entropy() == pytest.approx(0.0, abs=1e-12)
+
+    def test_matches_exact_empirical_entropy(self):
+        rng = np.random.default_rng(3)
+        values = rng.normal(50.0, 20.0, 200)
+        est = EntropyEstimator(window=64, bin_width=8.0)
+        for v in values:
+            est.update(float(v))
+        tail = [int(math.floor(v / 8.0)) for v in values[-64:]]
+        counts = {}
+        for s in tail:
+            counts[s] = counts.get(s, 0) + 1
+        exact = -sum((c / 64) * math.log2(c / 64) for c in counts.values())
+        assert est.entropy() == pytest.approx(exact, abs=1e-9)
+
+
+class TestEntropyEstimatorCheckpoint:
+    def test_state_roundtrips_bit_identically(self):
+        rng = np.random.default_rng(19)
+        est = EntropyEstimator(window=12, bin_width=4.0)
+        for v in rng.normal(30.0, 15.0, 30):
+            est.update(float(v))
+        state = json.loads(json.dumps(est.state_dict()))
+        clone = EntropyEstimator.from_state_dict(state)
+        assert clone.state_dict() == est.state_dict()
+        for v in rng.normal(30.0, 15.0, 30):
+            est.update(float(v))
+            clone.update(float(v))
+            assert clone.entropy() == est.entropy()
+        assert clone.state_dict() == est.state_dict()

@@ -125,6 +125,66 @@ class TestSamplerRoundtrip:
             step += a.next_interval
 
 
+class TestTypedTaskSnapshotRoundtrip:
+    """Sketch-backed quantile and entropy tasks must checkpoint too.
+
+    The substrates carry extra state (a rotating LogHistogram pair, a
+    symbol window) beyond the sampler's — a snapshot taken mid-epoch,
+    mid-window, or right after a rotation must restore bit-identically
+    and then *stay* identical through an arbitrary continuation.
+    """
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+           split=st.integers(min_value=0, max_value=250),
+           sketch_window=st.integers(min_value=4, max_value=40),
+           entropy_window=st.integers(min_value=2, max_value=40))
+    @settings(max_examples=40, deadline=None)
+    def test_typed_snapshot_restore_is_bit_identical_and_continues(
+            self, seed, split, sketch_window, entropy_window):
+        rng = np.random.default_rng(seed)
+        # Heavy-tailed so quantile truth points exist; offset so entropy
+        # symbols spread over several bins.
+        values = 40.0 * rng.lognormal(0.0, 0.3, 300)
+
+        def build():
+            service = MonitoringService(AdaptationConfig(patience=3,
+                                                         min_samples=4))
+            service.add_quantile_task("q", threshold=70.0, quantile=0.9,
+                                      error_allowance=0.05, max_interval=6,
+                                      sketch_window=sketch_window)
+            service.add_entropy_task("h", threshold=1.0,
+                                     error_allowance=0.05, max_interval=6,
+                                     entropy_window=entropy_window,
+                                     bin_width=8.0)
+            return service
+
+        def feed(service, lo, hi):
+            for step in range(lo, hi):
+                for name in ("q", "h"):
+                    service.offer(name, float(values[step]), step)
+
+        uninterrupted = build()
+        feed(uninterrupted, 0, 300)
+
+        interrupted = build()
+        feed(interrupted, 0, split)
+        snapshot = roundtrip(interrupted.snapshot())
+        restored = MonitoringService.restore(snapshot)
+        assert snapshot_fingerprint(restored.snapshot()) \
+            == snapshot_fingerprint(snapshot)
+        feed(restored, split, 300)
+
+        for name in ("q", "h"):
+            assert restored.samples_taken(name) \
+                == uninterrupted.samples_taken(name)
+            assert restored.alerts(name) == uninterrupted.alerts(name)
+            assert restored.interval(name) == uninterrupted.interval(name)
+            assert restored.task_estimate(name) \
+                == uninterrupted.task_estimate(name)
+        assert snapshot_fingerprint(restored.snapshot()) \
+            == snapshot_fingerprint(uninterrupted.snapshot())
+
+
 class TestServiceSnapshotRoundtrip:
     @given(seed=st.integers(min_value=0, max_value=2**32 - 1),
            split=st.integers(min_value=0, max_value=200),

@@ -1,0 +1,109 @@
+"""Hypothesis properties for the sketch-backed task-type substrates.
+
+Two contracts from the task-type design:
+
+* **Quantile mis-detection bound** — on heavy-tail streams with planted
+  tail regressions, the full service path (quantile task, exceedance
+  statistic, violation-likelihood adaptation) must miss at most ``err``
+  of the ground-truth violation points, for any seed.
+* **Entropy analytic accuracy** — the windowed estimator must equal the
+  exact empirical entropy of its window (it is not an approximation,
+  only the accumulation order is constrained for bit-stable restore).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.substrates import EntropyEstimator, QuantileEstimator
+from repro.testkit.invariants import check_quantile_misdetection
+
+bounded = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False,
+                    allow_infinity=False)
+
+
+class TestQuantileMisdetectionProperty:
+    @given(seed=st.integers(min_value=0, max_value=2**16 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_heavy_tail_streams_meet_the_bound(self, seed):
+        result = check_quantile_misdetection(seed=seed, err=0.05,
+                                             streams=2, horizon=3000)
+        assert result.metrics["truth_points"] > 0
+        assert result.passed, result.detail
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+           window=st.integers(min_value=2, max_value=50),
+           n=st.integers(min_value=1, max_value=200))
+    @settings(max_examples=60, deadline=None)
+    def test_exceedance_equals_exact_fraction_for_separated_values(
+            self, seed, window, n):
+        """With values far from the threshold on both sides, sketch
+        bucketing cannot blur the indicator: exceedance over the live
+        window must equal the exact fraction of recent values above."""
+        rng = np.random.default_rng(seed)
+        values = np.where(rng.random(n) < 0.3, 500.0, 5.0)
+        est = QuantileEstimator(0.9, window=window)
+        for v in values:
+            est.update(float(v))
+        # The estimator's view: the sealed epoch plus the current one.
+        span = est.count
+        recent = values[n - span:]
+        exact = float(np.mean(recent > 100.0))
+        assert est.exceedance(100.0) == exact
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+           window=st.integers(min_value=4, max_value=60))
+    @settings(max_examples=40, deadline=None)
+    def test_quantile_value_within_relative_error_of_window(
+            self, seed, window):
+        rng = np.random.default_rng(seed)
+        values = rng.lognormal(2.0, 0.5, 3 * window)
+        est = QuantileEstimator(0.9, window=window)
+        for v in values:
+            est.update(float(v))
+        span = est.count
+        recent = np.sort(values[values.size - span:])
+        exact = float(recent[int(0.9 * (span - 1))])
+        # Bucket-midpoint guarantee of the underlying sketch, plus the
+        # lower-rank convention's one-rank slack at window boundaries.
+        lo = float(recent[max(0, int(0.9 * (span - 1)) - 1)])
+        hi = float(recent[min(span - 1, int(0.9 * (span - 1)) + 1)])
+        assert lo * 0.97 <= est.quantile_value() <= hi * 1.03 \
+            or est.quantile_value() == exact
+
+
+class TestEntropyAnalyticProperty:
+    @given(values=st.lists(bounded, min_size=1, max_size=300),
+           window=st.integers(min_value=2, max_value=80),
+           bin_width=st.floats(min_value=1e-3, max_value=1e3,
+                               allow_nan=False))
+    @settings(max_examples=80, deadline=None)
+    def test_matches_exact_empirical_entropy(self, values, window,
+                                             bin_width):
+        est = EntropyEstimator(window=window, bin_width=bin_width)
+        for v in values:
+            est.update(float(v))
+        tail = [int(math.floor(float(v) / bin_width))
+                for v in values[-window:]]
+        counts: dict[int, int] = {}
+        for s in tail:
+            counts[s] = counts.get(s, 0) + 1
+        n = len(tail)
+        exact = -sum((c / n) * math.log2(c / n) for c in counts.values())
+        assert est.count == n
+        assert est.entropy() == pytest.approx(exact, abs=1e-9)
+
+    @given(values=st.lists(bounded, min_size=1, max_size=200),
+           window=st.integers(min_value=2, max_value=40))
+    @settings(max_examples=60, deadline=None)
+    def test_entropy_bounded_by_log2_window(self, values, window):
+        est = EntropyEstimator(window=window, bin_width=1.0)
+        for v in values:
+            est.update(float(v))
+            h = est.entropy()
+            assert 0.0 <= h <= math.log2(window) + 1e-9

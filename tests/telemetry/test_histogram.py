@@ -46,7 +46,11 @@ class TestRelativeErrorBound:
         for q in QS:
             exact = exact_quantile(values, q)
             est = sketch.quantile(q)
-            if abs(exact) > sketch.min_value:
+            if q in (0.0, 1.0):
+                # Extremes are exact order statistics, not bucket
+                # midpoints — zero error regardless of magnitude.
+                assert est == exact, f"q={q}: {est} vs exact {exact}"
+            elif abs(exact) > sketch.min_value:
                 bound = alpha * abs(exact) * (1 + 1e-9) + 1e-12
                 assert abs(est - exact) <= bound, \
                     f"q={q}: {est} vs exact {exact}"
@@ -72,6 +76,60 @@ class TestRelativeErrorBound:
         assert sketch.max == 100.0
         assert sketch.mean == pytest.approx(sum(values) / len(values))
         assert sketch.count == 4
+
+    def test_extreme_quantiles_are_exact(self):
+        # Regression: q=0.0 / q=1.0 used to return bucket midpoints,
+        # which are only within alpha of the true extremes. The sketch
+        # tracks min/max exactly, so the extremes must be exact too.
+        values = [3.0, -7.5, 0.25, 100.0]
+        sketch = fill(values)
+        assert sketch.quantile(0.0) == -7.5
+        assert sketch.quantile(1.0) == 100.0
+        # Interior quantiles still answer via bucket midpoints
+        # (lower-rank convention: rank 1 of the sorted sample).
+        assert sketch.quantile(0.5) == pytest.approx(0.25, rel=0.01)
+
+    @settings(max_examples=100, deadline=None)
+    @given(streams)
+    def test_extremes_match_min_max_properties(self, values):
+        sketch = fill(values)
+        assert sketch.quantile(0.0) == sketch.min == min(values)
+        assert sketch.quantile(1.0) == sketch.max == max(values)
+
+
+class TestTailCount:
+    @settings(max_examples=150, deadline=None)
+    @given(streams, bounded)
+    def test_tail_count_matches_reference(self, values, threshold):
+        # The sketch counts a value toward the tail iff its *reported*
+        # magnitude (bucket midpoint; 0.0 for the zero bucket) exceeds
+        # the threshold — bucket-resolution exactness.
+        sketch = fill(values)
+        expected = 0
+        for v in values:
+            if abs(v) <= sketch.min_value:
+                reported = 0.0
+            else:
+                key = sketch._index(abs(v))
+                reported = math.copysign(sketch._bucket_value(key), v)
+            if reported > threshold:
+                expected += 1
+        assert sketch.tail_count(threshold) == expected
+
+    @settings(max_examples=100, deadline=None)
+    @given(streams, streams, bounded)
+    def test_tail_counts_add_across_sketches(self, a, b, threshold):
+        # Integer tail counts are a monoid homomorphism: summing two
+        # sketches' tails equals the merged sketch's tail. This is what
+        # lets the quantile substrate query its rotating pair without
+        # materialising a merge.
+        merged = fill(a)
+        merged.merge(fill(b))
+        assert (fill(a).tail_count(threshold) + fill(b).tail_count(threshold)
+                == merged.tail_count(threshold))
+
+    def test_tail_count_empty(self):
+        assert LogHistogram().tail_count(0.0) == 0
 
 
 class TestMergeMonoid:

@@ -85,6 +85,13 @@ IGNORED = {
     # binary-protocol / SoA-engine methods, not module attributes
     "offer_columns", "soa_row_for", "run_columns", "observe_one",
     "row_state_dict", "load_row_state", "state_dict",
+    # typed-task substrate/service methods, config keys, Timeline fields
+    # and math tokens (p_q(X), P(X > T), add_*_task), not module
+    # attributes
+    "add_", "P", "p_q", "bin_width", "entropy_window", "sketch_window",
+    "sketch_factory", "plant_sketch_factory", "quantile_value",
+    "from_state_dict", "task_type", "task_estimate", "task_type_counts",
+    "task_params",
 }
 
 

@@ -6,8 +6,11 @@ import json
 
 import pytest
 
-from repro.config import service_from_config, task_from_config
+from repro.config import (register_task_from_config, service_from_config,
+                          task_from_config)
+from repro.core.adaptation import AdaptationConfig
 from repro.exceptions import ConfigurationError
+from repro.service import MonitoringService
 from repro.types import ThresholdDirection
 
 GOOD = {
@@ -100,3 +103,58 @@ class TestServiceFromConfig:
                             {"name": "a", "threshold": 2.0}]}
         with pytest.raises(ConfigurationError):
             service_from_config(config)
+
+
+class TestTypedTaskEntries:
+    """Config validation for sketch-backed task types (fail-closed)."""
+
+    def test_quantile_task_configured(self):
+        service = service_from_config({"tasks": [
+            {"name": "p99", "threshold": 80.0, "type": "quantile",
+             "quantile": 0.99, "sketch_window": 32,
+             "relative_error": 0.02}]})
+        assert service.task_type("p99") == "quantile"
+
+    def test_entropy_task_defaults_to_lower_direction(self):
+        service = service_from_config({"tasks": [
+            {"name": "flow", "threshold": 2.0, "type": "entropy",
+             "entropy_window": 16, "bin_width": 4.0}]})
+        assert service.task_type("flow") == "entropy"
+        # Entropy predicates are drop-below unless overridden.
+        service.offer("flow", 1.0, 0)
+        assert service.alerts("flow")  # one cold symbol: entropy 0 < 2
+
+    @pytest.mark.parametrize("entry", [
+        # Unknown type.
+        {"name": "t", "threshold": 1.0, "type": "histogram"},
+        # Quantile kind without the required quantile key.
+        {"name": "t", "threshold": 1.0, "type": "quantile"},
+        # Typed keys on the wrong kind.
+        {"name": "t", "threshold": 1.0, "quantile": 0.99},
+        {"name": "t", "threshold": 1.0, "type": "entropy",
+         "quantile": 0.99},
+        {"name": "t", "threshold": 1.0, "type": "quantile",
+         "quantile": 0.99, "bin_width": 2.0},
+        {"name": "t", "threshold": 1.0, "sketch_window": 8},
+        {"name": "t", "threshold": 1.0, "entropy_window": 8},
+        # Aggregation windows apply to scalar tasks only.
+        {"name": "t", "threshold": 1.0, "type": "quantile",
+         "quantile": 0.99, "window": 4},
+        {"name": "t", "threshold": 1.0, "type": "entropy",
+         "aggregate": "mean"},
+    ])
+    def test_rejects_inconsistent_typed_entries(self, entry):
+        with pytest.raises(ConfigurationError):
+            service_from_config({"tasks": [entry]})
+
+    def test_register_helper_is_the_single_dispatch_point(self):
+        service = MonitoringService(AdaptationConfig())
+        for entry in (
+                {"name": "v", "threshold": 10.0},
+                {"name": "q", "threshold": 80.0, "type": "quantile",
+                 "quantile": 0.9},
+                {"name": "h", "threshold": 2.0, "type": "entropy"}):
+            spec = register_task_from_config(service, entry)
+            assert spec.name == entry["name"]
+        assert service.task_type_counts() \
+            == {"value": 1, "quantile": 1, "entropy": 1}

@@ -19,10 +19,11 @@ from repro.core.coordination import (AdaptiveAllocation, AllocationPolicy,
 from repro.core.task import TaskSpec
 from repro.service import MonitoringService
 from repro.testkit.invariants import (ConservationCheckedPolicy,
-                                      InvariantResult,
+                                      InvariantResult, LeakySketch,
                                       check_allowance_conservation,
                                       check_misdetection_bound,
                                       check_no_acked_loss,
+                                      check_quantile_misdetection,
                                       check_restore_bit_identical,
                                       snapshot_fingerprint)
 
@@ -115,6 +116,51 @@ class TestMisdetectionBound:
 
     def test_result_is_json_able(self):
         result = check_misdetection_bound(seed=7)
+        assert json.loads(json.dumps(result.to_dict())) == result.to_dict()
+
+
+class TestQuantileMisdetection:
+    def test_quantile_task_meets_its_bound(self):
+        result = check_quantile_misdetection(seed=7, err=0.05)
+        assert result.passed, result.detail
+        assert result.metrics["truth_points"] > 0
+        assert result.metrics["misdetection_rate"] <= 0.05
+        assert not result.metrics["planted_sketch"]
+        # Adaptive even on the derived exceedance stream: the calm
+        # phases between regressions must grow the interval.
+        assert result.metrics["sampling_ratio"] < 0.8
+
+    def test_planted_leaky_sketch_is_caught(self):
+        """The mutation check for the sketch substrate: a sketch that
+        silently drops tail observations starves the exceedance
+        statistic and MUST fail the mis-detection invariant."""
+        result = check_quantile_misdetection(
+            seed=7, err=0.05,
+            sketch_factory=lambda: LeakySketch(drop_above=81.0))
+        assert not result.passed
+        assert result.metrics["planted_sketch"]
+        assert result.metrics["misdetection_rate"] > 0.5
+        assert "exceeds err" in result.detail
+
+    def test_leaky_sketch_looks_healthy_to_summaries(self):
+        # The mutant is *silent*: count/mean/min/max all track the full
+        # stream, only the tail buckets leak — which is why catching it
+        # needs the invariant, not a summary-statistics sanity check.
+        sketch = LeakySketch(drop_above=50.0)
+        for v in (10.0, 40.0, 200.0):
+            sketch.record(v)
+        assert sketch.count == 3
+        assert sketch.max == 200.0
+        assert sketch.mean == pytest.approx(250.0 / 3)
+        assert sketch.tail_count(50.0) == 0  # the leak
+
+    def test_deterministic_for_a_seed(self):
+        a = check_quantile_misdetection(seed=29)
+        b = check_quantile_misdetection(seed=29)
+        assert a.to_dict() == b.to_dict()
+
+    def test_result_is_json_able(self):
+        result = check_quantile_misdetection(seed=7)
         assert json.loads(json.dumps(result.to_dict())) == result.to_dict()
 
 

@@ -43,6 +43,7 @@ from repro.exceptions import ClusterError, ConfigurationError
 from repro.runtime.checkpoint import read_checkpoint, write_checkpoint
 from repro.telemetry.registry import MetricsRegistry
 from repro.telemetry.trace import DecisionTrace
+from repro.triggers.plan import TriggerPlan
 
 from repro.cluster.fleet import merge_fleet_snapshots
 from repro.cluster.hosting import WorkerHost
@@ -123,6 +124,12 @@ class Coordinator:
         # Bumped on every register/remove so routing-tier connections can
         # revalidate their interned-name resolution lazily.
         self.task_epoch = 0
+        # Trigger channel (repro.triggers): installed plans by target,
+        # plus routed-edge accounting. Plans are coordinator state — they
+        # survive checkpoints and are re-installed with every shard
+        # placement, so a guard keeps working across migration/failover.
+        self.trigger_plans: dict[str, TriggerPlan] = {}
+        self.trigger_edges = {"arm": 0, "disarm": 0}
         self.router_shed = 0
         self.migrations = 0
         self.replacements = 0
@@ -153,6 +160,16 @@ class Coordinator:
         self.registry.gauge(
             "volley_tasks", "Registered monitoring tasks",
             fn=lambda: float(len(self.task_shard)))
+        self.registry.gauge(
+            "volley_trigger_plans", "Correlation trigger plans installed",
+            fn=lambda: float(len(self.trigger_plans)))
+        edge_family = self.registry.counter(
+            "volley_trigger_edges_total",
+            "Trigger-channel arm/disarm edges routed to guarded tasks",
+            labels=("op",))
+        for edge_op in ("arm", "disarm"):
+            edge_family.labels(
+                edge_op, fn=lambda o=edge_op: float(self.trigger_edges[o]))
         self.registry.gauge(
             "volley_coordinator_uptime_seconds",
             "Seconds since the coordinator started",
@@ -224,6 +241,9 @@ class Coordinator:
                                for k, v in state.get("task_shard", {}).items()}
             for name in self.task_shard:
                 self._assign_gid(name)
+            for entry in state.get("trigger_plans", []):
+                plan = TriggerPlan.from_dict(dict(entry))
+                self.trigger_plans[plan.target] = plan
         for routed in self.routes:
             entry = shards_state.get(str(routed.shard_id))
             await self._place_shard(routed, entry)
@@ -276,6 +296,22 @@ class Coordinator:
                 f"cannot place shard {routed.shard_id} on "
                 f"{routed.worker_id}: {reply.get('error')}")
         await self._register_missing_tasks(routed, entry)
+        await self._reinstall_triggers(routed)
+
+    async def _reinstall_triggers(self, routed: ShardRoute) -> None:
+        """Re-wire trigger plans touching a freshly placed shard.
+
+        Install is idempotent at the service layer: a snapshot-restored
+        shard keeps its armed/watch state, while a fresh (no-snapshot)
+        re-placement comes back conservatively armed.
+        """
+        for plan in self.trigger_plans.values():
+            if routed.shard_id not in (self.task_shard.get(plan.trigger),
+                                       self.task_shard.get(plan.target)):
+                continue
+            await self._best_effort(routed.worker_id, {
+                "op": "w_trigger_install", "shard": routed.shard_id,
+                "plan": plan.to_dict()})
 
     async def _register_missing_tasks(self, routed: ShardRoute,
                                       entry: dict[str, Any] | None) -> None:
@@ -419,6 +455,10 @@ class Coordinator:
                 await self._request(wid, {"op": "w_drain"})
             except ClusterError:
                 self._note_failure(wid)
+        # Propagate any trigger edges the drained batches produced, so a
+        # caller that drains at a phase boundary observes guard state
+        # deterministically (scenario replay relies on this).
+        await self.pump_triggers()
 
     # ------------------------------------------------------------------
     # Data path — binary columnar
@@ -574,6 +614,113 @@ class Coordinator:
             return reply
         return {"ok": True, "target": target, "trigger": trigger}
 
+    # ------------------------------------------------------------------
+    # Trigger channel (repro.triggers, DESIGN.md S32)
+
+    async def install_trigger(self, request: dict[str, Any],
+                              ) -> dict[str, Any]:
+        """Install a cross-shard trigger plan on both involved shards.
+
+        Unlike :meth:`add_trigger` (intra-shard value gating), the plan's
+        trigger and target may live on different shards or workers: the
+        trigger's shard watches for elevation edges and the coordinator
+        routes them to the target's shard via ``w_trigger_set``.
+        """
+        entry = request.get("plan")
+        if not isinstance(entry, dict):
+            return {"ok": False, "code": "bad-request",
+                    "error": "trigger_install needs a 'plan' dict"}
+        plan = TriggerPlan.from_dict(entry)
+        for name in (plan.target, plan.trigger):
+            if name not in self.task_shard:
+                return {"ok": False, "error": f"unknown task {name!r}",
+                        "code": "unknown-task"}
+        for sid in sorted({self.task_shard[plan.trigger],
+                           self.task_shard[plan.target]}):
+            routed = self.routes[sid]
+            await routed.wait_settled()
+            reply = await self._request(routed.worker_id, {
+                "op": "w_trigger_install", "shard": sid,
+                "plan": plan.to_dict()})
+            if not reply.get("ok"):
+                return reply
+        self.trigger_plans[plan.target] = plan
+        self.trace.emit("trigger_plan_installed", task=plan.target,
+                        shard=self.task_shard[plan.target],
+                        trigger=plan.trigger,
+                        elevation_level=plan.elevation_level,
+                        suspend_interval=plan.suspend_interval)
+        return {"ok": True, "target": plan.target, "trigger": plan.trigger,
+                "plans": len(self.trigger_plans)}
+
+    async def set_trigger_armed(self, name: str,
+                                armed: bool) -> dict[str, Any]:
+        """Explicitly arm/disarm a guarded task (operator override)."""
+        sid = self.task_shard.get(name)
+        if sid is None:
+            return {"ok": False, "error": f"unknown task {name!r}",
+                    "code": "unknown-task"}
+        routed = self.routes[sid]
+        await routed.wait_settled()
+        reply = await self._request(routed.worker_id, {
+            "op": "w_trigger_set", "shard": sid, "task": name,
+            "armed": bool(armed)})
+        if reply.get("ok") and reply.get("was_armed") != reply.get("armed"):
+            self.trigger_edges["arm" if armed else "disarm"] += 1
+        return reply
+
+    async def pump_triggers(self) -> None:
+        """Drain elevation edges from every worker and route them.
+
+        Each edge fans out to every plan watching the edge's trigger
+        task; the guarded target's shard may sit on any worker. Edge
+        counters bump per routed target, mirroring the single-process
+        runtime's accounting exactly.
+        """
+        if not self.trigger_plans:
+            return
+        events: list[dict[str, Any]] = []
+        for wid, transport in list(self.transports.items()):
+            if wid in self._dead:
+                continue
+            try:
+                reply = await transport.request({"op": "w_trigger_events"})
+            except ClusterError:
+                continue
+            if reply.get("ok"):
+                events.extend(reply.get("events", ()))
+        for event in events:
+            op = str(event.get("op", ""))
+            if op not in ("arm", "disarm"):
+                continue
+            source = str(event.get("trigger", ""))
+            for plan in self.trigger_plans.values():
+                if plan.trigger != source:
+                    continue
+                sid = self.task_shard.get(plan.target)
+                if sid is None:
+                    continue
+                routed = self.routes[sid]
+                await routed.wait_settled()
+                await self._best_effort(routed.worker_id, {
+                    "op": "w_trigger_set", "shard": sid,
+                    "task": plan.target, "armed": op == "arm"})
+                self.trigger_edges[op] += 1
+
+    async def trigger_plan_stats(self) -> tuple[int, float]:
+        """Fleet-wide (suspensions, probe collections saved) totals."""
+        suspensions = 0
+        saved = 0.0
+        for target in self.trigger_plans:
+            reply = await self.forward_task_read("w_trigger_state", target)
+            if not reply.get("ok"):
+                continue
+            status = reply.get("state", {})
+            count = int(status.get("suspensions", 0))
+            suspensions += count
+            saved += count * (int(status.get("suspend_interval", 1)) - 1)
+        return suspensions, saved
+
     async def forward_task_read(self, op: str, name: str,
                                 extra: dict[str, Any] | None = None,
                                 ) -> dict[str, Any]:
@@ -723,6 +870,7 @@ class Coordinator:
                     await self._handle_worker_loss(wid)
             else:
                 self._misses[wid] = 0
+        await self.pump_triggers()
         await self.pull_traces()
         await self.refresh_fleet()
         await self._refresh_recovery_state()
@@ -818,7 +966,7 @@ class Coordinator:
                                "counters": reply["counters"]}
             elif key in prev_shards:
                 shards[key] = prev_shards[key]
-        return {
+        state = {
             "kind": "cluster",
             "n_shards": self.n_shards,
             "placement": {str(r.shard_id): r.worker_id
@@ -829,6 +977,11 @@ class Coordinator:
             "adaptation": self._adaptation_dict(),
             "shards": shards,
         }
+        if self.trigger_plans:
+            state["trigger_plans"] = [
+                self.trigger_plans[t].to_dict()
+                for t in sorted(self.trigger_plans)]
+        return state
 
     async def write_checkpoint(self) -> pathlib.Path | None:
         """Collect and persist the full cluster state (v2 CRC format)."""

@@ -41,6 +41,7 @@ from repro.runtime.shard import ColumnBatch, ShardWorker, restore_counters
 from repro.service import MonitoringService
 from repro.telemetry.registry import MetricsRegistry
 from repro.telemetry.trace import DecisionTrace
+from repro.triggers.plan import TriggerPlan
 from repro.types import Alert
 
 __all__ = ["WorkerHost"]
@@ -138,6 +139,18 @@ class WorkerHost:
         self._counter_families = [
             (self.registry.counter(name, help_text, labels=("shard",)), attr)
             for name, help_text, attr in _PER_SHARD_COUNTERS]
+        # Trigger-channel accounting rides the fleet telemetry merge like
+        # every other per-worker family.
+        self.registry.counter(
+            "volley_trigger_suspensions_total",
+            "Consumed offers deferred by disarmed trigger guards",
+            fn=lambda: float(sum(w.service.trigger_accounting()[0]
+                                 for w in self.shards.values())))
+        self.registry.gauge(
+            "volley_trigger_probe_cost_saved",
+            "Estimated probe collections avoided by trigger guards",
+            fn=lambda: float(sum(w.service.trigger_accounting()[1]
+                                 for w in self.shards.values())))
 
     # ------------------------------------------------------------------
     # Shard lifecycle
@@ -451,6 +464,47 @@ class WorkerHost:
         self._gid_rows.pop(worker.shard_id, None)
         return {"ok": True}
 
+    def _op_trigger_install(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Install whichever halves of a trigger plan live on one shard."""
+        worker = self._shard(int(request.get("shard", -1)))
+        entry = request.get("plan")
+        if not isinstance(entry, dict):
+            return _error("w_trigger_install needs a 'plan' dict")
+        worker.service.install_trigger_plan(TriggerPlan.from_dict(entry))
+        # Channel involvement evicts the affected tasks' SoA rows.
+        self._gid_rows.pop(worker.shard_id, None)
+        return {"ok": True, "shard": worker.shard_id}
+
+    def _op_trigger_set(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Flip a guarded task's armed flag (a routed channel edge)."""
+        worker = self._shard(int(request.get("shard", -1)))
+        name = str(request.get("task", ""))
+        armed = bool(request.get("armed", True))
+        was = worker.service.set_trigger_armed(name, armed)
+        return {"ok": True, "task": name, "armed": armed, "was_armed": was}
+
+    def _op_trigger_state(self, request: dict[str, Any]) -> dict[str, Any]:
+        worker = self._shard(int(request.get("shard", -1)))
+        name = str(request.get("task", ""))
+        return {"ok": True, "task": name,
+                "state": worker.service.trigger_status(name)}
+
+    def _op_trigger_events(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Pop buffered watch edges from every hosted shard.
+
+        Destructive by design: the coordinator is the only consumer, so
+        a cursor would buy nothing — and edges buffered on a worker that
+        dies before the next pump are lost along with its queues (the
+        guarded targets simply stay at their last armed state, which the
+        re-placement snapshot preserves).
+        """
+        events: list[dict[str, Any]] = []
+        for sid in sorted(self.shards):
+            for event in self.shards[sid].service.drain_trigger_events():
+                event["shard"] = sid
+                events.append(event)
+        return {"ok": True, "worker_id": self.worker_id, "events": events}
+
     def _op_due(self, request: dict[str, Any]) -> dict[str, Any]:
         # Service accessors, not raw TaskState fields: engine-managed
         # tasks keep their live schedule in the SoA columns.
@@ -513,6 +567,10 @@ class WorkerHost:
         "w_register_task": _op_register_task,
         "w_remove_task": _op_remove_task,
         "w_add_trigger": _op_add_trigger,
+        "w_trigger_install": _op_trigger_install,
+        "w_trigger_set": _op_trigger_set,
+        "w_trigger_state": _op_trigger_state,
+        "w_trigger_events": _op_trigger_events,
         "w_due": _op_due,
         "w_task_info": _op_task_info,
         "w_alerts": _op_alerts,

@@ -135,6 +135,16 @@ class ClusterServer:
             reply = await self.coordinator.add_trigger(dict(trigger))
             if not reply.get("ok"):
                 raise ConfigurationError(str(reply.get("error")))
+        for entry in config.get("trigger_plans", []):
+            # A checkpoint-restored plan wins over the config copy, so a
+            # deliberately disarmed guard is not re-armed on restart.
+            target = str(dict(entry).get("target", ""))
+            if target in self.coordinator.trigger_plans:
+                continue
+            reply = await self.coordinator.install_trigger(
+                {"plan": dict(entry)})
+            if not reply.get("ok"):
+                raise ConfigurationError(str(reply.get("error")))
 
     async def drain(self) -> None:
         """Wait until every live worker has applied its queued batches."""
@@ -408,6 +418,37 @@ class ClusterServer:
                               ) -> dict[str, Any]:
         return await self.coordinator.add_trigger(request)
 
+    async def _op_trigger_install(self, request: dict[str, Any],
+                                  ) -> dict[str, Any]:
+        return await self.coordinator.install_trigger(request)
+
+    async def _op_trigger_arm(self, request: dict[str, Any],
+                              ) -> dict[str, Any]:
+        return await self.coordinator.set_trigger_armed(
+            str(request.get("task", "")), True)
+
+    async def _op_trigger_disarm(self, request: dict[str, Any],
+                                 ) -> dict[str, Any]:
+        return await self.coordinator.set_trigger_armed(
+            str(request.get("task", "")), False)
+
+    async def _op_trigger_state(self, request: dict[str, Any],
+                                ) -> dict[str, Any]:
+        return await self.coordinator.forward_task_read(
+            "w_trigger_state", str(request.get("task", "")))
+
+    async def _op_trigger_plans(self, request: dict[str, Any],
+                                ) -> dict[str, Any]:
+        coord = self.coordinator
+        await coord.pump_triggers()
+        suspensions, saved = await coord.trigger_plan_stats()
+        return {"ok": True,
+                "plans": [coord.trigger_plans[t].to_dict()
+                          for t in sorted(coord.trigger_plans)],
+                "edges": dict(coord.trigger_edges),
+                "suspensions": suspensions,
+                "probe_cost_saved": saved}
+
     async def _op_offer_batch(self, request: dict[str, Any],
                               ) -> dict[str, Any]:
         instrumented = self.registry.enabled
@@ -558,6 +599,11 @@ class ClusterServer:
         "register_task": _op_register_task,
         "remove_task": _op_remove_task,
         "add_trigger": _op_add_trigger,
+        "trigger_install": _op_trigger_install,
+        "trigger_arm": _op_trigger_arm,
+        "trigger_disarm": _op_trigger_disarm,
+        "trigger_state": _op_trigger_state,
+        "trigger_plans": _op_trigger_plans,
         "offer_batch": _op_offer_batch,
         "due": _op_due,
         "task_info": _op_task_info,

@@ -290,6 +290,20 @@ class ViolationLikelihoodSampler:
         """Number of resets to the default interval performed."""
         return self._reset_events
 
+    def resume_full_rate(self) -> None:
+        """Drop back to the default interval without a new observation.
+
+        The trigger channel calls this on a disarm->arm edge: a guard
+        that slept at its suspend interval must resume probing at the
+        full default rate, not at whatever interval the healthy stream
+        had earned before the guard engaged — the arm edge itself is
+        evidence the pre-suspension statistics are stale. Adaptation
+        counters are untouched; this is an external scheduling decision,
+        not an adaptation event, so both drive surfaces stay bit-equal.
+        """
+        self._interval = 1
+        self._streak = 0
+
     def observe(self, value: float, time_index: int) -> SamplingDecision:
         """Absorb a sampled value and return the adaptation decision.
 

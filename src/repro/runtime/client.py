@@ -235,6 +235,25 @@ class RuntimeClient:
                            "elevation_level": elevation_level,
                            "suspend_interval": suspend_interval})
 
+    def install_trigger_plan(self, plan: dict[str, Any]) -> dict[str, Any]:
+        """Install a correlated-monitoring :class:`repro.triggers.TriggerPlan`
+        (as its ``to_dict()`` form); both server kinds accept it."""
+        return self._call({"op": "trigger_install", "plan": dict(plan)})
+
+    def set_trigger_armed(self, task: str, armed: bool) -> dict[str, Any]:
+        """Arm (or disarm) a guarded task's remote trigger explicitly."""
+        op = "trigger_arm" if armed else "trigger_disarm"
+        return self._call({"op": op, "task": task})
+
+    def trigger_state(self, task: str) -> dict[str, Any]:
+        """One task's channel wiring (guard state and/or watch state)."""
+        return self._call({"op": "trigger_state", "task": task})
+
+    def trigger_plans(self) -> dict[str, Any]:
+        """Installed plans plus channel accounting (edge counts, guard
+        suspensions, estimated probe collections saved)."""
+        return self._call({"op": "trigger_plans"})
+
     def offer_batch(self, updates: Sequence[Update]) -> dict[str, Any]:
         """Push a batch; returns the reply even under backpressure
         (check ``reply.get("shed", 0)``)."""
@@ -437,6 +456,28 @@ class AsyncRuntimeClient:
                                  "trigger": trigger,
                                  "elevation_level": elevation_level,
                                  "suspend_interval": suspend_interval})
+
+    async def install_trigger_plan(self,
+                                   plan: dict[str, Any]) -> dict[str, Any]:
+        """Install a correlated-monitoring :class:`repro.triggers.TriggerPlan`
+        (as its ``to_dict()`` form); both server kinds accept it."""
+        return await self._call({"op": "trigger_install",
+                                 "plan": dict(plan)})
+
+    async def set_trigger_armed(self, task: str,
+                                armed: bool) -> dict[str, Any]:
+        """Arm (or disarm) a guarded task's remote trigger explicitly."""
+        op = "trigger_arm" if armed else "trigger_disarm"
+        return await self._call({"op": op, "task": task})
+
+    async def trigger_state(self, task: str) -> dict[str, Any]:
+        """One task's channel wiring (guard state and/or watch state)."""
+        return await self._call({"op": "trigger_state", "task": task})
+
+    async def trigger_plans(self) -> dict[str, Any]:
+        """Installed plans plus channel accounting (edge counts, guard
+        suspensions, estimated probe collections saved)."""
+        return await self._call({"op": "trigger_plans"})
 
     async def offer_batch(self, updates: Sequence[Update]) -> dict[str, Any]:
         reply = await self.request({"op": "offer_batch",

@@ -444,6 +444,23 @@ def _run_once(args: argparse.Namespace,
                              error_allowance=args.error_allowance,
                              max_interval=args.max_interval)
 
+    use_triggers = bool(getattr(args, "triggers", False))
+    guarded: list[str] = []
+    if use_triggers:
+        if args.tasks < 2:
+            raise SystemExit("--triggers needs at least 2 tasks")
+        # The first task is the cheap edge source; every odd-indexed task
+        # rides as an expensive guarded target. The elevation level sits
+        # at the violation threshold, so the noisy healthy streams spend
+        # most of the run disarmed and the channel's suspension
+        # accounting has something to show.
+        guarded = names[1::2]
+        for target in guarded:
+            client.install_trigger_plan({
+                "target": target, "trigger": names[0],
+                "elevation_level": _THRESHOLD,
+                "suspend_interval": 10, "hysteresis": 0.1, "min_hold": 3})
+
     protocol_choice = str(getattr(args, "protocol", "auto") or "auto")
     negotiated = PROTOCOL_JSON
     if protocol_choice != "json":
@@ -549,6 +566,18 @@ def _run_once(args: argparse.Namespace,
         # bump worker-side shed counters with no client-visible shed.
         counters_consistent = server_side["offered_delta"] == accepted
 
+    trigger_report: dict[str, Any] | None = None
+    if use_triggers:
+        reply = client.trigger_plans()
+        trigger_report = {
+            "plans": len(reply.get("plans", [])),
+            "guarded_tasks": len(guarded),
+            "edges": dict(reply.get("edges", {})),
+            "suspensions": int(reply.get("suspensions", 0)),
+            "probe_collections_saved": float(
+                reply.get("probe_cost_saved", 0.0)),
+        }
+
     expected: dict[str, dict[str, Any]] = {}
     if spawned is not None and args.checkpoint is not None:
         for name in names:
@@ -616,6 +645,7 @@ def _run_once(args: argparse.Namespace,
         "counters_consistent": counters_consistent,
         "migration": (dict(migration_holder)
                       if migration_timer is not None else None),
+        "triggers": trigger_report,
     }
     if out is not None:
         out.write_text(json.dumps(report, indent=2) + "\n",
@@ -640,6 +670,13 @@ def _run_once(args: argparse.Namespace,
               f"replayed={migration.get('replayed')} "
               f"fingerprint_match={migration.get('fingerprint_match')}",
               flush=True)
+    if trigger_report is not None:
+        print(f"[loadgen] triggers: {trigger_report['plans']} plans over "
+              f"{trigger_report['guarded_tasks']} guarded tasks; "
+              f"edges={trigger_report['edges']} "
+              f"suspensions={trigger_report['suspensions']} "
+              f"probe_collections_saved="
+              f"{trigger_report['probe_collections_saved']}", flush=True)
     if server_side is not None and "offer_latency_ms" in server_side:
         srv = server_side["offer_latency_ms"]
         print(f"[loadgen] server-side offer latency: p50={srv['p50']}ms "
@@ -857,6 +894,11 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--migrate-under-load", action="store_true",
                         help="(cluster) migrate one shard at the midpoint "
                              "of the run and record the result")
+    parser.add_argument("--triggers", action="store_true",
+                        help="install a correlated-monitoring guard (the "
+                             "first task triggers every odd-indexed task, "
+                             "repro.triggers) and report the probe "
+                             "collections the channel saved")
     return parser
 
 

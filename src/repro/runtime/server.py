@@ -21,7 +21,10 @@ Sharding constraint: correlation triggers
 (:meth:`~repro.service.MonitoringService.add_trigger`) connect two tasks
 through shared last-seen state, so target and trigger must hash to the
 same shard; ``add_trigger`` rejects cross-shard pairs with code
-``cross-shard-trigger``.
+``cross-shard-trigger``. The *trigger channel* (``trigger_install`` and
+friends, DESIGN.md S32) lifts that constraint: it gates on explicit
+arm/disarm edges routed by the server, so the pair may live on any two
+shards — or, under the cluster runtime, any two workers.
 """
 
 from __future__ import annotations
@@ -59,6 +62,7 @@ from repro.telemetry.registry import MetricsRegistry, instrument_samplers
 from repro.telemetry.selfmon import SelfMonitor
 from repro.telemetry.trace import DecisionTrace
 from repro.testkit.faults import FaultHook, NOOP_HOOK
+from repro.triggers.plan import TriggerPlan
 from repro.types import Alert
 
 __all__ = ["RuntimeServer", "main"]
@@ -155,6 +159,8 @@ class RuntimeServer:
             for i in range(self.config.shards)
         ]
         self._task_shard: dict[str, int] = {}
+        self._trigger_plans: dict[str, TriggerPlan] = {}
+        self._trigger_edges = {"arm": 0, "disarm": 0}
         self._servers: list[asyncio.AbstractServer] = []
         self._connections: set[asyncio.Task[None]] = set()
         self._checkpoint_task: asyncio.Task[None] | None = None
@@ -263,6 +269,26 @@ class RuntimeServer:
         self._interval_hist = registry.histogram(
             "volley_sampling_interval",
             "Sampling interval after each consumed update")
+        edges = registry.counter(
+            "volley_trigger_edges_total",
+            "Trigger-channel arm/disarm edges routed to guarded tasks",
+            labels=("op",))
+        for edge_op in ("arm", "disarm"):
+            edges.labels(edge_op,
+                         fn=lambda o=edge_op: float(self._trigger_edges[o]))
+        registry.gauge("volley_trigger_plans",
+                       "Correlation trigger plans installed",
+                       fn=lambda: float(len(self._trigger_plans)))
+        registry.counter(
+            "volley_trigger_suspensions_total",
+            "Consumed offers deferred by disarmed trigger guards",
+            fn=lambda: float(sum(w.service.trigger_accounting()[0]
+                                 for w in self._workers)))
+        registry.gauge(
+            "volley_trigger_probe_cost_saved",
+            "Estimated probe collections avoided by trigger guards",
+            fn=lambda: float(sum(w.service.trigger_accounting()[1]
+                                 for w in self._workers)))
         self._checkpoint_write = registry.histogram(
             "volley_checkpoint_write_seconds",
             "Checkpoint serialize+fsync latency")
@@ -278,6 +304,10 @@ class RuntimeServer:
         for worker in self._workers:
             worker.interval_hist = interval_hist
             worker.service.attach_telemetry(self.trace, worker.shard_id)
+            # Trigger edges route synchronously: watch fires in a shard
+            # drain loop, the sink flips the target's armed flag on its
+            # own shard inline (one event loop, so no cross-shard race).
+            worker.service.set_trigger_sink(self._on_trigger_edge)
 
     def checkpoint_age(self) -> float | None:
         """Seconds since the last successful checkpoint (None if never)."""
@@ -384,6 +414,12 @@ class RuntimeServer:
 
         for counters, worker in zip(state.get("counters", []), self._workers):
             restore_counters(worker, counters)
+        # Rebuild the routing table only — the armed flags and watcher
+        # debounce state already came back inside the shard snapshots,
+        # bit-identical; re-installing would conservatively re-arm.
+        for entry in state.get("triggers", []):
+            plan = TriggerPlan.from_dict(dict(entry))
+            self._trigger_plans[plan.target] = plan
         self.trace.emit("restore", tasks=self._restored_tasks,
                         shards=self.config.shards, path=str(path))
 
@@ -403,6 +439,14 @@ class RuntimeServer:
             reply = self._op_add_trigger(dict(trigger))
             if not reply.get("ok"):
                 raise ConfigurationError(str(reply.get("error")))
+        for entry in config.get("trigger_plans", []):
+            plan = TriggerPlan.from_dict(dict(entry))
+            for name in (plan.target, plan.trigger):
+                if name not in self._task_shard:
+                    raise ConfigurationError(
+                        f"trigger plan references unknown task {name!r}")
+            if plan.target not in self._trigger_plans:  # checkpoint wins
+                self._install_plan(plan)
 
     def _register_task(self, entry: dict[str, Any]) -> dict[str, Any]:
         name = str(entry.get("name", ""))
@@ -510,12 +554,19 @@ class RuntimeServer:
 
     def runtime_state(self) -> dict[str, Any]:
         """The full runtime state (what checkpoints persist)."""
-        return {
+        state: dict[str, Any] = {
             "shard_count": self.config.shards,
             "task_shard": dict(self._task_shard),
             "shards": [w.service.snapshot() for w in self._workers],
             "counters": [w.stats() for w in self._workers],
         }
+        if self._trigger_plans:
+            # Only-when-present, like the typed-task snapshot keys:
+            # checkpoints without trigger plans stay byte-identical to
+            # every earlier release's.
+            state["triggers"] = [self._trigger_plans[t].to_dict()
+                                 for t in sorted(self._trigger_plans)]
+        return state
 
     def write_checkpoint(self) -> pathlib.Path:
         """Write a checkpoint now; returns the path written."""
@@ -680,6 +731,81 @@ class RuntimeServer:
             elevation_level=float(request.get("elevation_level", 0.0)),
             suspend_interval=int(request.get("suspend_interval", 10)))
         return {"ok": True, "target": target, "trigger": trigger}
+
+    # -- trigger channel (repro.triggers, DESIGN.md S32) ----------------
+
+    def _on_trigger_edge(self, event: dict[str, Any]) -> None:
+        """Route one watch edge to every guarded target (the sink)."""
+        op = event.get("op")
+        trigger = event.get("trigger")
+        armed = op == "arm"
+        for plan in self._trigger_plans.values():
+            if plan.trigger != trigger:
+                continue
+            try:
+                self.worker_for(plan.target).service.set_trigger_armed(
+                    plan.target, armed)
+            except ConfigurationError:
+                continue  # target removed since the plan was installed
+            self._trigger_edges["arm" if armed else "disarm"] += 1
+
+    def _install_plan(self, plan: TriggerPlan) -> None:
+        self.worker_for(plan.trigger).service.install_trigger_plan(plan)
+        self.worker_for(plan.target).service.install_trigger_plan(plan)
+        self._trigger_plans[plan.target] = plan
+        self.trace.emit("trigger_plan_installed", task=plan.target,
+                        shard=self._task_shard.get(plan.target),
+                        trigger=plan.trigger,
+                        elevation_level=plan.elevation_level,
+                        suspend_interval=plan.suspend_interval)
+
+    def _op_trigger_install(self, request: dict[str, Any]) -> dict[str, Any]:
+        entry = request.get("plan")
+        if not isinstance(entry, dict):
+            return _error("trigger_install needs a 'plan' dict")
+        plan = TriggerPlan.from_dict(entry)
+        for name in (plan.target, plan.trigger):
+            if name not in self._task_shard:
+                return _error(f"unknown task {name!r}", code="unknown-task")
+        self._install_plan(plan)
+        return {"ok": True, "target": plan.target, "trigger": plan.trigger,
+                "plans": len(self._trigger_plans)}
+
+    def _set_trigger_armed(self, request: dict[str, Any],
+                           armed: bool) -> dict[str, Any]:
+        name = str(request.get("task", ""))
+        if name not in self._task_shard:
+            return _error(f"unknown task {name!r}", code="unknown-task")
+        was = self.worker_for(name).service.set_trigger_armed(name, armed)
+        if was != armed:
+            self._trigger_edges["arm" if armed else "disarm"] += 1
+        return {"ok": True, "task": name, "armed": armed, "was_armed": was}
+
+    def _op_trigger_arm(self, request: dict[str, Any]) -> dict[str, Any]:
+        return self._set_trigger_armed(request, True)
+
+    def _op_trigger_disarm(self, request: dict[str, Any]) -> dict[str, Any]:
+        return self._set_trigger_armed(request, False)
+
+    def _op_trigger_state(self, request: dict[str, Any]) -> dict[str, Any]:
+        name = str(request.get("task", ""))
+        if name not in self._task_shard:
+            return _error(f"unknown task {name!r}", code="unknown-task")
+        status = self.worker_for(name).service.trigger_status(name)
+        return {"ok": True, "task": name, "state": status}
+
+    def _op_trigger_plans(self, request: dict[str, Any]) -> dict[str, Any]:
+        suspensions, saved = 0, 0.0
+        for worker in self._workers:
+            s, p = worker.service.trigger_accounting()
+            suspensions += s
+            saved += p
+        return {"ok": True,
+                "plans": [self._trigger_plans[t].to_dict()
+                          for t in sorted(self._trigger_plans)],
+                "edges": dict(self._trigger_edges),
+                "suspensions": suspensions,
+                "probe_cost_saved": saved}
 
     def _op_offer_batch(self, request: dict[str, Any]) -> dict[str, Any]:
         instrumented = self.registry.enabled
@@ -960,6 +1086,11 @@ class RuntimeServer:
         "register_task": _op_register_task,
         "remove_task": _op_remove_task,
         "add_trigger": _op_add_trigger,
+        "trigger_install": _op_trigger_install,
+        "trigger_arm": _op_trigger_arm,
+        "trigger_disarm": _op_trigger_disarm,
+        "trigger_state": _op_trigger_state,
+        "trigger_plans": _op_trigger_plans,
         "offer_batch": _op_offer_batch,
         "due": _op_due,
         "task_info": _op_task_info,

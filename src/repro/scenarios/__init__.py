@@ -24,7 +24,8 @@ from repro.scenarios.scoring import (build_bench, render_report,
                                      score_scenario)
 from repro.scenarios.timeline import (OVERLAY_KINDS, Overlay, Phase,
                                       PhaseSpan, ThresholdSpec, Timeline,
-                                      TruthWindow, WorkloadLayer)
+                                      TriggerLink, TruthWindow,
+                                      WorkloadLayer)
 
 __all__ = [
     "BASE_GENERATORS",
@@ -38,6 +39,7 @@ __all__ = [
     "ReplayResult",
     "ThresholdSpec",
     "Timeline",
+    "TriggerLink",
     "TruthWindow",
     "WorkloadLayer",
     "build_bench",

@@ -1,6 +1,6 @@
 """Canned incident scenarios (the shipped timeline catalogue).
 
-Six multi-phase incidents over the paper's three workload domains,
+Seven multi-phase incidents over the paper's three workload domains,
 styled after the staged DDoS exercise timelines: each is a pure
 :class:`~repro.scenarios.timeline.Timeline` value, so ``(seed, name)``
 fully reproduces its run. Fleet sizes sum to a few thousand tasks at
@@ -24,12 +24,18 @@ full scale; ``Timeline.scaled`` produces the reduced CI variants.
   (``task_type="quantile"``): a bad deploy pushes p99 latency over its
   SLO while the median barely moves, so only the exceedance-rate
   predicate sees it.
+* ``ddos-trigger`` — correlated monitoring (``repro.triggers``): one
+  cheap aggregate SYN-rate task guards every expensive per-victim
+  inspection task, which idles at a long suspend interval until the
+  trigger's elevation crossing re-arms the fleet just ahead of the
+  flood's threshold violations.
 """
 
 from __future__ import annotations
 
 from repro.scenarios.timeline import (Overlay, Phase, ThresholdSpec,
-                                      Timeline, TruthWindow, WorkloadLayer)
+                                      Timeline, TriggerLink, TruthWindow,
+                                      WorkloadLayer)
 
 __all__ = ["CANNED", "canned_timeline"]
 
@@ -234,8 +240,46 @@ def _p99_regression() -> Timeline:
     )
 
 
+def _ddos_trigger() -> Timeline:
+    return Timeline(
+        name="ddos-trigger",
+        description="Cheap aggregate SYN-rate trigger guarding expensive "
+                    "per-victim inspection tasks across the fleet",
+        tasks=96,
+        # Every stream sees the same flood geometry (coverage 1.0), so
+        # rank 0 — the cheap aggregate — is a perfect necessary-condition
+        # trigger for the per-victim tasks it guards.
+        base=WorkloadLayer("ar1", {"mean": 40.0, "phi": 0.9,
+                                   "sigma": 3.0}),
+        phases=(
+            # The guard disarms on the first calm observation; the whole
+            # guarded sub-fleet idles at the suspend interval from here.
+            Phase("healthy", 140),
+            Phase("flood", 100, overlays=(
+                Overlay("spike", peak=90.0, start=10, length=80,
+                        ramp_steps=6, jitter=0.05),),
+                  truth=(TruthWindow(start=10, length=85),)),
+            # The flood decays, the trigger drops through its hysteresis
+            # band, and the fleet returns to suspended sampling.
+            Phase("quiet", 120),
+        ),
+        threshold=ThresholdSpec("absolute", 100.0),
+        err=0.05,
+        default_interval=1.0,
+        max_interval=4,
+        adaptation=dict(_ADAPT),
+        # Elevation at 65: ~3.6 sigma above the healthy band (no noise
+        # flapping) yet crossed two ramp steps before the first actual
+        # threshold violation, so targets re-arm ahead of the incident.
+        triggers=(TriggerLink(trigger=0, elevation_level=65.0,
+                              suspend_interval=12, hysteresis=0.1,
+                              min_hold=2),),
+    )
+
+
 CANNED = {
     "cascade-failure": _cascade_failure,
+    "ddos-trigger": _ddos_trigger,
     "ddos-wave-adaptive": _ddos_wave_adaptive,
     "diurnal-baseline": _diurnal_baseline,
     "entropy-flood": _entropy_flood,

@@ -23,6 +23,7 @@ from repro.core.substrates import (DEFAULT_ENTROPY_WINDOW,
 from repro.exceptions import ConfigurationError
 from repro.telemetry.histogram import DEFAULT_RELATIVE_ERROR
 from repro.scenarios.timeline import Overlay, PhaseSpan, Timeline
+from repro.triggers.plan import TriggerPlan
 from repro.workloads.base import substream
 from repro.workloads.synthetic import (AR1Generator, DiurnalGenerator,
                                        RandomWalkGenerator,
@@ -54,11 +55,12 @@ class CompiledScenario:
     """A timeline lowered onto the grid, ready to replay and score."""
 
     __slots__ = ("timeline", "seed", "values", "thresholds", "spans",
-                 "windows", "task_names", "_monitored")
+                 "windows", "task_names", "trigger_levels", "_monitored")
 
     def __init__(self, timeline: Timeline, seed: int, values: np.ndarray,
                  thresholds: np.ndarray, spans: tuple[PhaseSpan, ...],
-                 windows: tuple[GroundTruth, ...]):
+                 windows: tuple[GroundTruth, ...],
+                 trigger_levels: tuple[float, ...] = ()):
         self.timeline = timeline
         self.seed = int(seed)
         self.values = values
@@ -67,6 +69,7 @@ class CompiledScenario:
         self.windows = windows
         self.task_names = [f"{timeline.name}-{i:05d}"
                            for i in range(timeline.tasks)]
+        self.trigger_levels = trigger_levels
         self._monitored: dict[int, np.ndarray] = {}
 
     @property
@@ -124,6 +127,41 @@ class CompiledScenario:
         """This task's ground-truth windows as ``(start, end)`` pairs."""
         return [(w.start, w.end) for w in self.windows if w.task == task]
 
+    def trigger_plans(self) -> list[TriggerPlan]:
+        """The timeline's trigger links as concrete installable plans.
+
+        Each fleet-level :class:`~repro.scenarios.timeline.TriggerLink`
+        expands into one :class:`~repro.triggers.plan.TriggerPlan` per
+        guarded rank, with the compiled elevation level (quantile-derived
+        levels were resolved against the pre-overlay base at compile
+        time, like selectivity thresholds).
+        """
+        plans: list[TriggerPlan] = []
+        for li, link in enumerate(self.timeline.triggers):
+            targets = (link.targets if link.targets is not None
+                       else tuple(t for t in range(self.n_tasks)
+                                  if t != link.trigger))
+            for t in targets:
+                plans.append(TriggerPlan(
+                    target=self.task_names[t],
+                    trigger=self.task_names[link.trigger],
+                    elevation_level=float(self.trigger_levels[li]),
+                    suspend_interval=link.suspend_interval,
+                    hysteresis=link.hysteresis,
+                    min_hold=link.min_hold))
+        return plans
+
+    def guarded_tasks(self) -> list[int]:
+        """Fleet ranks guarded by at least one trigger link (sorted)."""
+        guarded: set[int] = set()
+        for link in self.timeline.triggers:
+            if link.targets is not None:
+                guarded.update(link.targets)
+            else:
+                guarded.update(t for t in range(self.n_tasks)
+                               if t != link.trigger)
+        return sorted(guarded)
+
 
 def compile_timeline(timeline: Timeline, seed: int) -> CompiledScenario:
     """Lower a timeline into per-task streams; pure in ``(seed, timeline)``."""
@@ -137,6 +175,14 @@ def compile_timeline(timeline: Timeline, seed: int) -> CompiledScenario:
         base[:, t] = _base_column(timeline, t, n_steps, rng)
 
     thresholds = _thresholds(timeline, base)
+    # Quantile-derived elevation levels come from the pre-overlay base,
+    # like selectivity thresholds: the "elevated range" is defined
+    # against background behaviour, not against the incident itself.
+    trigger_levels = tuple(
+        float(link.elevation_level) if link.elevation_level is not None
+        else float(np.quantile(base[:, link.trigger],
+                               link.elevation_quantile))
+        for link in timeline.triggers)
 
     values = base  # overlays applied in place; base percentiles are done
     for pi, (phase, span) in enumerate(zip(timeline.phases, spans)):
@@ -173,7 +219,7 @@ def compile_timeline(timeline: Timeline, seed: int) -> CompiledScenario:
     windows.sort(key=lambda w: (w.task, w.start, w.end))
 
     return CompiledScenario(timeline, seed, values, thresholds, spans,
-                            tuple(windows))
+                            tuple(windows), trigger_levels)
 
 
 def _substrate_column(timeline: Timeline, values: np.ndarray,

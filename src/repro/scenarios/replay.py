@@ -63,6 +63,8 @@ class ReplayResult:
     reconnects: int = 0
     lost_updates: int = 0
     injected: dict[str, int] | None = None
+    phase_samples: list[list[int]] | None = None
+    triggers: dict[str, Any] | None = None
 
 
 def _adaptation(timeline_overrides: dict[str, Any]) -> AdaptationConfig:
@@ -175,6 +177,11 @@ async def _replay(compiled: CompiledScenario, shards: int,
         typed_keys["type"] = timeline.task_type
         typed_keys.update(timeline.task_params)
 
+    plans = compiled.trigger_plans()
+    boundaries = ({span.end for span in compiled.spans} if plans
+                  else set())
+    phase_samples: list[list[int]] = []
+
     try:
         for t, name in enumerate(compiled.task_names):
             await client.register_task(
@@ -184,6 +191,13 @@ async def _replay(compiled: CompiledScenario, shards: int,
                 max_interval=timeline.max_interval,
                 direction=timeline.direction,
                 **typed_keys)
+        for trigger_plan in plans:
+            reply = await client.request({"op": "trigger_install",
+                                          "plan": trigger_plan.to_dict()})
+            if not reply.get("ok"):
+                raise ConfigurationError(
+                    f"cannot install trigger plan for "
+                    f"{trigger_plan.target!r}: {reply.get('error')}")
 
         skewed = (plan is not None and fault_spec is not None
                   and fault_spec.clock_skew_rate > 0.0
@@ -215,6 +229,21 @@ async def _replay(compiled: CompiledScenario, shards: int,
                     # resend, exactly like the chaos conformance driver.
                     await reconnect()
                     stats["lost"] += len(chunk)
+            if plans and cluster_workers:
+                # Cluster edges are pump-propagated (not synchronous like
+                # the single-process sink); pumping every step keeps the
+                # guard's edge latency at one grid step and the run a
+                # deterministic function of the inputs, heartbeat or not.
+                await client.request({"op": "trigger_plans"})
+            if (step + 1) in boundaries:
+                # Phase-boundary sample snapshots feed the scorer's
+                # per-phase probe-saving accounting for guarded fleets.
+                await server.drain()
+                snap = []
+                for name in names:
+                    info = await client.task_info(name)
+                    snap.append(int(info["samples_taken"]))
+                phase_samples.append(snap)
             if (step + 1) % poll_every == 0:
                 await poll_trace()
 
@@ -228,6 +257,18 @@ async def _replay(compiled: CompiledScenario, shards: int,
         server_stats = await client.stats()
         counters = {key: int(server_stats["totals"][key])
                     for key in _COUNTER_KEYS}
+
+        trigger_stats: dict[str, Any] | None = None
+        if plans:
+            reply = await client.request({"op": "trigger_plans"})
+            if reply.get("ok"):
+                trigger_stats = {
+                    "plans": len(reply.get("plans", ())),
+                    "edges": dict(reply.get("edges", {})),
+                    "suspensions": int(reply.get("suspensions", 0)),
+                    "probe_cost_saved": float(
+                        reply.get("probe_cost_saved", 0.0)),
+                }
 
         samples = [0] * n_tasks
         intervals = [0] * n_tasks
@@ -254,6 +295,8 @@ async def _replay(compiled: CompiledScenario, shards: int,
         lost_updates=stats["lost"],
         injected=(dict(hook.injected)
                   if isinstance(hook, PlanFaultHook) else None),
+        phase_samples=phase_samples if plans else None,
+        triggers=trigger_stats,
     )
 
 
@@ -275,6 +318,7 @@ def simulate_replay(compiled: CompiledScenario,
     timeline = compiled.timeline
     n_steps, n_tasks = compiled.values.shape
 
+    has_triggers = bool(timeline.triggers)
     if mode == "always":
         alert_steps = [compiled.truth_indices(t).tolist()
                        for t in range(n_tasks)]
@@ -284,14 +328,19 @@ def simulate_replay(compiled: CompiledScenario,
             intervals=[1] * n_tasks,
             alert_steps=alert_steps,
             counters=_sim_counters(n_steps, n_tasks, n_steps * n_tasks,
-                                   sum(len(a) for a in alert_steps)))
+                                   sum(len(a) for a in alert_steps)),
+            phase_samples=([[span.end] * n_tasks
+                            for span in compiled.spans]
+                           if has_triggers else None))
     if mode == "never":
         return ReplayResult(
             mode="sim-never",
             samples=[0] * n_tasks,
             intervals=[timeline.max_interval] * n_tasks,
             alert_steps=[[] for _ in range(n_tasks)],
-            counters=_sim_counters(n_steps, n_tasks, 0, 0))
+            counters=_sim_counters(n_steps, n_tasks, 0, 0),
+            phase_samples=([[0] * n_tasks for _ in compiled.spans]
+                           if has_triggers else None))
 
     service = MonitoringService(_adaptation(timeline.adaptation))
     direction = timeline.direction_enum
@@ -316,20 +365,54 @@ def simulate_replay(compiled: CompiledScenario,
                 name=name, **common))
     values = compiled.values
     names = compiled.task_names
+
+    # Trigger plans route synchronously here — the exact twin of the
+    # single-process server's sink (RuntimeServer._on_trigger_edge).
+    plans = compiled.trigger_plans()
+    edges = {"arm": 0, "disarm": 0}
+    if plans:
+        by_trigger: dict[str, list] = {}
+        for trigger_plan in plans:
+            service.install_trigger_plan(trigger_plan)
+            by_trigger.setdefault(trigger_plan.trigger,
+                                  []).append(trigger_plan)
+
+        def _route_edge(event: dict[str, Any]) -> None:
+            armed = event["op"] == "arm"
+            for routed in by_trigger.get(str(event["trigger"]), ()):
+                service.set_trigger_armed(routed.target, armed)
+                edges["arm" if armed else "disarm"] += 1
+
+        service.set_trigger_sink(_route_edge)
+    boundaries = ({span.end for span in compiled.spans} if plans
+                  else set())
+    phase_samples: list[list[int]] = []
+
     for step in range(n_steps):
         row = values[step]
         for t in range(n_tasks):
             service.offer_fast(names[t], float(row[t]), step)
+        if (step + 1) in boundaries:
+            phase_samples.append([service.samples_taken(name)
+                                  for name in names])
     samples = [service.samples_taken(name) for name in names]
     alert_steps = [sorted({a.time_index for a in service.alerts(name)})
                    for name in names]
+    trigger_stats: dict[str, Any] | None = None
+    if plans:
+        suspensions, saved = service.trigger_accounting()
+        trigger_stats = {"plans": len(plans), "edges": dict(edges),
+                         "suspensions": suspensions,
+                         "probe_cost_saved": saved}
     return ReplayResult(
         mode="sim-volley",
         samples=samples,
         intervals=[service.interval(name) for name in names],
         alert_steps=alert_steps,
         counters=_sim_counters(n_steps, n_tasks, sum(samples),
-                               sum(len(a) for a in alert_steps)))
+                               sum(len(a) for a in alert_steps)),
+        phase_samples=phase_samples if plans else None,
+        triggers=trigger_stats)
 
 
 def _substrate_kwargs(params: dict[str, Any], kind: str) -> dict[str, Any]:

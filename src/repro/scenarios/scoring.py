@@ -125,7 +125,7 @@ def score_scenario(compiled: CompiledScenario,
         config["task_type"] = timeline.task_type
         config["task_params"] = dict(timeline.task_params)
 
-    return {
+    report: dict[str, Any] = {
         "scenario": timeline.name,
         "seed": compiled.seed,
         "mode": result.mode,
@@ -179,6 +179,50 @@ def score_scenario(compiled: CompiledScenario,
         },
         "passed": passed,
     }
+    triggers = _score_triggers(compiled, result)
+    if triggers is not None:
+        report["triggers"] = triggers
+    return report
+
+
+def _score_triggers(compiled: CompiledScenario,
+                    result: ReplayResult) -> dict[str, Any] | None:
+    """Probe-saving accounting for correlation-guarded fleets.
+
+    The guard's value proposition is entirely in *healthy* phases
+    (phases that declare no ground-truth windows): a disarmed target
+    idles at its suspend interval, so the guarded sub-fleet's sampling
+    drops well below the full-rate baseline there. Incident-phase
+    fidelity is already covered by the misdetection/delay sections.
+    """
+    timeline = compiled.timeline
+    if not timeline.triggers or result.phase_samples is None:
+        return None
+    guarded = compiled.guarded_tasks()
+    spans = compiled.spans
+    healthy = [i for i, phase in enumerate(timeline.phases)
+               if not phase.truth]
+    healthy_steps = 0
+    healthy_samples = 0
+    for i in healthy:
+        span = spans[i]
+        healthy_steps += (span.end - span.start) * len(guarded)
+        for t in guarded:
+            before = result.phase_samples[i - 1][t] if i else 0
+            healthy_samples += result.phase_samples[i][t] - before
+    saving = (1.0 - healthy_samples / healthy_steps
+              if healthy_steps else 0.0)
+    section: dict[str, Any] = {
+        "plans": len(compiled.trigger_plans()),
+        "guarded_tasks": len(guarded),
+        "healthy_phases": [timeline.phases[i].name for i in healthy],
+        "healthy_steps": healthy_steps,
+        "healthy_samples": healthy_samples,
+        "healthy_saving": _round(saving),
+    }
+    if result.triggers is not None:
+        section["runtime"] = dict(result.triggers)
+    return section
 
 
 def render_report(report: dict[str, Any]) -> str:

@@ -32,6 +32,7 @@ __all__ = [
     "PhaseSpan",
     "ThresholdSpec",
     "Timeline",
+    "TriggerLink",
     "TruthWindow",
     "WorkloadLayer",
 ]
@@ -150,6 +151,76 @@ class TruthWindow:
     @classmethod
     def from_dict(cls, entry: Mapping[str, Any]) -> "TruthWindow":
         return cls(**_known_kwargs(cls, entry))
+
+
+@dataclass(frozen=True, slots=True)
+class TriggerLink:
+    """A declarative correlation guard over the fleet (DESIGN.md S32).
+
+    One cheap task (by fleet rank) guards a set of expensive targets:
+    while the trigger's stream sits below its elevation level, every
+    target idles at ``suspend_interval`` instead of its full
+    violation-likelihood rate — the paper's SS-A state correlation.
+
+    Args:
+        trigger: fleet rank of the cheap trigger task.
+        targets: guarded fleet ranks (``None`` = every other rank).
+        elevation_quantile: when ``elevation_level`` is ``None``, the
+            level is this quantile of the trigger's *base* (pre-overlay)
+            trace — the paper's elevated-range rule, derived the same
+            way selectivity thresholds are.
+        elevation_level: absolute elevation level (overrides the
+            quantile rule).
+        suspend_interval: idle sampling interval while disarmed.
+        hysteresis: relative dead band below the level before disarming.
+        min_hold: minimum steps between arm/disarm transitions.
+    """
+
+    trigger: int
+    targets: tuple[int, ...] | None = None
+    elevation_quantile: float = 0.8
+    elevation_level: float | None = None
+    suspend_interval: int = 10
+    hysteresis: float = 0.1
+    min_hold: int = 5
+
+    def __post_init__(self) -> None:
+        _require(self.trigger >= 0,
+                 f"trigger rank must be >= 0, got {self.trigger}")
+        if self.targets is not None:
+            object.__setattr__(self, "targets",
+                               tuple(int(t) for t in self.targets))
+            _require(len(self.targets) >= 1,
+                     "explicit targets must be non-empty (use None for "
+                     "the whole fleet)")
+            _require(all(t >= 0 for t in self.targets),
+                     f"target ranks must be >= 0, got {self.targets}")
+            _require(self.trigger not in self.targets,
+                     f"trigger rank {self.trigger} cannot guard itself")
+        _require(0.0 < self.elevation_quantile < 1.0,
+                 f"elevation_quantile must be in (0, 1), "
+                 f"got {self.elevation_quantile}")
+        _require(self.suspend_interval >= 2,
+                 f"suspend_interval must be >= 2, "
+                 f"got {self.suspend_interval}")
+        _require(0.0 <= self.hysteresis < 1.0,
+                 f"hysteresis must be in [0, 1), got {self.hysteresis}")
+        _require(self.min_hold >= 0,
+                 f"min_hold must be >= 0, got {self.min_hold}")
+
+    def to_dict(self) -> dict[str, Any]:
+        entry = {f.name: getattr(self, f.name) for f in
+                 dataclass_fields(self)}
+        if entry["targets"] is not None:
+            entry["targets"] = list(entry["targets"])
+        return entry
+
+    @classmethod
+    def from_dict(cls, entry: Mapping[str, Any]) -> "TriggerLink":
+        kwargs = _known_kwargs(cls, entry)
+        if kwargs.get("targets") is not None:
+            kwargs["targets"] = tuple(int(t) for t in kwargs["targets"])
+        return cls(**kwargs)
 
 
 @dataclass(frozen=True, slots=True)
@@ -294,6 +365,9 @@ class Timeline:
             (``quantile``/``sketch_window``/``relative_error`` or
             ``entropy_window``/``bin_width``), the same knobs the config
             schema exposes.
+        triggers: declarative correlation guards
+            (:class:`TriggerLink`); the replayer installs the compiled
+            plans through the trigger channel before feeding.
     """
 
     name: str
@@ -309,6 +383,7 @@ class Timeline:
     adaptation: dict[str, Any] = field(default_factory=dict)
     task_type: str = "value"
     task_params: dict[str, Any] = field(default_factory=dict)
+    triggers: tuple[TriggerLink, ...] = ()
 
     def __post_init__(self) -> None:
         _require(bool(self.name), "timeline name must be non-empty")
@@ -346,6 +421,12 @@ class Timeline:
                  or "quantile" in self.task_params,
                  f"timeline {self.name!r}: quantile task_type needs a "
                  f"'quantile' param")
+        object.__setattr__(self, "triggers", tuple(self.triggers))
+        for link in self.triggers:
+            ranks = (link.trigger,) + (link.targets or ())
+            _require(all(r < self.tasks for r in ranks),
+                     f"timeline {self.name!r}: trigger link ranks "
+                     f"{sorted(set(ranks))} must be < tasks={self.tasks}")
 
     # -- derived geometry ------------------------------------------------
 
@@ -399,6 +480,8 @@ class Timeline:
         if self.task_type != "value":
             entry["task_type"] = self.task_type
             entry["task_params"] = dict(self.task_params)
+        if self.triggers:
+            entry["triggers"] = [link.to_dict() for link in self.triggers]
         return entry
 
     @classmethod
@@ -417,6 +500,8 @@ class Timeline:
             adaptation=dict(entry.get("adaptation", {})),
             task_type=str(entry.get("task_type", "value")),
             task_params=dict(entry.get("task_params", {})),
+            triggers=tuple(TriggerLink.from_dict(link)
+                           for link in entry.get("triggers", [])),
         )
 
     # -- derived timelines -----------------------------------------------
@@ -466,13 +551,31 @@ class Timeline:
         if "entropy_window" in task_params:
             task_params["entropy_window"] = max(
                 4, round(task_params["entropy_window"] * horizon))
+        # Trigger links survive only if their ranks still exist in the
+        # rescaled fleet; explicit target lists are trimmed likewise.
+        triggers = []
+        for link in self.triggers:
+            if link.trigger >= tasks:
+                continue
+            targets = link.targets
+            if targets is not None:
+                targets = tuple(t for t in targets if t < tasks)
+                if not targets:
+                    continue
+            triggers.append(TriggerLink(
+                trigger=link.trigger, targets=targets,
+                elevation_quantile=link.elevation_quantile,
+                elevation_level=link.elevation_level,
+                suspend_interval=link.suspend_interval,
+                hysteresis=link.hysteresis, min_hold=link.min_hold))
         return Timeline(
             name=self.name, description=self.description, tasks=tasks,
             base=self.base, phases=tuple(phases), threshold=self.threshold,
             err=self.err, default_interval=self.default_interval,
             max_interval=self.max_interval, direction=self.direction,
             adaptation=dict(self.adaptation),
-            task_type=self.task_type, task_params=task_params)
+            task_type=self.task_type, task_params=task_params,
+            triggers=tuple(triggers))
 
 
 def _fit_segment(start: int, length: int | None, spread: int,

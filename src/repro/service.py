@@ -47,6 +47,7 @@ from repro.core.task import TaskSpec
 from repro.core.windowed import AggregateKind
 from repro.telemetry.histogram import DEFAULT_RELATIVE_ERROR
 from repro.exceptions import ConfigurationError
+from repro.triggers.channel import TriggerWatcher
 from repro.types import Alert, ThresholdDirection
 
 __all__ = ["MonitoringService", "TaskState", "SNAPSHOT_VERSION"]
@@ -71,6 +72,22 @@ class TaskState:
         trigger_task: name of the task gating this one (or ``None``).
         trigger_level: elevation level of the gating metric.
         suspend_interval: idle interval while the trigger is cold.
+        remote_trigger: name of a (possibly non-local) task whose
+            arm/disarm edges gate this one through the trigger channel
+            (``repro.triggers``), or ``None``. Unlike ``trigger_task``
+            the gating signal is the explicit :attr:`trigger_armed`
+            flag, not a last-seen value — the trigger may live on
+            another shard or worker.
+        trigger_armed: the remote guard's state; ``True`` (the
+            conservative default) samples at full violation-likelihood
+            rate, ``False`` floors the interval at
+            :attr:`suspend_interval`.
+        trigger_suspensions: consumed offers whose schedule the disarmed
+            guard actually deferred (probe-cost-saved accounting).
+        watch: a :class:`~repro.triggers.channel.TriggerWatcher`
+            attached to this task's offered-value stream, emitting the
+            arm/disarm edges the channel routes; ``None`` when the task
+            guards nothing.
         window / window_kind: aggregation settings (window 1 = instant).
         on_alert: callback invoked on every alert.
         soa_row: row index in the service's SoA engine, or ``-1`` when the
@@ -99,6 +116,10 @@ class TaskState:
     trigger_task: str | None = None
     trigger_level: float = 0.0
     suspend_interval: int = 10
+    remote_trigger: str | None = None
+    trigger_armed: bool = True
+    trigger_suspensions: int = 0
+    watch: TriggerWatcher | None = None
     window: int = 1
     window_kind: AggregateKind = AggregateKind.MEAN
     on_alert: AlertCallback | None = None
@@ -206,6 +227,16 @@ class TaskState:
             state["type"] = self.task_type
             state["value_threshold"] = self.value_threshold
             state["substrate"] = self.substrate.state_dict()
+        # Trigger-channel keys follow the same only-when-present rule:
+        # the armed flag and watcher debounce state ride the ordinary
+        # checkpoint so guards survive migration and failover
+        # bit-identically, while unguarded snapshots never change shape.
+        if self.remote_trigger is not None:
+            state["remote_trigger"] = self.remote_trigger
+            state["trigger_armed"] = self.trigger_armed
+            state["trigger_suspensions"] = self.trigger_suspensions
+        if self.watch is not None:
+            state["watch"] = self.watch.state_dict()
         return state
 
     @classmethod
@@ -241,6 +272,11 @@ class TaskState:
             trigger_task=state.get("trigger_task"),
             trigger_level=float(state.get("trigger_level", 0.0)),
             suspend_interval=int(state.get("suspend_interval", 10)),
+            remote_trigger=state.get("remote_trigger"),
+            trigger_armed=bool(state.get("trigger_armed", True)),
+            trigger_suspensions=int(state.get("trigger_suspensions", 0)),
+            watch=(TriggerWatcher.from_state_dict(state["watch"])
+                   if "watch" in state else None),
             window=int(state["window"]),
             window_kind=AggregateKind(state["window_kind"]),
             on_alert=on_alert,
@@ -295,12 +331,17 @@ class MonitoringService:
     # alert callbacks, the owner re-attaches after a restore.
     _trace = None
     _trace_shard: int | str | None = None
+    # Trigger-edge sink (same lifecycle as traces): the owning runtime
+    # attaches a callable for synchronous in-process routing; cluster
+    # workers leave it unset and the coordinator drains the buffer.
+    _trigger_sink: Callable[[dict[str, Any]], None] | None = None
 
     def __init__(self, config: AdaptationConfig | None = None,
                  soa: bool = False):
         self._config = config or AdaptationConfig()
         self._tasks: dict[str, TaskState] = {}
         self._last_seen: dict[str, float] = {}
+        self._trigger_events: deque[dict[str, Any]] = deque(maxlen=1024)
         self._soa = None
         self._soa_rows: dict[int, TaskState] = {}
         if soa:
@@ -324,6 +365,10 @@ class MonitoringService:
             # they always run the scalar path.
             return False
         if state.trigger_task is not None:
+            return False
+        if state.remote_trigger is not None or state.watch is not None:
+            # Channel-guarded tasks need the scalar path's armed-flag
+            # gating; watched tasks need per-offer edge detection.
             return False
         return all(other.trigger_task != state.name
                    for other in self._tasks.values())
@@ -537,6 +582,12 @@ class MonitoringService:
             if other.trigger_task == name:
                 other.trigger_task = None
                 other.trigger_level = 0.0
+            if other.remote_trigger == name:
+                # A locally-registered guard loses its edge source; fall
+                # back to full-rate sampling rather than freezing the
+                # target at whatever armed state the last edge left.
+                other.remote_trigger = None
+                other.trigger_armed = True
 
     def add_trigger(self, target: str, trigger: str, elevation_level: float,
                     suspend_interval: int = 10) -> None:
@@ -559,6 +610,189 @@ class MonitoringService:
         state.trigger_task = trigger
         state.trigger_level = elevation_level
         state.suspend_interval = suspend_interval
+
+    # -- trigger channel (repro.triggers, DESIGN.md S32) ----------------
+    #
+    # ``add_trigger`` gates on a co-located task's last-seen value; the
+    # channel methods below gate on explicit arm/disarm *edges* instead,
+    # so the trigger task may live on any shard or worker. A watch on
+    # the trigger side turns its offered values into edges; the armed
+    # flag on the target side is flipped by whoever routes them (the
+    # runtime server in-process, the cluster coordinator across
+    # workers).
+
+    def add_remote_trigger(self, target: str, trigger: str,
+                           elevation_level: float,
+                           suspend_interval: int = 10) -> None:
+        """Guard ``target`` on channel edges from (possibly remote)
+        ``trigger``.
+
+        Unlike :meth:`add_trigger` the trigger need not be registered on
+        this service. Re-installing the same pair is idempotent and
+        *preserves* the current armed state — post-failover re-installs
+        must not silently re-arm a deliberately disarmed guard.
+        """
+        state = self._state(target)
+        if not trigger:
+            raise ConfigurationError("trigger name must be non-empty")
+        if trigger == target:
+            raise ConfigurationError(
+                f"task {target!r} cannot trigger itself")
+        if suspend_interval < 1:
+            raise ConfigurationError(
+                f"suspend_interval must be >= 1, got {suspend_interval}")
+        self._evict_soa(state)
+        fresh = state.remote_trigger != trigger
+        state.remote_trigger = trigger
+        state.trigger_level = float(elevation_level)
+        state.suspend_interval = int(suspend_interval)
+        if fresh:
+            state.trigger_armed = True
+
+    def add_trigger_watch(self, trigger: str, level: float,
+                          hysteresis: float = 0.1,
+                          min_hold: int = 5) -> None:
+        """Watch ``trigger``'s offered values for arm/disarm edges.
+
+        Every offer — due or not — feeds the watcher, so edge latency is
+        one collection period, not one sampling interval. Re-installing
+        an identical watch keeps the existing debounce state; changed
+        parameters replace the watcher (conservatively re-armed).
+        """
+        state = self._state(trigger)
+        self._evict_soa(state)
+        if state.watch is not None:
+            current = state.watch.state_dict()
+            if (current["level"] == float(level)
+                    and current["hysteresis"] == float(hysteresis)
+                    and current["min_hold"] == int(min_hold)):
+                return
+        state.watch = TriggerWatcher(level, hysteresis=hysteresis,
+                                     min_hold=min_hold)
+
+    def install_trigger_plan(self, plan: Any) -> None:
+        """Wire whichever sides of a ``TriggerPlan`` live on this service.
+
+        A plan's trigger and target may land on different shards; each
+        shard's service installs only its local half (watch on the
+        trigger task, remote guard on the target task).
+        """
+        if plan.trigger in self._tasks:
+            self.add_trigger_watch(plan.trigger, plan.elevation_level,
+                                   hysteresis=plan.hysteresis,
+                                   min_hold=plan.min_hold)
+        if plan.target in self._tasks:
+            self.add_remote_trigger(plan.target, plan.trigger,
+                                    plan.elevation_level,
+                                    suspend_interval=plan.suspend_interval)
+
+    def set_trigger_armed(self, target: str, armed: bool) -> bool:
+        """Flip a guarded task's armed flag; returns the previous state.
+
+        Emits a ``trigger_armed`` / ``trigger_disarmed`` trace event on
+        actual transitions (the channel's SelfMonitor-style audit trail).
+        """
+        state = self._state(target)
+        if state.remote_trigger is None:
+            raise ConfigurationError(
+                f"task {target!r} has no remote trigger")
+        prev = state.trigger_armed
+        state.trigger_armed = bool(armed)
+        if prev != state.trigger_armed:
+            if state.trigger_armed:
+                # Full-rate resume: while disarmed the suspend gate may
+                # have parked next_due up to suspend_interval ahead and
+                # let the sampler keep a grown interval earned on the
+                # healthy stream. The arm edge signals a suspected
+                # incident, so the guard probes again at the very next
+                # offer and at the default rate.
+                state.sampler.resume_full_rate()
+                state.next_due = 0
+            if self._trace is not None:
+                self._trace.emit(
+                    "trigger_armed" if state.trigger_armed
+                    else "trigger_disarmed",
+                    task=target, shard=self._trace_shard,
+                    trigger=state.remote_trigger)
+        return prev
+
+    def trigger_status(self, name: str) -> dict[str, Any]:
+        """The task's channel wiring: guard state and/or watch state.
+
+        Empty dict for tasks outside the channel; ``trigger`` / ``armed``
+        / ``suspend_interval`` / ``suspensions`` for guarded targets,
+        ``watch`` (the watcher's state_dict) for edge sources.
+        """
+        state = self._state(name)
+        status: dict[str, Any] = {}
+        if state.remote_trigger is not None:
+            status["trigger"] = state.remote_trigger
+            status["armed"] = state.trigger_armed
+            status["suspend_interval"] = state.suspend_interval
+            status["suspensions"] = state.trigger_suspensions
+        if state.watch is not None:
+            status["watch"] = state.watch.state_dict()
+        return status
+
+    def trigger_suspensions(self, name: str) -> int:
+        """Consumed offers the disarmed guard deferred so far."""
+        return self._state(name).trigger_suspensions
+
+    def trigger_accounting(self) -> tuple[int, float]:
+        """``(suspensions, est_probes_saved)`` across guarded tasks.
+
+        Each suspension pushes the guarded task's next probe out to
+        ``suspend_interval`` instead of the full violation-likelihood
+        rate, skipping up to ``suspend_interval - 1`` probe collections —
+        the estimate the ``volley_trigger_probe_cost_saved`` gauge
+        exports (an upper bound; the sampler may already have been
+        backed off).
+        """
+        suspensions = 0
+        saved = 0.0
+        for state in self._tasks.values():
+            if state.remote_trigger is None:
+                continue
+            suspensions += state.trigger_suspensions
+            saved += state.trigger_suspensions * (state.suspend_interval - 1)
+        return suspensions, saved
+
+    def set_trigger_sink(self, sink: Callable[[dict[str, Any]], None]
+                         | None) -> None:
+        """Attach a callable receiving each arm/disarm edge synchronously.
+
+        Like traces and alert callbacks, sinks are not serialised —
+        owners re-attach after restore. Buffered delivery via
+        :meth:`drain_trigger_events` works with or without a sink.
+        """
+        self._trigger_sink = sink
+
+    def drain_trigger_events(self) -> list[dict[str, Any]]:
+        """Pop the buffered arm/disarm edges (oldest first).
+
+        Each event is ``{"op": "arm"|"disarm", "trigger": name,
+        "step": int, "value": float}``. The cluster coordinator polls
+        this per worker. With a sink attached edges are delivered
+        synchronously instead of buffered (so an in-process runtime
+        never accumulates events nobody drains); without one the buffer
+        is a bounded ring — edges evicted unread are lost, like trace
+        events under a storm.
+        """
+        events = list(self._trigger_events)
+        self._trigger_events.clear()
+        return events
+
+    def _watch_edge(self, state: TaskState, value: float,
+                    step: int) -> None:
+        edge = state.watch.observe(value, step)
+        if edge is None:
+            return
+        event = {"op": edge, "trigger": state.name,
+                 "step": int(step), "value": float(value)}
+        if self._trigger_sink is not None:
+            self._trigger_sink(event)
+        else:
+            self._trigger_events.append(event)
 
     def _state(self, name: str) -> TaskState:
         try:
@@ -607,6 +841,8 @@ class MonitoringService:
                 grew=bool(flags & 1), reset=bool(flags & 2),
                 violation=bool(flags & 4))
         self._last_seen[name] = value
+        if state.watch is not None:
+            self._watch_edge(state, value, step)
         if state.task_type != "value":
             state.absorb(value)
         if step < state.next_due:
@@ -622,6 +858,10 @@ class MonitoringService:
             if (trigger_value is not None
                     and trigger_value < state.trigger_level):
                 interval = max(interval, state.suspend_interval)
+        if (state.remote_trigger is not None and not state.trigger_armed
+                and state.suspend_interval > interval):
+            interval = state.suspend_interval
+            state.trigger_suspensions += 1
         state.next_due = step + max(1, interval)
 
         alert = None
@@ -662,6 +902,8 @@ class MonitoringService:
         if state.soa_row >= 0:
             return self._offer_soa(state, value, step)
         self._last_seen[name] = value
+        if state.watch is not None:
+            self._watch_edge(state, value, step)
         if state.task_type != "value":
             state.absorb(value)
         if step < state.next_due:
@@ -678,6 +920,10 @@ class MonitoringService:
             if (trigger_value is not None
                     and trigger_value < state.trigger_level):
                 interval = max(interval, state.suspend_interval)
+        if (state.remote_trigger is not None and not state.trigger_armed
+                and state.suspend_interval > interval):
+            interval = state.suspend_interval
+            state.trigger_suspensions += 1
         state.next_due = step + max(1, interval)
 
         alert = None

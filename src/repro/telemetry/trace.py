@@ -49,6 +49,9 @@ TRACE_EVENT_KINDS = (
     "shard_migrated",        # cluster: live migration cut a shard over
     "migration_aborted",     # cluster: a migration rolled back safely
     "shard_replaced",        # cluster: failure-driven re-placement
+    "trigger_plan_installed",  # a correlation trigger plan was wired up
+    "trigger_armed",         # a guarded task resumed full-rate sampling
+    "trigger_disarmed",      # a guarded task dropped to its idle interval
 )
 """Kinds emitted by the instrumented runtime (extensible by callers)."""
 

@@ -1,0 +1,115 @@
+"""Turning a trigger metric's raw stream into clean arm/disarm edges.
+
+The correlation planner gives one number — the elevation level — but a
+metric hovering around that level would arm and disarm its target on
+every other observation, and each transition is a cross-shard (possibly
+cross-worker) message. :class:`TriggerWatcher` debounces the stream with
+the classic two-threshold scheme: arm at the elevation level (``value >=
+level``, matching the detector's elevation convention), disarm only once
+the value falls *below a hysteresis band* under the level, and never
+transition twice within ``min_hold`` steps. On any constant stream the
+watcher transitions at most once — pinned by
+``tests/properties/test_trigger_properties.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["TriggerWatcher"]
+
+
+class TriggerWatcher:
+    """Debounced arm/disarm edge detector over a trigger value stream.
+
+    The watcher starts *armed* — the same conservative default as the
+    target's sampler, so a target is never suspended before its trigger
+    has actually been observed below the band.
+
+    Args:
+        level: the elevation level (arm at ``value >= level``).
+        hysteresis: relative width of the disarm band (disarm below
+            ``level * (1 - hysteresis)`` for non-negative levels).
+        min_hold: minimum steps between two transitions.
+        armed: initial state (default True, conservatively elevated).
+    """
+
+    __slots__ = ("_level", "_hysteresis", "_min_hold", "_armed",
+                 "_last_transition")
+
+    def __init__(self, level: float, hysteresis: float = 0.1,
+                 min_hold: int = 5, armed: bool = True):
+        if not 0.0 <= hysteresis < 1.0:
+            raise ConfigurationError(
+                f"hysteresis must be in [0, 1), got {hysteresis}")
+        if min_hold < 0:
+            raise ConfigurationError(
+                f"min_hold must be >= 0, got {min_hold}")
+        self._level = float(level)
+        self._hysteresis = float(hysteresis)
+        self._min_hold = int(min_hold)
+        self._armed = bool(armed)
+        self._last_transition: int | None = None
+
+    @property
+    def armed(self) -> bool:
+        """Current debounced state."""
+        return self._armed
+
+    @property
+    def level(self) -> float:
+        """The arm threshold."""
+        return self._level
+
+    @property
+    def disarm_level(self) -> float:
+        """The value the stream must drop below to disarm."""
+        if self._level >= 0.0:
+            return self._level * (1.0 - self._hysteresis)
+        return self._level * (1.0 + self._hysteresis)
+
+    def observe(self, value: float, step: int) -> str | None:
+        """Feed one trigger observation; return ``"arm"``, ``"disarm"``
+        or ``None`` (no edge).
+
+        Transitions are suppressed while ``min_hold`` steps have not
+        elapsed since the previous one, so a noisy stream cannot flap the
+        channel faster than the hold.
+        """
+        if self._armed:
+            if value < self.disarm_level and self._hold_elapsed(step):
+                self._armed = False
+                self._last_transition = int(step)
+                return "disarm"
+        elif value >= self._level and self._hold_elapsed(step):
+            self._armed = True
+            self._last_transition = int(step)
+            return "arm"
+        return None
+
+    def _hold_elapsed(self, step: int) -> bool:
+        last = self._last_transition
+        return last is None or int(step) - last >= self._min_hold
+
+    def state_dict(self) -> dict[str, Any]:
+        """JSON-able snapshot (carried in the owning task's checkpoint)."""
+        return {
+            "level": self._level,
+            "hysteresis": self._hysteresis,
+            "min_hold": self._min_hold,
+            "armed": self._armed,
+            "last_transition": self._last_transition,
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict[str, Any]) -> "TriggerWatcher":
+        """Rebuild a watcher bit-identically from :meth:`state_dict`."""
+        watcher = cls(float(state["level"]),
+                      hysteresis=float(state["hysteresis"]),
+                      min_hold=int(state["min_hold"]),
+                      armed=bool(state["armed"]))
+        last = state.get("last_transition")
+        watcher._last_transition = None if last is None else int(last)
+        return watcher

@@ -1,0 +1,238 @@
+"""The coordinator trigger channel (``repro.triggers`` over the wire).
+
+Three contracts:
+
+* **Wire parity** — every ``trigger_*`` op answers byte-identically on a
+  :class:`~repro.cluster.server.ClusterServer` and a single-process
+  :class:`~repro.runtime.server.RuntimeServer`, including the error
+  replies. Clients must not care which kind of server they reached.
+* **Migration survival** — a *disarmed* guard's armed flag, watcher
+  debounce state and suspension counter ride the shard snapshot across a
+  live migration (fingerprint-verified), and the channel keeps routing
+  edges to the moved shard afterwards.
+* **SIGKILL survival** (``-m chaos``) — worker death restores the armed
+  state from the recovery snapshot: a deliberately disarmed guard stays
+  disarmed on the survivor and can still be re-armed by its trigger.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from cluster_utils import run_cluster
+
+from repro.cluster.routing import route
+from repro.config import RuntimeConfig
+from repro.runtime.client import AsyncRuntimeClient
+from repro.runtime.server import RuntimeServer
+
+SHARDS = 4
+
+TRIGGER = "edge-conns"
+# A target on a different shard than its trigger, so every edge crosses
+# the coordinator (and, with two workers, usually a process boundary).
+TARGET = next(f"dpi-flows-{i:02d}" for i in range(100)
+              if route(f"dpi-flows-{i:02d}", SHARDS)
+              != route(TRIGGER, SHARDS))
+
+PLAN = {"target": TARGET, "trigger": TRIGGER, "elevation_level": 60.0,
+        "suspend_interval": 6, "hysteresis": 0.1, "min_hold": 2}
+
+
+def _spec(name: str) -> dict:
+    return {"name": name, "threshold": 100.0, "error_allowance": 0.05,
+            "max_interval": 4}
+
+
+async def _drive(client, drain) -> list:
+    """The parity schedule; returns every reply in order."""
+    replies = []
+    for name in (TRIGGER, TARGET):
+        await client.register_task(**_spec(name))
+
+    # Error surface first: missing plan, unknown task, invalid plan.
+    replies.append(await client.request({"op": "trigger_install"}))
+    replies.append(await client.request(
+        {"op": "trigger_install",
+         "plan": {**PLAN, "trigger": "ghost"}}))
+    replies.append(await client.request(
+        {"op": "trigger_install",
+         "plan": {**PLAN, "suspend_interval": 1}}))
+    replies.append(await client.request(
+        {"op": "trigger_state", "task": "ghost"}))
+    replies.append(await client.request(
+        {"op": "trigger_arm", "task": "ghost"}))
+
+    # Install (twice: re-install must be idempotent) and initial state.
+    replies.append(await client.install_trigger_plan(PLAN))
+    replies.append(await client.install_trigger_plan(PLAN))
+    replies.append(await client.trigger_state(TARGET))
+    replies.append(await client.trigger_state(TRIGGER))
+
+    # Calm trigger stream -> disarm edge; drain before touching the
+    # target so the edge has been pumped on both server kinds.
+    await client.offer_batch([[TRIGGER, s, 10.0] for s in range(8)])
+    await drain()
+    replies.append(await client.trigger_plans())
+    replies.append(await client.trigger_state(TARGET))
+
+    # The disarmed guard idles at the suspend interval.
+    await client.offer_batch([[TARGET, s, 30.0] for s in range(12)])
+    await drain()
+    replies.append(await client.trigger_plans())
+
+    # Hot trigger -> re-arm; the guard resumes full-rate sampling.
+    await client.offer_batch([[TRIGGER, 8 + i, 90.0] for i in range(3)])
+    await drain()
+    replies.append(await client.trigger_plans())
+    replies.append(await client.trigger_state(TARGET))
+    await client.offer_batch([[TARGET, 12 + i, 30.0] for i in range(6)])
+    await drain()
+    replies.append(await client.task_info(TARGET))
+
+    # Explicit operator overrides.
+    replies.append(await client.set_trigger_armed(TARGET, False))
+    replies.append(await client.set_trigger_armed(TARGET, True))
+    replies.append(await client.trigger_plans())
+    return replies
+
+
+class TestTriggerWireParity:
+    def test_cluster_replies_match_runtime_byte_for_byte(self):
+        async def cluster_scenario(cluster):
+            client = AsyncRuntimeClient(port=cluster.tcp_port)
+            try:
+                return await _drive(client, cluster.coordinator.drain)
+            finally:
+                await client.close()
+
+        async def runtime_scenario():
+            server = RuntimeServer(RuntimeConfig(port=0, shards=SHARDS))
+            await server.start()
+            client = AsyncRuntimeClient(port=server.tcp_port)
+
+            async def drain():
+                for worker in server._workers:
+                    await worker.drain()
+
+            try:
+                return await _drive(client, drain)
+            finally:
+                await client.close()
+                await server.shutdown()
+
+        observed = run_cluster(cluster_scenario, shards=SHARDS)
+        expected = asyncio.run(runtime_scenario())
+        assert len(observed) == len(expected)
+        for i, (obs, exp) in enumerate(zip(observed, expected)):
+            assert obs == exp, (i, obs, exp)
+        # The schedule actually exercised the channel, not a no-op path.
+        final = observed[-1]
+        assert final["edges"]["disarm"] >= 2  # watch edge + override
+        assert final["edges"]["arm"] >= 2
+        assert final["suspensions"] > 0
+        assert final["probe_cost_saved"] > 0.0
+
+
+class TestTriggerMigration:
+    def test_disarmed_guard_survives_live_migration(self):
+        async def scenario(cluster):
+            coord = cluster.coordinator
+            client = AsyncRuntimeClient(port=cluster.tcp_port)
+            try:
+                for name in (TRIGGER, TARGET):
+                    await client.register_task(**_spec(name))
+                await client.install_trigger_plan(PLAN)
+                await client.offer_batch(
+                    [[TRIGGER, s, 10.0] for s in range(8)])
+                await coord.drain()
+                before = await client.trigger_state(TARGET)
+
+                target_shard = route(TARGET, SHARDS)
+                placement = await client.placement()
+                source = next(w for w, e in placement["workers"].items()
+                              if target_shard in e["shards"])
+                dest = next(w for w in placement["workers"]
+                            if w != source)
+                migrated = await client.migrate(target_shard, dest)
+                after = await client.trigger_state(TARGET)
+
+                # The moved guard still defers probes...
+                await client.offer_batch(
+                    [[TARGET, s, 30.0] for s in range(12)])
+                await coord.drain()
+                plans_disarmed = await client.trigger_plans()
+                # ...and still receives edges from the (unmoved) trigger.
+                await client.offer_batch(
+                    [[TRIGGER, 8 + i, 90.0] for i in range(3)])
+                await coord.drain()
+                rearmed = await client.trigger_state(TARGET)
+                return migrated, before, after, plans_disarmed, rearmed
+            finally:
+                await client.close()
+
+        migrated, before, after, plans_disarmed, rearmed = run_cluster(
+            scenario, shards=SHARDS)
+        assert migrated["ok"] and migrated["fingerprint_match"], migrated
+        assert before["state"]["armed"] is False
+        # Bit-identical restore: guard flag, suspensions and the armed
+        # remote-trigger wiring all survive the move.
+        assert after["state"] == before["state"]
+        assert plans_disarmed["suspensions"] > 0
+        assert rearmed["state"]["armed"] is True
+
+
+@pytest.mark.chaos
+class TestTriggerChaos:
+    def test_disarmed_guard_survives_worker_sigkill(self):
+        async def scenario(cluster):
+            coord = cluster.coordinator
+            client = AsyncRuntimeClient(port=cluster.tcp_port)
+            try:
+                for name in (TRIGGER, TARGET):
+                    await client.register_task(**_spec(name))
+                await client.install_trigger_plan(PLAN)
+                await client.offer_batch(
+                    [[TRIGGER, s, 10.0] for s in range(8)])
+                await coord.drain()
+                before = await client.trigger_state(TARGET)
+                # Pin the recovery snapshot with the guard disarmed.
+                await coord.write_checkpoint()
+
+                target_shard = route(TARGET, SHARDS)
+                placement = await client.placement()
+                victim = next(w for w, e in placement["workers"].items()
+                              if target_shard in e["shards"])
+                victim_shards = len(
+                    placement["workers"][victim]["shards"])
+                await coord.kill_worker(victim)
+                deadline = asyncio.get_running_loop().time() + 15.0
+                while coord.replacements < victim_shards:
+                    if asyncio.get_running_loop().time() > deadline:
+                        raise AssertionError("re-placement timed out")
+                    await asyncio.sleep(0.02)
+                await coord.drain()
+
+                after = await client.trigger_state(TARGET)
+                plans = await client.trigger_plans()
+                # The restored guard can still be re-armed by its trigger
+                # (whichever worker the trigger's shard now lives on).
+                await client.offer_batch(
+                    [[TRIGGER, 8 + i, 90.0] for i in range(3)])
+                await coord.drain()
+                rearmed = await client.trigger_state(TARGET)
+                return before, after, plans, rearmed
+            finally:
+                await client.close()
+
+        before, after, plans, rearmed = run_cluster(
+            scenario, backend="subprocess", workers=2, shards=SHARDS,
+            heartbeat_interval=0.1, heartbeat_misses=2,
+            heartbeat_timeout=0.5)
+        assert before["state"]["armed"] is False
+        assert after["state"]["armed"] is False
+        assert after["state"]["trigger"] == TRIGGER
+        assert [p["target"] for p in plans["plans"]] == [TARGET]
+        assert rearmed["state"]["armed"] is True

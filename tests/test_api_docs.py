@@ -27,6 +27,7 @@ import repro.simulation
 import repro.telemetry
 import repro.testkit
 import repro.testkit.scenarios
+import repro.triggers
 import repro.workloads
 from repro.experiments import (delay, figures, monetary, multitask,
                                reliability)
@@ -37,7 +38,7 @@ NAMESPACES = [repro, repro.core, repro.experiments, repro.workloads,
               repro.datacenter, repro.simulation, repro.baselines,
               repro.analysis, repro.exceptions, repro.config,
               repro.runtime, repro.scenarios, repro.telemetry,
-              repro.cluster,
+              repro.cluster, repro.triggers,
               repro.testkit, repro.testkit.scenarios,
               figures, monetary, delay, multitask, reliability]
 
@@ -92,6 +93,15 @@ IGNORED = {
     "sketch_factory", "plant_sketch_factory", "quantile_value",
     "from_state_dict", "task_type", "task_estimate", "task_type_counts",
     "task_params",
+    # trigger-channel wire ops, plan fields and service/client/miner
+    # methods, not module attributes
+    "trigger_install", "trigger_arm", "trigger_disarm", "trigger_state",
+    "trigger_plans", "trigger_status", "trigger_suspensions",
+    "trigger_accounting", "install_trigger_plan", "add_trigger_watch",
+    "add_remote_trigger", "set_trigger_armed", "set_trigger_sink",
+    "drain_trigger_events", "suspend_interval", "min_hold",
+    "disarm_level", "from_rule", "ingest_trace", "to_plans",
+    "probe_cost_saved",
 }
 
 

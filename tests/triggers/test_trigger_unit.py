@@ -1,0 +1,170 @@
+"""Unit tests for the trigger channel pieces (``repro.triggers``).
+
+Plan validation, watcher debounce edges, and the service-level remote
+guard — including the full-rate resume contract: a disarm->arm edge
+makes the guarded task due *immediately* at the default interval, it
+does not wait out the parked suspend schedule or keep the stale grown
+interval the healthy stream had earned.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.adaptation import AdaptationConfig, ViolationLikelihoodSampler
+from repro.core.correlation import CorrelationEvidence, TriggerRule
+from repro.core.task import TaskSpec
+from repro.exceptions import ConfigurationError
+from repro.service import MonitoringService
+from repro.triggers import TriggerPlan, TriggerWatcher
+
+
+def task(threshold=100.0, err=0.01, max_interval=10):
+    return TaskSpec(threshold=threshold, error_allowance=err,
+                    max_interval=max_interval)
+
+
+class TestTriggerPlan:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TriggerPlan(target="a", trigger="a", elevation_level=1.0)
+        with pytest.raises(ConfigurationError):
+            TriggerPlan(target="a", trigger="b", elevation_level=1.0,
+                        suspend_interval=1)
+        with pytest.raises(ConfigurationError):
+            TriggerPlan(target="a", trigger="b", elevation_level=1.0,
+                        hysteresis=1.0)
+        with pytest.raises(ConfigurationError):
+            TriggerPlan(target="a", trigger="b", elevation_level=1.0,
+                        min_hold=-1)
+
+    def test_from_dict_rejects_unknown_keys(self):
+        plan = TriggerPlan(target="a", trigger="b", elevation_level=2.0)
+        with pytest.raises(ConfigurationError):
+            TriggerPlan.from_dict({**plan.to_dict(), "bogus": 1})
+
+    def test_disarm_level_sides(self):
+        up = TriggerPlan(target="a", trigger="b", elevation_level=100.0,
+                         hysteresis=0.1)
+        assert up.disarm_level == pytest.approx(90.0)
+        down = TriggerPlan(target="a", trigger="b", elevation_level=-100.0,
+                           hysteresis=0.1)
+        assert down.disarm_level == pytest.approx(-110.0)
+
+    def test_from_rule_stamps_channel_params(self):
+        evidence = CorrelationEvidence(
+            pearson=0.9, necessary_condition_score=0.97,
+            elevation_level=55.0, elevated_fraction=0.2, support=40)
+        rule = TriggerRule(target_id="dpi", trigger_id="conns",
+                           elevation_level=55.0, evidence=evidence,
+                           expected_saving=0.7, estimated_loss=0.03)
+        plan = TriggerPlan.from_rule(rule, suspend_interval=12,
+                                     hysteresis=0.2, min_hold=3)
+        assert plan.target == "dpi" and plan.trigger == "conns"
+        assert plan.elevation_level == 55.0
+        assert plan.suspend_interval == 12
+        assert plan.hysteresis == 0.2 and plan.min_hold == 3
+
+
+class TestWatcher:
+    def test_starts_armed_and_needs_band_exit_to_disarm(self):
+        watcher = TriggerWatcher(100.0, hysteresis=0.1, min_hold=0)
+        assert watcher.armed
+        assert watcher.observe(95.0, 0) is None  # inside the band
+        assert watcher.observe(89.0, 1) == "disarm"
+        assert watcher.observe(99.0, 2) is None  # below the arm level
+        assert watcher.observe(100.0, 3) == "arm"  # boundary arms
+
+    def test_min_hold_suppresses_flapping(self):
+        watcher = TriggerWatcher(100.0, hysteresis=0.1, min_hold=5)
+        assert watcher.observe(10.0, 0) == "disarm"
+        assert watcher.observe(150.0, 2) is None  # held
+        assert watcher.observe(150.0, 5) == "arm"
+
+
+class TestServiceChannel:
+    def _guarded(self, suspend=8):
+        service = MonitoringService()
+        service.add_task("costly", task(err=0.0))
+        service.install_trigger_plan(TriggerPlan(
+            target="costly", trigger="conns", elevation_level=40.0,
+            suspend_interval=suspend, min_hold=0))
+        return service
+
+    def test_remote_trigger_needs_no_local_trigger_task(self):
+        service = self._guarded()
+        status = service.trigger_status("costly")
+        assert status["trigger"] == "conns"
+        assert status["armed"] is True
+        assert "watch" not in status
+
+    def test_disarmed_guard_idles_at_suspend_interval(self):
+        service = self._guarded(suspend=8)
+        service.offer("costly", 1.0, 0)
+        assert service.next_due("costly") == 1
+        assert service.set_trigger_armed("costly", False) is True
+        service.offer("costly", 1.0, 1)
+        assert service.next_due("costly") == 9
+        assert service.trigger_suspensions("costly") == 1
+        assert service.trigger_accounting() == (1, 7.0)
+
+    def test_rearm_resumes_full_rate_immediately(self):
+        service = self._guarded(suspend=8)
+        service.offer("costly", 1.0, 0)
+        service.set_trigger_armed("costly", False)
+        service.offer("costly", 1.0, 1)  # parks next_due at step 9
+        service.set_trigger_armed("costly", True)
+        # The arm edge must not wait out the parked schedule: the guard
+        # is due at the very next offer.
+        assert service.due("costly", 2)
+        decision = service.offer("costly", 1.0, 2)
+        assert decision is not None
+        assert decision.next_interval == 1
+
+    def test_set_armed_requires_a_guard(self):
+        service = MonitoringService()
+        service.add_task("plain", task())
+        with pytest.raises(ConfigurationError):
+            service.set_trigger_armed("plain", True)
+
+    def test_reinstall_preserves_armed_state(self):
+        service = self._guarded()
+        service.set_trigger_armed("costly", False)
+        service.install_trigger_plan(TriggerPlan(
+            target="costly", trigger="conns", elevation_level=40.0,
+            suspend_interval=8, min_hold=0))
+        assert service.trigger_status("costly")["armed"] is False
+
+    def test_watch_edges_buffer_or_sink(self):
+        service = MonitoringService()
+        service.add_task("conns", task(threshold=200.0))
+        service.add_trigger_watch("conns", 40.0, min_hold=0)
+        service.offer("conns", 10.0, 0)  # below the band -> disarm
+        events = service.drain_trigger_events()
+        assert events == [{"op": "disarm", "trigger": "conns",
+                           "step": 0, "value": 10.0}]
+        seen: list[dict] = []
+        service.set_trigger_sink(seen.append)
+        service.offer("conns", 80.0, 1)  # above the level -> arm
+        assert service.drain_trigger_events() == []
+        assert seen and seen[0]["op"] == "arm"
+
+
+class TestSamplerResume:
+    def test_resume_full_rate_resets_grown_interval(self):
+        sampler = ViolationLikelihoodSampler(
+            task(err=0.5, max_interval=6),
+            AdaptationConfig(patience=1, min_samples=2))
+        step = 0
+        for _ in range(12):
+            decision = sampler.observe(0.0, step)
+            step += decision.next_interval
+        assert sampler.interval > 1
+        grow_events = sampler.grow_events
+        reset_events = sampler.reset_events
+        sampler.resume_full_rate()
+        assert sampler.interval == 1
+        # An external scheduling decision, not an adaptation event.
+        assert sampler.grow_events == grow_events
+        assert sampler.reset_events == reset_events
+        assert sampler.observe(0.0, step).next_interval >= 1
